@@ -1,0 +1,94 @@
+//! Criterion benches: one group per figure/table of the paper, at a size
+//! small enough for statistical repetition. The figure *binaries* produce
+//! the full-size numbers; these benches track the relative cost of each
+//! kernel across code changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_bench::{run_wavefront, Variant};
+use pdc_machine::CostModel;
+
+/// Figure 6 kernels: resolution strategies (32×32 grid, 4 processors).
+fn fig6_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    for variant in [
+        Variant::RuntimeRes,
+        Variant::CompileTime,
+        Variant::OptimizedI,
+        Variant::Handwritten { blksize: 4 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                b.iter(|| run_wavefront(variant, 32, 4, CostModel::ipsc2(), false));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Figure 7 kernels: the optimization ladder.
+fn fig7_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    for variant in [Variant::OptimizedII, Variant::OptimizedIII { blksize: 4 }] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                b.iter(|| run_wavefront(variant, 32, 4, CostModel::ipsc2(), false));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Block-size sweep kernel (the §4 trade-off).
+fn blocksize_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocksize");
+    for blk in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(blk), &blk, |b, &blk| {
+            b.iter(|| {
+                run_wavefront(
+                    Variant::OptimizedIII { blksize: blk },
+                    32,
+                    4,
+                    CostModel::ipsc2(),
+                    false,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Compiler front-half cost: inline + analyze + generate both strategies.
+fn compile_kernels(c: &mut Criterion) {
+    use pdc_core::driver::{compile, Job, Strategy};
+    use pdc_core::programs;
+    let program = programs::gauss_seidel();
+    let mut g = c.benchmark_group("compile");
+    for (name, strategy) in [
+        ("runtime", Strategy::Runtime),
+        ("compile_time", Strategy::CompileTime),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let job = Job::new(
+                    &program,
+                    "gs_iteration",
+                    programs::wavefront_decomposition(8),
+                )
+                .with_const("n", 64);
+                compile(&job, strategy).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig6_kernels, fig7_kernels, blocksize_kernels, compile_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,520 @@
+//! End-to-end pipeline: compile → distribute inputs → simulate → gather →
+//! (optionally) check against the sequential interpreter.
+
+use crate::analysis::Analysis;
+use crate::compile_time;
+use crate::inline::{inline_program, Inlined, ParamMapMode, ParamMaps};
+use crate::runtime_res;
+use crate::CoreError;
+use pdc_istructure::IMatrix;
+use pdc_lang::interp::Interpreter;
+use pdc_lang::value::Value;
+use pdc_lang::Program;
+use pdc_machine::CostModel;
+use pdc_mapping::Decomposition;
+use pdc_spmd::ir::SpmdProgram;
+use pdc_spmd::run::{RunOutcome, SpmdMachine};
+use pdc_spmd::{Scalar, SpmdError};
+use std::collections::HashMap;
+
+/// Which code generator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// §3.1: one generic guarded program on every processor.
+    Runtime,
+    /// §3.2: per-processor specialization with solved loop bounds.
+    CompileTime,
+}
+
+/// A compilation job: the program plus everything the compiler needs to
+/// know about the target configuration.
+#[derive(Debug, Clone)]
+pub struct Job<'a> {
+    /// The source program.
+    pub program: &'a Program,
+    /// Entry procedure name.
+    pub entry: &'a str,
+    /// The domain decomposition (includes the machine size).
+    pub decomp: Decomposition,
+    /// Declared parameter mappings for procedures (§5.1).
+    pub param_maps: ParamMaps,
+    /// Mapping-polymorphism mode (§5.1).
+    pub mode: ParamMapMode,
+    /// Compile-time-known scalar parameters (e.g. `n = 128`), used to
+    /// fold allocation extents for the block distribution families.
+    pub const_params: HashMap<String, i64>,
+    /// Explicit extents for input arrays (alternative to `const_params`).
+    pub extent_overrides: HashMap<String, (usize, usize)>,
+}
+
+impl<'a> Job<'a> {
+    /// A job with default options.
+    pub fn new(program: &'a Program, entry: &'a str, decomp: Decomposition) -> Self {
+        Job {
+            program,
+            entry,
+            decomp,
+            param_maps: ParamMaps::new(),
+            mode: ParamMapMode::Monomorphic,
+            const_params: HashMap::new(),
+            extent_overrides: HashMap::new(),
+        }
+    }
+
+    /// Record a compile-time-known scalar parameter.
+    pub fn with_const(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.const_params.insert(name.into(), value);
+        self
+    }
+}
+
+/// A compiled program bundled with the analysis that produced it (needed
+/// later to distribute inputs consistently).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The per-processor target program.
+    pub spmd: SpmdProgram,
+    /// The mapping analysis.
+    pub analysis: Analysis,
+    /// The inlined source (kept for diagnostics and tests).
+    pub inlined: Inlined,
+}
+
+/// Run the front half of the pipeline: inline, analyze, generate.
+///
+/// # Errors
+///
+/// Any [`CoreError`] from inlining, analysis, or code generation.
+pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError> {
+    let inlined = inline_program(
+        job.program,
+        job.entry,
+        &job.decomp,
+        &job.param_maps,
+        job.mode,
+    )?;
+    let analysis = Analysis::build(
+        &inlined,
+        &job.decomp,
+        &job.const_params,
+        &job.extent_overrides,
+    )?;
+    let spmd = match strategy {
+        Strategy::Runtime => runtime_res::compile(&inlined, &analysis)?,
+        Strategy::CompileTime => compile_time::compile(&inlined, &analysis)?,
+    };
+    Ok(Compiled {
+        spmd,
+        analysis,
+        inlined,
+    })
+}
+
+/// Input bindings for an execution.
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    /// Scalar entry parameters.
+    pub scalars: Vec<(String, Scalar)>,
+    /// Array entry parameters (global matrices, distributed per the
+    /// decomposition before the run).
+    pub arrays: Vec<(String, IMatrix<Scalar>)>,
+}
+
+impl Inputs {
+    /// No inputs.
+    pub fn new() -> Self {
+        Inputs::default()
+    }
+
+    /// Bind a scalar parameter.
+    pub fn scalar(mut self, name: impl Into<String>, v: Scalar) -> Self {
+        self.scalars.push((name.into(), v));
+        self
+    }
+
+    /// Bind an array parameter.
+    pub fn array(mut self, name: impl Into<String>, m: IMatrix<Scalar>) -> Self {
+        self.arrays.push((name.into(), m));
+        self
+    }
+}
+
+/// The result of simulating a compiled program.
+#[derive(Debug)]
+pub struct Execution {
+    /// Scheduler/fabric report (`outcome.report.stats.makespan()` is the
+    /// simulated time).
+    pub outcome: RunOutcome,
+    /// The machine, for gathers and white-box inspection.
+    pub machine: SpmdMachine,
+}
+
+impl Execution {
+    /// Gather a distributed array by name.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpmdMachine::gather`].
+    pub fn gather(&self, name: &str) -> Result<IMatrix<Scalar>, SpmdError> {
+        self.machine.gather(name)
+    }
+
+    /// Total messages exchanged (the footnote-3 metric).
+    pub fn messages(&self) -> u64 {
+        self.outcome.report.stats.network.messages
+    }
+
+    /// Simulated execution time in cycles (the Figures 6/7 metric).
+    pub fn makespan(&self) -> u64 {
+        self.outcome.report.stats.makespan().0
+    }
+}
+
+/// Simulate a compiled program.
+///
+/// # Errors
+///
+/// Lowering and machine errors as [`SpmdError`].
+pub fn execute(
+    compiled: &Compiled,
+    inputs: &Inputs,
+    cost: CostModel,
+) -> Result<Execution, SpmdError> {
+    let mut machine = SpmdMachine::new(&compiled.spmd, cost)?;
+    for (name, v) in &inputs.scalars {
+        machine.preset_var(name, *v);
+    }
+    for (name, data) in &inputs.arrays {
+        let dist = compiled
+            .analysis
+            .array(name)
+            .map_err(|e| SpmdError::Gather {
+                message: e.to_string(),
+            })?
+            .dist
+            .clone();
+        machine.preload_array(name, dist, data);
+    }
+    let outcome = machine.run()?;
+    Ok(Execution { outcome, machine })
+}
+
+/// Run the *sequential* program on the same inputs with the reference
+/// interpreter — the semantics every compiled execution must match.
+///
+/// # Errors
+///
+/// Any interpreter error, as [`CoreError::Lang`].
+pub fn run_sequential(program: &Program, entry: &str, inputs: &Inputs) -> Result<Value, CoreError> {
+    let proc = program.proc(entry).ok_or_else(|| CoreError::NoEntry {
+        name: entry.to_owned(),
+    })?;
+    let mut args = Vec::new();
+    for p in &proc.params {
+        if let Some((_, v)) = inputs.scalars.iter().find(|(n, _)| n == p) {
+            args.push(scalar_to_value(*v));
+        } else if let Some((_, m)) = inputs.arrays.iter().find(|(n, _)| n == p) {
+            args.push(matrix_to_value(m));
+        } else {
+            return Err(CoreError::Unsupported {
+                message: format!("no input bound for parameter `{p}`"),
+                span: proc.span,
+            });
+        }
+    }
+    let mut interp = Interpreter::new(program);
+    interp.run(entry, &args).map_err(CoreError::Lang)
+}
+
+/// Convert a machine scalar to an interpreter value.
+pub fn scalar_to_value(s: Scalar) -> Value {
+    match s {
+        Scalar::Int(v) => Value::Int(v),
+        Scalar::Float(v) => Value::Float(v),
+        Scalar::Bool(v) => Value::Bool(v),
+    }
+}
+
+/// Convert a scalar matrix to an interpreter matrix value.
+pub fn matrix_to_value(m: &IMatrix<Scalar>) -> Value {
+    let out = Value::new_matrix(m.rows(), m.cols());
+    if let Value::Matrix(h) = &out {
+        let mut h = h.borrow_mut();
+        for i in 1..=m.rows() as i64 {
+            for j in 1..=m.cols() as i64 {
+                if let Some(v) = m.peek(i, j) {
+                    h.write(i, j, scalar_to_value(*v)).expect("fresh matrix");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compare a gathered matrix against a sequential matrix result,
+/// returning the first mismatch as `(i, j, gathered, sequential)`.
+pub fn first_mismatch(
+    gathered: &IMatrix<Scalar>,
+    sequential: &Value,
+) -> Option<(i64, i64, Option<Scalar>, Option<Value>)> {
+    let Value::Matrix(h) = sequential else {
+        return Some((0, 0, None, Some(sequential.clone())));
+    };
+    let h = h.borrow();
+    if (h.rows(), h.cols()) != (gathered.rows(), gathered.cols()) {
+        return Some((0, 0, None, None));
+    }
+    for i in 1..=gathered.rows() as i64 {
+        for j in 1..=gathered.cols() as i64 {
+            let g = gathered.peek(i, j).copied();
+            let s = h.peek(i, j).cloned();
+            let same = match (&g, &s) {
+                (None, None) => true,
+                (Some(gv), Some(sv)) => &scalar_to_value(*gv) == sv,
+                _ => false,
+            };
+            if !same {
+                return Some((i, j, g, s));
+            }
+        }
+    }
+    None
+}
+
+/// Build a deterministic input matrix: `cell(i,j) = (i*31 + j*17) mod 97`.
+/// Used by tests, examples, and benches as the standard workload.
+pub fn standard_input(rows: usize, cols: usize) -> IMatrix<Scalar> {
+    let mut m = IMatrix::new(rows, cols);
+    for i in 1..=rows as i64 {
+        for j in 1..=cols as i64 {
+            m.write(i, j, Scalar::Int((i * 31 + j * 17) % 97))
+                .expect("fresh matrix");
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn runtime_resolution_gs_matches_sequential() {
+        let program = programs::gauss_seidel();
+        let n = 8usize;
+        let s = 4usize;
+        let job = Job::new(
+            &program,
+            "gs_iteration",
+            programs::wavefront_decomposition(s),
+        )
+        .with_const("n", n as i64);
+        let compiled = compile(&job, Strategy::Runtime).unwrap();
+        let inputs = Inputs::new()
+            .scalar("n", Scalar::Int(n as i64))
+            .array("Old", standard_input(n, n));
+        let exec = execute(&compiled, &inputs, CostModel::zero()).unwrap();
+        let gathered = exec.gather("New").unwrap();
+        let seq = run_sequential(&program, "gs_iteration", &inputs).unwrap();
+        assert_eq!(first_mismatch(&gathered, &seq), None);
+        // Interior coercion traffic exists.
+        assert!(exec.messages() > 0);
+        assert_eq!(exec.outcome.report.undelivered, 0);
+    }
+
+    #[test]
+    fn runtime_resolution_message_count_formula() {
+        // Two remote operands per interior point: 2 * (n-2)^2 messages,
+        // minus the points whose neighbour columns coincide... with
+        // column-cyclic on s >= 2 every interior point's New[i,j-1] and
+        // Old[i,j+1] are remote, giving exactly 2 (n-2)^2 messages
+        // (boundary-copy statements are always local).
+        let program = programs::gauss_seidel();
+        let n = 10usize;
+        for s in [2usize, 5] {
+            let job = Job::new(
+                &program,
+                "gs_iteration",
+                programs::wavefront_decomposition(s),
+            )
+            .with_const("n", n as i64);
+            let compiled = compile(&job, Strategy::Runtime).unwrap();
+            let inputs = Inputs::new()
+                .scalar("n", Scalar::Int(n as i64))
+                .array("Old", standard_input(n, n));
+            let exec = execute(&compiled, &inputs, CostModel::zero()).unwrap();
+            assert_eq!(exec.messages(), 2 * (n as u64 - 2).pow(2), "s = {s}");
+        }
+    }
+
+    #[test]
+    fn single_processor_needs_no_messages() {
+        let program = programs::gauss_seidel();
+        let n = 6usize;
+        let job = Job::new(
+            &program,
+            "gs_iteration",
+            programs::wavefront_decomposition(1),
+        )
+        .with_const("n", n as i64);
+        let compiled = compile(&job, Strategy::Runtime).unwrap();
+        let inputs = Inputs::new()
+            .scalar("n", Scalar::Int(n as i64))
+            .array("Old", standard_input(n, n));
+        let exec = execute(&compiled, &inputs, CostModel::ipsc2()).unwrap();
+        assert_eq!(exec.messages(), 0);
+        let gathered = exec.gather("New").unwrap();
+        let seq = run_sequential(&program, "gs_iteration", &inputs).unwrap();
+        assert_eq!(first_mismatch(&gathered, &seq), None);
+    }
+
+    #[test]
+    fn figure4_runtime_distributes_scalars() {
+        let program = programs::figure4();
+        let job = Job::new(&program, "main", programs::figure4_decomposition(4));
+        let compiled = compile(&job, Strategy::Runtime).unwrap();
+        let exec = execute(&compiled, &Inputs::new(), CostModel::ipsc2()).unwrap();
+        // a: P1 -> P3 and b: P2 -> P3 — exactly two messages.
+        assert_eq!(exec.messages(), 2);
+        assert_eq!(exec.machine.vm(3).var("c"), Some(Scalar::Int(12)));
+        // Non-evaluators never define c.
+        assert_eq!(exec.machine.vm(0).var("c"), None);
+    }
+}
+
+/// Build a [`Decomposition`] from the program's own `map { … }` header —
+/// the italicized annotations of the paper's Figure 1, carried in source
+/// form — for a machine of `nprocs` processors.
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] if a named processor or 2-D grid does not
+/// fit the machine.
+pub fn decomposition_from_source(
+    program: &Program,
+    nprocs: usize,
+) -> Result<Decomposition, CoreError> {
+    use pdc_lang::ast::DistSpec;
+    use pdc_mapping::{Dist, ScalarMap};
+    let mut d = Decomposition::new(nprocs);
+    for decl in &program.map_decls {
+        let bad = |message: String| CoreError::Unsupported {
+            message,
+            span: decl.span,
+        };
+        match decl.spec {
+            DistSpec::All => {
+                // `all` works for scalars and arrays alike; record both.
+                d = d
+                    .scalar(decl.name.clone(), ScalarMap::All)
+                    .array(decl.name.clone(), Dist::Replicated);
+            }
+            DistSpec::Proc(p) => {
+                if p >= nprocs {
+                    return Err(bad(format!(
+                        "`{}` is mapped to P{p}, but the machine has {nprocs} processors",
+                        decl.name
+                    )));
+                }
+                d = d
+                    .scalar(decl.name.clone(), ScalarMap::On(p))
+                    .array(decl.name.clone(), Dist::OnProcessor(p));
+            }
+            DistSpec::ColumnCyclic => d = d.array(decl.name.clone(), Dist::ColumnCyclic),
+            DistSpec::RowCyclic => d = d.array(decl.name.clone(), Dist::RowCyclic),
+            DistSpec::ColumnBlock => d = d.array(decl.name.clone(), Dist::ColumnBlock),
+            DistSpec::RowBlock => d = d.array(decl.name.clone(), Dist::RowBlock),
+            DistSpec::ColumnBlockCyclic(b) => {
+                d = d.array(decl.name.clone(), Dist::ColumnBlockCyclic { block: b })
+            }
+            DistSpec::RowBlockCyclic(b) => {
+                d = d.array(decl.name.clone(), Dist::RowBlockCyclic { block: b })
+            }
+            DistSpec::Block2d(pr, pc) => {
+                if pr * pc != nprocs {
+                    return Err(bad(format!(
+                        "`{}` uses a {pr}x{pc} grid, but the machine has {nprocs} processors",
+                        decl.name
+                    )));
+                }
+                d = d.array(decl.name.clone(), Dist::Block2d { prows: pr, pcols: pc })
+            }
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod map_decl_tests {
+    use super::*;
+    use pdc_mapping::{Dist, ScalarMap};
+
+    #[test]
+    fn source_map_block_builds_decomposition() {
+        let program = pdc_lang::parse(
+            "map {
+                New : column_cyclic;
+                Old : column_block_cyclic(2);
+                c : all;
+                x : proc(1);
+                G : block2d(2, 2);
+             }
+             procedure main() { return 0; }",
+        )
+        .unwrap();
+        let d = decomposition_from_source(&program, 4).unwrap();
+        assert_eq!(d.array_dist("New"), Some(Dist::ColumnCyclic));
+        assert_eq!(
+            d.array_dist("Old"),
+            Some(Dist::ColumnBlockCyclic { block: 2 })
+        );
+        assert_eq!(d.scalar_map("c"), ScalarMap::All);
+        assert_eq!(d.scalar_map("x"), ScalarMap::On(1));
+        assert_eq!(
+            d.array_dist("G"),
+            Some(Dist::Block2d { prows: 2, pcols: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_processor_rejected() {
+        let program = pdc_lang::parse(
+            "map { x : proc(9); } procedure main() { return 0; }",
+        )
+        .unwrap();
+        let err = decomposition_from_source(&program, 4).unwrap_err();
+        assert!(err.to_string().contains("P9"));
+    }
+
+    #[test]
+    fn wrong_grid_rejected() {
+        let program = pdc_lang::parse(
+            "map { G : block2d(3, 3); } procedure main() { return 0; }",
+        )
+        .unwrap();
+        let err = decomposition_from_source(&program, 4).unwrap_err();
+        assert!(err.to_string().contains("3x3 grid"));
+    }
+
+    #[test]
+    fn source_mapped_wavefront_compiles_and_runs() {
+        // The whole pipeline driven from source-level mappings alone.
+        let src = format!(
+            "map {{ New : column_cyclic; Old : column_cyclic; }}\n{}",
+            crate::programs::GAUSS_SEIDEL
+        );
+        let program = pdc_lang::parse(&src).unwrap();
+        let n = 8usize;
+        let decomp = decomposition_from_source(&program, 2).unwrap();
+        let job = Job::new(&program, "gs_iteration", decomp).with_const("n", n as i64);
+        let compiled = compile(&job, Strategy::CompileTime).unwrap();
+        let inputs = Inputs::new()
+            .scalar("n", Scalar::Int(n as i64))
+            .array("Old", standard_input(n, n));
+        let exec = execute(&compiled, &inputs, CostModel::ipsc2()).unwrap();
+        let gathered = exec.gather("New").unwrap();
+        let seq = run_sequential(&program, "gs_iteration", &inputs).unwrap();
+        assert_eq!(first_mismatch(&gathered, &seq), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Compiler errors.
+
+use pdc_lang::{LangError, Span};
+use std::error::Error;
+use std::fmt;
+
+/// A failure in the process-decomposition compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Front-end failure (parse/check/interpreter).
+    Lang(LangError),
+    /// A construct outside the compilable subset (with the reason).
+    Unsupported {
+        /// What was not supported and why.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// The program is recursive; the compiler inlines procedure calls, so
+    /// recursion cannot be compiled (the paper's full interprocedural
+    /// analysis is future work; the sequential interpreter still runs
+    /// recursive programs).
+    Recursion {
+        /// The cycle, as a call chain.
+        cycle: Vec<String>,
+    },
+    /// An array is used but has no mapping in the decomposition.
+    MissingMapping {
+        /// Array name.
+        name: String,
+    },
+    /// The entry procedure was not found.
+    NoEntry {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lang(e) => write!(f, "{e}"),
+            CoreError::Unsupported { message, .. } => {
+                write!(f, "unsupported construct: {message}")
+            }
+            CoreError::Recursion { cycle } => {
+                write!(
+                    f,
+                    "recursive call chain cannot be compiled: {}",
+                    cycle.join(" -> ")
+                )
+            }
+            CoreError::MissingMapping { name } => {
+                write!(f, "array `{name}` has no mapping in the decomposition")
+            }
+            CoreError::NoEntry { name } => write!(f, "entry procedure `{name}` not found"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Lang(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for CoreError {
+    fn from(e: LangError) -> Self {
+        CoreError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CoreError::Recursion {
+            cycle: vec!["f".into(), "g".into(), "f".into()],
+        };
+        assert!(e.to_string().contains("f -> g -> f"));
+        assert!(CoreError::MissingMapping { name: "A".into() }
+            .to_string()
+            .contains("`A`"));
+    }
+}

@@ -1,0 +1,471 @@
+//! The handwritten message-passing Gauss-Seidel of Figure 3 — the target
+//! the compiler output is measured against.
+//!
+//! The matrix is wrapped by column around a ring of `S` processors. Per
+//! owned column, in ascending order:
+//!
+//! * the *old* column is sent **left** in one vectorized message (column
+//!   `c` feeds the evaluator of column `c-1`);
+//! * boundary columns (1 and `n`) are copied locally from `Old`;
+//! * interior columns receive the old column `c+1` from the **right**,
+//!   then compute in blocks of `blksize` rows: receive a block of new
+//!   column `c-1` values from the left, compute the matching block of
+//!   column `c`, and send it right — pipelining computation with
+//!   communication exactly as §4 describes;
+//! * the owner of boundary column 1 feeds the pipeline by sending its
+//!   copied column right in the same block sizes.
+//!
+//! The block size trades message count against wavefront parallelism; the
+//! paper reports 2,142 messages for the handwritten code on a 128×128
+//! grid (footnote 3), which this builder reproduces (see EXPERIMENTS.md).
+
+use pdc_mapping::Dist;
+use pdc_spmd::ir::{SExpr, SStmt, SpmdProgram};
+
+/// Tag for the vectorized old-column stream.
+const TAG_OLD: u32 = 1_000_001;
+/// Tag for the blocked new-value stream.
+const TAG_NEW: u32 = 1_000_002;
+
+/// Build the handwritten program for `nprocs` processors with the given
+/// block size. The grid size `n` is read from the preset variable `n` at
+/// run time; `Old` must be preloaded column-cyclically and the result is
+/// written to the distributed array `New`.
+///
+/// # Panics
+///
+/// Panics if `nprocs == 0` or `blksize == 0`.
+pub fn gauss_seidel(nprocs: usize, blksize: usize) -> SpmdProgram {
+    assert!(nprocs > 0, "need at least one processor");
+    assert!(blksize > 0, "block size must be positive");
+    if nprocs == 1 {
+        return SpmdProgram::new(vec![single_processor_body()]);
+    }
+    let bodies = (0..nprocs)
+        .map(|p| processor_body(p, nprocs, blksize))
+        .collect();
+    SpmdProgram::new(bodies)
+}
+
+/// Local read `A[i, local(c)]` of a column-cyclic array.
+fn col_read(array: &str, i: SExpr, local_col: SExpr) -> SExpr {
+    SExpr::ARead {
+        array: array.into(),
+        idx: vec![i, local_col],
+    }
+}
+
+/// Local write `A[i, local(c)] = v`.
+fn col_write(array: &str, i: SExpr, local_col: SExpr, value: SExpr) -> SStmt {
+    SStmt::AWrite {
+        array: array.into(),
+        idx: vec![i, local_col],
+        value,
+    }
+}
+
+fn n() -> SExpr {
+    SExpr::var("n")
+}
+
+/// One processor needs no messages: plain sequential sweep over its local
+/// (complete) matrix.
+fn single_processor_body() -> Vec<SStmt> {
+    let mut body = vec![SStmt::AllocDist {
+        array: "New".into(),
+        rows: n(),
+        cols: n(),
+        dist: Dist::ColumnCyclic,
+    }];
+    // Boundary copies (columns 1 and n over all rows; rows 1 and n over
+    // interior columns).
+    body.push(SStmt::For {
+        var: "i".into(),
+        lo: SExpr::int(1),
+        hi: n(),
+        step: SExpr::int(1),
+        body: vec![
+            col_write(
+                "New",
+                SExpr::var("i"),
+                SExpr::int(1),
+                col_read("Old", SExpr::var("i"), SExpr::int(1)),
+            ),
+            col_write(
+                "New",
+                SExpr::var("i"),
+                n(),
+                col_read("Old", SExpr::var("i"), n()),
+            ),
+        ],
+    });
+    body.push(SStmt::For {
+        var: "j".into(),
+        lo: SExpr::int(2),
+        hi: n().sub(SExpr::int(1)),
+        step: SExpr::int(1),
+        body: vec![
+            col_write(
+                "New",
+                SExpr::int(1),
+                SExpr::var("j"),
+                col_read("Old", SExpr::int(1), SExpr::var("j")),
+            ),
+            col_write(
+                "New",
+                n(),
+                SExpr::var("j"),
+                col_read("Old", n(), SExpr::var("j")),
+            ),
+        ],
+    });
+    body.push(SStmt::For {
+        var: "j".into(),
+        lo: SExpr::int(2),
+        hi: n().sub(SExpr::int(1)),
+        step: SExpr::int(1),
+        body: vec![SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(2),
+            hi: n().sub(SExpr::int(1)),
+            step: SExpr::int(1),
+            body: vec![col_write(
+                "New",
+                SExpr::var("i"),
+                SExpr::var("j"),
+                col_read("New", SExpr::var("i").sub(SExpr::int(1)), SExpr::var("j"))
+                    .add(col_read(
+                        "New",
+                        SExpr::var("i"),
+                        SExpr::var("j").sub(SExpr::int(1)),
+                    ))
+                    .add(col_read(
+                        "Old",
+                        SExpr::var("i").add(SExpr::int(1)),
+                        SExpr::var("j"),
+                    ))
+                    .add(col_read(
+                        "Old",
+                        SExpr::var("i"),
+                        SExpr::var("j").add(SExpr::int(1)),
+                    ))
+                    .idiv(SExpr::int(4)),
+            )],
+        }],
+    });
+    body
+}
+
+/// The Figure 3 body for (non-degenerate) processor `p` of `s`.
+fn processor_body(p: usize, s: usize, blksize: usize) -> Vec<SStmt> {
+    let left = (p + s - 1) % s;
+    let right = (p + 1) % s;
+    let blk = blksize as i64;
+    let c = || SExpr::var("c");
+    let i = || SExpr::var("i");
+    // local column index of global column c: (c-1) div S + 1.
+    let lc = || {
+        c().sub(SExpr::int(1))
+            .idiv(SExpr::int(s as i64))
+            .add(SExpr::int(1))
+    };
+
+    let mut body = vec![
+        SStmt::Comment(format!("handwritten wavefront, processor {p} of {s}")),
+        SStmt::AllocDist {
+            array: "New".into(),
+            rows: n(),
+            cols: n(),
+            dist: Dist::ColumnCyclic,
+        },
+        SStmt::AllocBuf {
+            buf: "oldcol".into(),
+            len: n(),
+        },
+        SStmt::AllocBuf {
+            buf: "rnew".into(),
+            len: SExpr::int(blk),
+        },
+        SStmt::AllocBuf {
+            buf: "snew".into(),
+            len: SExpr::int(blk),
+        },
+    ];
+
+    // Per owned column, ascending: c = p+1, p+1+S, …
+    let mut group: Vec<SStmt> = Vec::new();
+
+    // -- send the old column left (it feeds the evaluator of column c-1,
+    //    which exists and is interior when c >= 3).
+    group.push(SStmt::If {
+        cond: c().ge(SExpr::int(3)),
+        then: vec![
+            SStmt::For {
+                var: "i".into(),
+                lo: SExpr::int(1),
+                hi: n(),
+                step: SExpr::int(1),
+                body: vec![SStmt::BufWrite {
+                    buf: "oldcol".into(),
+                    idx: i().sub(SExpr::int(1)),
+                    value: col_read("Old", i(), lc()),
+                }],
+            },
+            SStmt::SendBuf {
+                to: SExpr::int(left as i64),
+                tag: TAG_OLD,
+                buf: "oldcol".into(),
+                lo: SExpr::int(0),
+                hi: n().sub(SExpr::int(1)),
+            },
+        ],
+        els: vec![],
+    });
+
+    // -- boundary columns are copied from Old (all rows).
+    group.push(SStmt::If {
+        cond: c().eq(SExpr::int(1)).or(c().eq(n())),
+        then: vec![SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(1),
+            hi: n(),
+            step: SExpr::int(1),
+            body: vec![col_write("New", i(), lc(), col_read("Old", i(), lc()))],
+        }],
+        els: vec![],
+    });
+
+    // -- the owner of column 1 feeds the pipeline: send its (copied)
+    //    column right in blocks, matching the interior block protocol.
+    group.push(SStmt::If {
+        cond: c().eq(SExpr::int(1)).and(n().ge(SExpr::int(4))),
+        then: vec![block_loop_send_only(blk, right)],
+        els: vec![],
+    });
+
+    // -- interior columns: row copies, old column from the right, block
+    //    pipeline.
+    let interior = c().ge(SExpr::int(2)).and(c().le(n().sub(SExpr::int(1))));
+    let mut interior_code: Vec<SStmt> = vec![
+        col_write(
+            "New",
+            SExpr::int(1),
+            lc(),
+            col_read("Old", SExpr::int(1), lc()),
+        ),
+        col_write("New", n(), lc(), col_read("Old", n(), lc())),
+        // Receive the old column c+1 from the right.
+        SStmt::RecvBuf {
+            from: SExpr::int(right as i64),
+            tag: TAG_OLD,
+            buf: "oldcol".into(),
+            lo: SExpr::int(0),
+            hi: n().sub(SExpr::int(1)),
+        },
+    ];
+    interior_code.push(block_loop_compute(blk, p, s, left, right));
+    group.push(SStmt::If {
+        cond: interior,
+        then: interior_code,
+        els: vec![],
+    });
+
+    body.push(SStmt::For {
+        var: "c".into(),
+        lo: SExpr::int(p as i64 + 1),
+        hi: n(),
+        step: SExpr::int(s as i64),
+        body: group,
+    });
+    body
+}
+
+/// Block bounds shared by sender and receiver:
+/// `lo_i = 2 + k·blk`, `hi_i = min(lo_i + blk - 1, n-1)`.
+fn block_bounds(blk: i64) -> (SStmt, SStmt) {
+    (
+        SStmt::Let {
+            var: "lo_i".into(),
+            value: SExpr::int(2).add(SExpr::var("k").mul(SExpr::int(blk))),
+        },
+        SStmt::Let {
+            var: "hi_i".into(),
+            value: SExpr::var("lo_i")
+                .add(SExpr::int(blk - 1))
+                .min(SExpr::var("n").sub(SExpr::int(1))),
+        },
+    )
+}
+
+/// `for k = 0 to (n-3) div blk` — the block loop header bounds.
+fn block_count_hi(blk: i64) -> SExpr {
+    SExpr::var("n").sub(SExpr::int(3)).idiv(SExpr::int(blk))
+}
+
+/// The pipeline-feeding loop of the column-1 owner: read already-copied
+/// boundary values and send them right in blocks.
+fn block_loop_send_only(blk: i64, right: usize) -> SStmt {
+    let (lo_stmt, hi_stmt) = block_bounds(blk);
+    let lc1 = SExpr::int(1); // column 1 is always local column 1
+    SStmt::For {
+        var: "k".into(),
+        lo: SExpr::int(0),
+        hi: block_count_hi(blk),
+        step: SExpr::int(1),
+        body: vec![
+            lo_stmt,
+            hi_stmt,
+            SStmt::For {
+                var: "i".into(),
+                lo: SExpr::var("lo_i"),
+                hi: SExpr::var("hi_i"),
+                step: SExpr::int(1),
+                body: vec![SStmt::BufWrite {
+                    buf: "snew".into(),
+                    idx: SExpr::var("i").sub(SExpr::var("lo_i")),
+                    value: col_read("New", SExpr::var("i"), lc1.clone()),
+                }],
+            },
+            SStmt::SendBuf {
+                to: SExpr::int(right as i64),
+                tag: TAG_NEW,
+                buf: "snew".into(),
+                lo: SExpr::int(0),
+                hi: SExpr::var("hi_i").sub(SExpr::var("lo_i")),
+            },
+        ],
+    }
+}
+
+/// The interior block pipeline: receive a block of new column `c-1`
+/// values, compute the matching block of column `c`, send it right while
+/// the wavefront allows (column `c+1` interior).
+fn block_loop_compute(blk: i64, _p: usize, s: usize, left: usize, right: usize) -> SStmt {
+    let (lo_stmt, hi_stmt) = block_bounds(blk);
+    let i = || SExpr::var("i");
+    let lc = || {
+        SExpr::var("c")
+            .sub(SExpr::int(1))
+            .idiv(SExpr::int(s as i64))
+            .add(SExpr::int(1))
+    };
+    let compute = col_read("New", i().sub(SExpr::int(1)), lc())
+        .add(SExpr::BufRead {
+            buf: "rnew".into(),
+            idx: Box::new(i().sub(SExpr::var("lo_i"))),
+        })
+        .add(col_read("Old", i().add(SExpr::int(1)), lc()))
+        .add(SExpr::BufRead {
+            buf: "oldcol".into(),
+            idx: Box::new(i().sub(SExpr::int(1))),
+        })
+        .idiv(SExpr::int(4));
+    SStmt::For {
+        var: "k".into(),
+        lo: SExpr::int(0),
+        hi: block_count_hi(blk),
+        step: SExpr::int(1),
+        body: vec![
+            lo_stmt,
+            hi_stmt,
+            // Receive a block of new values for column c-1.
+            SStmt::RecvBuf {
+                from: SExpr::int(left as i64),
+                tag: TAG_NEW,
+                buf: "rnew".into(),
+                lo: SExpr::int(0),
+                hi: SExpr::var("hi_i").sub(SExpr::var("lo_i")),
+            },
+            // Compute the block and stage it for sending.
+            SStmt::For {
+                var: "i".into(),
+                lo: SExpr::var("lo_i"),
+                hi: SExpr::var("hi_i"),
+                step: SExpr::int(1),
+                body: vec![
+                    SStmt::Let {
+                        var: "tmp".into(),
+                        value: compute,
+                    },
+                    col_write("New", i(), lc(), SExpr::var("tmp")),
+                    SStmt::BufWrite {
+                        buf: "snew".into(),
+                        idx: i().sub(SExpr::var("lo_i")),
+                        value: SExpr::var("tmp"),
+                    },
+                ],
+            },
+            // Send the block right while the next column is interior.
+            SStmt::If {
+                cond: SExpr::var("c").le(SExpr::var("n").sub(SExpr::int(2))),
+                then: vec![SStmt::SendBuf {
+                    to: SExpr::int(right as i64),
+                    tag: TAG_NEW,
+                    buf: "snew".into(),
+                    lo: SExpr::int(0),
+                    hi: SExpr::var("hi_i").sub(SExpr::var("lo_i")),
+                }],
+                els: vec![],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{self, Inputs};
+    use crate::programs;
+    use pdc_machine::CostModel;
+    use pdc_spmd::run::SpmdMachine;
+    use pdc_spmd::Scalar;
+
+    fn run_handwritten(n: usize, s: usize, blk: usize) -> (SpmdMachine, u64) {
+        let prog = gauss_seidel(s, blk);
+        let mut m = SpmdMachine::new(&prog, CostModel::ipsc2()).unwrap();
+        m.preset_var("n", Scalar::Int(n as i64));
+        m.preload_array("Old", Dist::ColumnCyclic, &driver::standard_input(n, n));
+        let out = m.run().unwrap();
+        let msgs = out.report.stats.network.messages;
+        (m, msgs)
+    }
+
+    #[test]
+    fn handwritten_matches_sequential() {
+        let program = programs::gauss_seidel();
+        for (n, s, blk) in [(8usize, 2usize, 2usize), (9, 3, 4), (12, 4, 3), (6, 1, 2)] {
+            let (m, _) = run_handwritten(n, s, blk);
+            let gathered = m.gather("New").unwrap();
+            let inputs = Inputs::new()
+                .scalar("n", Scalar::Int(n as i64))
+                .array("Old", driver::standard_input(n, n));
+            let seq = driver::run_sequential(&program, "gs_iteration", &inputs).unwrap();
+            assert_eq!(
+                driver::first_mismatch(&gathered, &seq),
+                None,
+                "mismatch for n={n} s={s} blk={blk}"
+            );
+        }
+    }
+
+    #[test]
+    fn handwritten_message_count_is_modest() {
+        // old columns: one vector message per column c in 3..=n, plus the
+        // blocked new streams: columns 1..=n-2 send ceil((n-2)/blk)
+        // blocks each.
+        let n = 16usize;
+        let blk = 4usize;
+        let (_, msgs) = run_handwritten(n, 4, blk);
+        let old_msgs = (n - 2) as u64; // c = 3..=n
+        let blocks = ((n - 2) as u64).div_ceil(blk as u64);
+        let new_msgs = (n - 2) as u64 * blocks; // c = 1..=n-2
+        assert_eq!(msgs, old_msgs + new_msgs);
+    }
+
+    #[test]
+    fn single_processor_handwritten_is_message_free() {
+        let (m, msgs) = run_handwritten(8, 1, 4);
+        assert_eq!(msgs, 0);
+        assert!(m.gather("New").unwrap().is_fully_defined());
+    }
+}

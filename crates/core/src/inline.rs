@@ -1,0 +1,677 @@
+//! Procedure inlining with per-call-site mapping instantiation.
+//!
+//! The compiler flattens the call tree of the entry procedure before
+//! analysis. This is the substitution documented in DESIGN.md: the paper
+//! performs interprocedural analysis with *participants functions* because
+//! Id Nouveau has recursion (§6); we instead specialize each call site by
+//! inlining, which handles every non-recursive program — including the
+//! paper's benchmark — and makes the §5.1 *mapping polymorphism* extension
+//! a one-line policy choice:
+//!
+//! * [`ParamMapMode::Monomorphic`] — a procedure's scalar parameters keep
+//!   their *declared* mapping at every call site (the Figure 8 behaviour:
+//!   calling `f = λa:P1. a` on data owned by P2 drags the data to P1 and
+//!   back);
+//! * [`ParamMapMode::Polymorphic`] — parameters are re-mapped per call
+//!   site to the mapping of the actual argument (the Figure 9 behaviour:
+//!   the call runs where the data lives and the messages disappear).
+
+use crate::CoreError;
+use pdc_lang::ast::{Block, Expr, ExprKind, Program, Stmt};
+use pdc_lang::Span;
+use pdc_mapping::{Decomposition, ScalarMap};
+use std::collections::{HashMap, HashSet};
+
+/// How procedure parameters acquire mappings at call sites (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParamMapMode {
+    /// Parameters keep their declared mapping at every call site.
+    #[default]
+    Monomorphic,
+    /// Parameters take the mapping of the actual argument.
+    Polymorphic,
+}
+
+/// Declared mappings for procedure parameters, keyed by
+/// `(procedure, parameter)`. Parameters without an entry behave as `ALL`
+/// (replicated), like unmapped scalars.
+pub type ParamMaps = HashMap<(String, String), ScalarMap>;
+
+/// The result of flattening the entry procedure.
+#[derive(Debug, Clone)]
+pub struct Inlined {
+    /// Entry parameters (left free; bound by the driver at run time).
+    pub params: Vec<String>,
+    /// The call-free body.
+    pub body: Block,
+    /// Mappings for the fresh scalars introduced for inlined parameters.
+    pub scalar_maps: Vec<(String, ScalarMap)>,
+}
+
+struct Inliner<'a> {
+    program: &'a Program,
+    decomp: &'a Decomposition,
+    param_maps: &'a ParamMaps,
+    mode: ParamMapMode,
+    stack: Vec<String>,
+    counter: usize,
+    extra_maps: Vec<(String, ScalarMap)>,
+}
+
+/// Flatten `entry`, inlining every call.
+///
+/// Restrictions (each reported as [`CoreError::Unsupported`]):
+///
+/// * calls may appear only as whole statements, as the right-hand side of
+///   a `let`, or under a `return` — never nested inside expressions;
+/// * an inlined procedure may use `return` only as its final statement;
+/// * array arguments must be simple variables (the array's identity must
+///   be statically known);
+/// * recursion is rejected with [`CoreError::Recursion`].
+///
+/// # Errors
+///
+/// See above; also [`CoreError::NoEntry`] for a missing entry procedure.
+pub fn inline_program(
+    program: &Program,
+    entry: &str,
+    decomp: &Decomposition,
+    param_maps: &ParamMaps,
+    mode: ParamMapMode,
+) -> Result<Inlined, CoreError> {
+    let proc = program.proc(entry).ok_or_else(|| CoreError::NoEntry {
+        name: entry.to_owned(),
+    })?;
+    let mut inliner = Inliner {
+        program,
+        decomp,
+        param_maps,
+        mode,
+        stack: vec![entry.to_owned()],
+        counter: 0,
+        extra_maps: Vec::new(),
+    };
+    let body = inliner.block(&proc.body, &HashMap::new())?;
+    Ok(Inlined {
+        params: proc.params.clone(),
+        body,
+        scalar_maps: inliner.extra_maps,
+    })
+}
+
+/// Collect the names used with subscripts anywhere in `block` — these are
+/// the arrays of the program (as opposed to scalars). Used for
+/// parameter-kind inference here and array discovery in the analysis.
+pub fn collect_subscripted(block: &Block, out: &mut HashSet<String>) {
+    subscripted_names(block, out)
+}
+
+/// Names used with subscripts anywhere in a block (arrays, as opposed to
+/// scalars, for parameter-kind inference).
+fn subscripted_names(block: &Block, out: &mut HashSet<String>) {
+    fn expr(e: &Expr, out: &mut HashSet<String>) {
+        match &e.kind {
+            ExprKind::ArrayRead { array, indices } => {
+                out.insert(array.clone());
+                for i in indices {
+                    expr(i, out);
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                expr(lhs, out);
+                expr(rhs, out);
+            }
+            ExprKind::Unary { operand, .. } => expr(operand, out),
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    expr(a, out);
+                }
+            }
+            ExprKind::Alloc { dims } => {
+                for d in dims {
+                    expr(d, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in &block.stmts {
+        match s {
+            Stmt::Let { init, .. } => expr(init, out),
+            Stmt::ArrayWrite {
+                array,
+                indices,
+                value,
+                ..
+            } => {
+                out.insert(array.clone());
+                for i in indices {
+                    expr(i, out);
+                }
+                expr(value, out);
+            }
+            Stmt::For {
+                lo, hi, step, body, ..
+            } => {
+                expr(lo, out);
+                expr(hi, out);
+                if let Some(st) = step {
+                    expr(st, out);
+                }
+                subscripted_names(body, out);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                expr(cond, out);
+                subscripted_names(then_blk, out);
+                if let Some(e) = else_blk {
+                    subscripted_names(e, out);
+                }
+            }
+            Stmt::Return { value, .. } => expr(value, out),
+            Stmt::ExprStmt { expr: e, .. } => expr(e, out),
+        }
+    }
+}
+
+impl Inliner<'_> {
+    /// Process a block in the *caller's* namespace: `renames` maps callee
+    /// names to caller names (empty at the entry level).
+    fn block(
+        &mut self,
+        block: &Block,
+        renames: &HashMap<String, String>,
+    ) -> Result<Block, CoreError> {
+        let mut out = Vec::new();
+        for stmt in &block.stmts {
+            self.stmt(stmt, renames, &mut out)?;
+        }
+        Ok(Block { stmts: out })
+    }
+
+    fn stmt(
+        &mut self,
+        stmt: &Stmt,
+        renames: &HashMap<String, String>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), CoreError> {
+        match stmt {
+            Stmt::Let { name, init, span } => {
+                let name = rename(name, renames);
+                if let ExprKind::Call { name: callee, args } = &init.kind {
+                    let ret = self.inline_call(callee, args, renames, *span, out)?;
+                    let Some(ret) = ret else {
+                        return Err(CoreError::Unsupported {
+                            message: format!("`{callee}` returns no value"),
+                            span: *span,
+                        });
+                    };
+                    out.push(Stmt::Let {
+                        name,
+                        init: ret,
+                        span: *span,
+                    });
+                } else {
+                    out.push(Stmt::Let {
+                        name,
+                        init: self.expr(init, renames)?,
+                        span: *span,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::ArrayWrite {
+                array,
+                indices,
+                value,
+                span,
+            } => {
+                out.push(Stmt::ArrayWrite {
+                    array: rename(array, renames),
+                    indices: indices
+                        .iter()
+                        .map(|e| self.expr(e, renames))
+                        .collect::<Result<_, _>>()?,
+                    value: self.expr(value, renames)?,
+                    span: *span,
+                });
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
+                let mut inner = renames.clone();
+                // Loop variables in inlined bodies must be renamed so
+                // sibling inlinings cannot collide; entry-level loops keep
+                // their names (renames is identity there).
+                let new_var = if renames.is_empty() && !renames.contains_key(var) {
+                    var.clone()
+                } else {
+                    let fresh = format!("{}{}", self.prefix(), var);
+                    inner.insert(var.clone(), fresh.clone());
+                    fresh
+                };
+                let body = self.block(body, &inner)?;
+                out.push(Stmt::For {
+                    var: new_var,
+                    lo: self.expr(lo, renames)?,
+                    hi: self.expr(hi, renames)?,
+                    step: step.as_ref().map(|e| self.expr(e, renames)).transpose()?,
+                    body,
+                    span: *span,
+                });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                out.push(Stmt::If {
+                    cond: self.expr(cond, renames)?,
+                    then_blk: self.block(then_blk, renames)?,
+                    else_blk: else_blk
+                        .as_ref()
+                        .map(|b| self.block(b, renames))
+                        .transpose()?,
+                    span: *span,
+                });
+                Ok(())
+            }
+            Stmt::Return { value, span } => {
+                if let ExprKind::Call { name: callee, args } = &value.kind {
+                    let ret = self.inline_call(callee, args, renames, *span, out)?;
+                    let Some(ret) = ret else {
+                        return Err(CoreError::Unsupported {
+                            message: format!("`{callee}` returns no value"),
+                            span: *span,
+                        });
+                    };
+                    out.push(Stmt::Return {
+                        value: ret,
+                        span: *span,
+                    });
+                } else {
+                    out.push(Stmt::Return {
+                        value: self.expr(value, renames)?,
+                        span: *span,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::ExprStmt { expr, span } => {
+                if let ExprKind::Call { name: callee, args } = &expr.kind {
+                    let _ = self.inline_call(callee, args, renames, *span, out)?;
+                    Ok(())
+                } else {
+                    Err(CoreError::Unsupported {
+                        message: "only calls may be used as statements".into(),
+                        span: *span,
+                    })
+                }
+            }
+        }
+    }
+
+    fn prefix(&self) -> String {
+        format!("__i{}_", self.counter)
+    }
+
+    /// Inline one call; returns the renamed return expression, if any.
+    fn inline_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        renames: &HashMap<String, String>,
+        span: Span,
+        out: &mut Vec<Stmt>,
+    ) -> Result<Option<Expr>, CoreError> {
+        if self.stack.iter().any(|f| f == callee) {
+            let mut cycle = self.stack.clone();
+            cycle.push(callee.to_owned());
+            return Err(CoreError::Recursion { cycle });
+        }
+        let proc = self
+            .program
+            .proc(callee)
+            .ok_or_else(|| CoreError::NoEntry {
+                name: callee.to_owned(),
+            })?;
+        self.counter += 1;
+        let prefix = self.prefix();
+        // Which parameters are arrays (used with subscripts in the body)?
+        let mut arrays = HashSet::new();
+        subscripted_names(&proc.body, &mut arrays);
+
+        let mut callee_renames: HashMap<String, String> = HashMap::new();
+        for (param, arg) in proc.params.iter().zip(args) {
+            let arg = self.expr(arg, renames)?;
+            if arrays.contains(param) {
+                // Array parameter: alias to the actual array's name.
+                let ExprKind::Var(actual) = &arg.kind else {
+                    return Err(CoreError::Unsupported {
+                        message: format!(
+                            "array argument for `{param}` of `{callee}` must be a variable"
+                        ),
+                        span,
+                    });
+                };
+                callee_renames.insert(param.clone(), actual.clone());
+            } else {
+                // Scalar parameter: bind a fresh single-assignment scalar
+                // and give it a mapping per the polymorphism mode.
+                let fresh = format!("{prefix}{param}");
+                let declared = self
+                    .param_maps
+                    .get(&(callee.to_owned(), param.clone()))
+                    .copied();
+                let map = match self.mode {
+                    ParamMapMode::Monomorphic => declared,
+                    ParamMapMode::Polymorphic => match &arg.kind {
+                        ExprKind::Var(v) => Some(self.decomp.scalar_map(v)),
+                        _ => declared,
+                    },
+                };
+                if let Some(m) = map {
+                    self.extra_maps.push((fresh.clone(), m));
+                }
+                out.push(Stmt::Let {
+                    name: fresh.clone(),
+                    init: arg,
+                    span,
+                });
+                callee_renames.insert(param.clone(), fresh);
+            }
+        }
+        // Locals of the callee get fresh names. Rename lazily: every `let`
+        // and loop var encountered in the callee body is added here first.
+        self.stack.push(callee.to_owned());
+        let (body_stmts, ret) = self.split_tail_return(&proc.body, span)?;
+        let mut local_renames = callee_renames;
+        self.collect_local_renames(&body_stmts, &prefix, &mut local_renames);
+        for s in &body_stmts {
+            self.stmt(s, &local_renames, out)?;
+        }
+        let ret = ret
+            .map(|e| {
+                if let ExprKind::Call { name: c2, args: a2 } = &e.kind {
+                    self.inline_call(c2, a2, &local_renames, span, out)
+                        .and_then(|r| {
+                            r.ok_or_else(|| CoreError::Unsupported {
+                                message: format!("`{c2}` returns no value"),
+                                span,
+                            })
+                        })
+                } else {
+                    self.expr(&e, &local_renames)
+                }
+            })
+            .transpose()?;
+        self.stack.pop();
+        Ok(ret)
+    }
+
+    /// Split a callee body into (statements, final return expression).
+    /// Any `return` that is not the final top-level statement is rejected.
+    fn split_tail_return(
+        &self,
+        body: &Block,
+        call_span: Span,
+    ) -> Result<(Vec<Stmt>, Option<Expr>), CoreError> {
+        fn has_return(b: &Block) -> bool {
+            b.stmts.iter().any(|s| match s {
+                Stmt::Return { .. } => true,
+                Stmt::For { body, .. } => has_return(body),
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => has_return(then_blk) || else_blk.as_ref().is_some_and(has_return),
+                _ => false,
+            })
+        }
+        let mut stmts = body.stmts.clone();
+        let ret = match stmts.last() {
+            Some(Stmt::Return { value, .. }) => {
+                let v = value.clone();
+                stmts.pop();
+                Some(v)
+            }
+            _ => None,
+        };
+        if has_return(&Block {
+            stmts: stmts.clone(),
+        }) {
+            return Err(CoreError::Unsupported {
+                message: "inlined procedures may only `return` as their final statement".into(),
+                span: call_span,
+            });
+        }
+        Ok((stmts, ret))
+    }
+
+    fn collect_local_renames(
+        &self,
+        stmts: &[Stmt],
+        prefix: &str,
+        renames: &mut HashMap<String, String>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Let { name, .. } => {
+                    renames
+                        .entry(name.clone())
+                        .or_insert_with(|| format!("{prefix}{name}"));
+                }
+                Stmt::For { body, .. } => {
+                    // Loop vars are renamed at their `For` statement; only
+                    // descend for nested lets.
+                    self.collect_local_renames(&body.stmts, prefix, renames);
+                }
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    self.collect_local_renames(&then_blk.stmts, prefix, renames);
+                    if let Some(e) = else_blk {
+                        self.collect_local_renames(&e.stmts, prefix, renames);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, renames: &HashMap<String, String>) -> Result<Expr, CoreError> {
+        let kind = match &e.kind {
+            ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) => e.kind.clone(),
+            ExprKind::Var(v) => ExprKind::Var(rename(v, renames)),
+            ExprKind::ArrayRead { array, indices } => ExprKind::ArrayRead {
+                array: rename(array, renames),
+                indices: indices
+                    .iter()
+                    .map(|i| self.expr(i, renames))
+                    .collect::<Result<_, _>>()?,
+            },
+            ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs, renames)?),
+                rhs: Box::new(self.expr(rhs, renames)?),
+            },
+            ExprKind::Unary { op, operand } => ExprKind::Unary {
+                op: *op,
+                operand: Box::new(self.expr(operand, renames)?),
+            },
+            ExprKind::Call { .. } => {
+                return Err(CoreError::Unsupported {
+                    message: "calls may not be nested inside expressions; hoist into a `let`"
+                        .into(),
+                    span: e.span,
+                })
+            }
+            ExprKind::Alloc { dims } => ExprKind::Alloc {
+                dims: dims
+                    .iter()
+                    .map(|d| self.expr(d, renames))
+                    .collect::<Result<_, _>>()?,
+            },
+        };
+        Ok(Expr::new(kind, e.span))
+    }
+}
+
+fn rename(name: &str, renames: &HashMap<String, String>) -> String {
+    renames
+        .get(name)
+        .cloned()
+        .unwrap_or_else(|| name.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_lang::parse;
+    use pdc_lang::pretty;
+
+    fn flat(src: &str, entry: &str) -> Inlined {
+        let p = parse(src).expect("parse");
+        let d = Decomposition::new(4);
+        inline_program(&p, entry, &d, &ParamMaps::new(), ParamMapMode::Monomorphic).expect("inline")
+    }
+
+    #[test]
+    fn simple_call_is_flattened() {
+        let inl = flat(
+            "procedure g(x) { let y = x + 1; return y; }
+             procedure main(n) { let r = g(n); return r; }",
+            "main",
+        );
+        let printed = pretty::program(&pdc_lang::Program {
+            map_decls: vec![],
+            procs: vec![pdc_lang::Proc {
+                name: "main".into(),
+                params: inl.params.clone(),
+                body: inl.body.clone(),
+                span: Span::default(),
+            }],
+        });
+        // No calls remain; the callee's local is renamed.
+        assert!(!printed.contains("g("));
+        assert!(printed.contains("__i1_x = n"));
+        assert!(printed.contains("__i1_y"));
+    }
+
+    #[test]
+    fn array_params_alias_by_name() {
+        let inl = flat(
+            "procedure fill(a, n) { for i = 1 to n do { a[i] = i; } return 0; }
+             procedure main(n) { let v = vector(n); fill(v, n); return v[1]; }",
+            "main",
+        );
+        // The callee writes through the *caller's* array name.
+        let has_v_write = fn_contains_array_write(&inl.body, "v");
+        assert!(has_v_write);
+    }
+
+    fn fn_contains_array_write(b: &Block, name: &str) -> bool {
+        b.stmts.iter().any(|s| match s {
+            Stmt::ArrayWrite { array, .. } => array == name,
+            Stmt::For { body, .. } => fn_contains_array_write(body, name),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                fn_contains_array_write(then_blk, name)
+                    || else_blk
+                        .as_ref()
+                        .is_some_and(|e| fn_contains_array_write(e, name))
+            }
+            _ => false,
+        })
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let p = parse("procedure f(n) { if n < 1 then { return 0; } return f(n - 1); }").unwrap();
+        let d = Decomposition::new(2);
+        let err =
+            inline_program(&p, "f", &d, &ParamMaps::new(), ParamMapMode::Monomorphic).unwrap_err();
+        assert!(matches!(err, CoreError::Recursion { .. }));
+    }
+
+    #[test]
+    fn early_return_is_rejected() {
+        let p = parse(
+            "procedure g(n) { if n > 0 then { return 1; } return 0; }
+             procedure main(n) { let r = g(n); return r; }",
+        )
+        .unwrap();
+        let d = Decomposition::new(2);
+        let err = inline_program(&p, "main", &d, &ParamMaps::new(), ParamMapMode::Monomorphic)
+            .unwrap_err();
+        assert!(err.to_string().contains("final statement"));
+    }
+
+    #[test]
+    fn nested_call_in_expression_rejected() {
+        let p = parse(
+            "procedure g(n) { return n; }
+             procedure main(n) { let r = g(n) + 1; return r; }",
+        )
+        .unwrap();
+        let d = Decomposition::new(2);
+        let err = inline_program(&p, "main", &d, &ParamMaps::new(), ParamMapMode::Monomorphic)
+            .unwrap_err();
+        assert!(err.to_string().contains("hoist"));
+    }
+
+    #[test]
+    fn monomorphic_params_get_declared_maps() {
+        let p = parse(
+            "procedure f(a) { return a; }
+             procedure main(b) { let u = f(b); return u; }",
+        )
+        .unwrap();
+        let d = Decomposition::new(4).scalar("b", ScalarMap::On(2));
+        let mut pm = ParamMaps::new();
+        pm.insert(("f".into(), "a".into()), ScalarMap::On(1));
+        let inl = inline_program(&p, "main", &d, &pm, ParamMapMode::Monomorphic).unwrap();
+        assert_eq!(inl.scalar_maps, vec![("__i1_a".into(), ScalarMap::On(1))]);
+    }
+
+    #[test]
+    fn polymorphic_params_inherit_argument_maps() {
+        let p = parse(
+            "procedure f(a) { return a; }
+             procedure main(b) { let u = f(b); return u; }",
+        )
+        .unwrap();
+        let d = Decomposition::new(4).scalar("b", ScalarMap::On(2));
+        let mut pm = ParamMaps::new();
+        pm.insert(("f".into(), "a".into()), ScalarMap::On(1));
+        let inl = inline_program(&p, "main", &d, &pm, ParamMapMode::Polymorphic).unwrap();
+        // The fresh parameter now lives where the argument lives.
+        assert_eq!(inl.scalar_maps, vec![("__i1_a".into(), ScalarMap::On(2))]);
+    }
+
+    #[test]
+    fn two_calls_get_distinct_names() {
+        let inl = flat(
+            "procedure g(x) { let t = x * 2; return t; }
+             procedure main(n) { let a = g(n); let b = g(a); return b; }",
+            "main",
+        );
+        let mut names = HashSet::new();
+        for s in &inl.body.stmts {
+            if let Stmt::Let { name, .. } = s {
+                assert!(names.insert(name.clone()), "duplicate `{name}`");
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! **Process decomposition through locality of reference** — the paper's
+//! primary contribution (Rogers & Pingali, Cornell TR 88-935 / PLDI 1989).
+//!
+//! Given a sequential Id Nouveau program (`pdc-lang`) and a domain
+//! decomposition (`pdc-mapping`), this crate derives per-processor SPMD
+//! message-passing programs (`pdc-spmd`) under the *owner-computes* rule:
+//!
+//! 1. the owner of a variable or array element computes its value;
+//! 2. the owner communicates the value to any processor that requires it;
+//! 3. every statement is examined by every processor to determine its role
+//!    (run-time resolution), or the compiler determines the roles
+//!    statically and specializes the code per processor (compile-time
+//!    resolution).
+//!
+//! The two code generators are:
+//!
+//! * [`runtime_res::compile`] — §3.1's *run-time resolution*: one generic
+//!   program for all processors; every statement is wrapped in ownership
+//!   guards and every remote operand moves through an element-granularity
+//!   `coerce`.
+//! * [`compile_time::compile`] — §3.2's *compile-time resolution*: the
+//!   mapping information is propagated over the AST as *evaluators* and
+//!   *participants* sets ([`analysis`]), the membership of each processor
+//!   is decided three-valuedly, loop bounds are restricted by solving the
+//!   mapping equations, and statically-false code is deleted.
+//!
+//! Supporting machinery: procedure inlining with per-call-site mapping
+//! instantiation ([`inline`], implementing the §5.1 *mapping polymorphism*
+//! extension), canonical paper programs ([`programs`]), the handwritten
+//! Figure 3 baseline ([`handwritten`]), and an end-to-end driver
+//! ([`driver`]) that compiles, runs on the simulated iPSC/2, gathers the
+//! distributed result, and checks it against the sequential interpreter.
+
+pub mod analysis;
+pub mod compile_time;
+pub mod driver;
+pub mod handwritten;
+pub mod inline;
+pub mod programs;
+pub mod runtime_res;
+pub mod translate;
+
+mod error;
+
+pub use error::CoreError;

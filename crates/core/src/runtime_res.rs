@@ -1,0 +1,458 @@
+//! **Run-time resolution** (§3.1): the simple but inefficient strategy.
+//!
+//! Every processor receives the *same* program. Three rules drive the
+//! generation of code:
+//!
+//! 1. the owner of a variable or array element computes its value;
+//! 2. the owner is responsible for communicating the value to any
+//!    processor that requires it;
+//! 3. every statement is examined by every processor to determine its
+//!    role (if any) in the execution of the statement.
+//!
+//! Each assignment therefore compiles to: compute the evaluator (the
+//! owner of the left-hand side) and the owner of every operand *at run
+//! time*; owners that are not the evaluator send their element
+//! (`coerce`); the evaluator receives or reads each operand, computes,
+//! and writes. The generated code is identical on all processors and
+//! dispatches on `mynode()`, exactly like Figure 4b of the paper.
+
+use crate::analysis::{Analysis, EvalOwner};
+use crate::inline::Inlined;
+use crate::translate::{owner_to_sexpr, translate_simple, translate_with_operands, Operand};
+use crate::CoreError;
+use pdc_lang::ast::{Block, Expr, ExprKind, Stmt};
+use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
+
+/// Maximum operands per statement (tag-space partitioning).
+const MAX_OPERANDS: usize = 64;
+
+/// Compile the inlined program with run-time resolution.
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] for constructs outside the compilable
+/// subset (conditions reading arrays, too many operands, …).
+pub fn compile(inlined: &Inlined, analysis: &Analysis) -> Result<SpmdProgram, CoreError> {
+    let mut cg = Codegen {
+        analysis,
+        next_sid: 0,
+    };
+    let body = cg.block(&inlined.body)?;
+    Ok(SpmdProgram::uniform(analysis.nprocs(), body))
+}
+
+struct Codegen<'a> {
+    analysis: &'a Analysis,
+    next_sid: u32,
+}
+
+/// The SPMD expression that computes an owner at run time.
+fn owner_sexpr(owner: &EvalOwner, op: Option<&Operand>) -> Result<SExpr, CoreError> {
+    match owner {
+        EvalOwner::All => Ok(SExpr::my_node()),
+        EvalOwner::Expr(oe) => Ok(owner_to_sexpr(oe)),
+        EvalOwner::Dynamic => match op {
+            Some(Operand::ArrayRead { array, indices }) => Ok(SExpr::OwnerOf {
+                array: array.clone(),
+                idx: indices
+                    .iter()
+                    .map(translate_simple)
+                    .collect::<Result<_, _>>()?,
+            }),
+            _ => Err(CoreError::Unsupported {
+                message: "dynamic owner without an array reference".into(),
+                span: pdc_lang::Span::default(),
+            }),
+        },
+    }
+}
+
+/// The SPMD expression reading an operand locally on its owner.
+fn operand_read(op: &Operand) -> Result<SExpr, CoreError> {
+    match op {
+        Operand::ArrayRead { array, indices } => Ok(SExpr::AReadGlobal {
+            array: array.clone(),
+            idx: indices
+                .iter()
+                .map(translate_simple)
+                .collect::<Result<_, _>>()?,
+        }),
+        Operand::ScalarVar { name } => Ok(SExpr::var(name.clone())),
+    }
+}
+
+impl Codegen<'_> {
+    fn block(&mut self, b: &Block) -> Result<Vec<SStmt>, CoreError> {
+        let mut out = Vec::new();
+        for s in &b.stmts {
+            self.stmt(s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<SStmt>) -> Result<(), CoreError> {
+        match s {
+            Stmt::Let { name, init, span } => {
+                if let ExprKind::Alloc { dims } = &init.kind {
+                    let info = self.analysis.array(name)?;
+                    let (rows, cols) = match dims.as_slice() {
+                        [n] => (SExpr::int(1), translate_simple(n)?),
+                        [r, c] => (translate_simple(r)?, translate_simple(c)?),
+                        _ => unreachable!("parser enforces 1 or 2 dims"),
+                    };
+                    out.push(SStmt::AllocDist {
+                        array: name.clone(),
+                        rows,
+                        cols,
+                        dist: info.dist.clone(),
+                    });
+                    return Ok(());
+                }
+                let roles = self.analysis.roles(s)?.expect("scalar let has roles");
+                self.assignment(
+                    AssignTarget::Scalar { name: name.clone() },
+                    init,
+                    roles.eval,
+                    &roles.operands,
+                    *span,
+                    out,
+                )
+            }
+            Stmt::ArrayWrite {
+                array,
+                indices,
+                value,
+                span,
+            } => {
+                let roles = self.analysis.roles(s)?.expect("array write has roles");
+                let idx: Vec<SExpr> = indices
+                    .iter()
+                    .map(translate_simple)
+                    .collect::<Result<_, _>>()?;
+                self.assignment(
+                    AssignTarget::Array {
+                        array: array.clone(),
+                        idx,
+                    },
+                    value,
+                    roles.eval,
+                    &roles.operands,
+                    *span,
+                    out,
+                )
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                let body = self.block(body)?;
+                out.push(SStmt::For {
+                    var: var.clone(),
+                    lo: translate_simple(lo)?,
+                    hi: translate_simple(hi)?,
+                    step: match step {
+                        Some(e) => translate_simple(e)?,
+                        None => SExpr::int(1),
+                    },
+                    body,
+                });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let then = self.block(then_blk)?;
+                let els = match else_blk {
+                    Some(b) => self.block(b)?,
+                    None => Vec::new(),
+                };
+                out.push(SStmt::If {
+                    cond: translate_simple(cond)?,
+                    then,
+                    els,
+                });
+                Ok(())
+            }
+            Stmt::Return { .. } => {
+                out.push(SStmt::Comment(
+                    "return value is gathered by the driver".into(),
+                ));
+                Ok(())
+            }
+            Stmt::ExprStmt { span, .. } => Err(CoreError::Unsupported {
+                message: "call survived inlining".into(),
+                span: *span,
+            }),
+        }
+    }
+
+    /// The owner-computes skeleton shared by scalar and array
+    /// assignments.
+    fn assignment(
+        &mut self,
+        target: AssignTarget,
+        rhs: &Expr,
+        eval: EvalOwner,
+        operands: &[crate::analysis::OperandInfo],
+        span: pdc_lang::Span,
+        out: &mut Vec<SStmt>,
+    ) -> Result<(), CoreError> {
+        if operands.len() >= MAX_OPERANDS {
+            return Err(CoreError::Unsupported {
+                message: format!("statement has more than {MAX_OPERANDS} operands"),
+                span,
+            });
+        }
+        let sid = self.next_sid;
+        self.next_sid += 1;
+        let tag = |k: usize| sid * MAX_OPERANDS as u32 + k as u32;
+        let is_mapped = |v: &str| self.analysis.is_pinned_scalar(v);
+
+        match eval {
+            EvalOwner::All => {
+                // Every processor evaluates; pinned operands broadcast.
+                let mut replacements = Vec::new();
+                for (k, oi) in operands.iter().enumerate() {
+                    match &oi.owner {
+                        EvalOwner::All => replacements.push(operand_read(&oi.operand)?),
+                        owner => {
+                            let own_var = format!("$own{sid}_{k}");
+                            let t_var = format!("$t{sid}_{k}");
+                            out.push(SStmt::Let {
+                                var: own_var.clone(),
+                                value: owner_sexpr(owner, Some(&oi.operand))?,
+                            });
+                            // Owner: read locally and send to everyone else.
+                            let q = format!("$q{sid}_{k}");
+                            out.push(SStmt::If {
+                                cond: SExpr::var(own_var.clone()).eq(SExpr::my_node()),
+                                then: vec![
+                                    SStmt::Let {
+                                        var: t_var.clone(),
+                                        value: operand_read(&oi.operand)?,
+                                    },
+                                    SStmt::For {
+                                        var: q.clone(),
+                                        lo: SExpr::int(0),
+                                        hi: SExpr::NProcs.sub(SExpr::int(1)),
+                                        step: SExpr::int(1),
+                                        body: vec![SStmt::If {
+                                            cond: SExpr::var(q.clone()).ne(SExpr::my_node()),
+                                            then: vec![SStmt::Send {
+                                                to: SExpr::var(q.clone()),
+                                                tag: tag(k),
+                                                values: vec![SExpr::var(t_var.clone())],
+                                            }],
+                                            els: vec![],
+                                        }],
+                                    },
+                                ],
+                                els: vec![SStmt::Recv {
+                                    from: SExpr::var(own_var.clone()),
+                                    tag: tag(k),
+                                    into: vec![RecvTarget::Var(t_var.clone())],
+                                }],
+                            });
+                            replacements.push(SExpr::var(t_var));
+                        }
+                    }
+                }
+                let value =
+                    translate_with_operands(rhs, &is_mapped, &mut replacements.into_iter())?;
+                out.push(target.store(value));
+                Ok(())
+            }
+            eval => {
+                // Single (possibly index-dependent) evaluator.
+                let eval_var = format!("$eval{sid}");
+                out.push(SStmt::Let {
+                    var: eval_var.clone(),
+                    value: match &target {
+                        AssignTarget::Array { array, idx } if eval == EvalOwner::Dynamic => {
+                            SExpr::OwnerOf {
+                                array: array.clone(),
+                                idx: idx.clone(),
+                            }
+                        }
+                        _ => owner_sexpr(&eval, None).map_err(|_| CoreError::Unsupported {
+                            message: "dynamic evaluator for a scalar".into(),
+                            span,
+                        })?,
+                    },
+                });
+                // Sender roles: owners that are not the evaluator.
+                let mut own_vars: Vec<Option<String>> = Vec::new();
+                for (k, oi) in operands.iter().enumerate() {
+                    match &oi.owner {
+                        EvalOwner::All => own_vars.push(None),
+                        owner => {
+                            let own_var = format!("$own{sid}_{k}");
+                            out.push(SStmt::Let {
+                                var: own_var.clone(),
+                                value: owner_sexpr(owner, Some(&oi.operand))?,
+                            });
+                            out.push(SStmt::If {
+                                cond: SExpr::var(own_var.clone())
+                                    .eq(SExpr::my_node())
+                                    .and(SExpr::var(eval_var.clone()).ne(SExpr::my_node())),
+                                then: vec![SStmt::Send {
+                                    to: SExpr::var(eval_var.clone()),
+                                    tag: tag(k),
+                                    values: vec![operand_read(&oi.operand)?],
+                                }],
+                                els: vec![],
+                            });
+                            own_vars.push(Some(own_var));
+                        }
+                    }
+                }
+                // Evaluator role: receive/read operands, compute, store.
+                let mut eval_body = Vec::new();
+                let mut replacements = Vec::new();
+                for (k, oi) in operands.iter().enumerate() {
+                    match &own_vars[k] {
+                        None => replacements.push(operand_read(&oi.operand)?),
+                        Some(own_var) => {
+                            let t_var = format!("$t{sid}_{k}");
+                            eval_body.push(SStmt::If {
+                                cond: SExpr::var(own_var.clone()).eq(SExpr::my_node()),
+                                then: vec![SStmt::Let {
+                                    var: t_var.clone(),
+                                    value: operand_read(&oi.operand)?,
+                                }],
+                                els: vec![SStmt::Recv {
+                                    from: SExpr::var(own_var.clone()),
+                                    tag: tag(k),
+                                    into: vec![RecvTarget::Var(t_var.clone())],
+                                }],
+                            });
+                            replacements.push(SExpr::var(t_var));
+                        }
+                    }
+                }
+                let value =
+                    translate_with_operands(rhs, &is_mapped, &mut replacements.into_iter())?;
+                eval_body.push(target.store(value));
+                out.push(SStmt::If {
+                    cond: SExpr::var(eval_var).eq(SExpr::my_node()),
+                    then: eval_body,
+                    els: vec![],
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Where an assignment's result goes.
+enum AssignTarget {
+    Scalar { name: String },
+    Array { array: String, idx: Vec<SExpr> },
+}
+
+impl AssignTarget {
+    fn store(&self, value: SExpr) -> SStmt {
+        match self {
+            AssignTarget::Scalar { name } => SStmt::Let {
+                var: name.clone(),
+                value,
+            },
+            AssignTarget::Array { array, idx } => SStmt::AWriteGlobal {
+                array: array.clone(),
+                idx: idx.clone(),
+                value,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inline::{inline_program, ParamMapMode, ParamMaps};
+    use pdc_lang::parse;
+    use pdc_mapping::{Decomposition, Dist, ScalarMap};
+    use std::collections::HashMap;
+
+    pub(crate) fn compile_src(src: &str, entry: &str, decomp: &Decomposition) -> SpmdProgram {
+        let p = parse(src).unwrap();
+        let inl = inline_program(
+            &p,
+            entry,
+            decomp,
+            &ParamMaps::new(),
+            ParamMapMode::Monomorphic,
+        )
+        .unwrap();
+        let a = crate::analysis::Analysis::build(&inl, decomp, &HashMap::new(), &HashMap::new())
+            .unwrap();
+        compile(&inl, &a).unwrap()
+    }
+
+    #[test]
+    fn figure4b_shape() {
+        // a:P1, b:P2, c:P3 — every processor gets guarded code.
+        let d = Decomposition::new(4)
+            .scalar("a", ScalarMap::On(1))
+            .scalar("b", ScalarMap::On(2))
+            .scalar("c", ScalarMap::On(3));
+        let prog = compile_src(
+            "procedure main() { let a = 5; let b = 7; let c = a + b; return c; }",
+            "main",
+            &d,
+        );
+        assert_eq!(prog.n_procs(), 4);
+        let text = prog.to_string();
+        // Uniform program, dispatching on mynode().
+        assert!(text.contains("all 4 processors"));
+        assert!(text.contains("mynode()"));
+        // The evaluator of `c` is the constant processor 3.
+        assert!(text.contains("$eval2 = 3;"));
+    }
+
+    #[test]
+    fn array_write_uses_global_accesses() {
+        let d = Decomposition::new(2).array("A", Dist::ColumnCyclic);
+        let prog = compile_src(
+            "procedure main(n) {
+                let A = matrix(n, n);
+                for j = 1 to n do {
+                    for i = 1 to n do { A[i, j] = i + j; }
+                }
+                return A[1, 1];
+            }",
+            "main",
+            &d,
+        );
+        let text = prog.to_string();
+        assert!(text.contains("dist_alloc"));
+        assert!(text.contains("is_write_global(A"));
+        // Evaluator is the symbolic column owner (j-1) mod 2.
+        assert!(text.contains("mod 2"));
+    }
+
+    #[test]
+    fn condition_reading_arrays_is_unsupported() {
+        let p = parse(
+            "procedure main(A, n) {
+                if A[1,1] > 0 then { A[1,2] = 1; }
+                return 0;
+            }",
+        )
+        .unwrap();
+        let d = Decomposition::new(2).array("A", Dist::ColumnCyclic);
+        let inl =
+            inline_program(&p, "main", &d, &ParamMaps::new(), ParamMapMode::Monomorphic).unwrap();
+        let a =
+            crate::analysis::Analysis::build(&inl, &d, &HashMap::new(), &HashMap::new()).unwrap();
+        let err = compile(&inl, &a).unwrap_err();
+        assert!(err.to_string().contains("every participant"));
+    }
+}

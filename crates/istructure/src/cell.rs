@@ -1,0 +1,88 @@
+//! The per-element state of an I-structure.
+
+/// State of one I-structure element.
+///
+/// A cell starts [`Cell::Empty`], transitions to [`Cell::Full`] on its first
+/// (and only legal) write, and never changes again. The `Empty` variant
+/// carries the number of reads that arrived before the write — *deferred*
+/// reads in dataflow terminology — so that a runtime built on this store can
+/// account for read-before-write synchronization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cell<T> {
+    /// No value has been written yet. The payload counts reads that have
+    /// been deferred on this cell.
+    Empty {
+        /// Number of reads that arrived while the cell was still empty.
+        deferred: u32,
+    },
+    /// The value has been written exactly once.
+    Full(T),
+}
+
+impl<T> Cell<T> {
+    /// A fresh, never-written cell with no deferred readers.
+    pub const fn new() -> Self {
+        Cell::Empty { deferred: 0 }
+    }
+
+    /// Is this cell still empty?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Cell::Empty { .. })
+    }
+
+    /// Is this cell full (written)?
+    pub fn is_full(&self) -> bool {
+        matches!(self, Cell::Full(_))
+    }
+
+    /// The value, if the cell has been written.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Cell::Full(v) => Some(v),
+            Cell::Empty { .. } => None,
+        }
+    }
+
+    /// Number of reads deferred on this cell while it was empty.
+    pub fn deferred_reads(&self) -> u32 {
+        match self {
+            Cell::Empty { deferred } => *deferred,
+            Cell::Full(_) => 0,
+        }
+    }
+}
+
+impl<T> Default for Cell<T> {
+    fn default() -> Self {
+        Cell::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_is_empty() {
+        let c: Cell<i32> = Cell::new();
+        assert!(c.is_empty());
+        assert!(!c.is_full());
+        assert_eq!(c.value(), None);
+        assert_eq!(c.deferred_reads(), 0);
+    }
+
+    #[test]
+    fn full_cell_reports_value() {
+        let c = Cell::Full(7);
+        assert!(c.is_full());
+        assert_eq!(c.value(), Some(&7));
+        assert_eq!(c.deferred_reads(), 0);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let a: Cell<u8> = Cell::default();
+        let b: Cell<u8> = Cell::new();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error taxonomy for I-structure operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A violation of I-structure semantics.
+///
+/// The paper (§2.1) defines two run-time errors: writing an element that has
+/// already been written, and reading an element that is undefined. We add a
+/// bounds error for indices outside the allocated extent, which in the paper
+/// would be a generic run-time fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IStructureError {
+    /// A second write arrived at an already-full cell.
+    DoubleWrite {
+        /// Linear (row-major) index of the offending cell.
+        index: usize,
+    },
+    /// A read arrived at a cell that was never written and the store was
+    /// asked for a definite value (strict read).
+    EmptyRead {
+        /// Linear (row-major) index of the offending cell.
+        index: usize,
+    },
+    /// An index fell outside the allocated extent.
+    OutOfBounds {
+        /// Linear index that was requested.
+        index: usize,
+        /// Number of allocated cells.
+        len: usize,
+    },
+    /// A 2-D index fell outside the allocated extent.
+    OutOfBounds2d {
+        /// Row requested (1-based, as in the paper's programs).
+        row: i64,
+        /// Column requested (1-based).
+        col: i64,
+        /// Allocated rows.
+        rows: usize,
+        /// Allocated columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for IStructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IStructureError::DoubleWrite { index } => {
+                write!(f, "i-structure element {index} written twice")
+            }
+            IStructureError::EmptyRead { index } => {
+                write!(f, "i-structure element {index} read while undefined")
+            }
+            IStructureError::OutOfBounds { index, len } => {
+                write!(f, "i-structure index {index} out of bounds (len {len})")
+            }
+            IStructureError::OutOfBounds2d {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "i-structure index ({row},{col}) out of bounds ({rows}x{cols})"
+            ),
+        }
+    }
+}
+
+impl Error for IStructureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let cases: Vec<IStructureError> = vec![
+            IStructureError::DoubleWrite { index: 3 },
+            IStructureError::EmptyRead { index: 9 },
+            IStructureError::OutOfBounds { index: 10, len: 4 },
+            IStructureError::OutOfBounds2d {
+                row: 5,
+                col: 6,
+                rows: 2,
+                cols: 2,
+            },
+        ];
+        for c in cases {
+            let msg = c.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IStructureError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Write-once *I-structure* arrays — the storage substrate of Id Nouveau.
+//!
+//! I-structures (Arvind, Nikhil & Pingali) separate the *allocation* of an
+//! array from the *definition* of its elements, which makes it possible to
+//! build large arrays incrementally in a declarative language without the
+//! copying cost of purely functional arrays. Unlike imperative arrays, an
+//! element may be written **at most once**: a second write to the same cell
+//! is a run-time error, and a read of a never-written cell is a run-time
+//! error (or, in a dataflow setting, a *deferred* read that completes when
+//! the write arrives).
+//!
+//! This crate provides:
+//!
+//! * [`IStructure<T>`] — a one-dimensional write-once array with per-cell
+//!   empty/full state, deferred-read bookkeeping, and access statistics;
+//! * [`IMatrix<T>`] — a two-dimensional array in row-major order built on
+//!   the same cell machinery, matching the `matrix(e1,e2)` primitive of the
+//!   paper (§2.1);
+//! * [`IStructureError`] — the error taxonomy (double write, empty read,
+//!   bounds).
+//!
+//! Both containers are used by the sequential interpreter in `pdc-lang` and
+//! by the SPMD virtual machine in `pdc-spmd` (where each processor holds the
+//! local segment of a distributed I-structure).
+//!
+//! # Examples
+//!
+//! ```
+//! use pdc_istructure::{IMatrix, IStructureError};
+//!
+//! # fn main() -> Result<(), IStructureError> {
+//! let mut m: IMatrix<i64> = IMatrix::new(3, 3);
+//! m.write(1, 1, 42)?;
+//! assert_eq!(*m.read(1, 1)?, 42);
+//! // Writing the same element twice is a run-time error:
+//! assert!(m.write(1, 1, 43).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+mod cell;
+mod error;
+mod matrix;
+mod stats;
+mod structure;
+
+pub use cell::Cell;
+pub use error::IStructureError;
+pub use matrix::IMatrix;
+pub use stats::AccessStats;
+pub use structure::IStructure;
+
+/// Convenient result alias for fallible I-structure operations.
+pub type Result<T> = std::result::Result<T, IStructureError>;

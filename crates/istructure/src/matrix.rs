@@ -1,0 +1,198 @@
+//! Two-dimensional write-once arrays (`matrix(e1,e2)` of the paper).
+
+use crate::{AccessStats, IStructure, IStructureError, Result};
+
+/// A two-dimensional I-structure in row-major order.
+///
+/// Indices are **1-based**, matching the programs in the paper (`New[i,j]`
+/// for `i, j` in `1..=N`). The paper's `matrix(e1,e2)` primitive allocates
+/// one of these; `A[i,j] = e` maps to [`write`](IMatrix::write) and `A[i,j]`
+/// to [`read`](IMatrix::read).
+///
+/// # Examples
+///
+/// ```
+/// use pdc_istructure::IMatrix;
+///
+/// # fn main() -> Result<(), pdc_istructure::IStructureError> {
+/// let mut m: IMatrix<i64> = IMatrix::new(2, 2);
+/// m.write(1, 1, 5)?;
+/// m.write(2, 2, 7)?;
+/// assert_eq!(*m.read(2, 2)?, 7);
+/// assert_eq!(m.full_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: IStructure<T>,
+}
+
+impl<T> IMatrix<T> {
+    /// Allocate a `rows × cols` matrix of empty cells.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        IMatrix {
+            rows,
+            cols,
+            data: IStructure::new(rows * cols),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major linear index for 1-based `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// [`IStructureError::OutOfBounds2d`] if either index is outside
+    /// `1..=rows` / `1..=cols`.
+    pub fn linear_index(&self, row: i64, col: i64) -> Result<usize> {
+        if row < 1 || col < 1 || row as usize > self.rows || col as usize > self.cols {
+            return Err(IStructureError::OutOfBounds2d {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok((row as usize - 1) * self.cols + (col as usize - 1))
+    }
+
+    /// Write `value` into element `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Double writes and out-of-bounds indices are reported as in
+    /// [`IStructure::write`].
+    pub fn write(&mut self, row: i64, col: i64, value: T) -> Result<()> {
+        let idx = self.linear_index(row, col)?;
+        self.data.write(idx, value)
+    }
+
+    /// Strict read of element `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Empty reads and out-of-bounds indices are reported as in
+    /// [`IStructure::read`].
+    pub fn read(&mut self, row: i64, col: i64) -> Result<&T> {
+        let idx = self.linear_index(row, col)?;
+        self.data.read(idx)
+    }
+
+    /// Peek without touching statistics.
+    pub fn peek(&self, row: i64, col: i64) -> Option<&T> {
+        let idx = self.linear_index(row, col).ok()?;
+        self.data.peek(idx)
+    }
+
+    /// Number of written elements.
+    pub fn full_count(&self) -> usize {
+        self.data.full_count()
+    }
+
+    /// Have all elements been written?
+    pub fn is_fully_defined(&self) -> bool {
+        self.data.is_fully_defined()
+    }
+
+    /// Access statistics for the underlying store.
+    pub fn stats(&self) -> AccessStats {
+        self.data.stats()
+    }
+
+    /// Borrow the underlying linear store.
+    pub fn as_linear(&self) -> &IStructure<T> {
+        &self.data
+    }
+}
+
+impl<T: Clone> IMatrix<T> {
+    /// Build a fully-defined matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, values: &[T]) -> Self {
+        assert_eq!(values.len(), rows * cols, "shape mismatch");
+        IMatrix {
+            rows,
+            cols,
+            data: IStructure::from_values(values),
+        }
+    }
+
+    /// Extract all values in row-major order; `None` if any cell is empty.
+    pub fn to_vec(&self) -> Option<Vec<T>> {
+        self.data.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_based_indexing_round_trips() {
+        let mut m = IMatrix::new(2, 3);
+        m.write(1, 1, 'a').unwrap();
+        m.write(2, 3, 'z').unwrap();
+        assert_eq!(*m.read(1, 1).unwrap(), 'a');
+        assert_eq!(*m.read(2, 3).unwrap(), 'z');
+    }
+
+    #[test]
+    fn linear_index_is_row_major() {
+        let m: IMatrix<i32> = IMatrix::new(3, 4);
+        assert_eq!(m.linear_index(1, 1).unwrap(), 0);
+        assert_eq!(m.linear_index(1, 4).unwrap(), 3);
+        assert_eq!(m.linear_index(2, 1).unwrap(), 4);
+        assert_eq!(m.linear_index(3, 4).unwrap(), 11);
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut m: IMatrix<i32> = IMatrix::new(2, 2);
+        for (r, c) in [(0, 1), (1, 0), (3, 1), (1, 3), (-1, 1)] {
+            assert!(matches!(
+                m.write(r, c, 0),
+                Err(IStructureError::OutOfBounds2d { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn double_write_detected_through_matrix() {
+        let mut m = IMatrix::new(2, 2);
+        m.write(1, 2, 1).unwrap();
+        assert!(matches!(
+            m.write(1, 2, 2),
+            Err(IStructureError::DoubleWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_and_to_vec() {
+        let m = IMatrix::from_rows(2, 2, &[1, 2, 3, 4]);
+        assert!(m.is_fully_defined());
+        assert_eq!(m.to_vec(), Some(vec![1, 2, 3, 4]));
+        assert_eq!(m.peek(1, 2), Some(&2));
+        assert_eq!(m.peek(2, 1), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_rows_checks_shape() {
+        let _ = IMatrix::from_rows(2, 2, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Access statistics for an I-structure store.
+
+/// Counters describing how a store has been used.
+///
+/// These are cheap to maintain and let the simulator and test suite reason
+/// about program behaviour (e.g. that compile-time resolution performs the
+/// same number of `is_write`s as the sequential program, or that no read was
+/// deferred in a correctly synchronized schedule).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Successful strict reads of full cells.
+    pub reads: u64,
+    /// Successful first writes.
+    pub writes: u64,
+    /// Reads that found an empty cell (deferred or erroneous).
+    pub empty_reads: u64,
+    /// Writes rejected because the cell was already full.
+    pub rejected_writes: u64,
+}
+
+impl AccessStats {
+    /// Fresh, all-zero statistics.
+    pub const fn new() -> Self {
+        AccessStats {
+            reads: 0,
+            writes: 0,
+            empty_reads: 0,
+            rejected_writes: 0,
+        }
+    }
+
+    /// Total number of operations observed.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.empty_reads + self.rejected_writes
+    }
+
+    /// Merge counters from another store (used when gathering distributed
+    /// segments).
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.empty_reads += other.empty_reads;
+        self.rejected_writes += other.rejected_writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = AccessStats {
+            reads: 1,
+            writes: 2,
+            empty_reads: 3,
+            rejected_writes: 4,
+        };
+        let b = AccessStats {
+            reads: 10,
+            writes: 20,
+            empty_reads: 30,
+            rejected_writes: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.writes, 22);
+        assert_eq!(a.empty_reads, 33);
+        assert_eq!(a.rejected_writes, 44);
+        assert_eq!(a.total_ops(), 11 + 22 + 33 + 44);
+    }
+}

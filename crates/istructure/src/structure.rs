@@ -1,0 +1,257 @@
+//! One-dimensional write-once arrays.
+
+use crate::{AccessStats, Cell, IStructureError, Result};
+
+/// A one-dimensional I-structure: a fixed-length array of write-once cells.
+///
+/// Allocation fixes the length; each element may then be written exactly
+/// once and read any number of times after it is written. Reads of empty
+/// cells are reported as [`IStructureError::EmptyRead`] by the strict
+/// [`read`](IStructure::read); callers that implement dataflow-style
+/// deferral use [`try_read`](IStructure::try_read), which records the
+/// deferred read on the cell instead of failing.
+///
+/// # Examples
+///
+/// ```
+/// use pdc_istructure::IStructure;
+///
+/// # fn main() -> Result<(), pdc_istructure::IStructureError> {
+/// let mut v: IStructure<i64> = IStructure::new(4);
+/// v.write(0, 10)?;
+/// assert_eq!(*v.read(0)?, 10);
+/// assert!(v.try_read(3).is_none()); // not yet written; deferred
+/// assert_eq!(v.stats().empty_reads, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IStructure<T> {
+    cells: Vec<Cell<T>>,
+    stats: AccessStats,
+}
+
+impl<T> IStructure<T> {
+    /// Allocate `len` empty cells.
+    pub fn new(len: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, Cell::new);
+        IStructure {
+            cells,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Number of allocated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Is the structure zero-length?
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of cells that have been written.
+    pub fn full_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_full()).count()
+    }
+
+    /// Have all cells been written?
+    pub fn is_fully_defined(&self) -> bool {
+        self.cells.iter().all(Cell::is_full)
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Write `value` into cell `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`IStructureError::DoubleWrite`] if the cell is already full,
+    /// [`IStructureError::OutOfBounds`] if `index >= len`.
+    pub fn write(&mut self, index: usize, value: T) -> Result<()> {
+        let len = self.cells.len();
+        let cell = self
+            .cells
+            .get_mut(index)
+            .ok_or(IStructureError::OutOfBounds { index, len })?;
+        if cell.is_full() {
+            self.stats.rejected_writes += 1;
+            return Err(IStructureError::DoubleWrite { index });
+        }
+        *cell = Cell::Full(value);
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Strict read of cell `index`: the value must already be present.
+    ///
+    /// # Errors
+    ///
+    /// [`IStructureError::EmptyRead`] if the cell has not been written,
+    /// [`IStructureError::OutOfBounds`] if `index >= len`.
+    pub fn read(&mut self, index: usize) -> Result<&T> {
+        let len = self.cells.len();
+        let cell = self
+            .cells
+            .get_mut(index)
+            .ok_or(IStructureError::OutOfBounds { index, len })?;
+        match cell {
+            Cell::Full(v) => {
+                self.stats.reads += 1;
+                Ok(v)
+            }
+            Cell::Empty { .. } => {
+                self.stats.empty_reads += 1;
+                Err(IStructureError::EmptyRead { index })
+            }
+        }
+    }
+
+    /// Non-strict read: `Some(&value)` if present, otherwise `None` after
+    /// recording a deferred read on the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds; use [`read`](Self::read) for a
+    /// fallible bounds check.
+    pub fn try_read(&mut self, index: usize) -> Option<&T> {
+        match &mut self.cells[index] {
+            Cell::Full(_) => {
+                self.stats.reads += 1;
+                self.cells[index].value()
+            }
+            Cell::Empty { deferred } => {
+                *deferred += 1;
+                self.stats.empty_reads += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek at a cell without touching statistics or deferral counts.
+    pub fn peek(&self, index: usize) -> Option<&T> {
+        self.cells.get(index).and_then(Cell::value)
+    }
+
+    /// Total deferred reads currently recorded on empty cells.
+    pub fn deferred_reads(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| u64::from(c.deferred_reads()))
+            .sum()
+    }
+
+    /// Iterate over the written values together with their indices.
+    pub fn iter_full(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.value().map(|v| (i, v)))
+    }
+}
+
+impl<T: Clone> IStructure<T> {
+    /// Build a fully-defined structure from existing values.
+    pub fn from_values(values: &[T]) -> Self {
+        let mut s = IStructure::new(values.len());
+        for (i, v) in values.iter().enumerate() {
+            s.write(i, v.clone()).expect("fresh structure");
+        }
+        s
+    }
+
+    /// Extract all values; `None` if any cell is still empty.
+    pub fn to_vec(&self) -> Option<Vec<T>> {
+        self.cells.iter().map(|c| c.value().cloned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = IStructure::new(3);
+        s.write(1, "x").unwrap();
+        assert_eq!(*s.read(1).unwrap(), "x");
+        assert_eq!(s.full_count(), 1);
+        assert!(!s.is_fully_defined());
+    }
+
+    #[test]
+    fn double_write_is_rejected() {
+        let mut s = IStructure::new(2);
+        s.write(0, 1).unwrap();
+        assert_eq!(
+            s.write(0, 2),
+            Err(IStructureError::DoubleWrite { index: 0 })
+        );
+        // Original value survives.
+        assert_eq!(*s.read(0).unwrap(), 1);
+        assert_eq!(s.stats().rejected_writes, 1);
+    }
+
+    #[test]
+    fn empty_read_is_an_error() {
+        let mut s: IStructure<i32> = IStructure::new(2);
+        assert_eq!(s.read(1), Err(IStructureError::EmptyRead { index: 1 }));
+        assert_eq!(s.stats().empty_reads, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut s: IStructure<i32> = IStructure::new(2);
+        assert_eq!(
+            s.write(5, 0),
+            Err(IStructureError::OutOfBounds { index: 5, len: 2 })
+        );
+        assert_eq!(
+            s.read(2),
+            Err(IStructureError::OutOfBounds { index: 2, len: 2 })
+        );
+    }
+
+    #[test]
+    fn try_read_defers() {
+        let mut s: IStructure<i32> = IStructure::new(1);
+        assert!(s.try_read(0).is_none());
+        assert!(s.try_read(0).is_none());
+        assert_eq!(s.deferred_reads(), 2);
+        s.write(0, 9).unwrap();
+        assert_eq!(s.try_read(0), Some(&9));
+        // Deferral counts are frozen once the cell fills.
+        assert_eq!(s.deferred_reads(), 0);
+    }
+
+    #[test]
+    fn from_values_and_to_vec() {
+        let s = IStructure::from_values(&[1, 2, 3]);
+        assert!(s.is_fully_defined());
+        assert_eq!(s.to_vec(), Some(vec![1, 2, 3]));
+        let partial: IStructure<i32> = IStructure::new(2);
+        assert_eq!(partial.to_vec(), None);
+    }
+
+    #[test]
+    fn iter_full_skips_empty() {
+        let mut s = IStructure::new(4);
+        s.write(1, 10).unwrap();
+        s.write(3, 30).unwrap();
+        let pairs: Vec<_> = s.iter_full().map(|(i, v)| (i, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn zero_length_structure() {
+        let s: IStructure<i32> = IStructure::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_fully_defined());
+        assert_eq!(s.to_vec(), Some(vec![]));
+    }
+}

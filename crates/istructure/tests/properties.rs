@@ -1,0 +1,84 @@
+//! Property-based tests of I-structure invariants.
+
+use pdc_istructure::{IMatrix, IStructure, IStructureError};
+use proptest::prelude::*;
+
+proptest! {
+    /// Write-once: after any sequence of writes, each cell holds the FIRST
+    /// value written to it and later writes were rejected.
+    #[test]
+    fn first_write_wins(len in 1usize..64, writes in proptest::collection::vec((0usize..64, any::<i32>()), 0..128)) {
+        let mut s = IStructure::new(len);
+        let mut model: Vec<Option<i32>> = vec![None; len];
+        for (idx, v) in writes {
+            let r = s.write(idx, v);
+            if idx >= len {
+                prop_assert_eq!(r, Err(IStructureError::OutOfBounds { index: idx, len }));
+            } else if model[idx].is_some() {
+                prop_assert_eq!(r, Err(IStructureError::DoubleWrite { index: idx }));
+            } else {
+                prop_assert!(r.is_ok());
+                model[idx] = Some(v);
+            }
+        }
+        for (i, want) in model.iter().enumerate() {
+            prop_assert_eq!(s.peek(i), want.as_ref());
+        }
+    }
+
+    /// full_count always equals the number of distinct successfully written
+    /// indices, and is_fully_defined iff full_count == len.
+    #[test]
+    fn full_count_consistency(len in 0usize..32, idxs in proptest::collection::vec(0usize..32, 0..64)) {
+        let mut s = IStructure::new(len);
+        let mut seen = std::collections::HashSet::new();
+        for idx in idxs {
+            if s.write(idx, 0u8).is_ok() {
+                seen.insert(idx);
+            }
+        }
+        prop_assert_eq!(s.full_count(), seen.len());
+        prop_assert_eq!(s.is_fully_defined(), seen.len() == len);
+    }
+
+    /// Matrix linear_index is a bijection from valid (row, col) pairs onto
+    /// 0..rows*cols.
+    #[test]
+    fn matrix_index_bijection(rows in 1usize..12, cols in 1usize..12) {
+        let m: IMatrix<i8> = IMatrix::new(rows, cols);
+        let mut seen = vec![false; rows * cols];
+        for r in 1..=rows as i64 {
+            for c in 1..=cols as i64 {
+                let idx = m.linear_index(r, c).unwrap();
+                prop_assert!(!seen[idx], "collision at {}", idx);
+                seen[idx] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Statistics: reads + empty_reads equals the number of read attempts,
+    /// writes + rejected_writes equals in-bounds write attempts.
+    #[test]
+    fn stats_account_for_all_ops(
+        len in 1usize..16,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..16), 0..64),
+    ) {
+        let mut s = IStructure::new(len);
+        let mut read_attempts = 0u64;
+        let mut write_attempts = 0u64;
+        for (is_read, idx) in ops {
+            let idx = idx % len;
+            if is_read {
+                let _ = s.read(idx);
+                read_attempts += 1;
+            } else {
+                let _ = s.write(idx, 1i64);
+                write_attempts += 1;
+            }
+        }
+        let st = s.stats();
+        prop_assert_eq!(st.reads + st.empty_reads, read_attempts);
+        prop_assert_eq!(st.writes + st.rejected_writes, write_attempts);
+    }
+}

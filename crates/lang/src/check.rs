@@ -1,0 +1,292 @@
+//! Static checks: single assignment, definition before use, call arity.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::span::Span;
+use std::collections::{HashMap, HashSet};
+
+/// Check a parsed program.
+///
+/// Enforced rules:
+///
+/// * procedure names are unique, parameter names are unique;
+/// * every variable is defined before use (Id Nouveau scalars are
+///   single-assignment, so "defined" means bound by a parameter, a `let`,
+///   or a loop header);
+/// * no name is rebound while visible (no shadowing — re-definition of a
+///   single-assignment variable is the scalar analogue of an I-structure
+///   double write);
+/// * calls name a defined procedure and pass the right number of
+///   arguments.
+///
+/// # Errors
+///
+/// The first violation is reported as [`LangError::Check`].
+pub fn check(program: &Program) -> Result<(), LangError> {
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for p in &program.procs {
+        if arities.insert(&p.name, p.params.len()).is_some() {
+            return Err(LangError::Check {
+                message: format!("procedure `{}` defined twice", p.name),
+                span: p.span,
+            });
+        }
+    }
+    for p in &program.procs {
+        let mut seen = HashSet::new();
+        for param in &p.params {
+            if !seen.insert(param.as_str()) {
+                return Err(LangError::Check {
+                    message: format!("duplicate parameter `{param}` in `{}`", p.name),
+                    span: p.span,
+                });
+            }
+        }
+        let mut scope = Scope {
+            arities: &arities,
+            frames: vec![p.params.iter().cloned().collect()],
+        };
+        check_block(&p.body, &mut scope)?;
+    }
+    Ok(())
+}
+
+struct Scope<'a> {
+    arities: &'a HashMap<&'a str, usize>,
+    frames: Vec<HashSet<String>>,
+}
+
+impl Scope<'_> {
+    fn is_defined(&self, name: &str) -> bool {
+        self.frames.iter().any(|f| f.contains(name))
+    }
+
+    fn define(&mut self, name: &str, span: Span) -> Result<(), LangError> {
+        if self.is_defined(name) {
+            return Err(LangError::Check {
+                message: format!("`{name}` is already defined (scalars are single-assignment)"),
+                span,
+            });
+        }
+        self.frames.last_mut().expect("scope").insert(name.into());
+        Ok(())
+    }
+}
+
+fn check_block(block: &Block, scope: &mut Scope<'_>) -> Result<(), LangError> {
+    scope.frames.push(HashSet::new());
+    for stmt in &block.stmts {
+        check_stmt(stmt, scope)?;
+    }
+    scope.frames.pop();
+    Ok(())
+}
+
+fn check_stmt(stmt: &Stmt, scope: &mut Scope<'_>) -> Result<(), LangError> {
+    match stmt {
+        Stmt::Let { name, init, span } => {
+            check_expr(init, scope)?;
+            scope.define(name, *span)
+        }
+        Stmt::ArrayWrite {
+            array,
+            indices,
+            value,
+            span,
+        } => {
+            if !scope.is_defined(array) {
+                return Err(LangError::Check {
+                    message: format!("array `{array}` used before definition"),
+                    span: *span,
+                });
+            }
+            for ix in indices {
+                check_expr(ix, scope)?;
+            }
+            check_expr(value, scope)
+        }
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            span,
+        } => {
+            check_expr(lo, scope)?;
+            check_expr(hi, scope)?;
+            if let Some(s) = step {
+                check_expr(s, scope)?;
+            }
+            scope.frames.push(HashSet::new());
+            scope.define(var, *span)?;
+            for s in &body.stmts {
+                check_stmt(s, scope)?;
+            }
+            scope.frames.pop();
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            check_expr(cond, scope)?;
+            check_block(then_blk, scope)?;
+            if let Some(e) = else_blk {
+                check_block(e, scope)?;
+            }
+            Ok(())
+        }
+        Stmt::Return { value, .. } => check_expr(value, scope),
+        Stmt::ExprStmt { expr, .. } => check_expr(expr, scope),
+    }
+}
+
+fn check_expr(expr: &Expr, scope: &mut Scope<'_>) -> Result<(), LangError> {
+    match &expr.kind {
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) => Ok(()),
+        ExprKind::Var(name) => {
+            if scope.is_defined(name) {
+                Ok(())
+            } else {
+                Err(LangError::Check {
+                    message: format!("`{name}` used before definition"),
+                    span: expr.span,
+                })
+            }
+        }
+        ExprKind::ArrayRead { array, indices } => {
+            if !scope.is_defined(array) {
+                return Err(LangError::Check {
+                    message: format!("array `{array}` used before definition"),
+                    span: expr.span,
+                });
+            }
+            for ix in indices {
+                check_expr(ix, scope)?;
+            }
+            Ok(())
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            check_expr(lhs, scope)?;
+            check_expr(rhs, scope)
+        }
+        ExprKind::Unary { operand, .. } => check_expr(operand, scope),
+        ExprKind::Call { name, args } => {
+            match scope.arities.get(name.as_str()) {
+                None => {
+                    return Err(LangError::Check {
+                        message: format!("call to undefined procedure `{name}`"),
+                        span: expr.span,
+                    })
+                }
+                Some(&arity) if arity != args.len() => {
+                    return Err(LangError::Check {
+                        message: format!(
+                            "`{name}` takes {arity} argument(s), {} given",
+                            args.len()
+                        ),
+                        span: expr.span,
+                    })
+                }
+                Some(_) => {}
+            }
+            for a in args {
+                check_expr(a, scope)?;
+            }
+            Ok(())
+        }
+        ExprKind::Alloc { dims } => {
+            for d in dims {
+                check_expr(d, scope)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn accepts_well_formed_program() {
+        assert!(parse("procedure f(n) { let a = vector(n); a[1] = n; return a[1]; }").is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_definition() {
+        let err = parse("procedure f() { return x; }").unwrap_err();
+        assert!(err.to_string().contains("used before definition"));
+    }
+
+    #[test]
+    fn rejects_rebinding() {
+        let err = parse("procedure f() { let a = 1; let a = 2; return a; }").unwrap_err();
+        assert!(err.to_string().contains("single-assignment"));
+    }
+
+    #[test]
+    fn rejects_shadowing_a_parameter() {
+        let err = parse("procedure f(n) { let n = 3; return n; }").unwrap_err();
+        assert!(err.to_string().contains("already defined"));
+    }
+
+    #[test]
+    fn loop_variable_is_scoped_to_body() {
+        // Using i after the loop is an error; reusing i in a sibling loop
+        // is fine.
+        assert!(parse(
+            "procedure f(n) {
+                for i = 1 to n do { }
+                for i = 1 to n do { }
+                return n;
+            }"
+        )
+        .is_ok());
+        let err = parse("procedure f(n) { for i = 1 to n do { } return i; }").unwrap_err();
+        assert!(err.to_string().contains("used before definition"));
+    }
+
+    #[test]
+    fn rejects_duplicate_procedures_and_params() {
+        assert!(
+            parse("procedure f() { return 0; } procedure f() { return 1; }")
+                .unwrap_err()
+                .to_string()
+                .contains("defined twice")
+        );
+        assert!(parse("procedure f(a, a) { return 0; }")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate parameter"));
+    }
+
+    #[test]
+    fn rejects_bad_calls() {
+        assert!(parse("procedure f() { return g(); }")
+            .unwrap_err()
+            .to_string()
+            .contains("undefined procedure"));
+        assert!(
+            parse("procedure g(x) { return x; } procedure f() { return g(); }")
+                .unwrap_err()
+                .to_string()
+                .contains("takes 1 argument")
+        );
+    }
+
+    #[test]
+    fn block_scopes_do_not_leak() {
+        let err = parse(
+            "procedure f(c) {
+                if c > 0 then { let t = 1; }
+                return t;
+            }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("used before definition"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Front-end and interpreter errors.
+
+use crate::span::Span;
+use pdc_istructure::IStructureError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error produced by the lexer, parser, static checker, or the
+/// sequential interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Unexpected character or malformed literal.
+    Lex {
+        /// Description of the problem.
+        message: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// Unexpected token or malformed construct.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A static-check violation (undefined name, duplicate definition,
+    /// arity mismatch, …).
+    Check {
+        /// Description of the problem.
+        message: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A run-time error in the sequential interpreter.
+    Runtime {
+        /// Description of the problem.
+        message: String,
+        /// Where it occurred (the statement or expression being
+        /// evaluated).
+        span: Span,
+    },
+    /// An I-structure semantics violation (double write / empty read).
+    IStructure {
+        /// The underlying violation.
+        source: IStructureError,
+        /// The array access that triggered it.
+        span: Span,
+    },
+}
+
+impl LangError {
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            LangError::Lex { span, .. }
+            | LangError::Parse { span, .. }
+            | LangError::Check { span, .. }
+            | LangError::Runtime { span, .. }
+            | LangError::IStructure { span, .. } => *span,
+        }
+    }
+
+    /// Render with 1-based line/column resolved against the source text.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span().line_col(src);
+        format!("{self} at {line}:{col}")
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { message, .. } => write!(f, "lex error: {message}"),
+            LangError::Parse { message, .. } => write!(f, "parse error: {message}"),
+            LangError::Check { message, .. } => write!(f, "check error: {message}"),
+            LangError::Runtime { message, .. } => write!(f, "runtime error: {message}"),
+            LangError::IStructure { source, .. } => write!(f, "runtime error: {source}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::IStructure { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_line_col() {
+        let e = LangError::Parse {
+            message: "expected `;`".into(),
+            span: Span::new(4, 5),
+        };
+        assert_eq!(e.render("ab\ncd"), "parse error: expected `;` at 2:2");
+    }
+
+    #[test]
+    fn istructure_error_chains_source() {
+        let e = LangError::IStructure {
+            source: IStructureError::DoubleWrite { index: 3 },
+            span: Span::default(),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("written twice"));
+    }
+}

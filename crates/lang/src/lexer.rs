@@ -1,0 +1,209 @@
+//! The lexer.
+
+use crate::error::LangError;
+use crate::span::Span;
+use crate::token::Token;
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize `src`.
+///
+/// Comments run from `#` to end of line. Identifiers may contain `_` and
+/// digits after the first letter.
+///
+/// # Errors
+///
+/// [`LangError::Lex`] on unexpected characters or malformed numeric
+/// literals.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Skip whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Skip comments.
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Numbers (integer or float).
+        if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let is_float =
+                i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit();
+            if is_float {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = text.parse::<f64>().map_err(|e| LangError::Lex {
+                    message: format!("bad float literal `{text}`: {e}"),
+                    span: Span::new(start, i),
+                })?;
+                out.push(SpannedToken {
+                    token: Token::Float(value),
+                    span: Span::new(start, i),
+                });
+            } else {
+                let text = &src[start..i];
+                let value = text.parse::<i64>().map_err(|e| LangError::Lex {
+                    message: format!("bad integer literal `{text}`: {e}"),
+                    span: Span::new(start, i),
+                })?;
+                out.push(SpannedToken {
+                    token: Token::Int(value),
+                    span: Span::new(start, i),
+                });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &src[start..i];
+            let token = Token::keyword(text).unwrap_or_else(|| Token::Ident(text.to_owned()));
+            out.push(SpannedToken {
+                token,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Operators and punctuation. The two-byte peek compares raw
+        // ASCII bytes so multi-byte UTF-8 input cannot split a char.
+        let two = if i + 1 < bytes.len() && src.is_char_boundary(i + 2) {
+            &src[i..i + 2]
+        } else {
+            ""
+        };
+        let (token, len) = match two {
+            "==" => (Token::Eq, 2),
+            "!=" => (Token::Ne, 2),
+            "<=" => (Token::Le, 2),
+            ">=" => (Token::Ge, 2),
+            ":=" => (Token::Assign, 2), // the paper writes `a := 5`
+            _ => match c {
+                '(' => (Token::LParen, 1),
+                ')' => (Token::RParen, 1),
+                '[' => (Token::LBracket, 1),
+                ']' => (Token::RBracket, 1),
+                '{' => (Token::LBrace, 1),
+                '}' => (Token::RBrace, 1),
+                ',' => (Token::Comma, 1),
+                ';' => (Token::Semi, 1),
+                ':' => (Token::Colon, 1),
+                '=' => (Token::Assign, 1),
+                '<' => (Token::Lt, 1),
+                '>' => (Token::Gt, 1),
+                '+' => (Token::Plus, 1),
+                '-' => (Token::Minus, 1),
+                '*' => (Token::Star, 1),
+                '/' => (Token::Slash, 1),
+                '%' => (Token::Percent, 1),
+                _ => {
+                    // Report the full (possibly multi-byte) character.
+                    let ch = src[i..].chars().next().expect("i < len");
+                    return Err(LangError::Lex {
+                        message: format!("unexpected character `{ch}`"),
+                        span: Span::new(start, start + ch.len_utf8()),
+                    });
+                }
+            },
+        };
+        i += len;
+        out.push(SpannedToken {
+            token,
+            span: Span::new(start, i),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            toks("x1 42 3.5"),
+            vec![Token::Ident("x1".into()), Token::Int(42), Token::Float(3.5)]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("for fortune"),
+            vec![Token::For, Token::Ident("fortune".into())]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != :="),
+            vec![Token::Le, Token::Ge, Token::Eq, Token::Ne, Token::Assign]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a # comment to end of line\nb"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn integer_not_float_without_digit_after_dot() {
+        // A bare `.` is not a token; `1 . 2` fails at the dot.
+        assert!(lex("1 . 2").is_err());
+        // `12.5` is one float, `12` one int.
+        assert_eq!(toks("12.5 12"), vec![Token::Float(12.5), Token::Int(12)]);
+    }
+
+    #[test]
+    fn unexpected_character_reports_span() {
+        let err = lex("a @ b").unwrap_err();
+        match err {
+            LangError::Lex { span, .. } => assert_eq!(span.start, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let ts = lex("foo 12").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 3));
+        assert_eq!(ts[1].span, Span::new(4, 6));
+    }
+}

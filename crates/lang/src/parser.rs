@@ -1,0 +1,790 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::{lex, SpannedToken};
+use crate::span::Span;
+use crate::token::Token;
+
+/// Parse a whole source file and run the static checks.
+///
+/// # Errors
+///
+/// Lexing, parsing, or static-check failures are reported with spans; use
+/// [`LangError::render`] to attach line/column information.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    let program = p.program()?;
+    crate::check::check(&program)?;
+    Ok(program)
+}
+
+/// Parse without running the static checker (used by checker tests).
+pub fn parse_unchecked(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    p.program()
+}
+
+/// Maximum expression nesting depth; deeper input gets a clean parse
+/// error instead of exhausting the stack of the recursive-descent parser.
+const MAX_EXPR_DEPTH: usize = 64;
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| self.eof_span())
+    }
+
+    fn eof_span(&self) -> Span {
+        let end = self.tokens.last().map(|t| t.span.end).unwrap_or(0);
+        Span::new(end, end)
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_else(|| self.eof_span())
+    }
+
+    fn advance(&mut self) -> Option<SpannedToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<Span, LangError> {
+        match self.peek() {
+            Some(t) if t == want => Ok(self.advance().unwrap().span),
+            Some(t) => Err(self.error(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.error(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let st = self.advance().unwrap();
+                match st.token {
+                    Token::Ident(s) => Ok((s, st.span)),
+                    _ => unreachable!(),
+                }
+            }
+            Some(t) => Err(self.error(format!("expected identifier, found `{t}`"))),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<(i64, Span), LangError> {
+        match self.peek() {
+            Some(Token::Int(_)) => {
+                let st = self.advance().unwrap();
+                match st.token {
+                    Token::Int(v) => Ok((v, st.span)),
+                    _ => unreachable!(),
+                }
+            }
+            Some(t) => Err(self.error(format!("expected integer, found `{t}`"))),
+            None => Err(self.error("expected integer, found end of input")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut map_decls = Vec::new();
+        let mut procs = Vec::new();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Token::Map => map_decls.extend(self.map_block()?),
+                Token::Procedure => procs.push(self.proc()?),
+                other => {
+                    return Err(self.error(format!(
+                        "expected `procedure` or `map` at top level, found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(Program { map_decls, procs })
+    }
+
+    fn map_block(&mut self) -> Result<Vec<MapDecl>, LangError> {
+        self.expect(&Token::Map)?;
+        self.expect(&Token::LBrace)?;
+        let mut decls = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            let (name, start) = self.expect_ident()?;
+            self.expect(&Token::Colon)?;
+            let spec = self.dist_spec()?;
+            let end = self.expect(&Token::Semi)?;
+            decls.push(MapDecl {
+                name,
+                spec,
+                span: start.merge(end),
+            });
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(decls)
+    }
+
+    fn dist_spec(&mut self) -> Result<DistSpec, LangError> {
+        let (name, _) = self.expect_ident()?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::LParen) {
+            self.advance();
+            loop {
+                let (v, span) = self.expect_int()?;
+                if v < 0 {
+                    return Err(LangError::Parse {
+                        message: "distribution parameters must be non-negative".into(),
+                        span,
+                    });
+                }
+                args.push(v as usize);
+                if self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let bad_arity = |want: usize| LangError::Parse {
+            message: format!("distribution `{name}` takes {want} parameter(s)"),
+            span: self.prev_span(),
+        };
+        match (name.as_str(), args.as_slice()) {
+            ("all", []) => Ok(DistSpec::All),
+            ("proc", [p]) => Ok(DistSpec::Proc(*p)),
+            ("column_cyclic", []) => Ok(DistSpec::ColumnCyclic),
+            ("row_cyclic", []) => Ok(DistSpec::RowCyclic),
+            ("column_block", []) => Ok(DistSpec::ColumnBlock),
+            ("row_block", []) => Ok(DistSpec::RowBlock),
+            ("column_block_cyclic", [b]) => Ok(DistSpec::ColumnBlockCyclic(*b)),
+            ("row_block_cyclic", [b]) => Ok(DistSpec::RowBlockCyclic(*b)),
+            ("block2d", [r, c]) => Ok(DistSpec::Block2d(*r, *c)),
+            ("proc", _) => Err(bad_arity(1)),
+            ("column_block_cyclic" | "row_block_cyclic", _) => Err(bad_arity(1)),
+            ("block2d", _) => Err(bad_arity(2)),
+            ("all" | "column_cyclic" | "row_cyclic" | "column_block" | "row_block", _) => {
+                Err(bad_arity(0))
+            }
+            _ => Err(LangError::Parse {
+                message: format!("unknown distribution `{name}`"),
+                span: self.prev_span(),
+            }),
+        }
+    }
+
+    fn proc(&mut self) -> Result<Proc, LangError> {
+        let start = self.expect(&Token::Procedure)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let (p, _) = self.expect_ident()?;
+                params.push(p);
+                if self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        let header_end = self.expect(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Proc {
+            name,
+            params,
+            body,
+            span: start.merge(header_end),
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("expected `}`, found end of input"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek() {
+            Some(Token::Let) => {
+                let start = self.advance().unwrap().span;
+                let (name, _) = self.expect_ident()?;
+                self.expect(&Token::Assign)?;
+                let init = self.expr()?;
+                let end = self.expect(&Token::Semi)?;
+                Ok(Stmt::Let {
+                    name,
+                    init,
+                    span: start.merge(end),
+                })
+            }
+            Some(Token::For) => {
+                let start = self.advance().unwrap().span;
+                let (var, _) = self.expect_ident()?;
+                self.expect(&Token::Assign)?;
+                let lo = self.expr()?;
+                self.expect(&Token::To)?;
+                let hi = self.expr()?;
+                let step = if self.peek() == Some(&Token::By) {
+                    self.advance();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Token::Do)?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    span: start,
+                })
+            }
+            Some(Token::If) => {
+                let start = self.advance().unwrap().span;
+                let cond = self.expr()?;
+                self.expect(&Token::Then)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.peek() == Some(&Token::Else) {
+                    self.advance();
+                    Some(self.block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    span: start,
+                })
+            }
+            Some(Token::Return) => {
+                let start = self.advance().unwrap().span;
+                let value = self.expr()?;
+                let end = self.expect(&Token::Semi)?;
+                Ok(Stmt::Return {
+                    value,
+                    span: start.merge(end),
+                })
+            }
+            Some(Token::Ident(_)) => self.ident_stmt(),
+            Some(t) => Err(self.error(format!("expected statement, found `{t}`"))),
+            None => Err(self.error("expected statement, found end of input")),
+        }
+    }
+
+    /// Statements that begin with an identifier: scalar definition, array
+    /// write, or a call for effect.
+    fn ident_stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek2() {
+            Some(Token::Assign) => {
+                let (name, start) = self.expect_ident()?;
+                self.expect(&Token::Assign)?;
+                let init = self.expr()?;
+                let end = self.expect(&Token::Semi)?;
+                Ok(Stmt::Let {
+                    name,
+                    init,
+                    span: start.merge(end),
+                })
+            }
+            Some(Token::LBracket) => {
+                let (array, start) = self.expect_ident()?;
+                self.expect(&Token::LBracket)?;
+                let mut indices = vec![self.expr()?];
+                if self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                    indices.push(self.expr()?);
+                }
+                self.expect(&Token::RBracket)?;
+                self.expect(&Token::Assign)?;
+                let value = self.expr()?;
+                let end = self.expect(&Token::Semi)?;
+                Ok(Stmt::ArrayWrite {
+                    array,
+                    indices,
+                    value,
+                    span: start.merge(end),
+                })
+            }
+            Some(Token::LParen) => {
+                let start = self.span();
+                let expr = self.expr()?;
+                let end = self.expect(&Token::Semi)?;
+                if !matches!(expr.kind, ExprKind::Call { .. }) {
+                    return Err(LangError::Parse {
+                        message: "only calls may be used as statements".into(),
+                        span: expr.span,
+                    });
+                }
+                Ok(Stmt::ExprStmt {
+                    expr,
+                    span: start.merge(end),
+                })
+            }
+            _ => Err(self.error("expected `=`, `[`, or `(` after identifier")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.error(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        self.depth += 1;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Token::Or) {
+            self.advance();
+            let rhs = self.and_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == Some(&Token::And) {
+            self.advance();
+            let rhs = self.not_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, LangError> {
+        if self.peek() == Some(&Token::Not) {
+            let start = self.advance().unwrap().span;
+            let operand = self.not_expr()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        let span = lhs.span.merge(rhs.span);
+        Ok(Expr::new(
+            ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        ))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) | Some(Token::Mod) => BinOp::Mod,
+                Some(Token::Div) => BinOp::FloorDiv,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        if self.peek() == Some(&Token::Minus) {
+            let start = self.advance().unwrap().span;
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
+        }
+        self.primary_expr()
+    }
+
+    fn paren_args(&mut self) -> Result<(Vec<Expr>, Span), LangError> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        let end = self.expect(&Token::RParen)?;
+        Ok((args, end))
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let Some(st) = self.tokens.get(self.pos).cloned() else {
+            return Err(self.error("expected expression, found end of input"));
+        };
+        match st.token {
+            Token::Int(v) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Int(v), st.span))
+            }
+            Token::Float(v) => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Float(v), st.span))
+            }
+            Token::True => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Bool(true), st.span))
+            }
+            Token::False => {
+                self.advance();
+                Ok(Expr::new(ExprKind::Bool(false), st.span))
+            }
+            Token::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Matrix => {
+                self.advance();
+                let (dims, end) = self.paren_args()?;
+                if dims.len() != 2 {
+                    return Err(LangError::Parse {
+                        message: "matrix(…) takes exactly two dimensions".into(),
+                        span: st.span.merge(end),
+                    });
+                }
+                Ok(Expr::new(ExprKind::Alloc { dims }, st.span.merge(end)))
+            }
+            Token::Vector => {
+                self.advance();
+                let (dims, end) = self.paren_args()?;
+                if dims.len() != 1 {
+                    return Err(LangError::Parse {
+                        message: "vector(…) takes exactly one dimension".into(),
+                        span: st.span.merge(end),
+                    });
+                }
+                Ok(Expr::new(ExprKind::Alloc { dims }, st.span.merge(end)))
+            }
+            Token::Min | Token::Max => {
+                let op = if st.token == Token::Min {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
+                self.advance();
+                let (mut args, end) = self.paren_args()?;
+                if args.len() != 2 {
+                    return Err(LangError::Parse {
+                        message: format!("{op}(…) takes exactly two arguments"),
+                        span: st.span.merge(end),
+                    });
+                }
+                let rhs = args.pop().unwrap();
+                let lhs = args.pop().unwrap();
+                Ok(Expr::new(
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    st.span.merge(end),
+                ))
+            }
+            Token::Ident(name) => {
+                self.advance();
+                match self.peek() {
+                    Some(Token::LParen) => {
+                        let (args, end) = self.paren_args()?;
+                        Ok(Expr::new(ExprKind::Call { name, args }, st.span.merge(end)))
+                    }
+                    Some(Token::LBracket) => {
+                        self.advance();
+                        let mut indices = vec![self.expr()?];
+                        if self.peek() == Some(&Token::Comma) {
+                            self.advance();
+                            indices.push(self.expr()?);
+                        }
+                        let end = self.expect(&Token::RBracket)?;
+                        Ok(Expr::new(
+                            ExprKind::ArrayRead {
+                                array: name,
+                                indices,
+                            },
+                            st.span.merge(end),
+                        ))
+                    }
+                    _ => Ok(Expr::new(ExprKind::Var(name), st.span)),
+                }
+            }
+            other => Err(self.error(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_procedure() {
+        let p = parse("procedure main() { return 1 + 2 * 3; }").unwrap();
+        assert_eq!(p.procs.len(), 1);
+        let main = &p.procs[0];
+        assert_eq!(main.name, "main");
+        assert!(main.params.is_empty());
+        match &main.body.stmts[0] {
+            Stmt::Return { value, .. } => match &value.kind {
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    // Precedence: 2*3 binds tighter.
+                    assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected expr {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_gauss_seidel_shape() {
+        let src = r#"
+            map { New : column_cyclic; Old : column_cyclic; }
+            procedure gs(Old, n) {
+                let New = matrix(n, n);
+                for j = 2 to n - 1 do {
+                    for i = 2 to n - 1 do {
+                        New[i, j] = 1 * (New[i-1, j] + New[i, j-1]
+                                       + Old[i+1, j] + Old[i, j+1]);
+                    }
+                }
+                return New;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.map_decls.len(), 2);
+        assert_eq!(p.map_decls[0].spec, DistSpec::ColumnCyclic);
+        let gs = p.proc("gs").unwrap();
+        assert_eq!(gs.params, vec!["Old", "n"]);
+        assert!(matches!(gs.body.stmts[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_for_with_step_and_if_else() {
+        let src = r#"
+            procedure f(n) {
+                let acc = vector(n);
+                for i = 1 to n by 2 do {
+                    if i mod 2 == 1 then { acc[i] = i; } else { acc[i] = 0 - i; }
+                }
+                return acc[1];
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.procs[0].body.stmts[1] {
+            Stmt::For {
+                step: Some(_),
+                body,
+                ..
+            } => {
+                assert!(matches!(
+                    body.stmts[0],
+                    Stmt::If {
+                        else_blk: Some(_),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_statement_and_expression() {
+        let src = r#"
+            procedure init(a, n) { a[1] = n; return 0; }
+            procedure main(n) {
+                let a = vector(n);
+                init(a, n);
+                return a[1] + min(n, 3);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(
+            p.proc("main").unwrap().body.stmts[1],
+            Stmt::ExprStmt { .. }
+        ));
+    }
+
+    #[test]
+    fn assignment_without_let_keyword() {
+        // The paper writes `a := 5` / `a = 5`.
+        let p = parse("procedure f() { a := 5; return a; }").unwrap();
+        assert!(matches!(p.procs[0].body.stmts[0], Stmt::Let { .. }));
+    }
+
+    #[test]
+    fn rejects_non_call_statement() {
+        let err =
+            parse("procedure g() { return 0; } procedure f() { g() + 2; return 0; }").unwrap_err();
+        assert!(err.to_string().contains("only calls"));
+    }
+
+    #[test]
+    fn rejects_matrix_with_wrong_arity() {
+        let err = parse("procedure f() { let a = matrix(1); return 0; }").unwrap_err();
+        assert!(err.to_string().contains("two dimensions"));
+    }
+
+    #[test]
+    fn rejects_unknown_distribution() {
+        let err = parse("map { A : scattered; } procedure f() { return 0; }").unwrap_err();
+        assert!(err.to_string().contains("unknown distribution"));
+    }
+
+    #[test]
+    fn map_block_with_parameters() {
+        let p =
+            parse("map { A : block2d(2, 2); b : proc(1); } procedure f() { return 0; }").unwrap();
+        assert_eq!(p.map_decls[0].spec, DistSpec::Block2d(2, 2));
+        assert_eq!(p.map_decls[1].spec, DistSpec::Proc(1));
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        assert!(parse("procedure f() { return 1 < 2 < 3; }").is_err());
+    }
+
+    #[test]
+    fn error_mentions_expected_token() {
+        let err = parse("procedure f( { return 0; }").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Pretty-printer: renders ASTs back to parseable source.
+//!
+//! The invariant tested in the suite is *parse ∘ print = identity up to
+//! spans*: printing a parsed program and re-parsing it yields a
+//! structurally identical AST.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.map_decls.is_empty() {
+        out.push_str("map {\n");
+        for d in &p.map_decls {
+            let _ = writeln!(out, "    {} : {};", d.name, d.spec);
+        }
+        out.push_str("}\n\n");
+    }
+    for (i, proc) in p.procs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        proc_def(&mut out, proc);
+    }
+    out
+}
+
+fn proc_def(out: &mut String, p: &Proc) {
+    let _ = write!(out, "procedure {}({})", p.name, p.params.join(", "));
+    out.push(' ');
+    block(out, &p.body, 0);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Let { name, init, .. } => {
+            let _ = write!(out, "let {name} = {};", expr(init));
+        }
+        Stmt::ArrayWrite {
+            array,
+            indices,
+            value,
+            ..
+        } => {
+            let idx: Vec<_> = indices.iter().map(expr).collect();
+            let _ = write!(out, "{array}[{}] = {};", idx.join(", "), expr(value));
+        }
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } => {
+            let _ = write!(out, "for {var} = {} to {}", expr(lo), expr(hi));
+            if let Some(st) = step {
+                let _ = write!(out, " by {}", expr(st));
+            }
+            out.push_str(" do ");
+            block(out, body, level);
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            let _ = write!(out, "if {} then ", expr(cond));
+            block(out, then_blk, level);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                block(out, e, level);
+            }
+        }
+        Stmt::Return { value, .. } => {
+            let _ = write!(out, "return {};", expr(value));
+        }
+        Stmt::ExprStmt { expr: e, .. } => {
+            let _ = write!(out, "{};", expr(e));
+        }
+    }
+    out.push('\n');
+}
+
+/// Render an expression (fully parenthesized where precedence demands).
+pub fn expr(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+/// Precedence levels: or=1, and=2, not=3, cmp=4, add=5, mul=6, unary=7.
+fn prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        Eq | Ne | Lt | Le | Gt | Ge => 4,
+        Add | Sub => 5,
+        Mul | Div | FloorDiv | Mod => 6,
+        Min | Max => 8, // rendered as calls
+    }
+}
+
+fn expr_prec(e: &Expr, outer: u8) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Float(v) => {
+            // Keep a decimal point so it re-lexes as a float.
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        ExprKind::Bool(v) => v.to_string(),
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::ArrayRead { array, indices } => {
+            let idx: Vec<_> = indices.iter().map(expr).collect();
+            format!("{array}[{}]", idx.join(", "))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            if matches!(op, BinOp::Min | BinOp::Max) {
+                return format!("{op}({}, {})", expr(lhs), expr(rhs));
+            }
+            let p = prec(*op);
+            // Left-associative: the right child needs parens at equal
+            // precedence; comparisons are non-associative so both do.
+            let lp = if matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            ) {
+                p + 1
+            } else {
+                p
+            };
+            let s = format!("{} {op} {}", expr_prec(lhs, lp), expr_prec(rhs, p + 1));
+            if p < outer {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        ExprKind::Unary { op, operand } => {
+            let s = match op {
+                UnOp::Neg => format!("-{}", expr_prec(operand, 7)),
+                UnOp::Not => format!("not {}", expr_prec(operand, 3)),
+            };
+            if outer > 6 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        ExprKind::Call { name, args } => {
+            let a: Vec<_> = args.iter().map(expr).collect();
+            format!("{name}({})", a.join(", "))
+        }
+        ExprKind::Alloc { dims } => {
+            let d: Vec<_> = dims.iter().map(expr).collect();
+            if d.len() == 1 {
+                format!("vector({})", d[0])
+            } else {
+                format!("matrix({})", d.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strip spans so parse∘print can be compared structurally.
+    fn normalize(p: &Program) -> String {
+        format!("{p:?}").split("span: Span").count().to_string() + &strip_spans(&format!("{p:?}"))
+    }
+
+    fn strip_spans(s: &str) -> String {
+        // Spans render as `Span { start: N, end: M }`; blank the numbers.
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(pos) = rest.find("Span {") {
+            out.push_str(&rest[..pos]);
+            out.push_str("Span{_}");
+            let after = &rest[pos..];
+            match after.find('}') {
+                Some(close) => rest = &after[close + 1..],
+                None => {
+                    rest = "";
+                }
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+
+    fn round_trips(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let printed = program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(normalize(&p1), normalize(&p2), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        round_trips("procedure f(n) { let a = n + 1; return a * 2; }");
+    }
+
+    #[test]
+    fn round_trip_precedence() {
+        round_trips("procedure f(a, b, c) { return (a + b) * c - a div (b mod c); }");
+        round_trips("procedure f(a, b) { return -(a + b) * -a; }");
+        round_trips("procedure f(a, b) { return a - (b - 1) - 2; }");
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        round_trips(
+            "procedure f(n) {
+                let a = matrix(n, n);
+                for j = 1 to n by 2 do {
+                    for i = 1 to n do {
+                        if i < j and not (i == 1) then { a[i, j] = min(i, j); }
+                        else { a[i, j] = max(i, j); }
+                    }
+                }
+                return a[1, 1];
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trip_map_block() {
+        round_trips(
+            "map { A : column_block_cyclic(4); b : proc(2); }
+             procedure f(A, b) { return b; }",
+        );
+    }
+
+    #[test]
+    fn round_trip_floats_and_bools() {
+        round_trips("procedure f() { return 2.0 * 3.5; }");
+        round_trips("procedure f() { if true or false then { return 1; } return 0; }");
+    }
+
+    #[test]
+    fn round_trip_calls() {
+        round_trips(
+            "procedure g(x, y) { return x + y; }
+             procedure f(n) { g(n, 1); return g(g(n, 2), 3); }",
+        );
+    }
+}

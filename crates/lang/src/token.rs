@@ -1,0 +1,208 @@
+//! Tokens of the Id Nouveau subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Identifier (variable, array, or procedure name).
+    Ident(String),
+
+    // Keywords.
+    /// `procedure`
+    Procedure,
+    /// `let`
+    Let,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `by`
+    By,
+    /// `do`
+    Do,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `map`
+    Map,
+    /// `matrix`
+    Matrix,
+    /// `vector`
+    Vector,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `mod`
+    Mod,
+    /// `div`
+    Div,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl Token {
+    /// The keyword for an identifier-like lexeme, if it is one.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "procedure" => Token::Procedure,
+            "let" => Token::Let,
+            "for" => Token::For,
+            "to" => Token::To,
+            "by" => Token::By,
+            "do" => Token::Do,
+            "if" => Token::If,
+            "then" => Token::Then,
+            "else" => Token::Else,
+            "return" => Token::Return,
+            "map" => Token::Map,
+            "matrix" => Token::Matrix,
+            "vector" => Token::Vector,
+            "true" => Token::True,
+            "false" => Token::False,
+            "and" => Token::And,
+            "or" => Token::Or,
+            "not" => Token::Not,
+            "mod" => Token::Mod,
+            "div" => Token::Div,
+            "min" => Token::Min,
+            "max" => Token::Max,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Procedure => write!(f, "procedure"),
+            Token::Let => write!(f, "let"),
+            Token::For => write!(f, "for"),
+            Token::To => write!(f, "to"),
+            Token::By => write!(f, "by"),
+            Token::Do => write!(f, "do"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::Return => write!(f, "return"),
+            Token::Map => write!(f, "map"),
+            Token::Matrix => write!(f, "matrix"),
+            Token::Vector => write!(f, "vector"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::Mod => write!(f, "mod"),
+            Token::Div => write!(f, "div"),
+            Token::Min => write!(f, "min"),
+            Token::Max => write!(f, "max"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Assign => write!(f, "="),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Token::keyword("for"), Some(Token::For));
+        assert_eq!(Token::keyword("matrix"), Some(Token::Matrix));
+        assert_eq!(Token::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(Token::Le.to_string(), "<=");
+        assert_eq!(Token::LBrace.to_string(), "{");
+        assert_eq!(Token::Ident("abc".into()).to_string(), "abc");
+    }
+}

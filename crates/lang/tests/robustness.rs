@@ -1,0 +1,107 @@
+//! Robustness: the front end never panics, whatever bytes it is fed —
+//! every failure is a structured `LangError` with a usable span.
+
+use pdc_lang::{lexer::lex, parse, LangError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Lexing arbitrary strings returns Ok or a Lex error — never panics,
+    /// and error spans always lie within the input.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in ".{0,200}") {
+        match lex(&src) {
+            Ok(tokens) => {
+                for t in tokens {
+                    prop_assert!(t.span.start <= t.span.end);
+                    prop_assert!(t.span.end <= src.len());
+                }
+            }
+            Err(LangError::Lex { span, .. }) => {
+                prop_assert!(span.start <= src.len());
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    /// Parsing arbitrary token soup never panics.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "[a-z0-9(){}\\[\\];:=+\\-*/<>, \n]{0,200}") {
+        let _ = parse(&src); // any Err is fine; panics are not
+    }
+
+    /// Parsing arbitrary keyword soup never panics either.
+    #[test]
+    fn parser_total_on_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("procedure"), Just("let"), Just("for"), Just("to"),
+                Just("do"), Just("if"), Just("then"), Just("else"),
+                Just("return"), Just("map"), Just("matrix"), Just("vector"),
+                Just("x"), Just("42"), Just("("), Just(")"), Just("{"),
+                Just("}"), Just("["), Just("]"), Just(";"), Just("="),
+                Just("+"), Just(","),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Error rendering (line/column resolution) is total for any span the
+    /// front end produces.
+    #[test]
+    fn error_rendering_is_total(src in ".{0,120}") {
+        if let Err(e) = parse(&src) {
+            let rendered = e.render(&src);
+            prop_assert!(!rendered.is_empty());
+        }
+    }
+}
+
+/// Deterministic torture inputs that have bitten real parsers.
+#[test]
+fn parser_handles_pathological_inputs() {
+    let cases = [
+        "",
+        "procedure",
+        "procedure f(",
+        "procedure f() {",
+        "procedure f() { let x = ; }",
+        "procedure f() { for i = 1 to do { } }",
+        "map { }",
+        "map { A : ; }",
+        "procedure f() { return ((((((1)))))); }",
+        "procedure f() { return 9223372036854775807; }",
+        "procedure f() { return 99999999999999999999999999; }", // overflow
+        "🦀🦀🦀",
+        "procedure f() { let a = matrix(1, 2, 3); return 0; }",
+    ];
+    for src in cases {
+        let _ = parse(src); // must not panic
+    }
+}
+
+/// Deeply nested expressions either parse (within the documented limit)
+/// or fail with a clean depth error — never a stack overflow.
+#[test]
+fn deep_nesting_parses_or_errors_cleanly() {
+    // Within the limit: parses.
+    let mut expr = String::from("1");
+    for _ in 0..50 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("procedure f() {{ return {expr}; }}");
+    assert!(parse(&src).is_ok(), "depth-50 expression should parse");
+
+    // Far beyond the limit: a structured error, not a crash.
+    let mut expr = String::from("1");
+    for _ in 0..2_000 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("procedure f() {{ return {expr}; }}");
+    let err = parse(&src).unwrap_err();
+    assert!(err.to_string().contains("nesting exceeds"));
+}

@@ -1,0 +1,97 @@
+//! Machine-level failures.
+
+use crate::message::{ProcId, Tag};
+use std::error::Error;
+use std::fmt;
+
+/// A failure detected by the machine fabric or scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A processor id outside `0..n` was used.
+    InvalidProcessor {
+        /// The offending id.
+        proc: ProcId,
+        /// Number of processors in the machine.
+        n: usize,
+    },
+    /// A processor attempted to send a message to itself. The compiler is
+    /// expected to turn same-processor coercions into local reads (§3.1),
+    /// so a self-send indicates a code-generation bug.
+    SelfSend {
+        /// The processor that sent to itself.
+        proc: ProcId,
+    },
+    /// Every unfinished process is blocked on a receive that no pending or
+    /// future message can satisfy.
+    Deadlock {
+        /// For each blocked processor: (receiver, awaited source, tag).
+        waiting: Vec<(ProcId, ProcId, Tag)>,
+    },
+    /// A process reported an internal error (payload is its rendering).
+    ProcessFault {
+        /// The processor whose process faulted.
+        proc: ProcId,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The scheduler exceeded its step budget (runaway program guard).
+    StepBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidProcessor { proc, n } => {
+                write!(f, "processor {proc} out of range (machine has {n})")
+            }
+            MachineError::SelfSend { proc } => {
+                write!(f, "processor {proc} sent a message to itself")
+            }
+            MachineError::Deadlock { waiting } => {
+                write!(f, "deadlock: ")?;
+                for (i, (p, src, tag)) in waiting.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p} awaits {tag} from {src}")?;
+                }
+                Ok(())
+            }
+            MachineError::ProcessFault { proc, message } => {
+                write!(f, "process fault on {proc}: {message}")
+            }
+            MachineError::StepBudgetExceeded { budget } => {
+                write!(f, "step budget of {budget} exceeded")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_deadlock_lists_waiters() {
+        let e = MachineError::Deadlock {
+            waiting: vec![
+                (ProcId(0), ProcId(1), Tag(3)),
+                (ProcId(1), ProcId(0), Tag(4)),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("P0 awaits t3 from P1"));
+        assert!(s.contains("P1 awaits t4 from P0"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachineError>();
+    }
+}

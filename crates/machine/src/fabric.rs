@@ -1,0 +1,332 @@
+//! The machine fabric: clocks + network + statistics.
+
+use crate::cost::CostModel;
+use crate::error::MachineError;
+use crate::message::{Message, ProcId, Tag, Time, Word};
+use crate::network::Network;
+use crate::stats::{MachineStats, ProcStats};
+use crate::trace::{Event, EventKind, Trace};
+
+/// The simulated multiprocessor: `n` logical clocks, a typed-channel
+/// network, a [`CostModel`], and statistics.
+///
+/// A `Machine` is passive — it does not run anything by itself. A client
+/// (normally the [`Scheduler`](crate::Scheduler) driving
+/// [`Process`](crate::Process) implementations) charges instruction costs
+/// with [`tick`](Machine::tick), moves data with [`send`](Machine::send) /
+/// [`try_recv`](Machine::try_recv), and reads the final clocks from
+/// [`stats`](Machine::stats).
+#[derive(Debug)]
+pub struct Machine {
+    n: usize,
+    cost: CostModel,
+    clocks: Vec<Time>,
+    network: Network,
+    procs: Vec<ProcStats>,
+    trace: Trace,
+    /// Per-processor slowdown factors (1 = nominal speed). Every cycle a
+    /// processor spends computing, packing, or unpacking is multiplied by
+    /// its factor — a heterogeneous machine for the §5.4 load-balancing
+    /// experiments. Network flight time is unaffected.
+    slowdown: Vec<u64>,
+}
+
+impl Machine {
+    /// A machine with `n` processors, all clocks at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, cost: CostModel) -> Self {
+        assert!(n > 0, "a machine needs at least one processor");
+        Machine {
+            n,
+            cost,
+            clocks: vec![Time::ZERO; n],
+            network: Network::new(),
+            procs: vec![ProcStats::default(); n],
+            trace: Trace::disabled(),
+            slowdown: vec![1; n],
+        }
+    }
+
+    /// Enable bounded event tracing.
+    pub fn with_trace(mut self, cap: usize) -> Self {
+        self.trace = Trace::bounded(cap);
+        self
+    }
+
+    /// Make the machine heterogeneous: processor `p` takes
+    /// `factors[p]` cycles for every nominal cycle of local work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len() != n` or any factor is zero.
+    pub fn with_slowdowns(mut self, factors: Vec<u64>) -> Self {
+        assert_eq!(factors.len(), self.n, "one factor per processor");
+        assert!(factors.iter().all(|&f| f > 0), "factors must be positive");
+        self.slowdown = factors;
+        self
+    }
+
+    /// The slowdown factor of processor `p`.
+    pub fn slowdown(&self, p: ProcId) -> u64 {
+        self.slowdown[p.0]
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.n
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current logical clock of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn clock(&self, p: ProcId) -> Time {
+        self.clocks[p.0]
+    }
+
+    /// Charge `cycles` of computation to processor `p` (scaled by its
+    /// slowdown factor) and count one executed instruction.
+    pub fn tick(&mut self, p: ProcId, cycles: u64) {
+        self.clocks[p.0] = self.clocks[p.0].plus(cycles * self.slowdown[p.0]);
+        self.procs[p.0].ops += 1;
+    }
+
+    /// Asynchronous typed send (`csend`): charges the sender the start-up
+    /// plus per-word cost and deposits the message with an arrival stamp of
+    /// `sender clock + flight`.
+    ///
+    /// Self-sends are recorded as [`MachineError::SelfSend`]-worthy by the
+    /// higher layers; the fabric permits them only because the run-time
+    /// resolution *tests* would never generate one — we debug-assert here.
+    pub fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        debug_assert_ne!(
+            src, dst,
+            "coerce on the same processor must be a local read"
+        );
+        let words = payload.len();
+        let send_cost = self.cost.send_cost(words) * self.slowdown[src.0];
+        self.clocks[src.0] = self.clocks[src.0].plus(send_cost);
+        let sent_at = self.clocks[src.0];
+        let arrives_at = sent_at.plus(self.cost.flight);
+        self.procs[src.0].sends += 1;
+        self.procs[src.0].words_sent += words as u64;
+        self.trace.record(Event {
+            proc: src,
+            at: sent_at,
+            kind: EventKind::Send { dst, tag, words },
+        });
+        self.network.deliver(Message {
+            src,
+            dst,
+            tag,
+            payload,
+            sent_at,
+            arrives_at,
+        });
+    }
+
+    /// Typed receive attempt (`crecv`): if a matching message is pending,
+    /// consume it, advance the receiver's clock past the arrival time plus
+    /// the unpacking cost, and return the payload. `None` means the caller
+    /// must block until the sender has progressed.
+    pub fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        let msg = self.network.take(src, dst, tag)?;
+        let words = msg.payload.len();
+        let before = self.clocks[dst.0];
+        let ready = if msg.arrives_at > before {
+            self.procs[dst.0].idle_cycles += msg.arrives_at.0 - before.0;
+            msg.arrives_at
+        } else {
+            before
+        };
+        self.clocks[dst.0] = ready.plus(self.cost.recv_cost(words) * self.slowdown[dst.0]);
+        self.procs[dst.0].recvs += 1;
+        self.trace.record(Event {
+            proc: dst,
+            at: self.clocks[dst.0],
+            kind: EventKind::Recv {
+                src,
+                tag,
+                words,
+                waited: msg.arrives_at.0.saturating_sub(before.0),
+            },
+        });
+        Some(msg.payload)
+    }
+
+    /// Is a message pending for `(src → dst, tag)`?
+    pub fn has_pending(&self, dst: ProcId, src: ProcId, tag: Tag) -> bool {
+        self.network.has_pending(src, dst, tag)
+    }
+
+    /// Record that the process on `p` finished (for the trace).
+    pub fn finish(&mut self, p: ProcId) {
+        let at = self.clocks[p.0];
+        self.trace.record(Event {
+            proc: p,
+            at,
+            kind: EventKind::Finish,
+        });
+    }
+
+    /// Validate a processor id.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::InvalidProcessor`] when out of range.
+    pub fn check_proc(&self, p: ProcId) -> Result<(), MachineError> {
+        if p.0 < self.n {
+            Ok(())
+        } else {
+            Err(MachineError::InvalidProcessor { proc: p, n: self.n })
+        }
+    }
+
+    /// Messages still queued (should be zero at the end of a clean run).
+    pub fn undelivered(&self) -> usize {
+        self.network.in_flight()
+    }
+
+    /// Triples with queued messages, for diagnostics.
+    pub fn pending_triples(&self) -> Vec<(ProcId, ProcId, Tag, usize)> {
+        self.network.pending_triples()
+    }
+
+    /// Snapshot all statistics.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            network: self.network.stats(),
+            procs: self.procs.clone(),
+            clocks: self.clocks.clone(),
+        }
+    }
+
+    /// The event trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_one_clock() {
+        let mut m = Machine::new(3, CostModel::ipsc2());
+        m.tick(ProcId(1), 7);
+        assert_eq!(m.clock(ProcId(0)), Time(0));
+        assert_eq!(m.clock(ProcId(1)), Time(7));
+    }
+
+    #[test]
+    fn send_charges_sender_and_stamps_arrival() {
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c);
+        m.send(ProcId(0), ProcId(1), Tag(0), vec![1, 2, 3]);
+        assert_eq!(m.clock(ProcId(0)), Time(c.send_cost(3)));
+        // Receiver has not moved yet.
+        assert_eq!(m.clock(ProcId(1)), Time(0));
+        let got = m.try_recv(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        assert_eq!(got, vec![1, 2, 3]);
+        // Receiver clock jumped to arrival + unpack cost.
+        let expected = c.send_cost(3) + c.flight + c.recv_cost(3);
+        assert_eq!(m.clock(ProcId(1)), Time(expected));
+        assert_eq!(m.stats().procs[1].idle_cycles, c.send_cost(3) + c.flight);
+    }
+
+    #[test]
+    fn recv_of_missing_message_returns_none() {
+        let mut m = Machine::new(2, CostModel::zero());
+        assert!(m.try_recv(ProcId(1), ProcId(0), Tag(9)).is_none());
+        // A miss does not touch the clock or stats.
+        assert_eq!(m.clock(ProcId(1)), Time(0));
+        assert_eq!(m.stats().procs[1].recvs, 0);
+    }
+
+    #[test]
+    fn busy_receiver_does_not_idle() {
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c);
+        m.send(ProcId(0), ProcId(1), Tag(0), vec![5]);
+        // Receiver is busy well past the arrival time.
+        m.tick(ProcId(1), 1_000_000);
+        m.try_recv(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        assert_eq!(m.stats().procs[1].idle_cycles, 0);
+        assert_eq!(m.clock(ProcId(1)), Time(1_000_000 + c.recv_cost(1)));
+    }
+
+    #[test]
+    fn check_proc_bounds() {
+        let m = Machine::new(2, CostModel::zero());
+        assert!(m.check_proc(ProcId(1)).is_ok());
+        assert!(matches!(
+            m.check_proc(ProcId(2)),
+            Err(MachineError::InvalidProcessor { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_records_send_recv_finish() {
+        let mut m = Machine::new(2, CostModel::zero()).with_trace(16);
+        m.send(ProcId(0), ProcId(1), Tag(1), vec![1]);
+        m.try_recv(ProcId(1), ProcId(0), Tag(1)).unwrap();
+        m.finish(ProcId(0));
+        let kinds: Vec<_> = m.trace().events().iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::Send { .. }));
+        assert!(matches!(kinds[1], EventKind::Recv { .. }));
+        assert!(matches!(kinds[2], EventKind::Finish));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = Machine::new(0, CostModel::zero());
+    }
+}
+
+#[cfg(test)]
+mod slowdown_tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_scales_local_work() {
+        let mut m = Machine::new(2, CostModel::ipsc2()).with_slowdowns(vec![3, 1]);
+        m.tick(ProcId(0), 10);
+        m.tick(ProcId(1), 10);
+        assert_eq!(m.clock(ProcId(0)), Time(30));
+        assert_eq!(m.clock(ProcId(1)), Time(10));
+        assert_eq!(m.slowdown(ProcId(0)), 3);
+    }
+
+    #[test]
+    fn slowdown_scales_packing_but_not_flight() {
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c).with_slowdowns(vec![2, 1]);
+        m.send(ProcId(0), ProcId(1), Tag(0), vec![1]);
+        // Sender pays doubled packing cost.
+        assert_eq!(m.clock(ProcId(0)), Time(2 * c.send_cost(1)));
+        m.try_recv(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        // Arrival = send completion + unscaled flight; receiver unpacks
+        // at nominal speed (factor 1).
+        assert_eq!(
+            m.clock(ProcId(1)),
+            Time(2 * c.send_cost(1) + c.flight + c.recv_cost(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one factor per processor")]
+    fn slowdown_length_checked() {
+        let _ = Machine::new(2, CostModel::zero()).with_slowdowns(vec![1]);
+    }
+}

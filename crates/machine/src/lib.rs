@@ -1,0 +1,61 @@
+//! A deterministic discrete-event simulator of a message-passing
+//! multiprocessor, in the style of the Intel iPSC/2 or NCUBE machines the
+//! paper targets (§2.2).
+//!
+//! The machine model is deliberately simple, exactly as the paper assumes:
+//!
+//! * `n` processors, each running one process;
+//! * communication cost is *independent of the identities* of the
+//!   processors — packing/unpacking dominates time-of-flight, so access
+//!   cost is "binary": local is cheap, every non-local access costs the
+//!   same;
+//! * sends are asynchronous (`csend` returns once the message is handed to
+//!   the transport) and receives block until a matching message exists;
+//! * messages are matched by *(source, destination, tag)* with FIFO order
+//!   within a triple, mirroring the typed `csend`/`crecv` of the Intel NX
+//!   system used in the paper's Appendix A programs.
+//!
+//! Simulated time is tracked with per-processor logical clocks: every
+//! instruction advances the executing processor's clock by a
+//! [`CostModel`]-determined amount; a message is stamped with
+//! `sender_clock + startup + words × per_word` and a receive sets the
+//! receiver's clock to `max(own clock, arrival) + receive overhead`. The
+//! resulting *makespan* (maximum final clock) is the quantity the paper's
+//! Figures 6 and 7 plot, and it is exactly reproducible run to run.
+//!
+//! The crate is independent of the language and compiler layers: anything
+//! that implements [`Process`] can be scheduled with [`Scheduler`]. The
+//! SPMD virtual machine in `pdc-spmd` is the production client; the unit
+//! tests here drive the fabric with small hand-written processes.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdc_machine::{CostModel, Machine, ProcId, Tag};
+//!
+//! let mut m = Machine::new(2, CostModel::ipsc2());
+//! m.send(ProcId(0), ProcId(1), Tag(7), vec![41, 42]);
+//! let words = m
+//!     .try_recv(ProcId(1), ProcId(0), Tag(7))
+//!     .expect("message is available");
+//! assert_eq!(words, vec![41, 42]);
+//! assert_eq!(m.stats().network.messages, 1);
+//! ```
+
+mod cost;
+mod error;
+mod fabric;
+mod message;
+mod network;
+mod sched;
+mod stats;
+mod trace;
+
+pub use cost::CostModel;
+pub use error::MachineError;
+pub use fabric::Machine;
+pub use message::{Message, ProcId, Tag, Time, Word};
+pub use network::Network;
+pub use sched::{Process, RunReport, Scheduler, Step};
+pub use stats::{MachineStats, NetworkStats, ProcStats};
+pub use trace::{render_gantt as trace_render, Event, EventKind, Trace};

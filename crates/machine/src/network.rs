@@ -1,0 +1,136 @@
+//! Typed FIFO channels between processor pairs.
+
+use crate::message::{Message, ProcId, Tag};
+use crate::stats::NetworkStats;
+use std::collections::{HashMap, VecDeque};
+
+/// The interconnect: one FIFO queue per `(src, dst, tag)` triple.
+///
+/// Matching on a triple reproduces the Intel NX semantics the paper's
+/// generated code relies on: `crecv(type, …)` consumes the oldest pending
+/// message of that type from the named source. Because each communication
+/// stream created by the compiler gets its own tag, FIFO order within a
+/// triple is exactly program order on the sender.
+#[derive(Debug, Default)]
+pub struct Network {
+    queues: HashMap<(ProcId, ProcId, Tag), VecDeque<Message>>,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// An empty interconnect.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Deposit a message. The caller (the machine fabric) has already
+    /// stamped `arrives_at`.
+    pub fn deliver(&mut self, msg: Message) {
+        self.stats.messages += 1;
+        self.stats.words += msg.payload.len() as u64;
+        let q = self.queues.entry((msg.src, msg.dst, msg.tag)).or_default();
+        q.push_back(msg);
+        let depth = self.queues.values().map(VecDeque::len).sum::<usize>() as u64;
+        if depth > self.stats.max_in_flight {
+            self.stats.max_in_flight = depth;
+        }
+    }
+
+    /// Pop the oldest message matching `(src, dst, tag)`, if any.
+    pub fn take(&mut self, src: ProcId, dst: ProcId, tag: Tag) -> Option<Message> {
+        self.queues.get_mut(&(src, dst, tag))?.pop_front()
+    }
+
+    /// Is a matching message pending?
+    pub fn has_pending(&self, src: ProcId, dst: ProcId, tag: Tag) -> bool {
+        self.queues
+            .get(&(src, dst, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    /// Number of messages currently queued (all triples).
+    pub fn in_flight(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// All triples that still hold undelivered messages — used in error
+    /// reporting when a run finishes with orphaned traffic.
+    pub fn pending_triples(&self) -> Vec<(ProcId, ProcId, Tag, usize)> {
+        let mut v: Vec<_> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&(s, d, t), q)| (s, d, t, q.len()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Time;
+
+    fn msg(src: usize, dst: usize, tag: u32, val: i64) -> Message {
+        Message {
+            src: ProcId(src),
+            dst: ProcId(dst),
+            tag: Tag(tag),
+            payload: vec![val],
+            sent_at: Time::ZERO,
+            arrives_at: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_within_triple() {
+        let mut n = Network::new();
+        n.deliver(msg(0, 1, 5, 10));
+        n.deliver(msg(0, 1, 5, 20));
+        assert_eq!(n.take(ProcId(0), ProcId(1), Tag(5)).unwrap().payload, [10]);
+        assert_eq!(n.take(ProcId(0), ProcId(1), Tag(5)).unwrap().payload, [20]);
+        assert!(n.take(ProcId(0), ProcId(1), Tag(5)).is_none());
+    }
+
+    #[test]
+    fn tags_are_independent_streams() {
+        let mut n = Network::new();
+        n.deliver(msg(0, 1, 1, 100));
+        n.deliver(msg(0, 1, 2, 200));
+        // Taking tag 2 first does not disturb tag 1.
+        assert_eq!(n.take(ProcId(0), ProcId(1), Tag(2)).unwrap().payload, [200]);
+        assert_eq!(n.take(ProcId(0), ProcId(1), Tag(1)).unwrap().payload, [100]);
+    }
+
+    #[test]
+    fn stats_count_messages_and_words() {
+        let mut n = Network::new();
+        n.deliver(Message {
+            payload: vec![1, 2, 3],
+            ..msg(0, 1, 0, 0)
+        });
+        n.deliver(msg(1, 0, 0, 9));
+        let s = n.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.words, 4);
+        assert_eq!(s.max_in_flight, 2);
+        assert_eq!(n.in_flight(), 2);
+    }
+
+    #[test]
+    fn pending_triples_sorted() {
+        let mut n = Network::new();
+        n.deliver(msg(1, 0, 2, 0));
+        n.deliver(msg(0, 1, 1, 0));
+        let p = n.pending_triples();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].0, ProcId(0));
+        assert_eq!(p[1].0, ProcId(1));
+    }
+}

@@ -1,0 +1,368 @@
+//! The deterministic scheduler.
+
+use crate::error::MachineError;
+use crate::fabric::Machine;
+use crate::message::{ProcId, Tag};
+use crate::stats::MachineStats;
+
+/// What a process did on one scheduling step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Made progress; schedule it again.
+    Ran,
+    /// Needs a message `(src, tag)` that is not yet available. The
+    /// scheduler parks the process until the message exists.
+    BlockedOnRecv {
+        /// Source the process is waiting on.
+        src: ProcId,
+        /// Tag the process is waiting on.
+        tag: Tag,
+    },
+    /// The process has terminated normally.
+    Done,
+}
+
+/// A process that can be driven by the [`Scheduler`].
+///
+/// The process is called with the machine fabric and its own processor id;
+/// it performs some bounded amount of work (typically one instruction),
+/// charging costs via [`Machine::tick`] / [`Machine::send`] /
+/// [`Machine::try_recv`], and reports a [`Step`].
+///
+/// # Errors
+///
+/// Implementations report internal faults (type errors, I-structure
+/// violations, …) as [`MachineError::ProcessFault`]; the scheduler aborts
+/// the run on the first fault.
+pub trait Process {
+    /// Execute one step on processor `me`.
+    fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError>;
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Final statistics snapshot (clocks, traffic, per-processor counters).
+    pub stats: MachineStats,
+    /// Total scheduler steps executed across all processes.
+    pub steps: u64,
+    /// Messages left in the network after all processes finished. A clean
+    /// run leaves zero; a non-zero count usually means mismatched
+    /// send/receive loops in generated code.
+    pub undelivered: usize,
+}
+
+/// Drives a set of [`Process`]es over a [`Machine`] until all finish.
+///
+/// Scheduling is round-robin: each live process runs until it blocks on a
+/// receive whose message has not been sent yet, terminates, or exhausts a
+/// per-turn quantum. Because message *content* visible to a process depends
+/// only on FIFO order within typed channels (never on global interleaving),
+/// results and logical-clock times are independent of the quantum; the
+/// quantum exists only to bound memory growth of in-flight traffic.
+#[derive(Debug)]
+pub struct Scheduler {
+    quantum: u64,
+    step_budget: u64,
+}
+
+impl Scheduler {
+    /// A scheduler with the default quantum (4096 steps per turn) and step
+    /// budget (`u64::MAX`, effectively unbounded).
+    pub fn new() -> Self {
+        Scheduler {
+            quantum: 4096,
+            step_budget: u64::MAX,
+        }
+    }
+
+    /// Limit the total number of steps (guards tests against runaway
+    /// generated programs).
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Set the per-turn quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum == 0`.
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Run `processes[p]` on processor `p` until every process is done.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::Deadlock`] if every unfinished process is blocked
+    ///   on a receive that no pending message satisfies;
+    /// * [`MachineError::StepBudgetExceeded`] if the budget runs out;
+    /// * any [`MachineError::ProcessFault`] raised by a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len() != machine.n_procs()`.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        processes: &mut [&mut dyn Process],
+    ) -> Result<RunReport, MachineError> {
+        assert_eq!(
+            processes.len(),
+            machine.n_procs(),
+            "one process per processor"
+        );
+        let n = processes.len();
+        let mut done = vec![false; n];
+        let mut blocked: Vec<Option<(ProcId, Tag)>> = vec![None; n];
+        let mut steps: u64 = 0;
+        loop {
+            let mut progressed = false;
+            for p in 0..n {
+                if done[p] {
+                    continue;
+                }
+                let me = ProcId(p);
+                // Skip a parked process whose message still has not arrived.
+                if let Some((src, tag)) = blocked[p] {
+                    if !machine.has_pending(me, src, tag) {
+                        continue;
+                    }
+                    blocked[p] = None;
+                }
+                let mut quantum = self.quantum;
+                loop {
+                    if steps >= self.step_budget {
+                        return Err(MachineError::StepBudgetExceeded {
+                            budget: self.step_budget,
+                        });
+                    }
+                    steps += 1;
+                    match processes[p].step(machine, me)? {
+                        Step::Ran => {
+                            progressed = true;
+                            quantum -= 1;
+                            if quantum == 0 {
+                                break;
+                            }
+                        }
+                        Step::BlockedOnRecv { src, tag } => {
+                            if machine.has_pending(me, src, tag) {
+                                // The message exists; let the process retry
+                                // immediately (the recv will now succeed).
+                                progressed = true;
+                                continue;
+                            }
+                            blocked[p] = Some((src, tag));
+                            break;
+                        }
+                        Step::Done => {
+                            done[p] = true;
+                            machine.finish(me);
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if done.iter().all(|&d| d) {
+                break;
+            }
+            if !progressed {
+                let waiting = blocked
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| !done[*p])
+                    .filter_map(|(p, b)| b.map(|(src, tag)| (ProcId(p), src, tag)))
+                    .collect();
+                return Err(MachineError::Deadlock { waiting });
+            }
+        }
+        Ok(RunReport {
+            stats: machine.stats(),
+            steps,
+            undelivered: machine.undelivered(),
+        })
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    /// A toy process defined by a script of actions.
+    enum Action {
+        Compute(u64),
+        Send(usize, u32, Vec<i64>),
+        Recv(usize, u32),
+    }
+
+    struct Scripted {
+        script: Vec<Action>,
+        pc: usize,
+        received: Vec<Vec<i64>>,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Action>) -> Self {
+            Scripted {
+                script,
+                pc: 0,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Scripted {
+        fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError> {
+            let Some(action) = self.script.get(self.pc) else {
+                return Ok(Step::Done);
+            };
+            match action {
+                Action::Compute(c) => {
+                    machine.tick(me, *c);
+                    self.pc += 1;
+                    Ok(Step::Ran)
+                }
+                Action::Send(dst, tag, payload) => {
+                    machine.send(me, ProcId(*dst), Tag(*tag), payload.clone());
+                    self.pc += 1;
+                    Ok(Step::Ran)
+                }
+                Action::Recv(src, tag) => match machine.try_recv(me, ProcId(*src), Tag(*tag)) {
+                    Some(words) => {
+                        self.received.push(words);
+                        self.pc += 1;
+                        Ok(Step::Ran)
+                    }
+                    None => Ok(Step::BlockedOnRecv {
+                        src: ProcId(*src),
+                        tag: Tag(*tag),
+                    }),
+                },
+            }
+        }
+    }
+
+    fn run2(a: Vec<Action>, b: Vec<Action>, cost: CostModel) -> (RunReport, Machine) {
+        let mut m = Machine::new(2, cost);
+        let mut pa = Scripted::new(a);
+        let mut pb = Scripted::new(b);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+        let report = Scheduler::new().run(&mut m, &mut ps).expect("run ok");
+        (report, m)
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let (report, _) = run2(
+            vec![Action::Send(1, 0, vec![1]), Action::Recv(1, 1)],
+            vec![Action::Recv(0, 0), Action::Send(0, 1, vec![2])],
+            CostModel::ipsc2(),
+        );
+        assert_eq!(report.stats.network.messages, 2);
+        assert_eq!(report.undelivered, 0);
+    }
+
+    #[test]
+    fn receiver_first_order_still_completes() {
+        // P0 blocks on a recv whose send happens later on P1.
+        let (report, _) = run2(
+            vec![Action::Recv(1, 0)],
+            vec![Action::Compute(50), Action::Send(0, 0, vec![9])],
+            CostModel::ipsc2(),
+        );
+        assert_eq!(report.stats.network.messages, 1);
+    }
+
+    #[test]
+    fn cross_deadlock_detected() {
+        let mut m = Machine::new(2, CostModel::zero());
+        let mut pa = Scripted::new(vec![Action::Recv(1, 0)]);
+        let mut pb = Scripted::new(vec![Action::Recv(0, 0)]);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+        let err = Scheduler::new().run(&mut m, &mut ps).unwrap_err();
+        match err {
+            MachineError::Deadlock { waiting } => assert_eq!(waiting.len(), 2),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn makespan_reflects_critical_path() {
+        let c = CostModel::ipsc2();
+        let (report, _) = run2(
+            vec![Action::Compute(500), Action::Send(1, 0, vec![1])],
+            vec![Action::Recv(0, 0), Action::Compute(100)],
+            c,
+        );
+        // Critical path: 500 compute + send + flight + recv + 100 compute.
+        let expected = 500 + c.send_cost(1) + c.flight + c.recv_cost(1) + 100;
+        assert_eq!(report.stats.makespan().0, expected);
+    }
+
+    #[test]
+    fn step_budget_guards_runaway() {
+        struct Forever;
+        impl Process for Forever {
+            fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError> {
+                machine.tick(me, 1);
+                Ok(Step::Ran)
+            }
+        }
+        let mut m = Machine::new(1, CostModel::zero());
+        let mut fv = Forever;
+        let mut ps: Vec<&mut dyn Process> = vec![&mut fv];
+        let err = Scheduler::new()
+            .with_step_budget(1000)
+            .run(&mut m, &mut ps)
+            .unwrap_err();
+        assert!(matches!(err, MachineError::StepBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn quantum_does_not_change_results() {
+        let build = || {
+            (
+                vec![
+                    Action::Compute(10),
+                    Action::Send(1, 0, vec![1, 2]),
+                    Action::Recv(1, 1),
+                    Action::Compute(5),
+                ],
+                vec![
+                    Action::Recv(0, 0),
+                    Action::Compute(7),
+                    Action::Send(0, 1, vec![3]),
+                ],
+            )
+        };
+        let mut results = Vec::new();
+        for quantum in [1, 2, 3, 1000] {
+            let (a, b) = build();
+            let mut m = Machine::new(2, CostModel::ipsc2());
+            let mut pa = Scripted::new(a);
+            let mut pb = Scripted::new(b);
+            let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+            let report = Scheduler::new()
+                .with_quantum(quantum)
+                .run(&mut m, &mut ps)
+                .unwrap();
+            results.push((report.stats.makespan(), report.stats.network));
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

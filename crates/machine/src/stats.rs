@@ -1,0 +1,119 @@
+//! Execution statistics.
+
+use crate::message::Time;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative traffic through the interconnect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Total messages delivered to the network.
+    pub messages: u64,
+    /// Total payload words across all messages.
+    pub words: u64,
+    /// High-water mark of simultaneously queued messages.
+    pub max_in_flight: u64,
+}
+
+/// Per-processor execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Messages sent by this processor.
+    pub sends: u64,
+    /// Messages received by this processor.
+    pub recvs: u64,
+    /// Payload words sent.
+    pub words_sent: u64,
+    /// Cycles spent blocked waiting for a message that had not yet
+    /// arrived (receiver clock jumped forward to the arrival time).
+    pub idle_cycles: u64,
+    /// Instructions (cost-model charges other than send/recv) executed.
+    pub ops: u64,
+}
+
+/// A complete statistics snapshot for a machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Interconnect totals.
+    pub network: NetworkStats,
+    /// One entry per processor.
+    pub procs: Vec<ProcStats>,
+    /// Final logical clock of each processor.
+    pub clocks: Vec<Time>,
+}
+
+impl Serialize for Time {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Time {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        u64::deserialize(d).map(Time)
+    }
+}
+
+impl MachineStats {
+    /// The simulated execution time of the whole run: the maximum final
+    /// clock over all processors. This is what Figures 6 and 7 plot.
+    pub fn makespan(&self) -> Time {
+        self.clocks.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Total messages (convenience for the footnote-3 table).
+    pub fn total_messages(&self) -> u64 {
+        self.network.messages
+    }
+
+    /// Load imbalance: max busy clock over mean clock, as a rough
+    /// indicator (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.clocks.is_empty() {
+            return 1.0;
+        }
+        let max = self.makespan().0 as f64;
+        let mean = self.clocks.iter().map(|t| t.0 as f64).sum::<f64>() / self.clocks.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let s = MachineStats {
+            clocks: vec![Time(5), Time(42), Time(17)],
+            ..Default::default()
+        };
+        assert_eq!(s.makespan(), Time(42));
+    }
+
+    #[test]
+    fn makespan_of_empty_machine_is_zero() {
+        assert_eq!(MachineStats::default().makespan(), Time::ZERO);
+    }
+
+    #[test]
+    fn imbalance_balanced_is_one() {
+        let s = MachineStats {
+            clocks: vec![Time(10), Time(10)],
+            ..Default::default()
+        };
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let s = MachineStats {
+            clocks: vec![Time(30), Time(10)],
+            ..Default::default()
+        };
+        assert!(s.imbalance() > 1.4);
+    }
+}

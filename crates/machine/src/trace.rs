@@ -1,0 +1,231 @@
+//! Optional event tracing for debugging and visualization.
+
+use crate::message::{ProcId, Tag, Time};
+
+/// What happened in a traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message left `src` for `dst`.
+    Send {
+        /// Destination processor.
+        dst: ProcId,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in words.
+        words: usize,
+    },
+    /// A message from `src` was consumed.
+    Recv {
+        /// Originating processor.
+        src: ProcId,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size in words.
+        words: usize,
+        /// Cycles the receiver spent waiting for this message beyond its
+        /// own clock (0 if it had already arrived).
+        waited: u64,
+    },
+    /// The process on this processor finished.
+    Finish,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Processor on which the event occurred.
+    pub proc: ProcId,
+    /// Local clock after the event.
+    pub at: Time,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+/// A bounded in-memory event trace.
+///
+/// Tracing is off by default ([`Trace::disabled`]); the bench and example
+/// binaries enable it with a cap so pathological programs cannot exhaust
+/// memory.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    cap: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            cap: 0,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
+    /// A trace that keeps at most `cap` events, counting overflow.
+    pub fn bounded(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, ev: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in global record order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events that overflowed the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Is recording enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+/// Render a textual Gantt chart of the trace: one row per processor, time
+/// scaled to `width` columns, with `s` marking sends, `r` receives and `#`
+/// both in the same column. Useful for eyeballing pipelining — the
+/// wavefront of the paper's Figure 2 is clearly visible in the staircase
+/// of send/receive marks.
+pub fn render_gantt(trace: &Trace, n_procs: usize, width: usize) -> String {
+    let mut out = String::new();
+    let horizon = trace
+        .events()
+        .iter()
+        .map(|e| e.at.0)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let col = |t: Time| ((t.0 as u128 * (width as u128 - 1)) / horizon as u128) as usize;
+    for p in 0..n_procs {
+        let mut row = vec![b'.'; width];
+        for e in trace.events().iter().filter(|e| e.proc.0 == p) {
+            let c = col(e.at);
+            let mark = match e.kind {
+                EventKind::Send { .. } => b's',
+                EventKind::Recv { .. } => b'r',
+                EventKind::Finish => b'|',
+            };
+            row[c] = match (row[c], mark) {
+                (b'.', m) => m,
+                (a, m) if a == m => m,
+                _ => b'#',
+            };
+        }
+        out.push_str(&format!("P{p:<3} "));
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     0{:>width$}\n",
+        format!("{horizon} cycles"),
+        width = width - 1
+    ));
+    if trace.dropped() > 0 {
+        out.push_str(&format!(
+            "     ({} events beyond the cap)\n",
+            trace.dropped()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(p: usize) -> Event {
+        Event {
+            proc: ProcId(p),
+            at: Time(1),
+            kind: EventKind::Finish,
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(ev(0));
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_trace_caps_and_counts() {
+        let mut t = Trace::bounded(2);
+        for i in 0..5 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn gantt_marks_events_per_processor() {
+        let mut t = Trace::bounded(16);
+        t.record(Event {
+            proc: ProcId(0),
+            at: Time(0),
+            kind: EventKind::Send {
+                dst: ProcId(1),
+                tag: Tag(0),
+                words: 1,
+            },
+        });
+        t.record(Event {
+            proc: ProcId(1),
+            at: Time(100),
+            kind: EventKind::Recv {
+                src: ProcId(0),
+                tag: Tag(0),
+                words: 1,
+                waited: 0,
+            },
+        });
+        t.record(Event {
+            proc: ProcId(1),
+            at: Time(100),
+            kind: EventKind::Finish,
+        });
+        let g = render_gantt(&t, 2, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("P0"));
+        assert!(lines[0].contains('s'));
+        // The recv and finish share a column: squashed to '#'.
+        assert!(lines[1].contains('#'));
+        assert!(g.contains("100 cycles"));
+    }
+
+    #[test]
+    fn gantt_of_empty_trace_is_blank_rows() {
+        let g = render_gantt(&Trace::disabled(), 2, 10);
+        assert_eq!(g.lines().count(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Whole-program domain decompositions.
+
+use crate::dist::Dist;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Placement of a scalar variable: `a:P1` or `a:ALL` (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarMap {
+    /// Owned by one processor.
+    On(usize),
+    /// Replicated on all processors (each computes its own copy).
+    All,
+}
+
+impl fmt::Display for ScalarMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarMap::On(p) => write!(f, "P{p}"),
+            ScalarMap::All => write!(f, "ALL"),
+        }
+    }
+}
+
+/// Three-valued static knowledge, the outcome of the compile-time
+/// membership test of §3.2: *"Three outcomes are possible: true, false,
+/// and inconclusive."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreeVal {
+    /// The processor definitely participates.
+    True,
+    /// The processor definitely does not participate.
+    False,
+    /// Cannot be decided at compile time; emit a run-time test.
+    Unknown,
+}
+
+impl ThreeVal {
+    /// Three-valued conjunction.
+    pub fn and(self, other: ThreeVal) -> ThreeVal {
+        use ThreeVal::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: ThreeVal) -> ThreeVal {
+        use ThreeVal::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+}
+
+/// The user-supplied domain decomposition for one program: the italicized
+/// portion of Figure 1.
+///
+/// Scalars not mentioned default to [`ScalarMap::All`] — every processor
+/// computes its own copy, which is the conventional SPMD treatment of loop
+/// bounds and coefficients. Every *array* must be mapped explicitly; a
+/// missing array mapping is a compile-time error in `pdc-core`.
+///
+/// # Examples
+///
+/// ```
+/// use pdc_mapping::{Decomposition, Dist, ScalarMap};
+///
+/// let d = Decomposition::new(4)
+///     .array("New", Dist::ColumnCyclic)
+///     .array("Old", Dist::ColumnCyclic)
+///     .scalar("c", ScalarMap::All);
+/// assert_eq!(d.nprocs(), 4);
+/// assert_eq!(d.array_dist("New"), Some(Dist::ColumnCyclic));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    nprocs: usize,
+    scalars: BTreeMap<String, ScalarMap>,
+    arrays: BTreeMap<String, Dist>,
+}
+
+impl Decomposition {
+    /// A decomposition for a machine of `nprocs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs == 0`.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "need at least one processor");
+        Decomposition {
+            nprocs,
+            scalars: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+        }
+    }
+
+    /// Number of processors the decomposition targets.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Map a scalar variable (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping names a processor outside the machine.
+    pub fn scalar(mut self, name: impl Into<String>, m: ScalarMap) -> Self {
+        if let ScalarMap::On(p) = m {
+            assert!(p < self.nprocs, "processor P{p} out of range");
+        }
+        self.scalars.insert(name.into(), m);
+        self
+    }
+
+    /// Map an array variable (builder style).
+    pub fn array(mut self, name: impl Into<String>, d: Dist) -> Self {
+        self.arrays.insert(name.into(), d);
+        self
+    }
+
+    /// The mapping of scalar `name` ([`ScalarMap::All`] if unmapped).
+    pub fn scalar_map(&self, name: &str) -> ScalarMap {
+        self.scalars.get(name).copied().unwrap_or(ScalarMap::All)
+    }
+
+    /// The distribution of array `name`, if mapped.
+    pub fn array_dist(&self, name: &str) -> Option<Dist> {
+        self.arrays.get(name).cloned()
+    }
+
+    /// All mapped arrays in name order.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, &Dist)> {
+        self.arrays.iter().map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// All explicitly mapped scalars in name order.
+    pub fn scalars(&self) -> impl Iterator<Item = (&str, ScalarMap)> {
+        self.scalars.iter().map(|(n, m)| (n.as_str(), *m))
+    }
+}
+
+impl fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "decomposition on {} processors:", self.nprocs)?;
+        for (n, m) in &self.scalars {
+            writeln!(f, "  {n} : {m}")?;
+        }
+        for (n, d) in &self.arrays {
+            writeln!(f, "  {n} : {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_scalar_defaults_to_all() {
+        let d = Decomposition::new(2);
+        assert_eq!(d.scalar_map("k"), ScalarMap::All);
+    }
+
+    #[test]
+    fn explicit_mappings_round_trip() {
+        let d = Decomposition::new(3)
+            .scalar("a", ScalarMap::On(1))
+            .array("A", Dist::RowCyclic);
+        assert_eq!(d.scalar_map("a"), ScalarMap::On(1));
+        assert_eq!(d.array_dist("A"), Some(Dist::RowCyclic));
+        assert_eq!(d.array_dist("B"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scalar_processor_bounds_checked() {
+        let _ = Decomposition::new(2).scalar("a", ScalarMap::On(2));
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        use ThreeVal::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(Unknown.and(False), False);
+        assert_eq!(Unknown.and(True), Unknown);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(False.or(False), False);
+    }
+
+    #[test]
+    fn display_lists_mappings() {
+        let d = Decomposition::new(2)
+            .scalar("a", ScalarMap::On(0))
+            .array("A", Dist::ColumnCyclic);
+        let s = d.to_string();
+        assert!(s.contains("a : P0"));
+        assert!(s.contains("A : column-cyclic"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Symbolic owner expressions (the result of the Map function).
+
+use crate::affine::Affine;
+use std::fmt;
+
+/// The concrete owner(s) of a datum once all indices are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OwnerSet {
+    /// Exactly one processor owns it.
+    One(usize),
+    /// Replicated: every processor owns a copy.
+    All,
+}
+
+impl OwnerSet {
+    /// Does processor `p` own (a copy of) the datum?
+    pub fn contains(&self, p: usize) -> bool {
+        match self {
+            OwnerSet::One(q) => *q == p,
+            OwnerSet::All => true,
+        }
+    }
+}
+
+impl fmt::Display for OwnerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwnerSet::One(p) => write!(f, "P{p}"),
+            OwnerSet::All => write!(f, "ALL"),
+        }
+    }
+}
+
+/// A symbolic owner: the Map function applied to (possibly symbolic) array
+/// subscripts. This is what appears in the *evaluators* attribute of an
+/// AST node — e.g. the evaluators of `A[i, j+1]` under wrapped columns is
+/// the expression `(j+1-1) mod S` (§3.2: *"the evaluators for the
+/// reference A[i,j+1] would include (j+1) mod S"*).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OwnerExpr {
+    /// A fixed processor.
+    Const(usize),
+    /// Replicated on every processor.
+    All,
+    /// `(expr) mod s` — cyclic distributions.
+    CyclicMod {
+        /// Zero-based affine index expression.
+        expr: Affine,
+        /// Ring size (number of processors in this dimension).
+        s: usize,
+    },
+    /// `clamp((expr) div block, 0, nprocs-1)` — block distributions.
+    BlockDiv {
+        /// Zero-based affine index expression.
+        expr: Affine,
+        /// Elements per block.
+        block: usize,
+        /// Number of processors in this dimension.
+        nprocs: usize,
+    },
+    /// `((expr) div block) mod s` — block-cyclic distributions.
+    BlockCyclicMod {
+        /// Zero-based affine index expression.
+        expr: Affine,
+        /// Elements per block.
+        block: usize,
+        /// Ring size.
+        s: usize,
+    },
+    /// Two-dimensional grid: `row_owner * pcols + col_owner`.
+    Grid {
+        /// Owner along the row dimension (value in `0..prows`).
+        row: Box<OwnerExpr>,
+        /// Owner along the column dimension (value in `0..pcols`).
+        col: Box<OwnerExpr>,
+        /// Processors along the column dimension.
+        pcols: usize,
+    },
+}
+
+impl OwnerExpr {
+    /// Evaluate under a full environment.
+    pub fn eval(&self, env: &dyn Fn(&str) -> i64) -> OwnerSet {
+        match self {
+            OwnerExpr::Const(p) => OwnerSet::One(*p),
+            OwnerExpr::All => OwnerSet::All,
+            OwnerExpr::CyclicMod { expr, s } => {
+                OwnerSet::One(expr.eval(env).rem_euclid(*s as i64) as usize)
+            }
+            OwnerExpr::BlockDiv {
+                expr,
+                block,
+                nprocs,
+            } => {
+                let v = expr.eval(env).max(0) as usize / block;
+                OwnerSet::One(v.min(nprocs - 1))
+            }
+            OwnerExpr::BlockCyclicMod { expr, block, s } => {
+                let v = expr.eval(env).max(0) as usize / block;
+                OwnerSet::One(v % s)
+            }
+            OwnerExpr::Grid { row, col, pcols } => {
+                let r = match row.eval(env) {
+                    OwnerSet::One(r) => r,
+                    OwnerSet::All => return OwnerSet::All,
+                };
+                let c = match col.eval(env) {
+                    OwnerSet::One(c) => c,
+                    OwnerSet::All => return OwnerSet::All,
+                };
+                OwnerSet::One(r * pcols + c)
+            }
+        }
+    }
+
+    /// Is this owner independent of all variables (a constant set)?
+    pub fn as_owner_set(&self) -> Option<OwnerSet> {
+        match self {
+            OwnerExpr::Const(p) => Some(OwnerSet::One(*p)),
+            OwnerExpr::All => Some(OwnerSet::All),
+            OwnerExpr::CyclicMod { expr, s } => expr
+                .as_constant()
+                .map(|v| OwnerSet::One(v.rem_euclid(*s as i64) as usize)),
+            OwnerExpr::BlockDiv {
+                expr,
+                block,
+                nprocs,
+            } => expr
+                .as_constant()
+                .map(|v| OwnerSet::One(((v.max(0) as usize) / block).min(nprocs - 1))),
+            OwnerExpr::BlockCyclicMod { expr, block, s } => expr
+                .as_constant()
+                .map(|v| OwnerSet::One((v.max(0) as usize / block) % s)),
+            OwnerExpr::Grid { row, col, pcols } => {
+                match (row.as_owner_set()?, col.as_owner_set()?) {
+                    (OwnerSet::One(r), OwnerSet::One(c)) => Some(OwnerSet::One(r * pcols + c)),
+                    _ => Some(OwnerSet::All),
+                }
+            }
+        }
+    }
+
+    /// Variables the owner depends on.
+    pub fn vars(&self) -> Vec<String> {
+        match self {
+            OwnerExpr::Const(_) | OwnerExpr::All => Vec::new(),
+            OwnerExpr::CyclicMod { expr, .. }
+            | OwnerExpr::BlockDiv { expr, .. }
+            | OwnerExpr::BlockCyclicMod { expr, .. } => expr.vars().map(str::to_owned).collect(),
+            OwnerExpr::Grid { row, col, .. } => {
+                let mut v = row.vars();
+                v.extend(col.vars());
+                v.sort();
+                v.dedup();
+                v
+            }
+        }
+    }
+
+    /// Substitute a variable with an affine expression in every index
+    /// position (used when propagating mappings through procedure calls).
+    pub fn substitute(&self, v: &str, e: &Affine) -> OwnerExpr {
+        match self {
+            OwnerExpr::Const(_) | OwnerExpr::All => self.clone(),
+            OwnerExpr::CyclicMod { expr, s } => OwnerExpr::CyclicMod {
+                expr: expr.substitute(v, e),
+                s: *s,
+            },
+            OwnerExpr::BlockDiv {
+                expr,
+                block,
+                nprocs,
+            } => OwnerExpr::BlockDiv {
+                expr: expr.substitute(v, e),
+                block: *block,
+                nprocs: *nprocs,
+            },
+            OwnerExpr::BlockCyclicMod { expr, block, s } => OwnerExpr::BlockCyclicMod {
+                expr: expr.substitute(v, e),
+                block: *block,
+                s: *s,
+            },
+            OwnerExpr::Grid { row, col, pcols } => OwnerExpr::Grid {
+                row: Box::new(row.substitute(v, e)),
+                col: Box::new(col.substitute(v, e)),
+                pcols: *pcols,
+            },
+        }
+    }
+}
+
+impl fmt::Display for OwnerExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OwnerExpr::Const(p) => write!(f, "P{p}"),
+            OwnerExpr::All => write!(f, "ALL"),
+            OwnerExpr::CyclicMod { expr, s } => write!(f, "({expr}) mod {s}"),
+            OwnerExpr::BlockDiv { expr, block, .. } => write!(f, "({expr}) div {block}"),
+            OwnerExpr::BlockCyclicMod { expr, block, s } => {
+                write!(f, "(({expr}) div {block}) mod {s}")
+            }
+            OwnerExpr::Grid { row, col, pcols } => write!(f, "[{row}]*{pcols} + [{col}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, i64)]) -> impl Fn(&str) -> i64 + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("unbound {name}"))
+        }
+    }
+
+    #[test]
+    fn cyclic_mod_wraps() {
+        let o = OwnerExpr::CyclicMod {
+            expr: Affine::var("j").offset(-1),
+            s: 4,
+        };
+        assert_eq!(o.eval(&env(&[("j", 1)])), OwnerSet::One(0));
+        assert_eq!(o.eval(&env(&[("j", 6)])), OwnerSet::One(1));
+        assert_eq!(o.eval(&env(&[("j", 0)])), OwnerSet::One(3)); // euclidean mod
+    }
+
+    #[test]
+    fn block_div_clamps() {
+        let o = OwnerExpr::BlockDiv {
+            expr: Affine::var("j").offset(-1),
+            block: 4,
+            nprocs: 2,
+        };
+        assert_eq!(o.eval(&env(&[("j", 1)])), OwnerSet::One(0));
+        assert_eq!(o.eval(&env(&[("j", 5)])), OwnerSet::One(1));
+        // Past the last block it clamps instead of overflowing.
+        assert_eq!(o.eval(&env(&[("j", 100)])), OwnerSet::One(1));
+    }
+
+    #[test]
+    fn grid_combines_dimensions() {
+        let o = OwnerExpr::Grid {
+            row: Box::new(OwnerExpr::BlockDiv {
+                expr: Affine::var("i").offset(-1),
+                block: 2,
+                nprocs: 2,
+            }),
+            col: Box::new(OwnerExpr::BlockDiv {
+                expr: Affine::var("j").offset(-1),
+                block: 2,
+                nprocs: 3,
+            }),
+            pcols: 3,
+        };
+        assert_eq!(o.eval(&env(&[("i", 1), ("j", 1)])), OwnerSet::One(0));
+        assert_eq!(o.eval(&env(&[("i", 3), ("j", 5)])), OwnerSet::One(3 + 2));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let o = OwnerExpr::CyclicMod {
+            expr: Affine::constant(7),
+            s: 4,
+        };
+        assert_eq!(o.as_owner_set(), Some(OwnerSet::One(3)));
+        let v = OwnerExpr::CyclicMod {
+            expr: Affine::var("j"),
+            s: 4,
+        };
+        assert_eq!(v.as_owner_set(), None);
+    }
+
+    #[test]
+    fn substitute_specializes() {
+        // owner of A[i, j+1] with j := 5  =>  constant (5+1-1) mod 4 = 1
+        let o = OwnerExpr::CyclicMod {
+            expr: Affine::var("j").offset(1).offset(-1),
+            s: 4,
+        };
+        let s = o.substitute("j", &Affine::constant(5));
+        assert_eq!(s.as_owner_set(), Some(OwnerSet::One(1)));
+    }
+
+    #[test]
+    fn owner_set_contains() {
+        assert!(OwnerSet::All.contains(5));
+        assert!(OwnerSet::One(2).contains(2));
+        assert!(!OwnerSet::One(2).contains(3));
+    }
+
+    #[test]
+    fn display_forms() {
+        let o = OwnerExpr::CyclicMod {
+            expr: Affine::var("j").offset(-1),
+            s: 8,
+        };
+        assert_eq!(o.to_string(), "(j - 1) mod 8");
+        assert_eq!(OwnerExpr::All.to_string(), "ALL");
+        assert_eq!(OwnerExpr::Const(3).to_string(), "P3");
+    }
+}

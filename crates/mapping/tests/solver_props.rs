@@ -1,0 +1,133 @@
+//! Property tests of the mapping-equation solver: whatever `solve_for`
+//! returns must agree, pointwise, with brute-force evaluation of the
+//! owner expression.
+
+use pdc_mapping::{solve_for, Affine, OwnerExpr, OwnerSet, Solution};
+use proptest::prelude::*;
+
+fn affine_strategy() -> impl Strategy<Value = Affine> {
+    // a*j + c with small coefficients (including the paper's j-1, j, j+1).
+    (-3i64..4, -5i64..6).prop_map(|(a, c)| Affine::var("j").scale(a).offset(c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cyclic: `solve_for` matches brute force over a window.
+    #[test]
+    fn cyclic_solutions_are_sound_and_complete(
+        aff in affine_strategy(),
+        s in 1usize..9,
+        p in 0usize..9,
+    ) {
+        let p = p % s;
+        let owner = OwnerExpr::CyclicMod { expr: aff.clone(), s };
+        let sol = solve_for(&owner, "j", p);
+        for j in -20i64..40 {
+            let truth = owner.eval(&|v| {
+                assert_eq!(v, "j");
+                j
+            }) == OwnerSet::One(p);
+            match &sol {
+                Solution::Empty => prop_assert!(!truth, "j={j} should satisfy nothing"),
+                Solution::Set(set) => prop_assert_eq!(
+                    set.contains(j),
+                    truth,
+                    "j={} set={:?} aff={}", j, set, &aff
+                ),
+                Solution::Guard => {} // always safe
+            }
+        }
+    }
+
+    /// Block: `solve_for` matches brute force (unit coefficients solve to
+    /// ranges; everything else must degrade safely).
+    #[test]
+    fn block_solutions_are_sound_and_complete(
+        a in prop_oneof![Just(1i64), Just(-1i64), Just(2i64), Just(0i64)],
+        c in -5i64..6,
+        block in 1usize..6,
+        nprocs in 1usize..5,
+        p in 0usize..5,
+    ) {
+        let p = p % nprocs;
+        let aff = Affine::var("j").scale(a).offset(c);
+        let owner = OwnerExpr::BlockDiv { expr: aff, block, nprocs };
+        let sol = solve_for(&owner, "j", p);
+        for j in -20i64..40 {
+            let truth = owner.eval(&|_| j) == OwnerSet::One(p);
+            match &sol {
+                Solution::Empty => prop_assert!(!truth, "j={j}"),
+                Solution::Set(set) => {
+                    // BlockDiv clamps negatives to block 0; the solved
+                    // range describes the un-clamped region, so only
+                    // check where the expression is non-negative.
+                    let v = match a {
+                        0 => c,
+                        _ => a * j + c,
+                    };
+                    if v >= 0 {
+                        prop_assert_eq!(set.contains(j), truth, "j={}", j);
+                    }
+                }
+                Solution::Guard => {}
+            }
+        }
+    }
+
+    /// Grid solutions (when not guarded) match brute force.
+    #[test]
+    fn grid_solutions_are_sound(
+        s_row in 1usize..4,
+        block in 1usize..4,
+        p in 0usize..16,
+    ) {
+        let pcols = 2usize;
+        let nprocs = s_row * pcols;
+        let p = p % nprocs;
+        // Row dimension fixed (const), column dimension cyclic over j:
+        // solvable for j.
+        let owner = OwnerExpr::Grid {
+            row: Box::new(OwnerExpr::BlockDiv {
+                expr: Affine::constant(block as i64),
+                block,
+                nprocs: s_row,
+            }),
+            col: Box::new(OwnerExpr::CyclicMod {
+                expr: Affine::var("j").offset(-1),
+                s: pcols,
+            }),
+            pcols,
+        };
+        let sol = solve_for(&owner, "j", p);
+        for j in 1i64..30 {
+            let truth = owner.eval(&|_| j) == OwnerSet::One(p);
+            match &sol {
+                Solution::Empty => prop_assert!(!truth, "j={j}"),
+                Solution::Set(set) => prop_assert_eq!(set.contains(j), truth, "j={}", j),
+                Solution::Guard => {}
+            }
+        }
+    }
+
+    /// IterSet::first_at_or_after returns exactly the first member.
+    #[test]
+    fn first_at_or_after_is_minimal(
+        m in 1i64..8,
+        r in 0i64..8,
+        lo in -10i64..10,
+        len in 0i64..20,
+        from in -15i64..25,
+    ) {
+        let set = pdc_mapping::IterSet {
+            modulus: m,
+            residue: r.rem_euclid(m),
+            lo: Some(lo),
+            hi: Some(lo + len),
+        };
+        let first = set.first_at_or_after(from);
+        // Brute force.
+        let expected = (from..=lo + len + m).find(|v| set.contains(*v));
+        prop_assert_eq!(first.filter(|v| set.contains(*v)), expected);
+    }
+}

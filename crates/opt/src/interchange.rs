@@ -1,0 +1,219 @@
+//! Loop interchange (§4, closing paragraph).
+//!
+//! *"If the sequential version of Gauss-Seidel had had the i and j-loops
+//! reversed then generated code would not have shown any parallelism, so
+//! loop interchange would be required."*
+//!
+//! This pass operates on the *source* AST, before process decomposition:
+//! it swaps perfectly nested counted loops so the iteration order aligns
+//! with the data distribution (outer loop over the distributed
+//! dimension). Legality note: in Id Nouveau's dataflow semantics,
+//! I-structure reads synchronize with their writes, so interchange of
+//! counted loops never changes values; under this library's *strict*
+//! sequential evaluation the interchanged order must also be
+//! read-after-write consistent, which the end-to-end tests verify for the
+//! programs it is applied to.
+
+use pdc_lang::ast::{Block, Expr, ExprKind, Program, Stmt};
+
+/// Swap every outermost perfectly nested loop pair whose headers are
+/// independent (the inner bounds do not mention the outer variable, and
+/// vice versa). Returns the transformed program and the number of pairs
+/// swapped.
+pub fn interchange(program: &Program) -> (Program, usize) {
+    let mut count = 0;
+    let mut out = program.clone();
+    for proc in &mut out.procs {
+        proc.body = interchange_block(std::mem::take(&mut proc.body), &mut count);
+    }
+    (out, count)
+}
+
+fn expr_mentions(e: &Expr, v: &str) -> bool {
+    match &e.kind {
+        ExprKind::Var(w) => w == v,
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) => false,
+        ExprKind::ArrayRead { indices, .. } => indices.iter().any(|i| expr_mentions(i, v)),
+        ExprKind::Binary { lhs, rhs, .. } => expr_mentions(lhs, v) || expr_mentions(rhs, v),
+        ExprKind::Unary { operand, .. } => expr_mentions(operand, v),
+        ExprKind::Call { args, .. } => args.iter().any(|a| expr_mentions(a, v)),
+        ExprKind::Alloc { dims } => dims.iter().any(|d| expr_mentions(d, v)),
+    }
+}
+
+fn interchange_block(block: Block, count: &mut usize) -> Block {
+    let stmts = block
+        .stmts
+        .into_iter()
+        .map(|s| interchange_stmt(s, count))
+        .collect();
+    Block { stmts }
+}
+
+fn interchange_stmt(s: Stmt, count: &mut usize) -> Stmt {
+    match s {
+        Stmt::For {
+            var: v1,
+            lo: lo1,
+            hi: hi1,
+            step: st1,
+            body: b1,
+            span: sp1,
+        } => {
+            // Perfect nest with independent headers?
+            if b1.stmts.len() == 1 {
+                if let Stmt::For {
+                    var: v2,
+                    lo: lo2,
+                    hi: hi2,
+                    step: st2,
+                    body: b2,
+                    span: sp2,
+                } = b1.stmts[0].clone()
+                {
+                    let inner_independent = !expr_mentions(&lo2, &v1)
+                        && !expr_mentions(&hi2, &v1)
+                        && st2.as_ref().is_none_or(|e| !expr_mentions(e, &v1))
+                        && !expr_mentions(&lo1, &v2)
+                        && !expr_mentions(&hi1, &v2)
+                        && st1.as_ref().is_none_or(|e| !expr_mentions(e, &v2));
+                    if inner_independent {
+                        *count += 1;
+                        // Do not recurse into the swapped pair (that
+                        // would swap it back); only transform the body.
+                        let body = interchange_block(b2, count);
+                        return Stmt::For {
+                            var: v2,
+                            lo: lo2,
+                            hi: hi2,
+                            step: st2,
+                            body: Block {
+                                stmts: vec![Stmt::For {
+                                    var: v1,
+                                    lo: lo1,
+                                    hi: hi1,
+                                    step: st1,
+                                    body,
+                                    span: sp1,
+                                }],
+                            },
+                            span: sp2,
+                        };
+                    }
+                }
+            }
+            Stmt::For {
+                var: v1,
+                lo: lo1,
+                hi: hi1,
+                step: st1,
+                body: interchange_block(b1, count),
+                span: sp1,
+            }
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            span,
+        } => Stmt::If {
+            cond,
+            then_blk: interchange_block(then_blk, count),
+            else_blk: else_blk.map(|b| interchange_block(b, count)),
+            span,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_lang::interp::Interpreter;
+    use pdc_lang::value::Value;
+    use pdc_lang::{parse, pretty};
+
+    #[test]
+    fn swaps_perfect_nest() {
+        let p = parse(
+            "procedure f(n) {
+                let a = matrix(n, n);
+                for i = 2 to n do {
+                    for j = 1 to n do { a[i, j] = i * 100 + j; }
+                }
+                return a[2, 1];
+            }",
+        )
+        .unwrap();
+        let (q, count) = interchange(&p);
+        assert_eq!(count, 1);
+        let printed = pretty::program(&q);
+        let i_pos = printed.find("for j").unwrap();
+        let j_pos = printed.find("for i").unwrap();
+        assert!(i_pos < j_pos, "j loop should now be outermost:\n{printed}");
+        // Same values either way.
+        let a = Interpreter::new(&p).run("f", &[Value::Int(4)]).unwrap();
+        let b = Interpreter::new(&q).run("f", &[Value::Int(4)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dependent_headers_are_left_alone() {
+        let p = parse(
+            "procedure f(n) {
+                let a = matrix(n, n);
+                for i = 1 to n do {
+                    for j = i to n do { a[i, j] = 1; }
+                }
+                return a[1, 1];
+            }",
+        )
+        .unwrap();
+        let (_, count) = interchange(&p);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn imperfect_nests_are_left_alone() {
+        let p = parse(
+            "procedure f(n) {
+                let a = vector(n);
+                for i = 1 to n do {
+                    a[i] = i;
+                    for j = 1 to 0 do { }
+                }
+                return a[1];
+            }",
+        )
+        .unwrap();
+        let (_, count) = interchange(&p);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn reversed_gauss_seidel_becomes_normal_order() {
+        let (fixed, count) = interchange(&pdc_core::programs::gauss_seidel_interchanged());
+        assert_eq!(count, 1);
+        // Semantically identical to the original (both strict orders are
+        // valid for this kernel).
+        let inputs = |n: usize| {
+            let m = Value::new_matrix(n, n);
+            if let Value::Matrix(h) = &m {
+                let mut h = h.borrow_mut();
+                for i in 1..=n as i64 {
+                    for j in 1..=n as i64 {
+                        h.write(i, j, Value::Int(i + j)).unwrap();
+                    }
+                }
+            }
+            m
+        };
+        let a = Interpreter::new(&fixed)
+            .run("gs_iteration", &[inputs(6), Value::Int(6)])
+            .unwrap();
+        let b = Interpreter::new(&pdc_core::programs::gauss_seidel())
+            .run("gs_iteration", &[inputs(6), Value::Int(6)])
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

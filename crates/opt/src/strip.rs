@@ -1,0 +1,480 @@
+//! Strip mining (Appendix A.4, *Optimized III*): block element-wise value
+//! streams.
+//!
+//! After jamming, new values travel one element per message — maximal
+//! parallelism, maximal message count. Strip mining blocks every loop
+//! that sends or receives a qualifying stream: the loop is split into an
+//! outer block loop and an inner element loop; receives of a whole block
+//! arrive before the inner loop, sends of a whole block leave after it.
+//! Because the pass transforms *every* occurrence of a tag across all
+//! processors with the same block size and the same element range, both
+//! ends of every stream stay in protocol.
+//!
+//! Qualification per tag (conservative):
+//!
+//! * every `csend` of the tag is a single-value send at the top level of
+//!   a unit-step loop — or directly under one `if` whose condition does
+//!   not depend on the loop variable — with a destination independent of
+//!   the loop variable;
+//! * every `crecv` is a single-variable receive at the top level of such
+//!   a loop with a source independent of the loop variable;
+//! * all occurrences agree on the loop bounds.
+
+use crate::canon::{canon_eq, mentions};
+use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum TagState {
+    Ok { lo: SExpr, hi: SExpr },
+    Bad,
+}
+
+/// Apply strip mining with the given block size. Returns the rewritten
+/// program and the number of loops blocked.
+///
+/// # Panics
+///
+/// Panics if `blksize == 0`.
+pub fn strip_mine(prog: &SpmdProgram, blksize: usize) -> (SpmdProgram, usize) {
+    assert!(blksize > 0, "block size must be positive");
+    let mut tags: HashMap<u32, TagState> = HashMap::new();
+    for body in prog.bodies() {
+        qualify(body, None, &mut tags);
+    }
+    let good: HashSet<u32> = tags
+        .iter()
+        .filter_map(|(t, s)| match s {
+            TagState::Ok { .. } => Some(*t),
+            TagState::Bad => None,
+        })
+        .collect();
+    if good.is_empty() {
+        return (prog.clone(), 0);
+    }
+    let mut out = prog.clone();
+    let mut count = 0;
+    for body in out.bodies_mut() {
+        let (b, c) = rewrite(std::mem::take(body), &good, blksize as i64, &mut 0);
+        *body = b;
+        count += c;
+    }
+    (out, count)
+}
+
+struct LoopCtx<'a> {
+    var: &'a str,
+    lo: &'a SExpr,
+    hi: &'a SExpr,
+    unit_step: bool,
+}
+
+fn note(tags: &mut HashMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>, dep: &SExpr) {
+    let Some(ctx) = ctx else {
+        tags.insert(tag, TagState::Bad);
+        return;
+    };
+    if !ctx.unit_step || mentions(dep, ctx.var) {
+        tags.insert(tag, TagState::Bad);
+        return;
+    }
+    match tags.get(&tag) {
+        None => {
+            tags.insert(
+                tag,
+                TagState::Ok {
+                    lo: ctx.lo.clone(),
+                    hi: ctx.hi.clone(),
+                },
+            );
+        }
+        Some(TagState::Ok { lo, hi }) => {
+            if !canon_eq(lo, ctx.lo) || !canon_eq(hi, ctx.hi) {
+                tags.insert(tag, TagState::Bad);
+            }
+        }
+        Some(TagState::Bad) => {}
+    }
+}
+
+fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut HashMap<u32, TagState>) {
+    for s in body {
+        match s {
+            SStmt::Send { to, tag, values } => {
+                if values.len() == 1 {
+                    note(tags, *tag, ctx, to);
+                } else {
+                    tags.insert(*tag, TagState::Bad);
+                }
+            }
+            SStmt::Recv { from, tag, into } => {
+                if into.len() == 1 && matches!(into[0], RecvTarget::Var(_)) {
+                    note(tags, *tag, ctx, from);
+                } else {
+                    tags.insert(*tag, TagState::Bad);
+                }
+            }
+            SStmt::SendBuf { tag, .. } | SStmt::RecvBuf { tag, .. } => {
+                tags.insert(*tag, TagState::Bad);
+            }
+            SStmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            } => {
+                let inner_ctx = LoopCtx {
+                    var,
+                    lo,
+                    hi,
+                    unit_step: *step == SExpr::int(1),
+                };
+                for st in inner {
+                    match st {
+                        // Direct children qualify against this loop.
+                        SStmt::Send { .. } | SStmt::Recv { .. } => {
+                            qualify(std::slice::from_ref(st), Some(&inner_ctx), tags)
+                        }
+                        // One guard level is allowed for sends when the
+                        // condition is loop-invariant.
+                        SStmt::If { cond, then, els }
+                            if els.is_empty()
+                                && !mentions(cond, var)
+                                && then.iter().all(|x| {
+                                    matches!(x, SStmt::Send { .. } | SStmt::Let { .. })
+                                }) =>
+                        {
+                            qualify(then, Some(&inner_ctx), tags)
+                        }
+                        other => qualify(std::slice::from_ref(other), None, tags),
+                    }
+                }
+            }
+            SStmt::If { then, els, .. } => {
+                qualify(then, None, tags);
+                qualify(els, None, tags);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Does a loop body contain (at the allowed positions) any comm op with a
+/// qualifying tag?
+fn loop_has_good_comm(inner: &[SStmt], var: &str, good: &HashSet<u32>) -> bool {
+    inner.iter().any(|s| match s {
+        SStmt::Send { tag, .. } | SStmt::Recv { tag, .. } => good.contains(tag),
+        SStmt::If { cond, then, els } if els.is_empty() && !mentions(cond, var) => then
+            .iter()
+            .any(|x| matches!(x, SStmt::Send { tag, .. } if good.contains(tag))),
+        _ => false,
+    })
+}
+
+fn rewrite(
+    body: Vec<SStmt>,
+    good: &HashSet<u32>,
+    blk: i64,
+    fresh: &mut u32,
+) -> (Vec<SStmt>, usize) {
+    let mut out = Vec::new();
+    let mut count = 0;
+    for s in body {
+        match s {
+            SStmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            } if step == SExpr::int(1) && loop_has_good_comm(&inner, &var, good) => {
+                let (blocked, c) = block_loop(var, lo, hi, inner, good, blk, fresh);
+                count += 1 + c;
+                out.extend(blocked);
+            }
+            SStmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+            } => {
+                let (b, c) = rewrite(inner, good, blk, fresh);
+                count += c;
+                out.push(SStmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body: b,
+                });
+            }
+            SStmt::If { cond, then, els } => {
+                let (t, c1) = rewrite(then, good, blk, fresh);
+                let (e, c2) = rewrite(els, good, blk, fresh);
+                count += c1 + c2;
+                out.push(SStmt::If {
+                    cond,
+                    then: t,
+                    els: e,
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    (out, count)
+}
+
+/// The core transformation of one element loop into a block loop.
+#[allow(clippy::too_many_arguments)]
+fn block_loop(
+    var: String,
+    lo: SExpr,
+    hi: SExpr,
+    inner: Vec<SStmt>,
+    good: &HashSet<u32>,
+    blk: i64,
+    fresh: &mut u32,
+) -> (Vec<SStmt>, usize) {
+    *fresh += 1;
+    let id = *fresh;
+    let k = format!("$k{id}");
+    let klo = format!("$klo{id}");
+    let khi = format!("$khi{id}");
+    let blk_len = || SExpr::var(khi.clone()).sub(SExpr::var(klo.clone()));
+
+    // Collect the tags this loop receives and sends (in order).
+    let mut recv_tags: Vec<(u32, SExpr)> = Vec::new(); // (tag, from)
+    let mut send_tags: Vec<(u32, SExpr, Option<SExpr>)> = Vec::new(); // (tag, to, guard)
+    for s in &inner {
+        match s {
+            SStmt::Recv { from, tag, .. }
+                if good.contains(tag) && !recv_tags.iter().any(|(t, _)| t == tag) =>
+            {
+                recv_tags.push((*tag, from.clone()));
+            }
+            SStmt::Send { to, tag, .. }
+                if good.contains(tag) && !send_tags.iter().any(|(t, _, _)| t == tag) =>
+            {
+                send_tags.push((*tag, to.clone(), None));
+            }
+            SStmt::If { cond, then, els } if els.is_empty() => {
+                for x in then {
+                    if let SStmt::Send { to, tag, .. } = x {
+                        if good.contains(tag) && !send_tags.iter().any(|(t, _, _)| t == tag) {
+                            send_tags.push((*tag, to.clone(), Some(cond.clone())));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Rewrite the element body: receives become buffer reads, sends
+    // become buffer writes.
+    let new_inner: Vec<SStmt> = inner
+        .into_iter()
+        .map(|s| rewrite_element(s, good, &var, &klo))
+        .collect();
+
+    let mut pre: Vec<SStmt> = Vec::new();
+    for (tag, _) in &recv_tags {
+        pre.push(SStmt::AllocBuf {
+            buf: format!("$sb{tag}"),
+            len: SExpr::int(blk),
+        });
+    }
+    for (tag, _, _) in &send_tags {
+        pre.push(SStmt::AllocBuf {
+            buf: format!("$ss{tag}"),
+            len: SExpr::int(blk),
+        });
+    }
+
+    let mut kbody: Vec<SStmt> = vec![
+        SStmt::Let {
+            var: klo.clone(),
+            value: lo.clone().add(SExpr::var(k.clone()).mul(SExpr::int(blk))),
+        },
+        SStmt::Let {
+            var: khi.clone(),
+            value: SExpr::var(klo.clone())
+                .add(SExpr::int(blk - 1))
+                .min(hi.clone()),
+        },
+    ];
+    for (tag, from) in &recv_tags {
+        kbody.push(SStmt::RecvBuf {
+            from: from.clone(),
+            tag: *tag,
+            buf: format!("$sb{tag}"),
+            lo: SExpr::int(0),
+            hi: blk_len(),
+        });
+    }
+    kbody.push(SStmt::For {
+        var: var.clone(),
+        lo: SExpr::var(klo.clone()),
+        hi: SExpr::var(khi.clone()),
+        step: SExpr::int(1),
+        body: new_inner,
+    });
+    for (tag, to, guard) in &send_tags {
+        let send = SStmt::SendBuf {
+            to: to.clone(),
+            tag: *tag,
+            buf: format!("$ss{tag}"),
+            lo: SExpr::int(0),
+            hi: blk_len(),
+        };
+        kbody.push(match guard {
+            Some(g) => SStmt::If {
+                cond: g.clone(),
+                then: vec![send],
+                els: vec![],
+            },
+            None => send,
+        });
+    }
+
+    pre.push(SStmt::For {
+        var: k,
+        lo: SExpr::int(0),
+        hi: hi.clone().sub(lo.clone()).idiv(SExpr::int(blk)),
+        step: SExpr::int(1),
+        body: kbody,
+    });
+    (pre, 0)
+}
+
+fn rewrite_element(s: SStmt, good: &HashSet<u32>, var: &str, klo: &str) -> SStmt {
+    match s {
+        SStmt::Recv { from, tag, into } if good.contains(&tag) => {
+            let RecvTarget::Var(t) = &into[0] else {
+                unreachable!("qualified recv targets a var");
+            };
+            let _ = from;
+            SStmt::Let {
+                var: t.clone(),
+                value: SExpr::BufRead {
+                    buf: format!("$sb{tag}"),
+                    idx: Box::new(SExpr::var(var).sub(SExpr::var(klo))),
+                },
+            }
+        }
+        SStmt::Send { to, tag, values } if good.contains(&tag) => {
+            let _ = to;
+            SStmt::BufWrite {
+                buf: format!("$ss{tag}"),
+                idx: SExpr::var(var).sub(SExpr::var(klo)),
+                value: values.into_iter().next().expect("single-value send"),
+            }
+        }
+        SStmt::If { cond, then, els } if els.is_empty() => SStmt::If {
+            cond,
+            then: then
+                .into_iter()
+                .map(|x| rewrite_element(x, good, var, klo))
+                .collect(),
+            els: vec![],
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_machine::CostModel;
+    use pdc_spmd::run::SpmdMachine;
+    use pdc_spmd::Scalar;
+
+    /// P0 streams f(i) to P1 element-wise; P1 folds the stream.
+    fn stream_program(n: i64) -> SpmdProgram {
+        let p0 = vec![SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(n),
+            step: SExpr::int(1),
+            body: vec![SStmt::Send {
+                to: SExpr::int(1),
+                tag: 9,
+                values: vec![SExpr::var("i").mul(SExpr::var("i"))],
+            }],
+        }];
+        let p1 = vec![
+            SStmt::Let {
+                var: "acc".into(),
+                value: SExpr::int(0),
+            },
+            SStmt::For {
+                var: "i".into(),
+                lo: SExpr::int(1),
+                hi: SExpr::int(n),
+                step: SExpr::int(1),
+                body: vec![
+                    SStmt::Recv {
+                        from: SExpr::int(0),
+                        tag: 9,
+                        into: vec![RecvTarget::Var("x".into())],
+                    },
+                    SStmt::Let {
+                        var: "acc".into(),
+                        value: SExpr::var("acc").add(SExpr::var("x")),
+                    },
+                ],
+            },
+        ];
+        SpmdProgram::new(vec![p0, p1])
+    }
+
+    fn run(prog: &SpmdProgram) -> (u64, Scalar) {
+        let mut m = SpmdMachine::new(prog, CostModel::ipsc2()).unwrap();
+        let out = m.run().unwrap();
+        (
+            out.report.stats.network.messages,
+            m.vm(1).var("acc").unwrap(),
+        )
+    }
+
+    #[test]
+    fn blocks_reduce_messages_and_preserve_results() {
+        let n = 10i64;
+        let prog = stream_program(n);
+        let (msgs0, acc0) = run(&prog);
+        assert_eq!(msgs0, n as u64);
+        for blk in [1usize, 2, 3, 4, 10, 16] {
+            let (opt, loops) = strip_mine(&prog, blk);
+            assert_eq!(loops, 2, "blk={blk}");
+            let (msgs, acc) = run(&opt);
+            assert_eq!(acc, acc0, "blk={blk}");
+            assert_eq!(msgs, (n as u64).div_ceil(blk as u64), "blk={blk}");
+        }
+    }
+
+    #[test]
+    fn mismatched_ranges_disqualify() {
+        let mut prog = stream_program(8);
+        if let SStmt::For { hi, .. } = &mut prog.body_mut(1)[1] {
+            *hi = SExpr::int(7);
+        }
+        let (opt, loops) = strip_mine(&prog, 4);
+        assert_eq!(loops, 0);
+        assert_eq!(opt, prog);
+    }
+
+    #[test]
+    fn multi_value_sends_disqualify() {
+        let mut prog = stream_program(8);
+        if let SStmt::For { body, .. } = &mut prog.body_mut(0)[0] {
+            if let SStmt::Send { values, .. } = &mut body[0] {
+                values.push(SExpr::int(0));
+            }
+        }
+        // Receiver shape no longer matters; the tag is poisoned.
+        let (_, loops) = strip_mine(&prog, 4);
+        assert_eq!(loops, 0);
+    }
+}

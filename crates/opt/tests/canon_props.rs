@@ -1,0 +1,123 @@
+//! Property tests of the canonicalization machinery the optimization
+//! passes rely on: canonical equality is sound (equal canon ⇒ equal
+//! values) and variable shifts mean what they say.
+
+use pdc_opt::canon::{canon, canon_eq, shift_sexpr, solve_shift, uncanon};
+use pdc_spmd::ir::{SBinOp, SExpr, SUnOp};
+use proptest::prelude::*;
+
+fn leaf() -> impl Strategy<Value = SExpr> {
+    prop_oneof![
+        (-20i64..20).prop_map(SExpr::Int),
+        Just(SExpr::var("j")),
+        Just(SExpr::var("k")),
+    ]
+}
+
+/// Index-shaped expressions: affine combinations with div/mod by
+/// positive constants — what subscripts look like after codegen.
+fn index_expr() -> impl Strategy<Value = SExpr> {
+    leaf().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SExpr::Bin(
+                SBinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SExpr::Bin(
+                SBinOp::Sub,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), 1i64..6).prop_map(|(a, k)| a.idiv(SExpr::Int(k))),
+            (inner.clone(), 1i64..6).prop_map(|(a, k)| a.imod(SExpr::Int(k))),
+            (inner.clone(), -3i64..4).prop_map(|(a, k)| SExpr::Int(k).mul(a)),
+            inner
+                .clone()
+                .prop_map(|a| SExpr::Un(SUnOp::Neg, Box::new(a))),
+        ]
+    })
+}
+
+fn eval(e: &SExpr, j: i64, k: i64) -> i64 {
+    match e {
+        SExpr::Int(v) => *v,
+        SExpr::Var(v) if v == "j" => j,
+        SExpr::Var(v) if v == "k" => k,
+        SExpr::Un(SUnOp::Neg, a) => -eval(a, j, k),
+        SExpr::Bin(op, a, b) => {
+            let (l, r) = (eval(a, j, k), eval(b, j, k));
+            match op {
+                SBinOp::Add => l + r,
+                SBinOp::Sub => l - r,
+                SBinOp::Mul => l * r,
+                SBinOp::FloorDiv => l.div_euclid(r),
+                SBinOp::Mod => l.rem_euclid(r),
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        other => panic!("unexpected node {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// uncanon(canon(e)) preserves the value everywhere.
+    #[test]
+    fn canon_round_trip_preserves_value(e in index_expr(), j in -10i64..10, k in -10i64..10) {
+        if let Some(c) = canon(&e) {
+            let back = uncanon(&c);
+            prop_assert_eq!(eval(&e, j, k), eval(&back, j, k));
+        }
+    }
+
+    /// canon_eq is sound: expressions it calls equal evaluate equal.
+    #[test]
+    fn canon_eq_is_sound(
+        a in index_expr(),
+        b in index_expr(),
+        j in -10i64..10,
+        k in -10i64..10,
+    ) {
+        if canon_eq(&a, &b) {
+            prop_assert_eq!(eval(&a, j, k), eval(&b, j, k));
+        }
+    }
+
+    /// shift_sexpr(e, j, d) evaluated at j equals e evaluated at j + d.
+    #[test]
+    fn shift_means_substitution(
+        e in index_expr(),
+        d in -4i64..5,
+        j in -10i64..10,
+        k in -10i64..10,
+    ) {
+        let shifted = shift_sexpr(&e, "j", d);
+        prop_assert_eq!(eval(&shifted, j, k), eval(&e, j + d, k));
+    }
+
+    /// solve_shift really aligns the expressions it claims to align.
+    #[test]
+    fn solved_shifts_align(
+        e in index_expr(),
+        d in -4i64..5,
+        j in -10i64..10,
+        k in -10i64..10,
+    ) {
+        // Build b = e[j := j - d]; then solve_shift(canon e, canon b, j)
+        // should recover d (or any d' that also aligns them).
+        let b = shift_sexpr(&e, "j", -d);
+        let (Some(ca), Some(cb)) = (canon(&e), canon(&b)) else {
+            return Ok(());
+        };
+        if let Some(found) = solve_shift(&ca, &cb, "j") {
+            let realigned = shift_sexpr(&b, "j", found);
+            prop_assert_eq!(
+                eval(&realigned, j, k),
+                eval(&e, j, k),
+                "claimed shift {} does not align", found
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! SPMD-layer errors.
+
+use pdc_machine::MachineError;
+use std::error::Error;
+use std::fmt;
+
+/// A failure in lowering or executing an SPMD program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpmdError {
+    /// The tree IR could not be lowered to bytecode.
+    Lower {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The machine or scheduler failed (deadlock, process fault, budget).
+    Machine(MachineError),
+    /// A gather was requested for an array that does not exist or whose
+    /// segments disagree across processors.
+    Gather {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmdError::Lower { message } => write!(f, "lowering error: {message}"),
+            SpmdError::Machine(e) => write!(f, "machine error: {e}"),
+            SpmdError::Gather { message } => write!(f, "gather error: {message}"),
+        }
+    }
+}
+
+impl Error for SpmdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpmdError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for SpmdError {
+    fn from(e: MachineError) -> Self {
+        SpmdError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_machine::ProcId;
+
+    #[test]
+    fn machine_errors_convert() {
+        let e: SpmdError = MachineError::SelfSend { proc: ProcId(1) }.into();
+        assert!(e.to_string().contains("sent a message to itself"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = SpmdError::Lower {
+            message: "bad loop".into(),
+        };
+        assert_eq!(e.to_string(), "lowering error: bad loop");
+    }
+}

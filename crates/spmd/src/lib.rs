@@ -1,0 +1,64 @@
+//! The SPMD target layer: the intermediate representation the compiler
+//! emits, a lowering to flat bytecode, and the virtual machine that
+//! executes one bytecode program per simulated processor on the
+//! `pdc-machine` fabric.
+//!
+//! The paper's compiler emits C for the iPSC/2 (Appendix A). Our analogue
+//! of that C is the tree IR in [`ir`]: an imperative per-processor language
+//! with mutable locals, plain buffers (the `oldvalues`/`snewvalues` arrays
+//! of the appendix), distributed I-structure segments, typed asynchronous
+//! sends (`csend`) and blocking receives (`crecv`), counted loops and
+//! conditionals. The run-time system operations of the paper (`is_read`,
+//! `is_write`, `column_local`, …) appear as IR primitives:
+//!
+//! * [`ir::SExpr::ARead`] / [`ir::SStmt::AWrite`] — I-structure access via
+//!   *local* indices (what compile-time resolution emits);
+//! * [`ir::SExpr::AReadGlobal`] / [`ir::SStmt::AWriteGlobal`] — access via
+//!   *global* indices, with the mapping functions evaluated at run time
+//!   (what run-time resolution emits);
+//! * [`ir::SExpr::OwnerOf`] / [`ir::SExpr::LocalOf`] — the Map and Local
+//!   functions of the domain decomposition (§2.3).
+//!
+//! Programs are lowered ([`lower`]) to a stack bytecode and run
+//! ([`run::SpmdMachine`]) under the deterministic scheduler; afterwards the
+//! distributed arrays can be *gathered* back into ordinary matrices for
+//! verification against the sequential interpreter.
+//!
+//! # Examples
+//!
+//! ```
+//! use pdc_machine::CostModel;
+//! use pdc_spmd::ir::{SpmdProgram, SStmt, SExpr};
+//! use pdc_spmd::run::SpmdMachine;
+//!
+//! // Two processors: P0 sends 41+1 to P1, P1 stores it in a local.
+//! let p0 = vec![SStmt::If {
+//!     cond: SExpr::my_node().eq(SExpr::int(0)),
+//!     then: vec![SStmt::Send {
+//!         to: SExpr::int(1),
+//!         tag: 7,
+//!         values: vec![SExpr::int(41).add(SExpr::int(1))],
+//!     }],
+//!     els: vec![SStmt::Recv {
+//!         from: SExpr::int(0),
+//!         tag: 7,
+//!         into: vec![pdc_spmd::ir::RecvTarget::Var("x".into())],
+//!     }],
+//! }];
+//! let prog = SpmdProgram::uniform(2, p0);
+//! let mut m = SpmdMachine::new(&prog, CostModel::ipsc2())?;
+//! let outcome = m.run()?;
+//! assert_eq!(outcome.report.stats.network.messages, 1);
+//! # Ok::<(), pdc_spmd::SpmdError>(())
+//! ```
+
+pub mod ir;
+pub mod lower;
+pub mod run;
+pub mod scalar;
+pub mod vm;
+
+mod error;
+
+pub use error::SpmdError;
+pub use scalar::Scalar;

@@ -1,0 +1,164 @@
+//! Scalar values of the SPMD machine and their wire encoding.
+
+use pdc_machine::Word;
+use std::fmt;
+
+/// A scalar value: what locals hold, what I-structure cells store, and
+/// what messages carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// Integer view.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Scalar::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(v as f64),
+            Scalar::Float(v) => Some(v),
+            Scalar::Bool(_) => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Short type name for diagnostics.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Scalar::Int(_) => "int",
+            Scalar::Float(_) => "float",
+            Scalar::Bool(_) => "bool",
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float(v)
+    }
+}
+
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+
+const TAG_INT: Word = 0;
+const TAG_FLOAT: Word = 1;
+const TAG_BOOL: Word = 2;
+
+/// Encode scalars into machine words (two words per scalar: a type tag
+/// and the payload bits). This plays the role of the iPSC's message
+/// packing; the cost model charges per word.
+pub fn encode(values: &[Scalar]) -> Vec<Word> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for v in values {
+        match v {
+            Scalar::Int(x) => {
+                out.push(TAG_INT);
+                out.push(*x);
+            }
+            Scalar::Float(x) => {
+                out.push(TAG_FLOAT);
+                out.push(x.to_bits() as Word);
+            }
+            Scalar::Bool(x) => {
+                out.push(TAG_BOOL);
+                out.push(*x as Word);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a word stream produced by [`encode`]; `None` on a malformed
+/// stream (odd length or unknown tag).
+pub fn decode(words: &[Word]) -> Option<Vec<Scalar>> {
+    if !words.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(words.len() / 2);
+    for pair in words.chunks_exact(2) {
+        let v = match pair[0] {
+            TAG_INT => Scalar::Int(pair[1]),
+            TAG_FLOAT => Scalar::Float(f64::from_bits(pair[1] as u64)),
+            TAG_BOOL => Scalar::Bool(pair[1] != 0),
+            _ => return None,
+        };
+        out.push(v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed() {
+        let vals = vec![
+            Scalar::Int(-7),
+            Scalar::Float(2.5),
+            Scalar::Bool(true),
+            Scalar::Float(f64::NEG_INFINITY),
+        ];
+        assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        assert!(decode(&[0]).is_none()); // odd length
+        assert!(decode(&[99, 0]).is_none()); // unknown tag
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Scalar::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Float(2.5).as_int(), None);
+        assert_eq!(Scalar::Bool(true).as_bool(), Some(true));
+        assert_eq!(Scalar::Int(1).type_name(), "int");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Scalar::from(5i64), Scalar::Int(5));
+        assert_eq!(Scalar::from(1.5f64), Scalar::Float(1.5));
+        assert_eq!(Scalar::from(true), Scalar::Bool(true));
+    }
+}

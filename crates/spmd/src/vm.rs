@@ -1,0 +1,811 @@
+//! The per-processor virtual machine.
+
+use crate::ir::{SBinOp, SUnOp};
+use crate::lower::{Code, Instr};
+use crate::scalar::{decode, encode, Scalar};
+use pdc_istructure::IMatrix;
+use pdc_machine::{Machine, MachineError, ProcId, Process, Step, Tag};
+use pdc_mapping::{Dist, DistInstance, OwnerSet};
+use std::rc::Rc;
+
+/// The local segment of a distributed I-structure plus its distribution
+/// metadata (the Map/Local/Alloc triple instantiated at allocation time).
+#[derive(Debug, Clone)]
+pub struct DistArray {
+    /// The instantiated distribution.
+    pub inst: DistInstance,
+    /// This processor's local segment (shaped by Alloc).
+    pub local: IMatrix<Scalar>,
+}
+
+impl DistArray {
+    /// Allocate the local segment for an array of global extents
+    /// `rows × cols` under `dist` on a machine of `nprocs`.
+    pub fn alloc(dist: Dist, rows: usize, cols: usize, nprocs: usize) -> Self {
+        let inst = DistInstance::new(dist, rows, cols, nprocs);
+        let (lr, lc) = inst.alloc();
+        DistArray {
+            inst,
+            local: IMatrix::new(lr, lc),
+        }
+    }
+}
+
+/// One processor's interpreter state. Implements [`Process`] so the
+/// machine scheduler can drive it one instruction at a time; a blocking
+/// receive leaves the state untouched and reports itself blocked.
+#[derive(Debug)]
+pub struct ProcVm {
+    code: Rc<Code>,
+    pc: usize,
+    stack: Vec<Scalar>,
+    locals: Vec<Option<Scalar>>,
+    arrays: Vec<Option<DistArray>>,
+    bufs: Vec<Option<Vec<Scalar>>>,
+}
+
+impl ProcVm {
+    /// A fresh interpreter for `code`.
+    pub fn new(code: Rc<Code>) -> Self {
+        let nv = code.syms.vars.len();
+        let na = code.syms.arrays.len();
+        let nb = code.syms.bufs.len();
+        ProcVm {
+            code,
+            pc: 0,
+            stack: Vec::with_capacity(16),
+            locals: vec![None; nv],
+            arrays: vec![None; na],
+            bufs: vec![None; nb],
+        }
+    }
+
+    /// The value of local variable `name`, if assigned.
+    pub fn var(&self, name: &str) -> Option<Scalar> {
+        let slot = self.code.syms.var_slot(name)?;
+        self.locals[slot as usize]
+    }
+
+    /// The distributed-array segment called `name`, if allocated.
+    pub fn array(&self, name: &str) -> Option<&DistArray> {
+        let slot = self.code.syms.array_slot(name)?;
+        self.arrays[slot as usize].as_ref()
+    }
+
+    /// The buffer called `name`, if allocated.
+    pub fn buf(&self, name: &str) -> Option<&[Scalar]> {
+        let slot = self.code.syms.buf_slot(name)?;
+        self.bufs[slot as usize].as_deref()
+    }
+
+    /// Has the program halted?
+    pub fn is_done(&self) -> bool {
+        matches!(self.code.instrs.get(self.pc), Some(Instr::Halt) | None)
+    }
+
+    /// Install a pre-distributed array segment before execution (input
+    /// data that is already resident, as the paper assumes). Returns
+    /// `false` when the program never references `name` (the preload is
+    /// then irrelevant and skipped).
+    pub fn preload_array(&mut self, name: &str, arr: DistArray) -> bool {
+        match self.code.syms.array_slot(name) {
+            Some(slot) => {
+                self.arrays[slot as usize] = Some(arr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bind a local variable before execution (entry parameters such as
+    /// `n`). Returns `false` when the program never references `name`.
+    pub fn preset_var(&mut self, name: &str, value: Scalar) -> bool {
+        match self.code.syms.var_slot(name) {
+            Some(slot) => {
+                self.locals[slot as usize] = Some(value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn fault(&self, me: ProcId, message: impl Into<String>) -> MachineError {
+        MachineError::ProcessFault {
+            proc: me,
+            message: format!("{} (pc {})", message.into(), self.pc),
+        }
+    }
+
+    fn pop(&mut self, me: ProcId) -> Result<Scalar, MachineError> {
+        self.stack
+            .pop()
+            .ok_or_else(|| self.fault(me, "operand stack underflow"))
+    }
+
+    fn pop_int(&mut self, me: ProcId) -> Result<i64, MachineError> {
+        let v = self.pop(me)?;
+        v.as_int()
+            .ok_or_else(|| self.fault(me, format!("expected int, got {}", v.type_name())))
+    }
+
+    fn pop_indices(&mut self, me: ProcId, nd: u8) -> Result<(i64, i64), MachineError> {
+        match nd {
+            1 => {
+                let j = self.pop_int(me)?;
+                Ok((1, j))
+            }
+            2 => {
+                let j = self.pop_int(me)?;
+                let i = self.pop_int(me)?;
+                Ok((i, j))
+            }
+            _ => Err(self.fault(me, format!("unsupported dimensionality {nd}"))),
+        }
+    }
+
+    fn array_at(&mut self, me: ProcId, slot: u32) -> Result<&mut DistArray, MachineError> {
+        let name = self
+            .code
+            .syms
+            .arrays
+            .get(slot as usize)
+            .cloned()
+            .unwrap_or_default();
+        match &mut self.arrays[slot as usize] {
+            Some(a) => Ok(a),
+            None => Err(MachineError::ProcessFault {
+                proc: me,
+                message: format!("array `{name}` used before allocation"),
+            }),
+        }
+    }
+
+    fn buf_at(&mut self, me: ProcId, slot: u32) -> Result<&mut Vec<Scalar>, MachineError> {
+        let name = self
+            .code
+            .syms
+            .bufs
+            .get(slot as usize)
+            .cloned()
+            .unwrap_or_default();
+        match &mut self.bufs[slot as usize] {
+            Some(b) => Ok(b),
+            None => Err(MachineError::ProcessFault {
+                proc: me,
+                message: format!("buffer `{name}` used before allocation"),
+            }),
+        }
+    }
+}
+
+/// Cycle cost of one instruction under the machine's cost model.
+/// Communication instructions charge through `send`/`try_recv` instead.
+fn instr_cost(instr: &Instr, c: &pdc_machine::CostModel) -> u64 {
+    match instr {
+        Instr::PushInt(_) | Instr::PushFloat(_) | Instr::PushBool(_) => 0,
+        Instr::PushMyNode | Instr::PushNProcs => 0,
+        Instr::Load(_) | Instr::Store(_) => c.mem_op,
+        Instr::Bin(_) | Instr::Un(_) => c.alu_op,
+        Instr::Jump(_) => 0,
+        Instr::JumpIfFalse(_) => c.loop_overhead,
+        Instr::AllocDist { .. } | Instr::AllocBuf { .. } => c.mem_op,
+        Instr::ARead { .. } | Instr::AWrite { .. } => c.istruct_op,
+        // Global access evaluates the Map/Local functions at run time.
+        Instr::AReadGlobal { .. } | Instr::AWriteGlobal { .. } => c.istruct_op + 2 * c.alu_op,
+        Instr::OwnerOf { .. } | Instr::LocalOf { .. } => 2 * c.alu_op,
+        Instr::BufRead { .. } | Instr::BufWrite { .. } => c.mem_op,
+        // Charged by the fabric.
+        Instr::Send { .. } | Instr::Recv { .. } | Instr::SendBuf { .. } | Instr::RecvBuf { .. } => {
+            0
+        }
+        Instr::Fault(_) | Instr::Halt => 0,
+    }
+}
+
+/// Apply a strict binary operator to machine scalars.
+pub(crate) fn scalar_binop(op: SBinOp, l: Scalar, r: Scalar) -> Result<Scalar, String> {
+    use SBinOp::*;
+    use Scalar::*;
+    let type_err = || {
+        format!(
+            "cannot apply `{op}` to {} and {}",
+            l.type_name(),
+            r.type_name()
+        )
+    };
+    match op {
+        Add | Sub | Mul | Div | FloorDiv | Mod | Min | Max => match (l, r) {
+            (Int(a), Int(b)) => {
+                let v = match op {
+                    Add => a.checked_add(b).ok_or("integer overflow")?,
+                    Sub => a.checked_sub(b).ok_or("integer overflow")?,
+                    Mul => a.checked_mul(b).ok_or("integer overflow")?,
+                    Div | FloorDiv => {
+                        if b == 0 {
+                            return Err("division by zero".into());
+                        }
+                        a.div_euclid(b)
+                    }
+                    Mod => {
+                        if b == 0 {
+                            return Err("division by zero".into());
+                        }
+                        a.rem_euclid(b)
+                    }
+                    Min => a.min(b),
+                    Max => a.max(b),
+                    _ => unreachable!(),
+                };
+                Ok(Int(v))
+            }
+            _ => {
+                let a = l.as_f64().ok_or_else(type_err)?;
+                let b = r.as_f64().ok_or_else(type_err)?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    FloorDiv => (a / b).floor(),
+                    Mod => a - b * (a / b).floor(),
+                    Min => a.min(b),
+                    Max => a.max(b),
+                    _ => unreachable!(),
+                };
+                Ok(Float(v))
+            }
+        },
+        Eq | Ne => {
+            let eq = match (l, r) {
+                (Bool(a), Bool(b)) => a == b,
+                _ => {
+                    let a = l.as_f64().ok_or_else(type_err)?;
+                    let b = r.as_f64().ok_or_else(type_err)?;
+                    a == b
+                }
+            };
+            Ok(Bool(if op == Eq { eq } else { !eq }))
+        }
+        Lt | Le | Gt | Ge => {
+            let a = l.as_f64().ok_or_else(type_err)?;
+            let b = r.as_f64().ok_or_else(type_err)?;
+            Ok(Bool(match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            }))
+        }
+        And | Or => match (l, r) {
+            (Bool(a), Bool(b)) => Ok(Bool(if op == And { a && b } else { a || b })),
+            _ => Err(type_err()),
+        },
+    }
+}
+
+impl Process for ProcVm {
+    fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError> {
+        let Some(instr) = self.code.instrs.get(self.pc).cloned() else {
+            return Ok(Step::Done);
+        };
+        let cost = instr_cost(&instr, machine.cost_model());
+        match instr {
+            Instr::Halt => return Ok(Step::Done),
+            Instr::Fault(msg) => return Err(self.fault(me, msg)),
+            Instr::PushInt(v) => self.stack.push(Scalar::Int(v)),
+            Instr::PushFloat(v) => self.stack.push(Scalar::Float(v)),
+            Instr::PushBool(v) => self.stack.push(Scalar::Bool(v)),
+            Instr::PushMyNode => self.stack.push(Scalar::Int(me.0 as i64)),
+            Instr::PushNProcs => self.stack.push(Scalar::Int(machine.n_procs() as i64)),
+            Instr::Load(slot) => {
+                let v = self.locals[slot as usize].ok_or_else(|| {
+                    self.fault(
+                        me,
+                        format!(
+                            "variable `{}` read before assignment",
+                            self.code.syms.vars[slot as usize]
+                        ),
+                    )
+                })?;
+                self.stack.push(v);
+            }
+            Instr::Store(slot) => {
+                let v = self.pop(me)?;
+                self.locals[slot as usize] = Some(v);
+            }
+            Instr::Bin(op) => {
+                let r = self.pop(me)?;
+                let l = self.pop(me)?;
+                let v = scalar_binop(op, l, r).map_err(|m| self.fault(me, m))?;
+                self.stack.push(v);
+            }
+            Instr::Un(op) => {
+                let v = self.pop(me)?;
+                let out = match (op, v) {
+                    (SUnOp::Neg, Scalar::Int(x)) => Scalar::Int(-x),
+                    (SUnOp::Neg, Scalar::Float(x)) => Scalar::Float(-x),
+                    (SUnOp::Not, Scalar::Bool(b)) => Scalar::Bool(!b),
+                    (op, v) => {
+                        return Err(
+                            self.fault(me, format!("cannot apply {op:?} to {}", v.type_name()))
+                        )
+                    }
+                };
+                self.stack.push(out);
+            }
+            Instr::Jump(t) => {
+                self.pc = t;
+                machine.tick(me, cost);
+                return Ok(Step::Ran);
+            }
+            Instr::JumpIfFalse(t) => {
+                let v = self.pop(me)?;
+                let b = v
+                    .as_bool()
+                    .ok_or_else(|| self.fault(me, "branch on non-boolean"))?;
+                machine.tick(me, cost);
+                self.pc = if b { self.pc + 1 } else { t };
+                return Ok(Step::Ran);
+            }
+            Instr::AllocDist { arr, dist } => {
+                let cols = self.pop_int(me)?;
+                let rows = self.pop_int(me)?;
+                if rows < 0 || cols < 0 {
+                    return Err(self.fault(me, "negative array extent"));
+                }
+                self.arrays[arr as usize] = Some(DistArray::alloc(
+                    dist,
+                    rows as usize,
+                    cols as usize,
+                    machine.n_procs(),
+                ));
+            }
+            Instr::AllocBuf { buf } => {
+                let len = self.pop_int(me)?;
+                if len < 0 {
+                    return Err(self.fault(me, "negative buffer length"));
+                }
+                self.bufs[buf as usize] = Some(vec![Scalar::Int(0); len as usize]);
+            }
+            Instr::ARead { arr, nd } => {
+                let (li, lj) = self.pop_indices(me, nd)?;
+                let a = self.array_at(me, arr)?;
+                let v = a
+                    .local
+                    .read(li, lj)
+                    .copied()
+                    .map_err(|e| MachineError::ProcessFault {
+                        proc: me,
+                        message: e.to_string(),
+                    })?;
+                self.stack.push(v);
+            }
+            Instr::AWrite { arr, nd } => {
+                let v = self.pop(me)?;
+                let (li, lj) = self.pop_indices(me, nd)?;
+                let a = self.array_at(me, arr)?;
+                a.local
+                    .write(li, lj, v)
+                    .map_err(|e| MachineError::ProcessFault {
+                        proc: me,
+                        message: e.to_string(),
+                    })?;
+            }
+            Instr::AReadGlobal { arr, nd } => {
+                let (i, j) = self.pop_indices(me, nd)?;
+                let a = self.array_at(me, arr)?;
+                if !a.inst.owner(i, j).contains(me.0) {
+                    return Err(MachineError::ProcessFault {
+                        proc: me,
+                        message: format!("global read of ({i},{j}) on non-owner {me}"),
+                    });
+                }
+                let (li, lj) = a.inst.local(i, j);
+                let v = a
+                    .local
+                    .read(li, lj)
+                    .copied()
+                    .map_err(|e| MachineError::ProcessFault {
+                        proc: me,
+                        message: e.to_string(),
+                    })?;
+                self.stack.push(v);
+            }
+            Instr::AWriteGlobal { arr, nd } => {
+                let v = self.pop(me)?;
+                let (i, j) = self.pop_indices(me, nd)?;
+                let a = self.array_at(me, arr)?;
+                if !a.inst.owner(i, j).contains(me.0) {
+                    return Err(MachineError::ProcessFault {
+                        proc: me,
+                        message: format!("global write of ({i},{j}) on non-owner {me}"),
+                    });
+                }
+                let (li, lj) = a.inst.local(i, j);
+                a.local
+                    .write(li, lj, v)
+                    .map_err(|e| MachineError::ProcessFault {
+                        proc: me,
+                        message: e.to_string(),
+                    })?;
+            }
+            Instr::OwnerOf { arr, nd } => {
+                let (i, j) = self.pop_indices(me, nd)?;
+                let a = self.array_at(me, arr)?;
+                let owner = match a.inst.owner(i, j) {
+                    OwnerSet::One(p) => p as i64,
+                    // Replicated data is owned locally for coercion
+                    // purposes: reading it never needs a message.
+                    OwnerSet::All => me.0 as i64,
+                };
+                self.stack.push(Scalar::Int(owner));
+            }
+            Instr::LocalOf { arr, nd, dim } => {
+                let (i, j) = self.pop_indices(me, nd)?;
+                let a = self.array_at(me, arr)?;
+                let (li, lj) = a.inst.local(i, j);
+                self.stack.push(Scalar::Int(if dim == 0 { li } else { lj }));
+            }
+            Instr::BufRead { buf } => {
+                let idx = self.pop_int(me)?;
+                let b = self.buf_at(me, buf)?;
+                let v = *b
+                    .get(idx.max(0) as usize)
+                    .ok_or_else(|| MachineError::ProcessFault {
+                        proc: me,
+                        message: format!("buffer index {idx} out of bounds ({})", b.len()),
+                    })?;
+                self.stack.push(v);
+            }
+            Instr::BufWrite { buf } => {
+                let idx = self.pop_int(me)?;
+                let v = self.pop(me)?;
+                let b = self.buf_at(me, buf)?;
+                let len = b.len();
+                let cell =
+                    b.get_mut(idx.max(0) as usize)
+                        .ok_or_else(|| MachineError::ProcessFault {
+                            proc: me,
+                            message: format!("buffer index {idx} out of bounds ({len})"),
+                        })?;
+                *cell = v;
+            }
+            Instr::Send { tag, n } => {
+                let mut vals = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    vals.push(self.pop(me)?);
+                }
+                vals.reverse();
+                let dst = self.pop_int(me)?;
+                if dst == me.0 as i64 {
+                    return Err(self.fault(me, "send to self (coerce must be a local read)"));
+                }
+                if dst < 0 || dst as usize >= machine.n_procs() {
+                    return Err(self.fault(me, format!("send to invalid processor {dst}")));
+                }
+                machine.send(me, ProcId(dst as usize), Tag(tag), encode(&vals));
+            }
+            Instr::Recv { tag, n } => {
+                // Peek (do not pop) the source so a blocked receive can
+                // be retried verbatim.
+                let Some(&src_v) = self.stack.last() else {
+                    return Err(self.fault(me, "operand stack underflow"));
+                };
+                let src = src_v
+                    .as_int()
+                    .ok_or_else(|| self.fault(me, "receive source must be an int"))?;
+                if src < 0 || src as usize >= machine.n_procs() {
+                    return Err(self.fault(me, format!("receive from invalid processor {src}")));
+                }
+                let src = ProcId(src as usize);
+                match machine.try_recv(me, src, Tag(tag)) {
+                    None => return Ok(Step::BlockedOnRecv { src, tag: Tag(tag) }),
+                    Some(words) => {
+                        self.stack.pop(); // consume the source
+                        let vals = decode(&words)
+                            .ok_or_else(|| self.fault(me, "malformed message payload"))?;
+                        if vals.len() != n as usize {
+                            return Err(self.fault(
+                                me,
+                                format!("expected {n} value(s), message has {}", vals.len()),
+                            ));
+                        }
+                        self.stack.extend(vals);
+                    }
+                }
+            }
+            Instr::SendBuf { tag, buf } => {
+                let hi = self.pop_int(me)?;
+                let lo = self.pop_int(me)?;
+                let dst = self.pop_int(me)?;
+                if dst == me.0 as i64 {
+                    return Err(self.fault(me, "send to self (coerce must be a local read)"));
+                }
+                if dst < 0 || dst as usize >= machine.n_procs() {
+                    return Err(self.fault(me, format!("send to invalid processor {dst}")));
+                }
+                if lo < 0 || hi < lo {
+                    return Err(self.fault(me, format!("bad buffer slice {lo}..={hi}")));
+                }
+                let b = self.buf_at(me, buf)?;
+                if hi as usize >= b.len() {
+                    return Err(MachineError::ProcessFault {
+                        proc: me,
+                        message: format!("buffer slice {lo}..={hi} out of bounds"),
+                    });
+                }
+                let payload = encode(&b[lo as usize..=hi as usize]);
+                machine.send(me, ProcId(dst as usize), Tag(tag), payload);
+            }
+            Instr::RecvBuf { tag, buf } => {
+                let len = self.stack.len();
+                if len < 3 {
+                    return Err(self.fault(me, "operand stack underflow"));
+                }
+                let src = self.stack[len - 3]
+                    .as_int()
+                    .ok_or_else(|| self.fault(me, "receive source must be an int"))?;
+                if src < 0 || src as usize >= machine.n_procs() {
+                    return Err(self.fault(me, format!("receive from invalid processor {src}")));
+                }
+                let src = ProcId(src as usize);
+                match machine.try_recv(me, src, Tag(tag)) {
+                    None => return Ok(Step::BlockedOnRecv { src, tag: Tag(tag) }),
+                    Some(words) => {
+                        let hi = self.pop_int(me)?;
+                        let lo = self.pop_int(me)?;
+                        self.stack.pop(); // source
+                        if lo < 0 || hi < lo {
+                            return Err(self.fault(me, format!("bad buffer slice {lo}..={hi}")));
+                        }
+                        let vals = decode(&words)
+                            .ok_or_else(|| self.fault(me, "malformed message payload"))?;
+                        let want = (hi - lo + 1) as usize;
+                        if vals.len() != want {
+                            return Err(self.fault(
+                                me,
+                                format!("expected {want} value(s), message has {}", vals.len()),
+                            ));
+                        }
+                        let b = self.buf_at(me, buf)?;
+                        if hi as usize >= b.len() {
+                            return Err(MachineError::ProcessFault {
+                                proc: me,
+                                message: format!("buffer slice {lo}..={hi} out of bounds"),
+                            });
+                        }
+                        b[lo as usize..=hi as usize].copy_from_slice(&vals);
+                    }
+                }
+            }
+        }
+        machine.tick(me, cost);
+        self.pc += 1;
+        Ok(Step::Ran)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{SExpr, SStmt};
+    use crate::lower::lower;
+    use pdc_machine::CostModel;
+
+    fn run_single(body: Vec<SStmt>) -> (ProcVm, Machine) {
+        let code = Rc::new(lower(&body).unwrap());
+        let mut vm = ProcVm::new(code);
+        let mut machine = Machine::new(1, CostModel::zero());
+        loop {
+            match vm.step(&mut machine, ProcId(0)).unwrap() {
+                Step::Done => break,
+                Step::Ran => {}
+                Step::BlockedOnRecv { .. } => panic!("unexpected block"),
+            }
+        }
+        (vm, machine)
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        let (vm, _) = run_single(vec![
+            SStmt::Let {
+                var: "x".into(),
+                value: SExpr::int(6).mul(SExpr::int(7)),
+            },
+            SStmt::Let {
+                var: "y".into(),
+                value: SExpr::var("x").imod(SExpr::int(10)),
+            },
+        ]);
+        assert_eq!(vm.var("x"), Some(Scalar::Int(42)));
+        assert_eq!(vm.var("y"), Some(Scalar::Int(2)));
+    }
+
+    #[test]
+    fn loops_accumulate() {
+        let (vm, _) = run_single(vec![
+            SStmt::Let {
+                var: "acc".into(),
+                value: SExpr::int(0),
+            },
+            SStmt::For {
+                var: "i".into(),
+                lo: SExpr::int(1),
+                hi: SExpr::int(10),
+                step: SExpr::int(1),
+                body: vec![SStmt::Let {
+                    var: "acc".into(),
+                    value: SExpr::var("acc").add(SExpr::var("i")),
+                }],
+            },
+        ]);
+        assert_eq!(vm.var("acc"), Some(Scalar::Int(55)));
+    }
+
+    #[test]
+    fn buffers_read_write() {
+        let (vm, _) = run_single(vec![
+            SStmt::AllocBuf {
+                buf: "b".into(),
+                len: SExpr::int(4),
+            },
+            SStmt::BufWrite {
+                buf: "b".into(),
+                idx: SExpr::int(2),
+                value: SExpr::int(9),
+            },
+            SStmt::Let {
+                var: "x".into(),
+                value: SExpr::BufRead {
+                    buf: "b".into(),
+                    idx: Box::new(SExpr::int(2)),
+                },
+            },
+        ]);
+        assert_eq!(vm.var("x"), Some(Scalar::Int(9)));
+        assert_eq!(vm.buf("b").unwrap()[2], Scalar::Int(9));
+    }
+
+    #[test]
+    fn dist_array_local_access_on_single_proc() {
+        let (vm, _) = run_single(vec![
+            SStmt::AllocDist {
+                array: "A".into(),
+                rows: SExpr::int(2),
+                cols: SExpr::int(2),
+                dist: Dist::ColumnCyclic,
+            },
+            SStmt::AWriteGlobal {
+                array: "A".into(),
+                idx: vec![SExpr::int(2), SExpr::int(2)],
+                value: SExpr::int(5),
+            },
+            SStmt::Let {
+                var: "v".into(),
+                value: SExpr::AReadGlobal {
+                    array: "A".into(),
+                    idx: vec![SExpr::int(2), SExpr::int(2)],
+                },
+            },
+            SStmt::Let {
+                var: "o".into(),
+                value: SExpr::OwnerOf {
+                    array: "A".into(),
+                    idx: vec![SExpr::int(1), SExpr::int(2)],
+                },
+            },
+        ]);
+        assert_eq!(vm.var("v"), Some(Scalar::Int(5)));
+        // One processor: everything is owned by P0.
+        assert_eq!(vm.var("o"), Some(Scalar::Int(0)));
+    }
+
+    #[test]
+    fn double_write_faults() {
+        let code = Rc::new(
+            lower(&[
+                SStmt::AllocDist {
+                    array: "A".into(),
+                    rows: SExpr::int(1),
+                    cols: SExpr::int(1),
+                    dist: Dist::Replicated,
+                },
+                SStmt::AWrite {
+                    array: "A".into(),
+                    idx: vec![SExpr::int(1), SExpr::int(1)],
+                    value: SExpr::int(1),
+                },
+                SStmt::AWrite {
+                    array: "A".into(),
+                    idx: vec![SExpr::int(1), SExpr::int(1)],
+                    value: SExpr::int(2),
+                },
+            ])
+            .unwrap(),
+        );
+        let mut vm = ProcVm::new(code);
+        let mut machine = Machine::new(1, CostModel::zero());
+        let mut result = Ok(Step::Ran);
+        for _ in 0..100 {
+            result = vm.step(&mut machine, ProcId(0));
+            if result.is_err() || result == Ok(Step::Done) {
+                break;
+            }
+        }
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("written twice"));
+    }
+
+    #[test]
+    fn read_before_assignment_faults() {
+        let code = Rc::new(
+            lower(&[SStmt::Let {
+                var: "y".into(),
+                value: SExpr::var("x"),
+            }])
+            .unwrap(),
+        );
+        let mut vm = ProcVm::new(code);
+        let mut machine = Machine::new(1, CostModel::zero());
+        let err = vm.step(&mut machine, ProcId(0)).unwrap_err();
+        assert!(err.to_string().contains("read before assignment"));
+    }
+
+    #[test]
+    fn send_to_self_faults() {
+        let code = Rc::new(
+            lower(&[SStmt::Send {
+                to: SExpr::my_node(),
+                tag: 0,
+                values: vec![SExpr::int(1)],
+            }])
+            .unwrap(),
+        );
+        let mut vm = ProcVm::new(code);
+        let mut machine = Machine::new(2, CostModel::zero());
+        let mut last = Ok(Step::Ran);
+        for _ in 0..10 {
+            last = vm.step(&mut machine, ProcId(0));
+            if last.is_err() {
+                break;
+            }
+        }
+        assert!(last.unwrap_err().to_string().contains("send to self"));
+    }
+
+    #[test]
+    fn recv_blocks_then_succeeds() {
+        let code = Rc::new(
+            lower(&[SStmt::Recv {
+                from: SExpr::int(1),
+                tag: 3,
+                into: vec![crate::ir::RecvTarget::Var("x".into())],
+            }])
+            .unwrap(),
+        );
+        let mut vm = ProcVm::new(code);
+        let mut machine = Machine::new(2, CostModel::zero());
+        // Source expression evaluates, then the receive blocks.
+        loop {
+            match vm.step(&mut machine, ProcId(0)).unwrap() {
+                Step::BlockedOnRecv { src, tag } => {
+                    assert_eq!(src, ProcId(1));
+                    assert_eq!(tag, Tag(3));
+                    break;
+                }
+                Step::Ran => {}
+                Step::Done => panic!("finished without blocking"),
+            }
+        }
+        // Deliver the message and let it finish.
+        machine.send(ProcId(1), ProcId(0), Tag(3), encode(&[Scalar::Int(77)]));
+        loop {
+            if vm.step(&mut machine, ProcId(0)).unwrap() == Step::Done {
+                break;
+            }
+        }
+        assert_eq!(vm.var("x"), Some(Scalar::Int(77)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property test: lowering is semantics-preserving. A random expression
+//! evaluated directly over the tree IR gives the same value as running
+//! the lowered bytecode on the VM.
+
+use pdc_machine::{CostModel, Machine, ProcId, Process, Step};
+use pdc_spmd::ir::{SBinOp, SExpr, SStmt, SUnOp};
+use pdc_spmd::lower::lower;
+use pdc_spmd::vm::ProcVm;
+use pdc_spmd::Scalar;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn leaf() -> impl Strategy<Value = SExpr> {
+    prop_oneof![
+        (-50i64..50).prop_map(SExpr::Int),
+        Just(SExpr::var("x")),
+        Just(SExpr::var("y")),
+        Just(SExpr::MyNode),
+        Just(SExpr::NProcs),
+    ]
+}
+
+fn arith() -> impl Strategy<Value = SBinOp> {
+    prop_oneof![
+        Just(SBinOp::Add),
+        Just(SBinOp::Sub),
+        Just(SBinOp::Mul),
+        Just(SBinOp::FloorDiv),
+        Just(SBinOp::Mod),
+        Just(SBinOp::Min),
+        Just(SBinOp::Max),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = SExpr> {
+    leaf().prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (arith(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| SExpr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner
+                .clone()
+                .prop_map(|a| SExpr::Un(SUnOp::Neg, Box::new(a))),
+        ]
+    })
+}
+
+/// Direct reference evaluation over the tree.
+fn eval(e: &SExpr, x: i64, y: i64, me: i64, nprocs: i64) -> Option<i64> {
+    Some(match e {
+        SExpr::Int(v) => *v,
+        SExpr::Var(v) if v == "x" => x,
+        SExpr::Var(v) if v == "y" => y,
+        SExpr::MyNode => me,
+        SExpr::NProcs => nprocs,
+        SExpr::Un(SUnOp::Neg, a) => -eval(a, x, y, me, nprocs)?,
+        SExpr::Bin(op, a, b) => {
+            let (l, r) = (eval(a, x, y, me, nprocs)?, eval(b, x, y, me, nprocs)?);
+            match op {
+                SBinOp::Add => l.checked_add(r)?,
+                SBinOp::Sub => l.checked_sub(r)?,
+                SBinOp::Mul => l.checked_mul(r)?,
+                SBinOp::FloorDiv => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l.div_euclid(r)
+                }
+                SBinOp::Mod => {
+                    if r == 0 {
+                        return None;
+                    }
+                    l.rem_euclid(r)
+                }
+                SBinOp::Min => l.min(r),
+                SBinOp::Max => l.max(r),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Run a single-processor program to completion; return `result`.
+fn run_vm(body: Vec<SStmt>) -> Result<Option<Scalar>, String> {
+    let code = Rc::new(lower(&body).map_err(|e| e.to_string())?);
+    let mut vm = ProcVm::new(code);
+    let mut machine = Machine::new(3, CostModel::zero());
+    for _ in 0..100_000 {
+        match vm.step(&mut machine, ProcId(1)) {
+            Ok(Step::Done) => return Ok(vm.var("result")),
+            Ok(Step::Ran) => {}
+            Ok(Step::BlockedOnRecv { .. }) => return Err("unexpected block".into()),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Err("did not terminate".into())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lowered_expressions_match_reference_eval(e in expr(), x in -20i64..20, y in -20i64..20) {
+        let body = vec![
+            SStmt::Let { var: "x".into(), value: SExpr::Int(x) },
+            SStmt::Let { var: "y".into(), value: SExpr::Int(y) },
+            SStmt::Let { var: "result".into(), value: e.clone() },
+        ];
+        // me = 1, nprocs = 3 per run_vm.
+        match (eval(&e, x, y, 1, 3), run_vm(body)) {
+            (Some(want), Ok(Some(Scalar::Int(got)))) => prop_assert_eq!(got, want),
+            // Reference says the expression faults (division by zero or
+            // overflow): the VM must fault too, not produce a value.
+            (None, Err(_)) => {}
+            (None, Ok(_)) => prop_assert!(false, "VM succeeded where reference faults"),
+            (Some(_), Err(e)) => prop_assert!(false, "VM failed: {}", e),
+            other => prop_assert!(false, "mismatch: {:?}", other),
+        }
+    }
+
+    /// Loops: summing f(i) via the VM equals direct summation.
+    #[test]
+    fn lowered_loops_accumulate_correctly(
+        lo in -5i64..5,
+        len in 0i64..12,
+        step in 1i64..4,
+        k in -5i64..6,
+    ) {
+        let hi = lo + len;
+        let body = vec![
+            SStmt::Let { var: "result".into(), value: SExpr::Int(0) },
+            SStmt::For {
+                var: "i".into(),
+                lo: SExpr::Int(lo),
+                hi: SExpr::Int(hi),
+                step: SExpr::Int(step),
+                body: vec![SStmt::Let {
+                    var: "result".into(),
+                    value: SExpr::var("result")
+                        .add(SExpr::var("i").mul(SExpr::Int(k))),
+                }],
+            },
+        ];
+        let mut want = 0i64;
+        let mut i = lo;
+        while i <= hi {
+            want += i * k;
+            i += step;
+        }
+        let got = run_vm(body).expect("runs");
+        prop_assert_eq!(got, Some(Scalar::Int(want)));
+    }
+
+    /// Conditionals take the right branch.
+    #[test]
+    fn lowered_branches_select_correctly(a in -10i64..10, b in -10i64..10) {
+        let body = vec![SStmt::If {
+            cond: SExpr::Int(a).lt(SExpr::Int(b)),
+            then: vec![SStmt::Let { var: "result".into(), value: SExpr::Int(1) }],
+            els: vec![SStmt::Let { var: "result".into(), value: SExpr::Int(0) }],
+        }];
+        let got = run_vm(body).expect("runs");
+        prop_assert_eq!(got, Some(Scalar::Int(i64::from(a < b))));
+    }
+}

@@ -1,0 +1,59 @@
+//! Beyond wrapped columns: the same compiler with the other distribution
+//! families the introduction motivates ("mapping by columns, rows,
+//! blocks, etc."). A Jacobi sweep is compiled under four decompositions
+//! and each result is verified against the sequential interpreter.
+//!
+//! Run with `cargo run --release --example block_jacobi [n]`.
+
+use pdc_core::driver::{self, Inputs, Job, Strategy};
+use pdc_core::programs;
+use pdc_machine::CostModel;
+use pdc_mapping::{Decomposition, Dist};
+use pdc_spmd::Scalar;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    let program = programs::jacobi();
+    let inputs = Inputs::new()
+        .scalar("n", Scalar::Int(n as i64))
+        .array("Old", driver::standard_input(n, n));
+    let seq = driver::run_sequential(&program, "jacobi", &inputs)?;
+
+    let cases: Vec<(&str, usize, Dist)> = vec![
+        ("column-cyclic (wrapped)", 8, Dist::ColumnCyclic),
+        ("column-block (panels)", 8, Dist::ColumnBlock),
+        ("row-cyclic", 8, Dist::RowCyclic),
+        (
+            "2-D blocks (4x2 grid)",
+            8,
+            Dist::Block2d { prows: 4, pcols: 2 },
+        ),
+    ];
+    println!("Jacobi sweep, {n}x{n} grid — one kernel, four decompositions\n");
+    for (label, s, dist) in cases {
+        let decomp = Decomposition::new(s)
+            .array("New", dist.clone())
+            .array("Old", dist);
+        let mut job = Job::new(&program, "jacobi", decomp).with_const("n", n as i64);
+        job.extent_overrides.insert("Old".into(), (n, n));
+        let compiled = driver::compile(&job, Strategy::CompileTime)?;
+        let exec = driver::execute(&compiled, &inputs, CostModel::ipsc2())?;
+        let gathered = exec.gather("New")?;
+        let verified = driver::first_mismatch(&gathered, &seq).is_none();
+        println!(
+            "{label:<26} {:>10} cycles {:>8} msgs   verified: {verified}",
+            exec.makespan(),
+            exec.messages()
+        );
+        assert!(verified, "{label} computed a wrong answer");
+    }
+    println!(
+        "\nJacobi reads only Old, so a block decomposition needs messages\n\
+         only at panel borders — far fewer than the cyclic mappings. The\n\
+         compiler derives all of this from the same source program."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: compile the paper's three-statement example (Figure 4)
+//! both ways and watch the messages flow.
+//!
+//! ```text
+//! a:P1, b:P2, c:P3
+//! a := 5;  b := 7;  c := a + b;
+//! ```
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pdc_core::driver::{compile, execute, Inputs, Job, Strategy};
+use pdc_core::programs;
+use pdc_machine::CostModel;
+use pdc_spmd::Scalar;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = programs::figure4();
+    println!("source program (Figure 4a):\n{}", programs::FIGURE4.trim());
+    println!("\ndecomposition: a:P1, b:P2, c:P3 on a 4-processor machine\n");
+
+    for strategy in [Strategy::Runtime, Strategy::CompileTime] {
+        let job = Job::new(&program, "main", programs::figure4_decomposition(4));
+        let compiled = compile(&job, strategy)?;
+        println!(
+            "=== {} ===",
+            match strategy {
+                Strategy::Runtime => "run-time resolution (Figure 4b)",
+                Strategy::CompileTime => "compile-time resolution (Figure 4d)",
+            }
+        );
+        println!("{}", compiled.spmd);
+        let exec = execute(&compiled, &Inputs::new(), CostModel::ipsc2())?;
+        println!(
+            "messages: {}   simulated time: {} cycles",
+            exec.messages(),
+            exec.makespan()
+        );
+        assert_eq!(exec.machine.vm(3).var("c"), Some(Scalar::Int(12)));
+        println!("P3 computed c = 12\n");
+    }
+    println!(
+        "Both strategies exchange exactly two messages (a: P1->P3 and\n\
+         b: P2->P3), but compile-time resolution deletes every guard: each\n\
+         processor's code contains only its own role."
+    );
+    Ok(())
+}

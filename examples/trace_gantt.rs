@@ -1,0 +1,54 @@
+//! Visualize the wavefront: run the pipelined (Optimized II) program with
+//! event tracing enabled and print a text Gantt chart. The staircase of
+//! sends and receives is the diagonal wavefront of the paper's Figure 2b.
+//!
+//! Run with `cargo run --release --example trace_gantt [n] [s]`.
+
+use pdc_core::driver::{self, Job, Strategy};
+use pdc_core::programs;
+use pdc_machine::{trace_render, CostModel, Machine};
+use pdc_opt::{optimize, OptLevel};
+use pdc_spmd::run::SpmdMachine;
+use pdc_spmd::Scalar;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
+    let s: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let program = programs::gauss_seidel();
+    let job = Job::new(
+        &program,
+        "gs_iteration",
+        programs::wavefront_decomposition(s),
+    )
+    .with_const("n", n as i64);
+    let compiled = driver::compile(&job, Strategy::CompileTime)?;
+    for (label, level) in [
+        ("compile-time (element messages, serialized)", OptLevel::O0),
+        (
+            "optimized III (blocked pipeline)",
+            OptLevel::O3 { blksize: 4 },
+        ),
+    ] {
+        let (opt, _) = optimize(&compiled.spmd, level);
+        let machine = Machine::new(s, CostModel::ipsc2()).with_trace(100_000);
+        let mut m = SpmdMachine::with_machine(&opt, machine)?;
+        m.preset_var("n", Scalar::Int(n as i64));
+        m.preload_array(
+            "Old",
+            pdc_mapping::Dist::ColumnCyclic,
+            &driver::standard_input(n, n),
+        );
+        let out = m.run()?;
+        println!("== {label} ==  ({} cycles)", out.report.stats.makespan().0);
+        print!("{}", trace_render(m.machine().trace(), s, 100));
+        println!();
+    }
+    println!("s = send, r = receive, # = both, | = finish");
+    Ok(())
+}

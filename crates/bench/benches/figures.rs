@@ -1,94 +1,89 @@
-//! Criterion benches: one group per figure/table of the paper, at a size
-//! small enough for statistical repetition. The figure *binaries* produce
-//! the full-size numbers; these benches track the relative cost of each
-//! kernel across code changes.
+//! Wall-clock micro-benches: one group per figure/table of the paper, at
+//! a size small enough for quick repetition. The figure *binaries* produce
+//! the full-size simulated numbers; these benches track the relative host
+//! cost of each kernel across code changes.
+//!
+//! The workspace is std-only (the build environment has no registry
+//! access), so this is a plain `harness = false` bench over
+//! `std::time::Instant` rather than criterion: each kernel runs for a few
+//! warm-up iterations, then a timed batch, and the median per-iteration
+//! time is printed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdc_bench::{run_wavefront, Variant};
 use pdc_machine::CostModel;
+use std::time::Instant;
 
-/// Figure 6 kernels: resolution strategies (32×32 grid, 4 processors).
-fn fig6_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
+/// Time `f` and print the median per-iteration time in microseconds.
+fn bench(label: &str, mut f: impl FnMut()) {
+    const WARMUP: usize = 3;
+    const SAMPLES: usize = 11;
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = samples[SAMPLES / 2];
+    let spread = samples[SAMPLES - 1] - samples[0];
+    println!("{label:<42} {median:>12.1} µs/iter  (spread {spread:>10.1} µs)");
+}
+
+fn main() {
+    println!("== fig6: resolution strategies (32x32, 4 procs) ==");
     for variant in [
         Variant::RuntimeRes,
         Variant::CompileTime,
         Variant::OptimizedI,
         Variant::Handwritten { blksize: 4 },
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(variant),
-            &variant,
-            |b, &variant| {
-                b.iter(|| run_wavefront(variant, 32, 4, CostModel::ipsc2(), false));
-            },
-        );
-    }
-    g.finish();
-}
-
-/// Figure 7 kernels: the optimization ladder.
-fn fig7_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    for variant in [Variant::OptimizedII, Variant::OptimizedIII { blksize: 4 }] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(variant),
-            &variant,
-            |b, &variant| {
-                b.iter(|| run_wavefront(variant, 32, 4, CostModel::ipsc2(), false));
-            },
-        );
-    }
-    g.finish();
-}
-
-/// Block-size sweep kernel (the §4 trade-off).
-fn blocksize_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blocksize");
-    for blk in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(blk), &blk, |b, &blk| {
-            b.iter(|| {
-                run_wavefront(
-                    Variant::OptimizedIII { blksize: blk },
-                    32,
-                    4,
-                    CostModel::ipsc2(),
-                    false,
-                )
-            });
+        bench(&format!("fig6/{variant}"), || {
+            run_wavefront(variant, 32, 4, CostModel::ipsc2(), false);
         });
     }
-    g.finish();
-}
 
-/// Compiler front-half cost: inline + analyze + generate both strategies.
-fn compile_kernels(c: &mut Criterion) {
-    use pdc_core::driver::{compile, Job, Strategy};
-    use pdc_core::programs;
-    let program = programs::gauss_seidel();
-    let mut g = c.benchmark_group("compile");
-    for (name, strategy) in [
-        ("runtime", Strategy::Runtime),
-        ("compile_time", Strategy::CompileTime),
-    ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
+    println!("\n== fig7: optimization ladder ==");
+    for variant in [Variant::OptimizedII, Variant::OptimizedIII { blksize: 4 }] {
+        bench(&format!("fig7/{variant}"), || {
+            run_wavefront(variant, 32, 4, CostModel::ipsc2(), false);
+        });
+    }
+
+    println!("\n== blocksize sweep ==");
+    for blk in [1usize, 4, 16] {
+        bench(&format!("blocksize/{blk}"), || {
+            run_wavefront(
+                Variant::OptimizedIII { blksize: blk },
+                32,
+                4,
+                CostModel::ipsc2(),
+                false,
+            );
+        });
+    }
+
+    println!("\n== compile front half ==");
+    {
+        use pdc_core::driver::{compile, Job, Strategy};
+        use pdc_core::programs;
+        let program = programs::gauss_seidel();
+        for (name, strategy) in [
+            ("runtime", Strategy::Runtime),
+            ("compile_time", Strategy::CompileTime),
+        ] {
+            bench(&format!("compile/{name}"), || {
                 let job = Job::new(
                     &program,
                     "gs_iteration",
                     programs::wavefront_decomposition(8),
                 )
                 .with_const("n", 64);
-                compile(&job, strategy).unwrap()
+                compile(&job, strategy).unwrap();
             });
-        });
+        }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig6_kernels, fig7_kernels, blocksize_kernels, compile_kernels
-}
-criterion_main!(benches);

@@ -10,7 +10,7 @@ use pdc_istructure::IMatrix;
 use pdc_lang::interp::Interpreter;
 use pdc_lang::value::Value;
 use pdc_lang::Program;
-use pdc_machine::CostModel;
+use pdc_machine::{Backend, CostModel};
 use pdc_mapping::Decomposition;
 use pdc_spmd::ir::SpmdProgram;
 use pdc_spmd::run::{RunOutcome, SpmdMachine};
@@ -45,6 +45,8 @@ pub struct Job<'a> {
     pub const_params: HashMap<String, i64>,
     /// Explicit extents for input arrays (alternative to `const_params`).
     pub extent_overrides: HashMap<String, (usize, usize)>,
+    /// Execution backend for the compiled program (simulated by default).
+    pub backend: Backend,
 }
 
 impl<'a> Job<'a> {
@@ -58,12 +60,19 @@ impl<'a> Job<'a> {
             mode: ParamMapMode::Monomorphic,
             const_params: HashMap::new(),
             extent_overrides: HashMap::new(),
+            backend: Backend::Simulated,
         }
     }
 
     /// Record a compile-time-known scalar parameter.
     pub fn with_const(mut self, name: impl Into<String>, value: i64) -> Self {
         self.const_params.insert(name.into(), value);
+        self
+    }
+
+    /// Select the execution backend for this job (simulated by default).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -78,6 +87,8 @@ pub struct Compiled {
     pub analysis: Analysis,
     /// The inlined source (kept for diagnostics and tests).
     pub inlined: Inlined,
+    /// The execution backend the job requested (used by [`execute`]).
+    pub backend: Backend,
 }
 
 /// Run the front half of the pipeline: inline, analyze, generate.
@@ -107,6 +118,7 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         spmd,
         analysis,
         inlined,
+        backend: job.backend,
     })
 }
 
@@ -170,7 +182,9 @@ impl Execution {
     }
 }
 
-/// Simulate a compiled program.
+/// Run a compiled program on the backend its [`Job`] selected
+/// ([`Backend::Simulated`] unless overridden with
+/// [`Job::with_backend`]).
 ///
 /// # Errors
 ///
@@ -180,7 +194,22 @@ pub fn execute(
     inputs: &Inputs,
     cost: CostModel,
 ) -> Result<Execution, SpmdError> {
-    let mut machine = SpmdMachine::new(&compiled.spmd, cost)?;
+    execute_on(compiled, inputs, cost, compiled.backend)
+}
+
+/// Like [`execute`] but with an explicit backend, for differential tests
+/// that run one compilation on both backends.
+///
+/// # Errors
+///
+/// Lowering and machine errors as [`SpmdError`].
+pub fn execute_on(
+    compiled: &Compiled,
+    inputs: &Inputs,
+    cost: CostModel,
+    backend: Backend,
+) -> Result<Execution, SpmdError> {
+    let mut machine = SpmdMachine::new(&compiled.spmd, cost)?.with_backend(backend);
     for (name, v) in &inputs.scalars {
         machine.preset_var(name, *v);
     }
@@ -438,7 +467,13 @@ pub fn decomposition_from_source(
                         decl.name
                     )));
                 }
-                d = d.array(decl.name.clone(), Dist::Block2d { prows: pr, pcols: pc })
+                d = d.array(
+                    decl.name.clone(),
+                    Dist::Block2d {
+                        prows: pr,
+                        pcols: pc,
+                    },
+                )
             }
         }
     }
@@ -479,20 +514,16 @@ mod map_decl_tests {
 
     #[test]
     fn out_of_range_processor_rejected() {
-        let program = pdc_lang::parse(
-            "map { x : proc(9); } procedure main() { return 0; }",
-        )
-        .unwrap();
+        let program =
+            pdc_lang::parse("map { x : proc(9); } procedure main() { return 0; }").unwrap();
         let err = decomposition_from_source(&program, 4).unwrap_err();
         assert!(err.to_string().contains("P9"));
     }
 
     #[test]
     fn wrong_grid_rejected() {
-        let program = pdc_lang::parse(
-            "map { G : block2d(3, 3); } procedure main() { return 0; }",
-        )
-        .unwrap();
+        let program =
+            pdc_lang::parse("map { G : block2d(3, 3); } procedure main() { return 0; }").unwrap();
         let err = decomposition_from_source(&program, 4).unwrap_err();
         assert!(err.to_string().contains("3x3 grid"));
     }

@@ -43,3 +43,4 @@ pub mod translate;
 mod error;
 
 pub use error::CoreError;
+pub use pdc_machine::Backend;

@@ -1,75 +1,90 @@
-//! Property-based tests of I-structure invariants.
+//! Property-based tests of I-structure invariants (deterministic
+//! `pdc-testkit` cases; a failing case prints its seed for replay).
 
 use pdc_istructure::{IMatrix, IStructure, IStructureError};
-use proptest::prelude::*;
+use pdc_testkit::cases;
 
-proptest! {
-    /// Write-once: after any sequence of writes, each cell holds the FIRST
-    /// value written to it and later writes were rejected.
-    #[test]
-    fn first_write_wins(len in 1usize..64, writes in proptest::collection::vec((0usize..64, any::<i32>()), 0..128)) {
+/// Write-once: after any sequence of writes, each cell holds the FIRST
+/// value written to it and later writes were rejected.
+#[test]
+fn first_write_wins() {
+    cases(128, "first_write_wins", |rng| {
+        let len = rng.range_usize(1, 64);
+        let n_writes = rng.range_usize(0, 128);
         let mut s = IStructure::new(len);
         let mut model: Vec<Option<i32>> = vec![None; len];
-        for (idx, v) in writes {
+        for _ in 0..n_writes {
+            let idx = rng.range_usize(0, 64);
+            let v = rng.next_u64() as i32;
             let r = s.write(idx, v);
             if idx >= len {
-                prop_assert_eq!(r, Err(IStructureError::OutOfBounds { index: idx, len }));
+                assert_eq!(r, Err(IStructureError::OutOfBounds { index: idx, len }));
             } else if model[idx].is_some() {
-                prop_assert_eq!(r, Err(IStructureError::DoubleWrite { index: idx }));
+                assert_eq!(r, Err(IStructureError::DoubleWrite { index: idx }));
             } else {
-                prop_assert!(r.is_ok());
+                assert!(r.is_ok());
                 model[idx] = Some(v);
             }
         }
         for (i, want) in model.iter().enumerate() {
-            prop_assert_eq!(s.peek(i), want.as_ref());
+            assert_eq!(s.peek(i), want.as_ref());
         }
-    }
+    });
+}
 
-    /// full_count always equals the number of distinct successfully written
-    /// indices, and is_fully_defined iff full_count == len.
-    #[test]
-    fn full_count_consistency(len in 0usize..32, idxs in proptest::collection::vec(0usize..32, 0..64)) {
+/// full_count always equals the number of distinct successfully written
+/// indices, and is_fully_defined iff full_count == len.
+#[test]
+fn full_count_consistency() {
+    cases(128, "full_count_consistency", |rng| {
+        let len = rng.range_usize(0, 32);
+        let n_idxs = rng.range_usize(0, 64);
         let mut s = IStructure::new(len);
         let mut seen = std::collections::HashSet::new();
-        for idx in idxs {
+        for _ in 0..n_idxs {
+            let idx = rng.range_usize(0, 32);
             if s.write(idx, 0u8).is_ok() {
                 seen.insert(idx);
             }
         }
-        prop_assert_eq!(s.full_count(), seen.len());
-        prop_assert_eq!(s.is_fully_defined(), seen.len() == len);
-    }
+        assert_eq!(s.full_count(), seen.len());
+        assert_eq!(s.is_fully_defined(), seen.len() == len);
+    });
+}
 
-    /// Matrix linear_index is a bijection from valid (row, col) pairs onto
-    /// 0..rows*cols.
-    #[test]
-    fn matrix_index_bijection(rows in 1usize..12, cols in 1usize..12) {
+/// Matrix linear_index is a bijection from valid (row, col) pairs onto
+/// 0..rows*cols.
+#[test]
+fn matrix_index_bijection() {
+    cases(64, "matrix_index_bijection", |rng| {
+        let rows = rng.range_usize(1, 12);
+        let cols = rng.range_usize(1, 12);
         let m: IMatrix<i8> = IMatrix::new(rows, cols);
         let mut seen = vec![false; rows * cols];
         for r in 1..=rows as i64 {
             for c in 1..=cols as i64 {
                 let idx = m.linear_index(r, c).unwrap();
-                prop_assert!(!seen[idx], "collision at {}", idx);
+                assert!(!seen[idx], "collision at {idx}");
                 seen[idx] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&b| b));
-    }
+        assert!(seen.iter().all(|&b| b));
+    });
+}
 
-    /// Statistics: reads + empty_reads equals the number of read attempts,
-    /// writes + rejected_writes equals in-bounds write attempts.
-    #[test]
-    fn stats_account_for_all_ops(
-        len in 1usize..16,
-        ops in proptest::collection::vec((any::<bool>(), 0usize..16), 0..64),
-    ) {
+/// Statistics: reads + empty_reads equals the number of read attempts,
+/// writes + rejected_writes equals in-bounds write attempts.
+#[test]
+fn stats_account_for_all_ops() {
+    cases(128, "stats_account_for_all_ops", |rng| {
+        let len = rng.range_usize(1, 16);
+        let n_ops = rng.range_usize(0, 64);
         let mut s = IStructure::new(len);
         let mut read_attempts = 0u64;
         let mut write_attempts = 0u64;
-        for (is_read, idx) in ops {
-            let idx = idx % len;
-            if is_read {
+        for _ in 0..n_ops {
+            let idx = rng.range_usize(0, 16) % len;
+            if rng.bool() {
                 let _ = s.read(idx);
                 read_attempts += 1;
             } else {
@@ -78,7 +93,7 @@ proptest! {
             }
         }
         let st = s.stats();
-        prop_assert_eq!(st.reads + st.empty_reads, read_attempts);
-        prop_assert_eq!(st.writes + st.rejected_writes, write_attempts);
-    }
+        assert_eq!(st.reads + st.empty_reads, read_attempts);
+        assert_eq!(st.writes + st.rejected_writes, write_attempts);
+    });
 }

@@ -1,64 +1,102 @@
 //! Robustness: the front end never panics, whatever bytes it is fed —
 //! every failure is a structured `LangError` with a usable span.
+//! (Deterministic `pdc-testkit` cases; a failing case prints its seed
+//! for replay.)
 
 use pdc_lang::{lexer::lex, parse, LangError};
-use proptest::prelude::*;
+use pdc_testkit::{cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const SOUP_ALPHABET: &str = "abcdefghijklmnopqrstuvwxyz0123456789(){}[];:=+-*/<>, \n";
 
-    /// Lexing arbitrary strings returns Ok or a Lex error — never panics,
-    /// and error spans always lie within the input.
-    #[test]
-    fn lexer_total_on_arbitrary_input(src in ".{0,200}") {
+fn keyword_soup(rng: &mut Rng) -> String {
+    const WORDS: [&str; 24] = [
+        "procedure",
+        "let",
+        "for",
+        "to",
+        "do",
+        "if",
+        "then",
+        "else",
+        "return",
+        "map",
+        "matrix",
+        "vector",
+        "x",
+        "42",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        "=",
+        "+",
+        ",",
+    ];
+    let n = rng.range_usize(0, 40);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.range_usize(0, WORDS.len())]);
+    }
+    out
+}
+
+/// Lexing arbitrary strings returns Ok or a Lex error — never panics,
+/// and error spans always lie within the input.
+#[test]
+fn lexer_total_on_arbitrary_input() {
+    cases(512, "lexer_total_on_arbitrary_input", |rng| {
+        let src = rng.unicode_string(200);
         match lex(&src) {
             Ok(tokens) => {
                 for t in tokens {
-                    prop_assert!(t.span.start <= t.span.end);
-                    prop_assert!(t.span.end <= src.len());
+                    assert!(t.span.start <= t.span.end);
+                    assert!(t.span.end <= src.len());
                 }
             }
             Err(LangError::Lex { span, .. }) => {
-                prop_assert!(span.start <= src.len());
+                assert!(span.start <= src.len());
             }
-            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            Err(other) => panic!("unexpected error kind: {other:?}"),
         }
-    }
+    });
+}
 
-    /// Parsing arbitrary token soup never panics.
-    #[test]
-    fn parser_total_on_arbitrary_input(src in "[a-z0-9(){}\\[\\];:=+\\-*/<>, \n]{0,200}") {
+/// Parsing arbitrary token soup never panics.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    cases(512, "parser_total_on_arbitrary_input", |rng| {
+        let alphabet: Vec<char> = SOUP_ALPHABET.chars().collect();
+        let src = rng.string_from(&alphabet, 200);
         let _ = parse(&src); // any Err is fine; panics are not
-    }
+    });
+}
 
-    /// Parsing arbitrary keyword soup never panics either.
-    #[test]
-    fn parser_total_on_keyword_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("procedure"), Just("let"), Just("for"), Just("to"),
-                Just("do"), Just("if"), Just("then"), Just("else"),
-                Just("return"), Just("map"), Just("matrix"), Just("vector"),
-                Just("x"), Just("42"), Just("("), Just(")"), Just("{"),
-                Just("}"), Just("["), Just("]"), Just(";"), Just("="),
-                Just("+"), Just(","),
-            ],
-            0..40,
-        )
-    ) {
-        let src = words.join(" ");
+/// Parsing arbitrary keyword soup never panics either.
+#[test]
+fn parser_total_on_keyword_soup() {
+    cases(512, "parser_total_on_keyword_soup", |rng| {
+        let src = keyword_soup(rng);
         let _ = parse(&src);
-    }
+    });
+}
 
-    /// Error rendering (line/column resolution) is total for any span the
-    /// front end produces.
-    #[test]
-    fn error_rendering_is_total(src in ".{0,120}") {
+/// Error rendering (line/column resolution) is total for any span the
+/// front end produces.
+#[test]
+fn error_rendering_is_total() {
+    cases(512, "error_rendering_is_total", |rng| {
+        let src = rng.unicode_string(120);
         if let Err(e) = parse(&src) {
             let rendered = e.render(&src);
-            prop_assert!(!rendered.is_empty());
+            assert!(!rendered.is_empty());
         }
-    }
+    });
 }
 
 /// Deterministic torture inputs that have bitten real parsers.

@@ -1,120 +1,126 @@
 //! Property test: the pretty-printer emits source that re-parses to a
 //! structurally identical AST, for *randomly generated* programs — far
-//! beyond the hand-picked cases in the unit tests.
+//! beyond the hand-picked cases in the unit tests. (Deterministic
+//! `pdc-testkit` cases; a failing case prints its seed for replay.)
 
 use pdc_lang::ast::{BinOp, Block, Expr, ExprKind, Proc, Program, Stmt, UnOp};
 use pdc_lang::{parse, pretty, Span};
-use proptest::prelude::*;
+use pdc_testkit::{cases, Rng};
 
-fn leaf_expr() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        (0i64..100).prop_map(|v| Expr::new(ExprKind::Int(v), Span::default())),
-        Just(Expr::new(ExprKind::Bool(true), Span::default())),
-        Just(Expr::new(ExprKind::Var("x".into()), Span::default())),
-        Just(Expr::new(ExprKind::Var("y".into()), Span::default())),
-        Just(Expr::new(
+fn leaf_expr(rng: &mut Rng) -> Expr {
+    match rng.range_usize(0, 5) {
+        0 => Expr::new(ExprKind::Int(rng.range_i64(0, 100)), Span::default()),
+        1 => Expr::new(ExprKind::Bool(true), Span::default()),
+        2 => Expr::new(ExprKind::Var("x".into()), Span::default()),
+        3 => Expr::new(ExprKind::Var("y".into()), Span::default()),
+        _ => Expr::new(
             ExprKind::ArrayRead {
                 array: "a".into(),
                 indices: vec![Expr::new(ExprKind::Var("x".into()), Span::default())],
             },
-            Span::default()
-        )),
-    ]
+            Span::default(),
+        ),
+    }
 }
 
-fn arith_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::FloorDiv),
-        Just(BinOp::Mod),
-        Just(BinOp::Min),
-        Just(BinOp::Max),
-    ]
+fn arith_op(rng: &mut Rng) -> BinOp {
+    *rng.pick(&[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::FloorDiv,
+        BinOp::Mod,
+        BinOp::Min,
+        BinOp::Max,
+    ])
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    leaf_expr().prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (arith_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::new(
-                ExprKind::Binary {
-                    op,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r)
-                },
-                Span::default()
-            )),
-            inner.clone().prop_map(|e| Expr::new(
-                ExprKind::Unary {
-                    op: UnOp::Neg,
-                    operand: Box::new(e)
-                },
-                Span::default()
-            )),
-        ]
-    })
-}
-
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let assign = (expr_strategy(), "t[0-9]").prop_map(|(e, name)| Stmt::Let {
-        name,
-        init: e,
-        span: Span::default(),
-    });
-    let write = (expr_strategy(), expr_strategy()).prop_map(|(ix, v)| Stmt::ArrayWrite {
-        array: "a".into(),
-        indices: vec![ix],
-        value: v,
-        span: Span::default(),
-    });
-    prop_oneof![assign, write]
-}
-
-fn program_strategy() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(stmt_strategy(), 1..6).prop_map(|body| {
-        // Wrap in a loop and a conditional so control flow round-trips too.
-        let looped = Stmt::For {
-            var: "x".into(),
-            lo: Expr::new(ExprKind::Int(1), Span::default()),
-            hi: Expr::new(ExprKind::Var("n".into()), Span::default()),
-            step: None,
-            body: Block { stmts: body },
-            span: Span::default(),
-        };
-        let cond = Stmt::If {
-            cond: Expr::new(
-                ExprKind::Binary {
-                    op: BinOp::Lt,
-                    lhs: Box::new(Expr::new(ExprKind::Var("n".into()), Span::default())),
-                    rhs: Box::new(Expr::new(ExprKind::Int(10), Span::default())),
-                },
-                Span::default(),
-            ),
-            then_blk: Block {
-                stmts: vec![looped],
+fn random_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(1, 3) {
+        return leaf_expr(rng);
+    }
+    if rng.chance(3, 4) {
+        Expr::new(
+            ExprKind::Binary {
+                op: arith_op(rng),
+                lhs: Box::new(random_expr(rng, depth - 1)),
+                rhs: Box::new(random_expr(rng, depth - 1)),
             },
-            else_blk: None,
+            Span::default(),
+        )
+    } else {
+        Expr::new(
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(random_expr(rng, depth - 1)),
+            },
+            Span::default(),
+        )
+    }
+}
+
+fn random_stmt(rng: &mut Rng) -> Stmt {
+    if rng.bool() {
+        Stmt::Let {
+            name: format!("t{}", rng.range_usize(0, 10)),
+            init: random_expr(rng, 4),
             span: Span::default(),
-        };
-        Program {
-            map_decls: vec![],
-            procs: vec![Proc {
-                name: "main".into(),
-                params: vec!["n".into(), "y".into(), "a".into()],
-                body: Block {
-                    stmts: vec![
-                        cond,
-                        Stmt::Return {
-                            value: Expr::new(ExprKind::Var("n".into()), Span::default()),
-                            span: Span::default(),
-                        },
-                    ],
-                },
-                span: Span::default(),
-            }],
         }
-    })
+    } else {
+        Stmt::ArrayWrite {
+            array: "a".into(),
+            indices: vec![random_expr(rng, 4)],
+            value: random_expr(rng, 4),
+            span: Span::default(),
+        }
+    }
+}
+
+fn random_program(rng: &mut Rng) -> Program {
+    let body: Vec<Stmt> = (0..rng.range_usize(1, 6))
+        .map(|_| random_stmt(rng))
+        .collect();
+    // Wrap in a loop and a conditional so control flow round-trips too.
+    let looped = Stmt::For {
+        var: "x".into(),
+        lo: Expr::new(ExprKind::Int(1), Span::default()),
+        hi: Expr::new(ExprKind::Var("n".into()), Span::default()),
+        step: None,
+        body: Block { stmts: body },
+        span: Span::default(),
+    };
+    let cond = Stmt::If {
+        cond: Expr::new(
+            ExprKind::Binary {
+                op: BinOp::Lt,
+                lhs: Box::new(Expr::new(ExprKind::Var("n".into()), Span::default())),
+                rhs: Box::new(Expr::new(ExprKind::Int(10), Span::default())),
+            },
+            Span::default(),
+        ),
+        then_blk: Block {
+            stmts: vec![looped],
+        },
+        else_blk: None,
+        span: Span::default(),
+    };
+    Program {
+        map_decls: vec![],
+        procs: vec![Proc {
+            name: "main".into(),
+            params: vec!["n".into(), "y".into(), "a".into()],
+            body: Block {
+                stmts: vec![
+                    cond,
+                    Stmt::Return {
+                        value: Expr::new(ExprKind::Var("n".into()), Span::default()),
+                        span: Span::default(),
+                    },
+                ],
+            },
+            span: Span::default(),
+        }],
+    }
 }
 
 /// Erase spans so structural comparison ignores positions.
@@ -136,30 +142,36 @@ fn normalize(p: &Program) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Note: the generated AST may not pass the *checker* (e.g. `x` used
-    /// as a scalar and a loop variable), so we only require that printing
-    /// and re-lexing/parsing preserve structure, using the unchecked
-    /// parser.
-    #[test]
-    fn print_then_parse_is_identity(program in program_strategy()) {
+/// Note: the generated AST may not pass the *checker* (e.g. `x` used
+/// as a scalar and a loop variable), so we only require that printing
+/// and re-lexing/parsing preserve structure, using the unchecked
+/// parser.
+#[test]
+fn print_then_parse_is_identity() {
+    cases(128, "print_then_parse_is_identity", |rng| {
+        let program = random_program(rng);
         let printed = pretty::program(&program);
         let reparsed = pdc_lang::parser::parse_unchecked(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(normalize(&program), normalize(&reparsed), "printed:\n{}", printed);
-    }
+        assert_eq!(
+            normalize(&program),
+            normalize(&reparsed),
+            "printed:\n{printed}"
+        );
+    });
+}
 
-    /// Checked parse of its own output: programs that pass the checker
-    /// keep passing it after a print/parse cycle.
-    #[test]
-    fn checked_programs_stay_checked(program in program_strategy()) {
+/// Checked parse of its own output: programs that pass the checker
+/// keep passing it after a print/parse cycle.
+#[test]
+fn checked_programs_stay_checked() {
+    cases(128, "checked_programs_stay_checked", |rng| {
+        let program = random_program(rng);
         let printed = pretty::program(&program);
         if let Ok(first) = parse(&printed) {
             let printed2 = pretty::program(&first);
             let second = parse(&printed2).expect("second parse");
-            prop_assert_eq!(normalize(&first), normalize(&second));
+            assert_eq!(normalize(&first), normalize(&second));
         }
-    }
+    });
 }

@@ -1,7 +1,5 @@
 //! The machine cost model.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs charged by the simulator for each kind of action.
 ///
 /// The defaults ([`CostModel::ipsc2`]) put the machine in the regime the
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// All costs are in abstract cycles; only ratios matter for the shape of
 /// the reproduced figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// One arithmetic/logical operation.
     pub alu_op: u64,

@@ -39,6 +39,20 @@ pub enum MachineError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// A threaded-backend receive saw no traffic at all for the configured
+    /// wall-clock window. Real threads cannot take the global no-progress
+    /// snapshot the simulator's deadlock detector uses, so a cyclic
+    /// deadlock surfaces as this timeout instead of hanging the run.
+    RecvTimeout {
+        /// The processor whose receive starved.
+        proc: ProcId,
+        /// Source it was waiting on.
+        src: ProcId,
+        /// Tag it was waiting on.
+        tag: Tag,
+        /// The wall-clock window that elapsed, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -65,6 +79,18 @@ impl fmt::Display for MachineError {
             }
             MachineError::StepBudgetExceeded { budget } => {
                 write!(f, "step budget of {budget} exceeded")
+            }
+            MachineError::RecvTimeout {
+                proc,
+                src,
+                tag,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "receive timeout: {proc} waited {waited_ms} ms for {tag} from {src} \
+                     with no traffic arriving (likely deadlock)"
+                )
             }
         }
     }

@@ -6,6 +6,47 @@ use crate::message::{Message, ProcId, Tag, Time, Word};
 use crate::network::Network;
 use crate::stats::{MachineStats, ProcStats};
 use crate::trace::{Event, EventKind, Trace};
+use std::collections::BTreeMap;
+
+/// What a [`Process`](crate::Process) sees of the machine it runs on:
+/// enough to charge instruction costs and exchange typed messages, and
+/// nothing else.
+///
+/// Two implementations exist:
+///
+/// * [`Machine`] — the deterministic discrete-event simulator, where one
+///   thread interleaves every processor and the whole network is a set of
+///   in-memory queues;
+/// * [`Endpoint`](crate::threaded::Endpoint) — one *per-thread* view of
+///   the machine used by the threaded backend, where each processor runs
+///   on its own OS thread and messages travel over real
+///   [`std::sync::mpsc`] channels.
+///
+/// Because message *content* visible to a process depends only on FIFO
+/// order within `(src, dst, tag)` channels — never on global interleaving
+/// (see [`Scheduler`](crate::Scheduler)) — and arrival stamps are computed
+/// from sender-local state, a `Process` driven through this trait produces
+/// identical results, logical clocks, and traffic counts on both
+/// implementations.
+pub trait Fabric {
+    /// Number of processors.
+    fn n_procs(&self) -> usize;
+
+    /// The cost model in force.
+    fn cost_model(&self) -> &CostModel;
+
+    /// Charge `cycles` of computation to processor `p` (scaled by its
+    /// slowdown factor) and count one executed instruction.
+    fn tick(&mut self, p: ProcId, cycles: u64);
+
+    /// Asynchronous typed send (`csend`): charge the sender and hand the
+    /// message to the transport stamped with its arrival time.
+    fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>);
+
+    /// Typed receive attempt (`crecv`): consume the oldest matching
+    /// message if one is pending, else `None` (caller must block).
+    fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>>;
+}
 
 /// The simulated multiprocessor: `n` logical clocks, a typed-channel
 /// network, a [`CostModel`], and statistics.
@@ -213,6 +254,33 @@ impl Machine {
     /// The event trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Cumulative messages delivered per `(src, dst, tag)` triple.
+    pub fn pair_counts(&self) -> BTreeMap<(ProcId, ProcId, Tag), u64> {
+        self.network.pair_counts().clone()
+    }
+}
+
+impl Fabric for Machine {
+    fn n_procs(&self) -> usize {
+        Machine::n_procs(self)
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        Machine::cost_model(self)
+    }
+
+    fn tick(&mut self, p: ProcId, cycles: u64) {
+        Machine::tick(self, p, cycles);
+    }
+
+    fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        Machine::send(self, src, dst, tag, payload);
+    }
+
+    fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        Machine::try_recv(self, dst, src, tag)
     }
 }
 

@@ -49,13 +49,15 @@ mod message;
 mod network;
 mod sched;
 mod stats;
+pub mod threaded;
 mod trace;
 
 pub use cost::CostModel;
 pub use error::MachineError;
-pub use fabric::Machine;
+pub use fabric::{Fabric, Machine};
 pub use message::{Message, ProcId, Tag, Time, Word};
 pub use network::Network;
 pub use sched::{Process, RunReport, Scheduler, Step};
 pub use stats::{MachineStats, NetworkStats, ProcStats};
+pub use threaded::{Backend, ThreadedRunner, DEFAULT_RECV_TIMEOUT};
 pub use trace::{render_gantt as trace_render, Event, EventKind, Trace};

@@ -2,7 +2,7 @@
 
 use crate::message::{Message, ProcId, Tag};
 use crate::stats::NetworkStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// The interconnect: one FIFO queue per `(src, dst, tag)` triple.
 ///
@@ -15,6 +15,10 @@ use std::collections::{HashMap, VecDeque};
 pub struct Network {
     queues: HashMap<(ProcId, ProcId, Tag), VecDeque<Message>>,
     stats: NetworkStats,
+    /// Cumulative messages delivered per `(src, dst, tag)` triple —
+    /// never decremented on take. Differential tests compare these
+    /// counts across execution backends.
+    sent: BTreeMap<(ProcId, ProcId, Tag), u64>,
 }
 
 impl Network {
@@ -28,6 +32,7 @@ impl Network {
     pub fn deliver(&mut self, msg: Message) {
         self.stats.messages += 1;
         self.stats.words += msg.payload.len() as u64;
+        *self.sent.entry((msg.src, msg.dst, msg.tag)).or_insert(0) += 1;
         let q = self.queues.entry((msg.src, msg.dst, msg.tag)).or_default();
         q.push_back(msg);
         let depth = self.queues.values().map(VecDeque::len).sum::<usize>() as u64;
@@ -56,6 +61,11 @@ impl Network {
     /// Cumulative traffic statistics.
     pub fn stats(&self) -> NetworkStats {
         self.stats
+    }
+
+    /// Cumulative per-`(src, dst, tag)` message counts.
+    pub fn pair_counts(&self) -> &BTreeMap<(ProcId, ProcId, Tag), u64> {
+        &self.sent
     }
 
     /// All triples that still hold undelivered messages — used in error

@@ -1,9 +1,10 @@
 //! The deterministic scheduler.
 
 use crate::error::MachineError;
-use crate::fabric::Machine;
+use crate::fabric::{Fabric, Machine};
 use crate::message::{ProcId, Tag};
 use crate::stats::MachineStats;
+use std::collections::BTreeMap;
 
 /// What a process did on one scheduling step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,12 +23,14 @@ pub enum Step {
     Done,
 }
 
-/// A process that can be driven by the [`Scheduler`].
+/// A process that can be driven by the [`Scheduler`] (simulated backend)
+/// or by [`ThreadedRunner`](crate::ThreadedRunner) (one OS thread per
+/// processor).
 ///
-/// The process is called with the machine fabric and its own processor id;
-/// it performs some bounded amount of work (typically one instruction),
-/// charging costs via [`Machine::tick`] / [`Machine::send`] /
-/// [`Machine::try_recv`], and reports a [`Step`].
+/// The process is called with a view of the machine fabric and its own
+/// processor id; it performs some bounded amount of work (typically one
+/// instruction), charging costs via [`Fabric::tick`] / [`Fabric::send`] /
+/// [`Fabric::try_recv`], and reports a [`Step`].
 ///
 /// # Errors
 ///
@@ -36,7 +39,7 @@ pub enum Step {
 /// the run on the first fault.
 pub trait Process {
     /// Execute one step on processor `me`.
-    fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError>;
+    fn step(&mut self, fabric: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError>;
 }
 
 /// Outcome of a completed run.
@@ -50,6 +53,12 @@ pub struct RunReport {
     /// run leaves zero; a non-zero count usually means mismatched
     /// send/receive loops in generated code.
     pub undelivered: usize,
+    /// Cumulative messages sent per `(src, dst, tag)` triple over the
+    /// whole run. Because FIFO order within a typed channel is exactly
+    /// program order on the sender, these counts are identical across
+    /// execution backends and are the key invariant the differential
+    /// tests compare.
+    pub pair_messages: BTreeMap<(ProcId, ProcId, Tag), u64>,
 }
 
 /// Drives a set of [`Process`]es over a [`Machine`] until all finish.
@@ -142,7 +151,7 @@ impl Scheduler {
                         });
                     }
                     steps += 1;
-                    match processes[p].step(machine, me)? {
+                    match processes[p].step(&mut *machine, me)? {
                         Step::Ran => {
                             progressed = true;
                             quantum -= 1;
@@ -186,6 +195,7 @@ impl Scheduler {
             stats: machine.stats(),
             steps,
             undelivered: machine.undelivered(),
+            pair_messages: machine.pair_counts(),
         })
     }
 }
@@ -225,7 +235,7 @@ mod tests {
     }
 
     impl Process for Scripted {
-        fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError> {
+        fn step(&mut self, machine: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
             let Some(action) = self.script.get(self.pc) else {
                 return Ok(Step::Done);
             };
@@ -316,7 +326,7 @@ mod tests {
     fn step_budget_guards_runaway() {
         struct Forever;
         impl Process for Forever {
-            fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError> {
+            fn step(&mut self, machine: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
                 machine.tick(me, 1);
                 Ok(Step::Ran)
             }

@@ -1,10 +1,9 @@
 //! Execution statistics.
 
 use crate::message::Time;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative traffic through the interconnect.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Total messages delivered to the network.
     pub messages: u64,
@@ -15,7 +14,7 @@ pub struct NetworkStats {
 }
 
 /// Per-processor execution statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// Messages sent by this processor.
     pub sends: u64,
@@ -31,7 +30,7 @@ pub struct ProcStats {
 }
 
 /// A complete statistics snapshot for a machine.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Interconnect totals.
     pub network: NetworkStats,
@@ -39,18 +38,6 @@ pub struct MachineStats {
     pub procs: Vec<ProcStats>,
     /// Final logical clock of each processor.
     pub clocks: Vec<Time>,
-}
-
-impl Serialize for Time {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Time {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        u64::deserialize(d).map(Time)
-    }
 }
 
 impl MachineStats {

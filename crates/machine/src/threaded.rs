@@ -1,0 +1,647 @@
+//! The threaded execution backend: one OS thread per processor, real
+//! `std::sync::mpsc` channels for the interconnect.
+//!
+//! The simulator in [`fabric`](crate::fabric) interleaves every processor
+//! on one thread and keeps the whole network in a single `HashMap`. This
+//! module executes the *same* [`Process`] implementations preemptively:
+//! each processor's process runs on its own thread against an
+//! [`Endpoint`] — a per-thread [`Fabric`] holding that processor's logical
+//! clock, statistics, and channel ends.
+//!
+//! # Why the results still match the simulator
+//!
+//! Everything a process observes is a function of sender-local state:
+//! payloads are computed before the send, arrival stamps travel *inside*
+//! the message (`sender clock + flight`), and a receive names its
+//! `(src, tag)` channel explicitly. `mpsc` guarantees per-sender FIFO, and
+//! the per-`(src, tag)` stash below preserves it per typed channel, so
+//! every receive sees exactly the message the simulator would deliver —
+//! whatever the OS scheduler does. Outputs, logical clocks (and hence the
+//! makespan), and per-pair message counts are bit-identical across
+//! backends; only `max_in_flight` (real concurrency) and the step total
+//! (blocked-retry counts) are timing-dependent.
+//!
+//! # Topology
+//!
+//! Tags are created dynamically by the compiler, so a physical channel per
+//! `(src, dst, tag)` triple is impossible to set up in advance. Instead
+//! each processor owns one incoming `mpsc` channel (every peer holds a
+//! clone of the sender) and demultiplexes arrivals into per-`(src, tag)`
+//! FIFO stashes — a faithful realization of the typed-channel network,
+//! since `mpsc` never reorders messages from one sender.
+//!
+//! # Deadlock
+//!
+//! Real threads cannot take the global "nobody progressed" snapshot the
+//! [`Scheduler`](crate::Scheduler) uses, so a blocked receive bounds its
+//! wait instead: if *no* traffic at all arrives for
+//! [`recv_timeout`](ThreadedRunner::with_recv_timeout), the receive fails
+//! with [`MachineError::RecvTimeout`] rather than hanging the run. A
+//! receive whose peers have all finished (hung-up channel) fails
+//! immediately as a [`MachineError::Deadlock`].
+
+use crate::cost::CostModel;
+use crate::error::MachineError;
+use crate::fabric::Fabric;
+use crate::message::{Message, ProcId, Tag, Time, Word};
+use crate::sched::{Process, RunReport, Step};
+use crate::stats::{MachineStats, NetworkStats, ProcStats};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a compiled SPMD program is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator: one thread, round-robin
+    /// [`Scheduler`](crate::Scheduler), in-memory queues. The default.
+    #[default]
+    Simulated,
+    /// One OS thread per processor over real `mpsc` channels, with a
+    /// wall-clock receive timeout standing in for deadlock detection.
+    Threaded {
+        /// Fail a blocked receive after this long without any arrival.
+        recv_timeout: Duration,
+    },
+}
+
+impl Backend {
+    /// The threaded backend with the default receive timeout.
+    pub fn threaded() -> Self {
+        Backend::Threaded {
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+}
+
+/// Default wall-clock window a blocked threaded receive waits before
+/// reporting a timeout.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Shared high-water mark of messages in flight (sent, not yet consumed).
+#[derive(Debug, Default)]
+struct Gauge {
+    cur: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    fn inc(&self) {
+        let now = self.cur.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn dec(&self) {
+        self.cur.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One processor's thread-local view of the machine: its logical clock and
+/// counters, a sender handle per peer, and the receiving end of its own
+/// incoming channel with the per-`(src, tag)` demultiplexing stash.
+#[derive(Debug)]
+pub struct Endpoint {
+    me: ProcId,
+    n: usize,
+    cost: CostModel,
+    slowdown: u64,
+    clock: Time,
+    stats: ProcStats,
+    /// `senders[q]` reaches processor `q`; `None` at `q == me` (self-sends
+    /// are a code-generation bug, exactly as in the simulator).
+    senders: Vec<Option<Sender<Message>>>,
+    rx: Receiver<Message>,
+    /// Typed-channel FIFOs, filled by draining `rx` in arrival order.
+    stash: HashMap<(ProcId, Tag), VecDeque<Message>>,
+    /// Messages sent per `(dst, tag)`, merged into the run report.
+    sent: BTreeMap<(ProcId, Tag), u64>,
+    gauge: Arc<Gauge>,
+    recv_timeout: Duration,
+}
+
+impl Endpoint {
+    /// Move everything already queued on the wire into the stash.
+    fn drain(&mut self) {
+        while let Ok(m) = self.rx.try_recv() {
+            self.stash.entry((m.src, m.tag)).or_default().push_back(m);
+        }
+    }
+
+    /// Consume a message: idle accounting and clock advance identical to
+    /// [`Machine::try_recv`](crate::Machine::try_recv).
+    fn consume(&mut self, msg: Message) -> Vec<Word> {
+        let words = msg.payload.len();
+        let ready = if msg.arrives_at > self.clock {
+            self.stats.idle_cycles += msg.arrives_at.0 - self.clock.0;
+            msg.arrives_at
+        } else {
+            self.clock
+        };
+        self.clock = ready.plus(self.cost.recv_cost(words) * self.slowdown);
+        self.stats.recvs += 1;
+        self.gauge.dec();
+        msg.payload
+    }
+
+    /// Block until a `(src, tag)` message is stashed, or fail after
+    /// `recv_timeout` with no arrivals at all. Any arrival resets the
+    /// window: as long as traffic flows the system is live and the awaited
+    /// message may still be in someone's future.
+    fn wait_for(&mut self, src: ProcId, tag: Tag) -> Result<(), MachineError> {
+        let mut deadline = Instant::now() + self.recv_timeout;
+        loop {
+            self.drain();
+            if self.stash.get(&(src, tag)).is_some_and(|q| !q.is_empty()) {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MachineError::RecvTimeout {
+                    proc: self.me,
+                    src,
+                    tag,
+                    waited_ms: self.recv_timeout.as_millis() as u64,
+                });
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(m) => {
+                    self.stash.entry((m.src, m.tag)).or_default().push_back(m);
+                    deadline = Instant::now() + self.recv_timeout;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(MachineError::RecvTimeout {
+                        proc: self.me,
+                        src,
+                        tag,
+                        waited_ms: self.recv_timeout.as_millis() as u64,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every peer has finished (or died): the awaited
+                    // message can never arrive.
+                    return Err(MachineError::Deadlock {
+                        waiting: vec![(self.me, src, tag)],
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Fabric for Endpoint {
+    fn n_procs(&self) -> usize {
+        self.n
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn tick(&mut self, p: ProcId, cycles: u64) {
+        debug_assert_eq!(p, self.me, "an endpoint only drives its own clock");
+        self.clock = self.clock.plus(cycles * self.slowdown);
+        self.stats.ops += 1;
+    }
+
+    fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
+        debug_assert_ne!(
+            src, dst,
+            "coerce on the same processor must be a local read"
+        );
+        let words = payload.len();
+        let send_cost = self.cost.send_cost(words) * self.slowdown;
+        self.clock = self.clock.plus(send_cost);
+        let sent_at = self.clock;
+        let arrives_at = sent_at.plus(self.cost.flight);
+        self.stats.sends += 1;
+        self.stats.words_sent += words as u64;
+        *self.sent.entry((dst, tag)).or_insert(0) += 1;
+        self.gauge.inc();
+        if let Some(tx) = &self.senders[dst.0] {
+            // A hung-up receiver has already finished; the message simply
+            // stays undelivered, exactly like an untaken simulator queue.
+            let _ = tx.send(Message {
+                src,
+                dst,
+                tag,
+                payload,
+                sent_at,
+                arrives_at,
+            });
+        }
+    }
+
+    fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        debug_assert_eq!(dst, self.me, "an endpoint only receives as itself");
+        self.drain();
+        let msg = self.stash.get_mut(&(src, tag))?.pop_front()?;
+        Some(self.consume(msg))
+    }
+}
+
+/// What one finished thread hands back for merging.
+struct ThreadDone {
+    clock: Time,
+    stats: ProcStats,
+    sent: BTreeMap<(ProcId, Tag), u64>,
+    steps: u64,
+}
+
+/// Drives one [`Process`] per OS thread to completion and merges the
+/// per-thread tallies into the same [`RunReport`] the
+/// [`Scheduler`](crate::Scheduler) produces.
+#[derive(Debug, Clone)]
+pub struct ThreadedRunner {
+    cost: CostModel,
+    recv_timeout: Duration,
+    step_budget: u64,
+    slowdowns: Option<Vec<u64>>,
+}
+
+impl ThreadedRunner {
+    /// A runner with the default receive timeout and no step budget.
+    pub fn new(cost: CostModel) -> Self {
+        ThreadedRunner {
+            cost,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+            step_budget: u64::MAX,
+            slowdowns: None,
+        }
+    }
+
+    /// Fail a blocked receive after `timeout` without any arrival.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Limit the number of steps *per processor* (runaway guard). The
+    /// simulator budgets total steps instead; threads cannot share a
+    /// counter without serializing on it.
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Per-processor slowdown factors, as
+    /// [`Machine::with_slowdowns`](crate::Machine::with_slowdowns).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`run`](Self::run) time) if the length differs from the
+    /// process count, or here if any factor is zero.
+    pub fn with_slowdowns(mut self, factors: Vec<u64>) -> Self {
+        assert!(factors.iter().all(|&f| f > 0), "factors must be positive");
+        self.slowdowns = Some(factors);
+        self
+    }
+
+    /// Run `processes[p]` on its own thread as processor `p` until every
+    /// process finishes.
+    ///
+    /// # Errors
+    ///
+    /// The root-most error any thread hit, ranked
+    /// [`MachineError::ProcessFault`] >
+    /// [`MachineError::StepBudgetExceeded`] >
+    /// [`MachineError::RecvTimeout`] (cyclic deadlock) >
+    /// [`MachineError::Deadlock`] (awaiting a finished peer) — later
+    /// ranks are usually cascades of earlier ones, and which *thread*
+    /// fails first is a wall-clock race the ranking hides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty or a slowdown vector of the wrong
+    /// length was supplied.
+    pub fn run<P: Process + Send>(&self, processes: &mut [P]) -> Result<RunReport, MachineError> {
+        let n = processes.len();
+        assert!(n > 0, "a machine needs at least one processor");
+        if let Some(f) = &self.slowdowns {
+            assert_eq!(f.len(), n, "one factor per processor");
+        }
+        let gauge = Arc::new(Gauge::default());
+        let (txs, rxs): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
+            (0..n).map(|_| channel()).unzip();
+        let mut endpoints: Vec<Endpoint> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(p, rx)| Endpoint {
+                me: ProcId(p),
+                n,
+                cost: self.cost,
+                slowdown: self.slowdowns.as_ref().map_or(1, |f| f[p]),
+                clock: Time::ZERO,
+                stats: ProcStats::default(),
+                senders: txs
+                    .iter()
+                    .enumerate()
+                    .map(|(q, tx)| (q != p).then(|| tx.clone()))
+                    .collect(),
+                rx,
+                stash: HashMap::new(),
+                sent: BTreeMap::new(),
+                gauge: Arc::clone(&gauge),
+                recv_timeout: self.recv_timeout,
+            })
+            .collect();
+        // Drop the original senders so each receiver's only handles are
+        // those held by peer endpoints — a peer finishing (dropping its
+        // endpoint) is then observable as channel hang-up.
+        drop(txs);
+
+        let budget = self.step_budget;
+        let results: Vec<Result<ThreadDone, MachineError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = processes
+                .iter_mut()
+                .zip(endpoints.drain(..))
+                .enumerate()
+                .map(|(p, (process, mut ep))| {
+                    s.spawn(move || {
+                        let me = ProcId(p);
+                        let mut steps: u64 = 0;
+                        loop {
+                            if steps >= budget {
+                                return Err(MachineError::StepBudgetExceeded { budget });
+                            }
+                            steps += 1;
+                            match process.step(&mut ep, me)? {
+                                Step::Ran => {}
+                                Step::Done => break,
+                                Step::BlockedOnRecv { src, tag } => ep.wait_for(src, tag)?,
+                            }
+                        }
+                        Ok(ThreadDone {
+                            clock: ep.clock,
+                            stats: ep.stats,
+                            sent: ep.sent,
+                            steps,
+                        })
+                        // `ep` drops here, hanging up this processor's
+                        // sender handles.
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(p, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(MachineError::ProcessFault {
+                            proc: ProcId(p),
+                            message: "process thread panicked".into(),
+                        })
+                    })
+                })
+                .collect()
+        });
+
+        // When one thread fails, its peers cascade into secondary errors,
+        // so rank the causes: a fault or an exhausted budget is always the
+        // root; a receive timeout is the root diagnosis of a cycle (the
+        // first thread to give up hangs up its channels, turning the
+        // *other* waiters' errors into hang-up deadlocks — which thread
+        // times out first is a wall-clock race, so reporting by processor
+        // id would make the error variant nondeterministic); a hang-up
+        // deadlock wins only when nothing else went wrong (awaiting a
+        // peer that finished normally).
+        fn rank(e: &MachineError) -> u8 {
+            match e {
+                MachineError::ProcessFault { .. } => 0,
+                MachineError::StepBudgetExceeded { .. } => 1,
+                MachineError::RecvTimeout { .. } => 2,
+                _ => 3,
+            }
+        }
+        let mut worst: Option<MachineError> = None;
+        let mut done = Vec::with_capacity(n);
+        for r in results {
+            match r {
+                Ok(d) => done.push(d),
+                Err(e) => match &worst {
+                    Some(w) if rank(w) <= rank(&e) => {}
+                    _ => worst = Some(e),
+                },
+            }
+        }
+        if let Some(e) = worst {
+            return Err(e);
+        }
+
+        let mut pair_messages: BTreeMap<(ProcId, ProcId, Tag), u64> = BTreeMap::new();
+        let mut network = NetworkStats::default();
+        let mut steps: u64 = 0;
+        let mut recvs: u64 = 0;
+        let mut clocks = Vec::with_capacity(n);
+        let mut procs = Vec::with_capacity(n);
+        for (p, d) in done.into_iter().enumerate() {
+            for ((dst, tag), count) in d.sent {
+                pair_messages.insert((ProcId(p), dst, tag), count);
+            }
+            network.messages += d.stats.sends;
+            network.words += d.stats.words_sent;
+            recvs += d.stats.recvs;
+            steps += d.steps;
+            clocks.push(d.clock);
+            procs.push(d.stats);
+        }
+        network.max_in_flight = gauge.max.load(Ordering::SeqCst);
+        Ok(RunReport {
+            stats: MachineStats {
+                network,
+                procs,
+                clocks,
+            },
+            steps,
+            undelivered: (network.messages - recvs) as usize,
+            pair_messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Scripted toy process from the scheduler tests, replayed on
+    /// real threads.
+    enum Action {
+        Compute(u64),
+        Send(usize, u32, Vec<i64>),
+        Recv(usize, u32),
+    }
+
+    struct Scripted {
+        script: Vec<Action>,
+        pc: usize,
+        received: Vec<Vec<i64>>,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Action>) -> Self {
+            Scripted {
+                script,
+                pc: 0,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Scripted {
+        fn step(&mut self, fabric: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
+            let Some(action) = self.script.get(self.pc) else {
+                return Ok(Step::Done);
+            };
+            match action {
+                Action::Compute(c) => {
+                    fabric.tick(me, *c);
+                    self.pc += 1;
+                    Ok(Step::Ran)
+                }
+                Action::Send(dst, tag, payload) => {
+                    fabric.send(me, ProcId(*dst), Tag(*tag), payload.clone());
+                    self.pc += 1;
+                    Ok(Step::Ran)
+                }
+                Action::Recv(src, tag) => match fabric.try_recv(me, ProcId(*src), Tag(*tag)) {
+                    Some(words) => {
+                        self.received.push(words);
+                        self.pc += 1;
+                        Ok(Step::Ran)
+                    }
+                    None => Ok(Step::BlockedOnRecv {
+                        src: ProcId(*src),
+                        tag: Tag(*tag),
+                    }),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_matches_simulator_makespan() {
+        let c = CostModel::ipsc2();
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(1, 0, vec![1]), Action::Recv(1, 1)]),
+            Scripted::new(vec![Action::Recv(0, 0), Action::Send(0, 1, vec![2])]),
+        ];
+        let report = ThreadedRunner::new(c).run(&mut procs).unwrap();
+        assert_eq!(report.stats.network.messages, 2);
+        assert_eq!(report.undelivered, 0);
+        // Same critical path the simulator computes: the logical clocks
+        // are driven by arrival stamps, not wall time.
+        let expected = 2 * (c.send_cost(1) + c.flight + c.recv_cost(1));
+        assert_eq!(report.stats.makespan().0, expected);
+        assert_eq!(procs[0].received, vec![vec![2]]);
+    }
+
+    #[test]
+    fn pair_counts_recorded() {
+        let mut procs = vec![
+            Scripted::new(vec![
+                Action::Send(1, 3, vec![1]),
+                Action::Send(1, 3, vec![2]),
+                Action::Send(1, 4, vec![3]),
+            ]),
+            Scripted::new(vec![
+                Action::Recv(0, 3),
+                Action::Recv(0, 3),
+                Action::Recv(0, 4),
+            ]),
+        ];
+        let report = ThreadedRunner::new(CostModel::zero())
+            .run(&mut procs)
+            .unwrap();
+        assert_eq!(
+            report.pair_messages.get(&(ProcId(0), ProcId(1), Tag(3))),
+            Some(&2)
+        );
+        assert_eq!(
+            report.pair_messages.get(&(ProcId(0), ProcId(1), Tag(4))),
+            Some(&1)
+        );
+        // FIFO within the typed channel.
+        assert_eq!(procs[1].received, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn cyclic_deadlock_times_out() {
+        let mut procs = vec![
+            Scripted::new(vec![Action::Recv(1, 0)]),
+            Scripted::new(vec![Action::Recv(0, 0)]),
+        ];
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_recv_timeout(Duration::from_millis(50))
+            .run(&mut procs)
+            .unwrap_err();
+        assert!(
+            matches!(err, MachineError::RecvTimeout { .. }),
+            "expected timeout, got {err}"
+        );
+    }
+
+    #[test]
+    fn waiting_on_finished_peer_is_deadlock() {
+        // P1 waits for a message P0 never sends; P0 finishes immediately,
+        // so the hang-up is detected without burning the timeout.
+        let mut procs = vec![
+            Scripted::new(vec![]),
+            Scripted::new(vec![Action::Recv(0, 7)]),
+        ];
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_recv_timeout(Duration::from_secs(30))
+            .run(&mut procs)
+            .unwrap_err();
+        match err {
+            MachineError::Deadlock { waiting } => {
+                assert_eq!(waiting, vec![(ProcId(1), ProcId(0), Tag(7))]);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unreceived_message_counts_as_undelivered() {
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(1, 0, vec![1, 2, 3])]),
+            Scripted::new(vec![Action::Compute(1)]),
+        ];
+        let report = ThreadedRunner::new(CostModel::zero())
+            .run(&mut procs)
+            .unwrap();
+        assert_eq!(report.undelivered, 1);
+    }
+
+    #[test]
+    fn step_budget_guards_runaway() {
+        struct Forever;
+        impl Process for Forever {
+            fn step(&mut self, fabric: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
+                fabric.tick(me, 1);
+                Ok(Step::Ran)
+            }
+        }
+        let mut procs = vec![Forever];
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_step_budget(1000)
+            .run(&mut procs)
+            .unwrap_err();
+        assert!(matches!(err, MachineError::StepBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn slowdowns_scale_local_work() {
+        let mut procs = vec![
+            Scripted::new(vec![Action::Compute(10)]),
+            Scripted::new(vec![Action::Compute(10)]),
+        ];
+        let report = ThreadedRunner::new(CostModel::zero())
+            .with_slowdowns(vec![3, 1])
+            .run(&mut procs)
+            .unwrap();
+        assert_eq!(report.stats.clocks[0], Time(30));
+        assert_eq!(report.stats.clocks[1], Time(10));
+    }
+}

@@ -1,27 +1,29 @@
 //! Property tests of the mapping-equation solver: whatever `solve_for`
 //! returns must agree, pointwise, with brute-force evaluation of the
-//! owner expression.
+//! owner expression. (Deterministic `pdc-testkit` cases; a failing case
+//! prints its seed for replay.)
 
 use pdc_mapping::{solve_for, Affine, OwnerExpr, OwnerSet, Solution};
-use proptest::prelude::*;
+use pdc_testkit::{cases, Rng};
 
-fn affine_strategy() -> impl Strategy<Value = Affine> {
-    // a*j + c with small coefficients (including the paper's j-1, j, j+1).
-    (-3i64..4, -5i64..6).prop_map(|(a, c)| Affine::var("j").scale(a).offset(c))
+/// a*j + c with small coefficients (including the paper's j-1, j, j+1).
+fn random_affine(rng: &mut Rng) -> Affine {
+    let a = rng.range_i64(-3, 4);
+    let c = rng.range_i64(-5, 6);
+    Affine::var("j").scale(a).offset(c)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Cyclic: `solve_for` matches brute force over a window.
-    #[test]
-    fn cyclic_solutions_are_sound_and_complete(
-        aff in affine_strategy(),
-        s in 1usize..9,
-        p in 0usize..9,
-    ) {
-        let p = p % s;
-        let owner = OwnerExpr::CyclicMod { expr: aff.clone(), s };
+/// Cyclic: `solve_for` matches brute force over a window.
+#[test]
+fn cyclic_solutions_are_sound_and_complete() {
+    cases(256, "cyclic_solutions_are_sound_and_complete", |rng| {
+        let aff = random_affine(rng);
+        let s = rng.range_usize(1, 9);
+        let p = rng.range_usize(0, 9) % s;
+        let owner = OwnerExpr::CyclicMod {
+            expr: aff.clone(),
+            s,
+        };
         let sol = solve_for(&owner, "j", p);
         for j in -20i64..40 {
             let truth = owner.eval(&|v| {
@@ -29,35 +31,37 @@ proptest! {
                 j
             }) == OwnerSet::One(p);
             match &sol {
-                Solution::Empty => prop_assert!(!truth, "j={j} should satisfy nothing"),
-                Solution::Set(set) => prop_assert_eq!(
-                    set.contains(j),
-                    truth,
-                    "j={} set={:?} aff={}", j, set, &aff
-                ),
+                Solution::Empty => assert!(!truth, "j={j} should satisfy nothing"),
+                Solution::Set(set) => {
+                    assert_eq!(set.contains(j), truth, "j={j} set={set:?} aff={aff}")
+                }
                 Solution::Guard => {} // always safe
             }
         }
-    }
+    });
+}
 
-    /// Block: `solve_for` matches brute force (unit coefficients solve to
-    /// ranges; everything else must degrade safely).
-    #[test]
-    fn block_solutions_are_sound_and_complete(
-        a in prop_oneof![Just(1i64), Just(-1i64), Just(2i64), Just(0i64)],
-        c in -5i64..6,
-        block in 1usize..6,
-        nprocs in 1usize..5,
-        p in 0usize..5,
-    ) {
-        let p = p % nprocs;
+/// Block: `solve_for` matches brute force (unit coefficients solve to
+/// ranges; everything else must degrade safely).
+#[test]
+fn block_solutions_are_sound_and_complete() {
+    cases(256, "block_solutions_are_sound_and_complete", |rng| {
+        let a = *rng.pick(&[1i64, -1, 2, 0]);
+        let c = rng.range_i64(-5, 6);
+        let block = rng.range_usize(1, 6);
+        let nprocs = rng.range_usize(1, 5);
+        let p = rng.range_usize(0, 5) % nprocs;
         let aff = Affine::var("j").scale(a).offset(c);
-        let owner = OwnerExpr::BlockDiv { expr: aff, block, nprocs };
+        let owner = OwnerExpr::BlockDiv {
+            expr: aff,
+            block,
+            nprocs,
+        };
         let sol = solve_for(&owner, "j", p);
         for j in -20i64..40 {
             let truth = owner.eval(&|_| j) == OwnerSet::One(p);
             match &sol {
-                Solution::Empty => prop_assert!(!truth, "j={j}"),
+                Solution::Empty => assert!(!truth, "j={j}"),
                 Solution::Set(set) => {
                     // BlockDiv clamps negatives to block 0; the solved
                     // range describes the un-clamped region, so only
@@ -67,24 +71,24 @@ proptest! {
                         _ => a * j + c,
                     };
                     if v >= 0 {
-                        prop_assert_eq!(set.contains(j), truth, "j={}", j);
+                        assert_eq!(set.contains(j), truth, "j={j}");
                     }
                 }
                 Solution::Guard => {}
             }
         }
-    }
+    });
+}
 
-    /// Grid solutions (when not guarded) match brute force.
-    #[test]
-    fn grid_solutions_are_sound(
-        s_row in 1usize..4,
-        block in 1usize..4,
-        p in 0usize..16,
-    ) {
+/// Grid solutions (when not guarded) match brute force.
+#[test]
+fn grid_solutions_are_sound() {
+    cases(256, "grid_solutions_are_sound", |rng| {
+        let s_row = rng.range_usize(1, 4);
+        let block = rng.range_usize(1, 4);
         let pcols = 2usize;
         let nprocs = s_row * pcols;
-        let p = p % nprocs;
+        let p = rng.range_usize(0, 16) % nprocs;
         // Row dimension fixed (const), column dimension cyclic over j:
         // solvable for j.
         let owner = OwnerExpr::Grid {
@@ -103,22 +107,23 @@ proptest! {
         for j in 1i64..30 {
             let truth = owner.eval(&|_| j) == OwnerSet::One(p);
             match &sol {
-                Solution::Empty => prop_assert!(!truth, "j={j}"),
-                Solution::Set(set) => prop_assert_eq!(set.contains(j), truth, "j={}", j),
+                Solution::Empty => assert!(!truth, "j={j}"),
+                Solution::Set(set) => assert_eq!(set.contains(j), truth, "j={j}"),
                 Solution::Guard => {}
             }
         }
-    }
+    });
+}
 
-    /// IterSet::first_at_or_after returns exactly the first member.
-    #[test]
-    fn first_at_or_after_is_minimal(
-        m in 1i64..8,
-        r in 0i64..8,
-        lo in -10i64..10,
-        len in 0i64..20,
-        from in -15i64..25,
-    ) {
+/// IterSet::first_at_or_after returns exactly the first member.
+#[test]
+fn first_at_or_after_is_minimal() {
+    cases(256, "first_at_or_after_is_minimal", |rng| {
+        let m = rng.range_i64(1, 8);
+        let r = rng.range_i64(0, 8);
+        let lo = rng.range_i64(-10, 10);
+        let len = rng.range_i64(0, 20);
+        let from = rng.range_i64(-15, 25);
         let set = pdc_mapping::IterSet {
             modulus: m,
             residue: r.rem_euclid(m),
@@ -128,6 +133,6 @@ proptest! {
         let first = set.first_at_or_after(from);
         // Brute force.
         let expected = (from..=lo + len + m).find(|v| set.contains(*v));
-        prop_assert_eq!(first.filter(|v| set.contains(*v)), expected);
-    }
+        assert_eq!(first.filter(|v| set.contains(*v)), expected);
+    });
 }

@@ -1,42 +1,42 @@
 //! Property tests of the canonicalization machinery the optimization
 //! passes rely on: canonical equality is sound (equal canon ⇒ equal
-//! values) and variable shifts mean what they say.
+//! values) and variable shifts mean what they say. (Deterministic
+//! `pdc-testkit` cases; a failing case prints its seed for replay.)
 
 use pdc_opt::canon::{canon, canon_eq, shift_sexpr, solve_shift, uncanon};
 use pdc_spmd::ir::{SBinOp, SExpr, SUnOp};
-use proptest::prelude::*;
+use pdc_testkit::{cases, Rng};
 
-fn leaf() -> impl Strategy<Value = SExpr> {
-    prop_oneof![
-        (-20i64..20).prop_map(SExpr::Int),
-        Just(SExpr::var("j")),
-        Just(SExpr::var("k")),
-    ]
+fn leaf(rng: &mut Rng) -> SExpr {
+    match rng.range_usize(0, 3) {
+        0 => SExpr::Int(rng.range_i64(-20, 20)),
+        1 => SExpr::var("j"),
+        _ => SExpr::var("k"),
+    }
 }
 
 /// Index-shaped expressions: affine combinations with div/mod by
 /// positive constants — what subscripts look like after codegen.
-fn index_expr() -> impl Strategy<Value = SExpr> {
-    leaf().prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| SExpr::Bin(
-                SBinOp::Add,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| SExpr::Bin(
-                SBinOp::Sub,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), 1i64..6).prop_map(|(a, k)| a.idiv(SExpr::Int(k))),
-            (inner.clone(), 1i64..6).prop_map(|(a, k)| a.imod(SExpr::Int(k))),
-            (inner.clone(), -3i64..4).prop_map(|(a, k)| SExpr::Int(k).mul(a)),
-            inner
-                .clone()
-                .prop_map(|a| SExpr::Un(SUnOp::Neg, Box::new(a))),
-        ]
-    })
+fn index_expr(rng: &mut Rng, depth: usize) -> SExpr {
+    if depth == 0 || rng.chance(1, 4) {
+        return leaf(rng);
+    }
+    match rng.range_usize(0, 6) {
+        0 => SExpr::Bin(
+            SBinOp::Add,
+            Box::new(index_expr(rng, depth - 1)),
+            Box::new(index_expr(rng, depth - 1)),
+        ),
+        1 => SExpr::Bin(
+            SBinOp::Sub,
+            Box::new(index_expr(rng, depth - 1)),
+            Box::new(index_expr(rng, depth - 1)),
+        ),
+        2 => index_expr(rng, depth - 1).idiv(SExpr::Int(rng.range_i64(1, 6))),
+        3 => index_expr(rng, depth - 1).imod(SExpr::Int(rng.range_i64(1, 6))),
+        4 => SExpr::Int(rng.range_i64(-3, 4)).mul(index_expr(rng, depth - 1)),
+        _ => SExpr::Un(SUnOp::Neg, Box::new(index_expr(rng, depth - 1))),
+    }
 }
 
 fn eval(e: &SExpr, j: i64, k: i64) -> i64 {
@@ -60,64 +60,68 @@ fn eval(e: &SExpr, j: i64, k: i64) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// uncanon(canon(e)) preserves the value everywhere.
-    #[test]
-    fn canon_round_trip_preserves_value(e in index_expr(), j in -10i64..10, k in -10i64..10) {
+/// uncanon(canon(e)) preserves the value everywhere.
+#[test]
+fn canon_round_trip_preserves_value() {
+    cases(256, "canon_round_trip_preserves_value", |rng| {
+        let e = index_expr(rng, 3);
+        let j = rng.range_i64(-10, 10);
+        let k = rng.range_i64(-10, 10);
         if let Some(c) = canon(&e) {
             let back = uncanon(&c);
-            prop_assert_eq!(eval(&e, j, k), eval(&back, j, k));
+            assert_eq!(eval(&e, j, k), eval(&back, j, k));
         }
-    }
+    });
+}
 
-    /// canon_eq is sound: expressions it calls equal evaluate equal.
-    #[test]
-    fn canon_eq_is_sound(
-        a in index_expr(),
-        b in index_expr(),
-        j in -10i64..10,
-        k in -10i64..10,
-    ) {
+/// canon_eq is sound: expressions it calls equal evaluate equal.
+#[test]
+fn canon_eq_is_sound() {
+    cases(256, "canon_eq_is_sound", |rng| {
+        let a = index_expr(rng, 3);
+        let b = index_expr(rng, 3);
+        let j = rng.range_i64(-10, 10);
+        let k = rng.range_i64(-10, 10);
         if canon_eq(&a, &b) {
-            prop_assert_eq!(eval(&a, j, k), eval(&b, j, k));
+            assert_eq!(eval(&a, j, k), eval(&b, j, k));
         }
-    }
+    });
+}
 
-    /// shift_sexpr(e, j, d) evaluated at j equals e evaluated at j + d.
-    #[test]
-    fn shift_means_substitution(
-        e in index_expr(),
-        d in -4i64..5,
-        j in -10i64..10,
-        k in -10i64..10,
-    ) {
+/// shift_sexpr(e, j, d) evaluated at j equals e evaluated at j + d.
+#[test]
+fn shift_means_substitution() {
+    cases(256, "shift_means_substitution", |rng| {
+        let e = index_expr(rng, 3);
+        let d = rng.range_i64(-4, 5);
+        let j = rng.range_i64(-10, 10);
+        let k = rng.range_i64(-10, 10);
         let shifted = shift_sexpr(&e, "j", d);
-        prop_assert_eq!(eval(&shifted, j, k), eval(&e, j + d, k));
-    }
+        assert_eq!(eval(&shifted, j, k), eval(&e, j + d, k));
+    });
+}
 
-    /// solve_shift really aligns the expressions it claims to align.
-    #[test]
-    fn solved_shifts_align(
-        e in index_expr(),
-        d in -4i64..5,
-        j in -10i64..10,
-        k in -10i64..10,
-    ) {
+/// solve_shift really aligns the expressions it claims to align.
+#[test]
+fn solved_shifts_align() {
+    cases(256, "solved_shifts_align", |rng| {
+        let e = index_expr(rng, 3);
+        let d = rng.range_i64(-4, 5);
+        let j = rng.range_i64(-10, 10);
+        let k = rng.range_i64(-10, 10);
         // Build b = e[j := j - d]; then solve_shift(canon e, canon b, j)
         // should recover d (or any d' that also aligns them).
         let b = shift_sexpr(&e, "j", -d);
         let (Some(ca), Some(cb)) = (canon(&e), canon(&b)) else {
-            return Ok(());
+            return;
         };
         if let Some(found) = solve_shift(&ca, &cb, "j") {
             let realigned = shift_sexpr(&b, "j", found);
-            prop_assert_eq!(
+            assert_eq!(
                 eval(&realigned, j, k),
                 eval(&e, j, k),
-                "claimed shift {} does not align", found
+                "claimed shift {found} does not align"
             );
         }
-    }
+    });
 }

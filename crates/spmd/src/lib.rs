@@ -61,4 +61,5 @@ pub mod vm;
 mod error;
 
 pub use error::SpmdError;
+pub use pdc_machine::Backend;
 pub use scalar::Scalar;

@@ -6,9 +6,9 @@ use crate::scalar::Scalar;
 use crate::vm::ProcVm;
 use crate::SpmdError;
 use pdc_istructure::IMatrix;
-use pdc_machine::{CostModel, Machine, Process, RunReport, Scheduler};
+use pdc_machine::{Backend, CostModel, Machine, Process, RunReport, Scheduler, ThreadedRunner};
 use pdc_mapping::OwnerSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of a completed SPMD run.
 #[derive(Debug, Clone)]
@@ -31,6 +31,7 @@ pub struct SpmdMachine {
     machine: Machine,
     vms: Vec<ProcVm>,
     scheduler: Scheduler,
+    backend: Backend,
     ran: bool,
 }
 
@@ -58,13 +59,14 @@ impl SpmdMachine {
         assert_eq!(machine.n_procs(), program.n_procs(), "size mismatch");
         let mut vms = Vec::with_capacity(program.n_procs());
         for p in 0..program.n_procs() {
-            let code = Rc::new(lower(program.body(p))?);
+            let code = Arc::new(lower(program.body(p))?);
             vms.push(ProcVm::new(code));
         }
         Ok(SpmdMachine {
             machine,
             vms,
             scheduler: Scheduler::new(),
+            backend: Backend::Simulated,
             ran: false,
         })
     }
@@ -75,16 +77,39 @@ impl SpmdMachine {
         self
     }
 
+    /// Select the execution backend ([`Backend::Simulated`] by default).
+    /// The threaded backend produces identical outputs, logical clocks and
+    /// per-pair message counts; only wall-clock-dependent counters (step
+    /// totals, peak in-flight) may differ.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// Execute to completion.
     ///
     /// # Errors
     ///
     /// Deadlocks, process faults, and budget exhaustion surface as
-    /// [`SpmdError::Machine`].
+    /// [`SpmdError::Machine`]. Under [`Backend::Threaded`], a cyclic
+    /// deadlock surfaces as a receive timeout rather than a global
+    /// no-progress diagnosis.
     pub fn run(&mut self) -> Result<RunOutcome, SpmdError> {
-        let mut refs: Vec<&mut dyn Process> =
-            self.vms.iter_mut().map(|v| v as &mut dyn Process).collect();
-        let report = self.scheduler.run(&mut self.machine, &mut refs)?;
+        let report = match self.backend {
+            Backend::Simulated => {
+                let mut refs: Vec<&mut dyn Process> =
+                    self.vms.iter_mut().map(|v| v as &mut dyn Process).collect();
+                self.scheduler.run(&mut self.machine, &mut refs)?
+            }
+            Backend::Threaded { recv_timeout } => ThreadedRunner::new(*self.machine.cost_model())
+                .with_recv_timeout(recv_timeout)
+                .run(&mut self.vms)?,
+        };
         self.ran = true;
         Ok(RunOutcome { report })
     }
@@ -282,6 +307,74 @@ mod tests {
             + cost.alu_op
             + 3 * cost.mem_op;
         assert_eq!(out.report.stats.makespan().0, expected);
+    }
+
+    #[test]
+    fn threaded_backend_matches_simulated_makespan() {
+        // Same ping-pong as above, run on real threads: outputs, message
+        // counts and logical makespan must be identical because arrival
+        // stamps travel inside the messages.
+        let cost = CostModel::ipsc2();
+        let p0 = vec![
+            SStmt::Send {
+                to: SExpr::int(1),
+                tag: 1,
+                values: vec![SExpr::int(21)],
+            },
+            SStmt::Recv {
+                from: SExpr::int(1),
+                tag: 2,
+                into: vec![RecvTarget::Var("r".into())],
+            },
+        ];
+        let p1 = vec![
+            SStmt::Recv {
+                from: SExpr::int(0),
+                tag: 1,
+                into: vec![RecvTarget::Var("x".into())],
+            },
+            SStmt::Send {
+                to: SExpr::int(0),
+                tag: 2,
+                values: vec![SExpr::var("x").mul(SExpr::int(2))],
+            },
+        ];
+        let prog = SpmdProgram::new(vec![p0, p1]);
+
+        let mut sim = SpmdMachine::new(&prog, cost).unwrap();
+        let sim_out = sim.run().unwrap();
+        let mut thr = SpmdMachine::new(&prog, cost)
+            .unwrap()
+            .with_backend(Backend::threaded());
+        let thr_out = thr.run().unwrap();
+
+        assert_eq!(thr.vm(0).var("r"), Some(Scalar::Int(42)));
+        assert_eq!(
+            thr_out.report.stats.makespan(),
+            sim_out.report.stats.makespan()
+        );
+        assert_eq!(thr_out.report.pair_messages, sim_out.report.pair_messages);
+        assert_eq!(thr_out.report.undelivered, 0);
+    }
+
+    #[test]
+    fn threaded_deadlock_times_out() {
+        // Two processors each waiting on the other: the threaded backend
+        // cannot diagnose the cycle globally, so it must surface a receive
+        // timeout rather than hang.
+        let body = vec![SStmt::Recv {
+            from: SExpr::int(1).sub(SExpr::my_node()),
+            tag: 0,
+            into: vec![RecvTarget::Var("x".into())],
+        }];
+        let prog = SpmdProgram::uniform(2, body);
+        let mut m = SpmdMachine::new(&prog, CostModel::zero())
+            .unwrap()
+            .with_backend(Backend::Threaded {
+                recv_timeout: std::time::Duration::from_millis(50),
+            });
+        let err = m.run().unwrap_err();
+        assert!(err.to_string().contains("timeout"), "got: {err}");
     }
 
     #[test]

@@ -4,9 +4,9 @@ use crate::ir::{SBinOp, SUnOp};
 use crate::lower::{Code, Instr};
 use crate::scalar::{decode, encode, Scalar};
 use pdc_istructure::IMatrix;
-use pdc_machine::{Machine, MachineError, ProcId, Process, Step, Tag};
+use pdc_machine::{Fabric, MachineError, ProcId, Process, Step, Tag};
 use pdc_mapping::{Dist, DistInstance, OwnerSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The local segment of a distributed I-structure plus its distribution
 /// metadata (the Map/Local/Alloc triple instantiated at allocation time).
@@ -33,10 +33,13 @@ impl DistArray {
 
 /// One processor's interpreter state. Implements [`Process`] so the
 /// machine scheduler can drive it one instruction at a time; a blocking
-/// receive leaves the state untouched and reports itself blocked.
+/// receive leaves the state untouched and reports itself blocked. The
+/// code is behind an [`Arc`] (and the rest of the state is plain data)
+/// so a `ProcVm` is `Send` and can run on its own OS thread under the
+/// threaded backend.
 #[derive(Debug)]
 pub struct ProcVm {
-    code: Rc<Code>,
+    code: Arc<Code>,
     pc: usize,
     stack: Vec<Scalar>,
     locals: Vec<Option<Scalar>>,
@@ -46,7 +49,7 @@ pub struct ProcVm {
 
 impl ProcVm {
     /// A fresh interpreter for `code`.
-    pub fn new(code: Rc<Code>) -> Self {
+    pub fn new(code: Arc<Code>) -> Self {
         let nv = code.syms.vars.len();
         let na = code.syms.arrays.len();
         let nb = code.syms.bufs.len();
@@ -285,7 +288,7 @@ pub(crate) fn scalar_binop(op: SBinOp, l: Scalar, r: Scalar) -> Result<Scalar, S
 }
 
 impl Process for ProcVm {
-    fn step(&mut self, machine: &mut Machine, me: ProcId) -> Result<Step, MachineError> {
+    fn step(&mut self, machine: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
         let Some(instr) = self.code.instrs.get(self.pc).cloned() else {
             return Ok(Step::Done);
         };
@@ -591,10 +594,10 @@ mod tests {
     use super::*;
     use crate::ir::{SExpr, SStmt};
     use crate::lower::lower;
-    use pdc_machine::CostModel;
+    use pdc_machine::{CostModel, Machine};
 
     fn run_single(body: Vec<SStmt>) -> (ProcVm, Machine) {
-        let code = Rc::new(lower(&body).unwrap());
+        let code = Arc::new(lower(&body).unwrap());
         let mut vm = ProcVm::new(code);
         let mut machine = Machine::new(1, CostModel::zero());
         loop {
@@ -704,7 +707,7 @@ mod tests {
 
     #[test]
     fn double_write_faults() {
-        let code = Rc::new(
+        let code = Arc::new(
             lower(&[
                 SStmt::AllocDist {
                     array: "A".into(),
@@ -740,7 +743,7 @@ mod tests {
 
     #[test]
     fn read_before_assignment_faults() {
-        let code = Rc::new(
+        let code = Arc::new(
             lower(&[SStmt::Let {
                 var: "y".into(),
                 value: SExpr::var("x"),
@@ -755,7 +758,7 @@ mod tests {
 
     #[test]
     fn send_to_self_faults() {
-        let code = Rc::new(
+        let code = Arc::new(
             lower(&[SStmt::Send {
                 to: SExpr::my_node(),
                 tag: 0,
@@ -777,7 +780,7 @@ mod tests {
 
     #[test]
     fn recv_blocks_then_succeeds() {
-        let code = Rc::new(
+        let code = Arc::new(
             lower(&[SStmt::Recv {
                 from: SExpr::int(1),
                 tag: 3,

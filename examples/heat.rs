@@ -28,8 +28,14 @@ fn max_delta(a: &IMatrix<Scalar>, b: &IMatrix<Scalar>) -> i64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(32);
-    let s: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    let s: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
     println!("Heat relaxation to convergence — {n}x{n} grid, {s} processors\n");
 
     // Hot edge, cold interior.
@@ -43,8 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile once; re-simulate per iteration with fresh data.
     let program = programs::gauss_seidel();
-    let job = Job::new(&program, "gs_iteration", programs::wavefront_decomposition(s))
-        .with_const("n", n as i64);
+    let job = Job::new(
+        &program,
+        "gs_iteration",
+        programs::wavefront_decomposition(s),
+    )
+    .with_const("n", n as i64);
     let compiled = driver::compile(&job, Strategy::CompileTime)?;
     let (opt, _) = optimize(&compiled.spmd, OptLevel::O3 { blksize: 8 });
 

@@ -1,0 +1,218 @@
+//! Differential testing of the two execution backends.
+//!
+//! Every workload is compiled once per strategy and then run twice: on
+//! the deterministic discrete-event simulator and on the threaded
+//! backend (one OS thread per processor, real `mpsc` channels). The
+//! gathered outputs must match each other *and* the sequential
+//! reference interpreter, and the per-(src, dst, tag) message counts
+//! must match **exactly**: as the scheduler documents (see
+//! `crates/machine/src/sched.rs`), FIFO order within a typed channel is
+//! program order on the sender, so the communication pattern of a
+//! program is a backend-independent invariant — any divergence means
+//! one of the backends delivered, dropped, or reordered a message.
+
+use pdc_core::driver::{self, Inputs, Job, Strategy};
+use pdc_core::programs;
+use pdc_istructure::IMatrix;
+use pdc_machine::{Backend, CostModel, MachineError};
+use pdc_mapping::{Decomposition, Dist};
+use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
+use pdc_spmd::run::SpmdMachine;
+use pdc_spmd::Scalar;
+use std::time::Duration;
+
+/// A named workload: program, entry point, decomposition, output array,
+/// and input data.
+struct Workload {
+    name: &'static str,
+    program: pdc_lang::Program,
+    entry: &'static str,
+    decomp: Decomposition,
+    output: &'static str,
+    n: usize,
+    input_name: &'static str,
+    input: IMatrix<Scalar>,
+}
+
+/// Hot edges, cold interior — the heat-equation starting grid from
+/// `examples/heat.rs`.
+fn hot_edge_grid(n: usize) -> IMatrix<Scalar> {
+    let mut grid = IMatrix::new(n, n);
+    for i in 1..=n as i64 {
+        for j in 1..=n as i64 {
+            let edge = i == 1 || j == 1 || i == n as i64 || j == n as i64;
+            grid.write(i, j, Scalar::Int(if edge { 1000 } else { 0 }))
+                .expect("fresh matrix");
+        }
+    }
+    grid
+}
+
+fn workloads() -> Vec<Workload> {
+    let n = 8usize;
+    vec![
+        Workload {
+            name: "jacobi/column-cyclic",
+            program: programs::jacobi(),
+            entry: "jacobi",
+            decomp: Decomposition::new(4)
+                .array("New", Dist::ColumnCyclic)
+                .array("Old", Dist::ColumnCyclic),
+            output: "New",
+            n,
+            input_name: "Old",
+            input: driver::standard_input(n, n),
+        },
+        Workload {
+            name: "wavefront/gauss-seidel",
+            program: programs::gauss_seidel(),
+            entry: "gs_iteration",
+            decomp: programs::wavefront_decomposition(4),
+            output: "New",
+            n,
+            input_name: "Old",
+            input: driver::standard_input(n, n),
+        },
+        Workload {
+            name: "block-jacobi/2x2-grid",
+            program: programs::jacobi(),
+            entry: "jacobi",
+            decomp: Decomposition::new(4)
+                .array("New", Dist::Block2d { prows: 2, pcols: 2 })
+                .array("Old", Dist::Block2d { prows: 2, pcols: 2 }),
+            output: "New",
+            n,
+            input_name: "Old",
+            input: driver::standard_input(n, n),
+        },
+        Workload {
+            name: "heat/hot-edge-sweep",
+            program: programs::gauss_seidel(),
+            entry: "gs_iteration",
+            decomp: programs::wavefront_decomposition(4),
+            output: "New",
+            n,
+            input_name: "Old",
+            input: hot_edge_grid(n),
+        },
+    ]
+}
+
+/// Compile `w` under `strategy` and run it on both backends; assert the
+/// full equivalence contract.
+fn check(w: &Workload, strategy: Strategy) {
+    let label = format!("{} under {strategy:?}", w.name);
+    let mut job = Job::new(&w.program, w.entry, w.decomp.clone()).with_const("n", w.n as i64);
+    job.extent_overrides
+        .insert(w.input_name.to_owned(), (w.n, w.n));
+    let compiled = driver::compile(&job, strategy).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let inputs = Inputs::new()
+        .scalar("n", Scalar::Int(w.n as i64))
+        .array(w.input_name, w.input.clone());
+
+    let sim = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::Simulated)
+        .unwrap_or_else(|e| panic!("{label} (simulated): {e}"));
+    let thr = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::threaded())
+        .unwrap_or_else(|e| panic!("{label} (threaded): {e}"));
+
+    // Both backends deliver every message they send.
+    assert_eq!(
+        sim.outcome.report.undelivered, 0,
+        "{label}: sim undelivered"
+    );
+    assert_eq!(
+        thr.outcome.report.undelivered, 0,
+        "{label}: threaded undelivered"
+    );
+
+    // Outputs: threaded == simulated == sequential interpreter.
+    let g_sim = sim.gather(w.output).expect("sim gather");
+    let g_thr = thr.gather(w.output).expect("threaded gather");
+    let seq = driver::run_sequential(&w.program, w.entry, &inputs).expect("sequential");
+    assert_eq!(
+        driver::first_mismatch(&g_sim, &seq),
+        None,
+        "{label}: simulator disagrees with sequential interpreter"
+    );
+    assert_eq!(
+        driver::first_mismatch(&g_thr, &seq),
+        None,
+        "{label}: threaded backend disagrees with sequential interpreter"
+    );
+
+    // Per-pair message counts match exactly (the FIFO invariant above).
+    assert_eq!(
+        thr.outcome.report.pair_messages, sim.outcome.report.pair_messages,
+        "{label}: per-(src, dst, tag) message counts diverge"
+    );
+
+    // Logical clocks are carried inside the messages, so even the
+    // makespan is thread-schedule-independent.
+    assert_eq!(
+        thr.outcome.report.stats.makespan(),
+        sim.outcome.report.stats.makespan(),
+        "{label}: makespan diverges"
+    );
+}
+
+#[test]
+fn backends_agree_under_runtime_resolution() {
+    for w in workloads() {
+        check(&w, Strategy::Runtime);
+    }
+}
+
+#[test]
+fn backends_agree_under_compile_time_resolution() {
+    for w in workloads() {
+        check(&w, Strategy::CompileTime);
+    }
+}
+
+/// A cycle of receives that no execution can satisfy: the simulator
+/// proves a global deadlock, while the threaded backend — which has no
+/// global view — must surface a receive timeout instead of hanging.
+#[test]
+fn cyclic_deadlock_returns_timeout_on_threaded_backend() {
+    // Each of the two processors waits for the other before sending.
+    let body = vec![
+        SStmt::Recv {
+            from: SExpr::int(1).sub(SExpr::my_node()),
+            tag: 7,
+            into: vec![RecvTarget::Var("x".into())],
+        },
+        SStmt::Send {
+            to: SExpr::int(1).sub(SExpr::my_node()),
+            tag: 7,
+            values: vec![SExpr::int(1)],
+        },
+    ];
+    let prog = SpmdProgram::uniform(2, body);
+
+    let sim_err = SpmdMachine::new(&prog, CostModel::zero())
+        .expect("lowers")
+        .run()
+        .expect_err("simulator detects the cycle");
+    assert!(
+        matches!(
+            sim_err,
+            pdc_spmd::SpmdError::Machine(MachineError::Deadlock { .. })
+        ),
+        "simulator reports a deadlock, got: {sim_err}"
+    );
+
+    let thr_err = SpmdMachine::new(&prog, CostModel::zero())
+        .expect("lowers")
+        .with_backend(Backend::Threaded {
+            recv_timeout: Duration::from_millis(50),
+        })
+        .run()
+        .expect_err("threaded backend times out");
+    assert!(
+        matches!(
+            thr_err,
+            pdc_spmd::SpmdError::Machine(MachineError::RecvTimeout { .. })
+        ),
+        "threaded backend reports a receive timeout, got: {thr_err}"
+    );
+}

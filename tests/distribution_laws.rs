@@ -1,84 +1,89 @@
 //! Property tests of the domain-decomposition algebra and its use by the
 //! machine layer: owner totality, local/alloc consistency, and the
 //! preload→gather round trip for every distribution family.
+//! (Deterministic `pdc-testkit` cases; a failing case prints its seed
+//! for replay.)
 
 use pdc_istructure::IMatrix;
 use pdc_mapping::{Dist, DistInstance, OwnerSet};
 use pdc_spmd::ir::{SExpr, SStmt, SpmdProgram};
 use pdc_spmd::run::SpmdMachine;
 use pdc_spmd::Scalar;
-use proptest::prelude::*;
+use pdc_testkit::{cases, Rng};
 
-fn dist_strategy() -> impl Strategy<Value = Dist> {
-    prop_oneof![
-        Just(Dist::Replicated),
-        Just(Dist::ColumnCyclic),
-        Just(Dist::RowCyclic),
-        Just(Dist::ColumnBlock),
-        Just(Dist::RowBlock),
-        (1usize..4).prop_map(|b| Dist::ColumnBlockCyclic { block: b }),
-        (1usize..4).prop_map(|b| Dist::RowBlockCyclic { block: b }),
-    ]
+fn random_dist(rng: &mut Rng) -> Dist {
+    match rng.range_usize(0, 7) {
+        0 => Dist::Replicated,
+        1 => Dist::ColumnCyclic,
+        2 => Dist::RowCyclic,
+        3 => Dist::ColumnBlock,
+        4 => Dist::RowBlock,
+        5 => Dist::ColumnBlockCyclic {
+            block: rng.range_usize(1, 4),
+        },
+        _ => Dist::RowBlockCyclic {
+            block: rng.range_usize(1, 4),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Map is total: every element has an owner inside the machine, and
-    /// Local lands inside Alloc.
-    #[test]
-    fn owner_total_and_local_in_alloc(
-        dist in dist_strategy(),
-        rows in 1usize..10,
-        cols in 1usize..10,
-        nprocs in 1usize..6,
-    ) {
+/// Map is total: every element has an owner inside the machine, and
+/// Local lands inside Alloc.
+#[test]
+fn owner_total_and_local_in_alloc() {
+    cases(128, "owner_total_and_local_in_alloc", |rng| {
+        let dist = random_dist(rng);
+        let rows = rng.range_usize(1, 10);
+        let cols = rng.range_usize(1, 10);
+        let nprocs = rng.range_usize(1, 6);
         let inst = DistInstance::new(dist.clone(), rows, cols, nprocs);
         let (lr, lc) = inst.alloc();
         for i in 1..=rows as i64 {
             for j in 1..=cols as i64 {
                 match inst.owner(i, j) {
-                    OwnerSet::One(p) => prop_assert!(p < nprocs),
+                    OwnerSet::One(p) => assert!(p < nprocs),
                     OwnerSet::All => {}
                 }
                 let (li, lj) = inst.local(i, j);
-                prop_assert!(li >= 1 && lj >= 1);
-                prop_assert!(li as usize <= lr, "{dist}: local row {li} > {lr}");
-                prop_assert!(lj as usize <= lc, "{dist}: local col {lj} > {lc}");
+                assert!(li >= 1 && lj >= 1);
+                assert!(li as usize <= lr, "{dist}: local row {li} > {lr}");
+                assert!(lj as usize <= lc, "{dist}: local col {lj} > {lc}");
             }
         }
-    }
+    });
+}
 
-    /// Local is injective per owner: two elements owned by the same
-    /// processor never collide in its segment.
-    #[test]
-    fn local_is_injective_per_owner(
-        dist in dist_strategy(),
-        rows in 1usize..9,
-        cols in 1usize..9,
-        nprocs in 1usize..5,
-    ) {
+/// Local is injective per owner: two elements owned by the same
+/// processor never collide in its segment.
+#[test]
+fn local_is_injective_per_owner() {
+    cases(128, "local_is_injective_per_owner", |rng| {
+        let dist = random_dist(rng);
+        let rows = rng.range_usize(1, 9);
+        let cols = rng.range_usize(1, 9);
+        let nprocs = rng.range_usize(1, 5);
         let inst = DistInstance::new(dist.clone(), rows, cols, nprocs);
         for p in 0..nprocs {
             let mut seen = std::collections::HashSet::new();
             for (i, j) in inst.owned_cells(p) {
                 let loc = inst.local(i, j);
-                prop_assert!(
+                assert!(
                     seen.insert(loc),
                     "{dist}: P{p} collision at local {loc:?} from ({i},{j})"
                 );
             }
         }
-    }
+    });
+}
 
-    /// A matrix preloaded under any distribution gathers back verbatim.
-    #[test]
-    fn preload_gather_round_trip(
-        dist in dist_strategy(),
-        rows in 1usize..8,
-        cols in 1usize..8,
-        nprocs in 1usize..5,
-    ) {
+/// A matrix preloaded under any distribution gathers back verbatim.
+#[test]
+fn preload_gather_round_trip() {
+    cases(128, "preload_gather_round_trip", |rng| {
+        let dist = random_dist(rng);
+        let rows = rng.range_usize(1, 8);
+        let cols = rng.range_usize(1, 8);
+        let nprocs = rng.range_usize(1, 5);
         // Minimal program that only references the array so the slot
         // exists on every processor.
         let body = vec![SStmt::If {
@@ -105,28 +110,25 @@ proptest! {
         let gathered = machine.gather("A").unwrap();
         for i in 1..=rows as i64 {
             for j in 1..=cols as i64 {
-                prop_assert_eq!(
-                    gathered.peek(i, j),
-                    data.peek(i, j),
-                    "{} at ({},{})", dist, i, j
-                );
+                assert_eq!(gathered.peek(i, j), data.peek(i, j), "{dist} at ({i},{j})");
             }
         }
-    }
+    });
+}
 
-    /// 2-D grids partition correctly too (separate case because the grid
-    /// shape must match the machine size).
-    #[test]
-    fn block2d_round_trip(
-        prows in 1usize..4,
-        pcols in 1usize..4,
-        rows in 1usize..8,
-        cols in 1usize..8,
-    ) {
+/// 2-D grids partition correctly too (separate case because the grid
+/// shape must match the machine size).
+#[test]
+fn block2d_round_trip() {
+    cases(128, "block2d_round_trip", |rng| {
+        let prows = rng.range_usize(1, 4);
+        let pcols = rng.range_usize(1, 4);
+        let rows = rng.range_usize(1, 8);
+        let cols = rng.range_usize(1, 8);
         let nprocs = prows * pcols;
         let dist = Dist::Block2d { prows, pcols };
         let inst = DistInstance::new(dist.clone(), rows, cols, nprocs);
         let total: usize = (0..nprocs).map(|p| inst.owned_cells(p).count()).sum();
-        prop_assert_eq!(total, rows * cols);
-    }
+        assert_eq!(total, rows * cols);
+    });
 }

@@ -16,8 +16,8 @@ fn check(dist: Dist, s: usize, strategy: Strategy) -> u64 {
         .array("Old", dist.clone());
     let mut job = Job::new(&program, "jacobi", decomp).with_const("n", n as i64);
     job.extent_overrides.insert("Old".into(), (n, n));
-    let compiled = driver::compile(&job, strategy)
-        .unwrap_or_else(|e| panic!("{dist} ({strategy:?}): {e}"));
+    let compiled =
+        driver::compile(&job, strategy).unwrap_or_else(|e| panic!("{dist} ({strategy:?}): {e}"));
     let inputs = Inputs::new()
         .scalar("n", Scalar::Int(n as i64))
         .array("Old", driver::standard_input(n, n));
@@ -60,7 +60,11 @@ fn locality_ranking_for_jacobi() {
     // cyclic layouts pay for every interior element.
     let cyclic = check(Dist::ColumnCyclic, 4, Strategy::CompileTime);
     let block = check(Dist::ColumnBlock, 4, Strategy::CompileTime);
-    let grid = check(Dist::Block2d { prows: 2, pcols: 2 }, 4, Strategy::CompileTime);
+    let grid = check(
+        Dist::Block2d { prows: 2, pcols: 2 },
+        4,
+        Strategy::CompileTime,
+    );
     assert!(
         block < cyclic,
         "block panels ({block}) should beat cyclic ({cyclic}) on messages"

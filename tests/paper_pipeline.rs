@@ -115,6 +115,7 @@ fn figure4_both_strategies() {
         let compiled = driver::compile(&job, strategy).unwrap();
         let exec = driver::execute(&compiled, &Inputs::new(), CostModel::ipsc2()).unwrap();
         assert_eq!(exec.messages(), 2);
+        assert_eq!(exec.outcome.report.undelivered, 0);
         assert_eq!(exec.machine.vm(3).var("c"), Some(Scalar::Int(12)));
         assert_eq!(exec.machine.vm(0).var("c"), None);
     }
@@ -142,6 +143,7 @@ fn mapping_polymorphism_saves_messages() {
             .scalar("k", Scalar::Int(7));
         let exec = driver::execute(&compiled, &inputs, CostModel::ipsc2()).unwrap();
         // Both versions leave the right values in place.
+        assert_eq!(exec.outcome.report.undelivered, 0);
         assert_eq!(exec.machine.vm(2).var("u"), Some(Scalar::Int(5)));
         assert_eq!(exec.machine.vm(3).var("v"), Some(Scalar::Int(7)));
         results.push(exec.messages());

@@ -2,12 +2,21 @@
 //! domain decompositions, both code generators agree with a direct
 //! evaluation of the program — the compiled machine program is
 //! semantically transparent no matter where the data lives.
+//! (Deterministic `pdc-testkit` cases; a failing case prints its seed
+//! for replay.)
+//!
+//! Regression policy: when a `cases(...)` run fails, the harness prints
+//! the case's seed. Pin it forever as a plain `#[test]` that calls
+//! `Rng::from_seed(0x...)` and re-runs the body — these never rot the
+//! way proptest-regressions files did, and they document the bug they
+//! caught. (No pinned seeds yet.)
 
 use pdc_core::driver::{self, Inputs, Job, Strategy as CodegenStrategy};
-use pdc_machine::CostModel;
-use pdc_mapping::{Decomposition, ScalarMap};
+use pdc_core::programs;
+use pdc_machine::{Backend, CostModel};
+use pdc_mapping::{Decomposition, Dist, ScalarMap};
 use pdc_spmd::Scalar;
-use proptest::prelude::*;
+use pdc_testkit::{cases, Rng};
 
 /// A recipe for one `let` statement: which earlier variables it reads and
 /// how it combines them.
@@ -25,18 +34,21 @@ struct StmtSpec {
     map: Option<usize>,
 }
 
-fn spec_strategy(nprocs: usize) -> impl Strategy<Value = Vec<StmtSpec>> {
-    proptest::collection::vec(
-        (
-            0usize..8,
-            0usize..8,
-            0u8..5,
-            -50i64..50,
-            proptest::option::of(0usize..nprocs),
-        )
-            .prop_map(|(a, b, op, k, map)| StmtSpec { a, b, op, k, map }),
-        1..12,
-    )
+fn random_specs(rng: &mut Rng, nprocs: usize) -> Vec<StmtSpec> {
+    let n = rng.range_usize(1, 12);
+    (0..n)
+        .map(|_| StmtSpec {
+            a: rng.range_usize(0, 8),
+            b: rng.range_usize(0, 8),
+            op: rng.range_usize(0, 5) as u8,
+            k: rng.range_i64(-50, 50),
+            map: if rng.bool() {
+                Some(rng.range_usize(0, nprocs))
+            } else {
+                None
+            },
+        })
+        .collect()
 }
 
 /// Render the program source and compute the expected value of each
@@ -66,86 +78,170 @@ fn build(specs: &[StmtSpec]) -> (String, Vec<i64>) {
     (src, values)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn compiled_scalar_programs_match_direct_evaluation(
-        specs in spec_strategy(4),
-        nprocs in 1usize..5,
-    ) {
-        let (src, expected) = build(&specs);
-        let program = pdc_lang::parse(&src).expect("generated source parses");
-        let mut d = Decomposition::new(nprocs);
-        for (i, s) in specs.iter().enumerate() {
-            if let Some(p) = s.map {
-                d = d.scalar(format!("x{}", i + 2), ScalarMap::On(p % nprocs));
-            }
+fn decomposition_for(specs: &[StmtSpec], nprocs: usize) -> Decomposition {
+    let mut d = Decomposition::new(nprocs);
+    for (i, s) in specs.iter().enumerate() {
+        if let Some(p) = s.map {
+            d = d.scalar(format!("x{}", i + 2), ScalarMap::On(p % nprocs));
         }
-        for strategy in [CodegenStrategy::Runtime, CodegenStrategy::CompileTime] {
-            let job = Job::new(&program, "main", d.clone());
-            let compiled = driver::compile(&job, strategy)
-                .unwrap_or_else(|e| panic!("{strategy:?} failed on:\n{src}\n{e}"));
-            let exec = driver::execute(&compiled, &Inputs::new(), CostModel::ipsc2())
-                .unwrap_or_else(|e| panic!("{strategy:?} run failed on:\n{src}\n{e}"));
-            prop_assert_eq!(exec.outcome.report.undelivered, 0);
-            // Every variable must hold its expected value on every
-            // processor that defines it (the owner, or everyone for ALL).
-            for (i, want) in expected.iter().enumerate() {
-                let name = format!("x{i}");
-                let map = if i < 2 {
-                    ScalarMap::All
-                } else {
-                    match specs[i - 2].map {
-                        Some(p) => ScalarMap::On(p % nprocs),
-                        None => ScalarMap::All,
-                    }
-                };
-                match map {
-                    ScalarMap::All => {
-                        for p in 0..nprocs {
-                            prop_assert_eq!(
+    }
+    d
+}
+
+#[test]
+fn compiled_scalar_programs_match_direct_evaluation() {
+    cases(
+        64,
+        "compiled_scalar_programs_match_direct_evaluation",
+        |rng| {
+            let nprocs = rng.range_usize(1, 5);
+            let specs = random_specs(rng, 4);
+            let (src, expected) = build(&specs);
+            let program = pdc_lang::parse(&src).expect("generated source parses");
+            let d = decomposition_for(&specs, nprocs);
+            for strategy in [CodegenStrategy::Runtime, CodegenStrategy::CompileTime] {
+                let job = Job::new(&program, "main", d.clone());
+                let compiled = driver::compile(&job, strategy)
+                    .unwrap_or_else(|e| panic!("{strategy:?} failed on:\n{src}\n{e}"));
+                let exec = driver::execute(&compiled, &Inputs::new(), CostModel::ipsc2())
+                    .unwrap_or_else(|e| panic!("{strategy:?} run failed on:\n{src}\n{e}"));
+                assert_eq!(exec.outcome.report.undelivered, 0);
+                // Every variable must hold its expected value on every
+                // processor that defines it (the owner, or everyone for ALL).
+                for (i, want) in expected.iter().enumerate() {
+                    let name = format!("x{i}");
+                    let map = if i < 2 {
+                        ScalarMap::All
+                    } else {
+                        match specs[i - 2].map {
+                            Some(p) => ScalarMap::On(p % nprocs),
+                            None => ScalarMap::All,
+                        }
+                    };
+                    match map {
+                        ScalarMap::All => {
+                            for p in 0..nprocs {
+                                assert_eq!(
+                                    exec.machine.vm(p).var(&name),
+                                    Some(Scalar::Int(*want)),
+                                    "{strategy:?}: {name} on P{p} in\n{src}"
+                                );
+                            }
+                        }
+                        ScalarMap::On(p) => {
+                            assert_eq!(
                                 exec.machine.vm(p).var(&name),
                                 Some(Scalar::Int(*want)),
-                                "{:?}: {} on P{} in\n{}", strategy, &name, p, &src
+                                "{strategy:?}: {name} on owner P{p} in\n{src}"
                             );
                         }
                     }
-                    ScalarMap::On(p) => {
-                        prop_assert_eq!(
-                            exec.machine.vm(p).var(&name),
-                            Some(Scalar::Int(*want)),
-                            "{:?}: {} on owner P{} in\n{}", strategy, &name, p, &src
-                        );
-                    }
                 }
+            }
+        },
+    );
+}
+
+/// A random distribution from the block / cyclic / block-cyclic
+/// families the paper's introduction motivates, sized for `nprocs`.
+fn random_array_dist(rng: &mut Rng, nprocs: usize) -> Dist {
+    match rng.range_usize(0, 7) {
+        0 => Dist::ColumnCyclic,
+        1 => Dist::RowCyclic,
+        2 => Dist::ColumnBlock,
+        3 => Dist::RowBlock,
+        4 => Dist::ColumnBlockCyclic {
+            block: rng.range_usize(1, 4),
+        },
+        5 => Dist::RowBlockCyclic {
+            block: rng.range_usize(1, 4),
+        },
+        _ => {
+            // A 2-D grid needs prows * pcols == nprocs; pick a divisor.
+            let divisors: Vec<usize> = (1..=nprocs).filter(|d| nprocs.is_multiple_of(*d)).collect();
+            let prows = divisors[rng.range_usize(0, divisors.len())];
+            Dist::Block2d {
+                prows,
+                pcols: nprocs / prows,
             }
         }
     }
+}
 
-    /// The two strategies always exchange the same messages for scalar
-    /// programs (coercions are forced by the mapping, not the strategy).
-    #[test]
-    fn strategies_agree_on_message_counts(
-        specs in spec_strategy(3),
-        nprocs in 2usize..4,
-    ) {
+/// The threaded backend agrees with the sequential interpreter (and the
+/// simulator) for the Jacobi kernel under *random* decompositions from
+/// the block / cyclic / block-cyclic families on 1–8 processors. This is
+/// the same transparency property as above, but exercising real OS
+/// threads, real channels, and every distribution family at once.
+#[test]
+fn threaded_backend_matches_interpreter_on_random_decompositions() {
+    cases(
+        24,
+        "threaded_backend_matches_interpreter_on_random_decompositions",
+        |rng| {
+            let nprocs = rng.range_usize(1, 9);
+            let n = rng.range_usize(4, 10);
+            let dist = random_array_dist(rng, nprocs);
+            let strategy = if rng.bool() {
+                CodegenStrategy::Runtime
+            } else {
+                CodegenStrategy::CompileTime
+            };
+            let label = format!("{dist:?} on {nprocs} procs, n = {n}, {strategy:?}");
+
+            let program = programs::jacobi();
+            let d = Decomposition::new(nprocs)
+                .array("New", dist.clone())
+                .array("Old", dist);
+            let mut job = Job::new(&program, "jacobi", d).with_const("n", n as i64);
+            job.extent_overrides.insert("Old".into(), (n, n));
+            let compiled =
+                driver::compile(&job, strategy).unwrap_or_else(|e| panic!("{label}: compile: {e}"));
+            let inputs = Inputs::new()
+                .scalar("n", Scalar::Int(n as i64))
+                .array("Old", driver::standard_input(n, n));
+
+            let thr =
+                driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::threaded())
+                    .unwrap_or_else(|e| panic!("{label}: threaded run: {e}"));
+            assert_eq!(thr.outcome.report.undelivered, 0, "{label}");
+            let gathered = thr.gather("New").expect("gathers");
+            let seq = driver::run_sequential(&program, "jacobi", &inputs).expect("sequential");
+            assert_eq!(
+                driver::first_mismatch(&gathered, &seq),
+                None,
+                "{label}: threaded output disagrees with the interpreter"
+            );
+
+            // And the communication pattern matches the simulator's.
+            let sim =
+                driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::Simulated)
+                    .unwrap_or_else(|e| panic!("{label}: simulated run: {e}"));
+            assert_eq!(
+                thr.outcome.report.pair_messages, sim.outcome.report.pair_messages,
+                "{label}: per-pair message counts diverge"
+            );
+        },
+    );
+}
+
+/// The two strategies always exchange the same messages for scalar
+/// programs (coercions are forced by the mapping, not the strategy).
+#[test]
+fn strategies_agree_on_message_counts() {
+    cases(64, "strategies_agree_on_message_counts", |rng| {
+        let nprocs = rng.range_usize(2, 4);
+        let specs = random_specs(rng, 3);
         let (src, _) = build(&specs);
         let program = pdc_lang::parse(&src).expect("generated source parses");
-        let mut d = Decomposition::new(nprocs);
-        for (i, s) in specs.iter().enumerate() {
-            if let Some(p) = s.map {
-                d = d.scalar(format!("x{}", i + 2), ScalarMap::On(p % nprocs));
-            }
-        }
+        let d = decomposition_for(&specs, nprocs);
         let mut counts = Vec::new();
         for strategy in [CodegenStrategy::Runtime, CodegenStrategy::CompileTime] {
             let job = Job::new(&program, "main", d.clone());
             let compiled = driver::compile(&job, strategy).unwrap();
-            let exec =
-                driver::execute(&compiled, &Inputs::new(), CostModel::zero()).unwrap();
+            let exec = driver::execute(&compiled, &Inputs::new(), CostModel::zero()).unwrap();
             counts.push(exec.messages());
         }
-        prop_assert_eq!(counts[0], counts[1], "src:\n{}", src);
-    }
+        assert_eq!(counts[0], counts[1], "src:\n{src}");
+    });
 }

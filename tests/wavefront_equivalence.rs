@@ -1,6 +1,8 @@
 //! Property test: the wavefront program compiled at *every* optimization
 //! level, over random grid sizes, machine sizes, and block sizes, always
 //! gathers to exactly the sequential interpreter's matrix.
+//! (Deterministic `pdc-testkit` cases; a failing case prints its seed
+//! for replay.)
 
 use pdc_core::driver::{self, Inputs, Job, Strategy};
 use pdc_core::handwritten;
@@ -9,72 +11,72 @@ use pdc_machine::CostModel;
 use pdc_opt::{optimize, OptLevel};
 use pdc_spmd::run::SpmdMachine;
 use pdc_spmd::Scalar;
-use proptest::prelude::*;
+use pdc_testkit::cases;
 
-fn check(prog: &pdc_spmd::ir::SpmdProgram, n: usize, label: &str) -> Result<(), TestCaseError> {
-    let mut m = SpmdMachine::new(prog, CostModel::ipsc2())
-        .map_err(|e| TestCaseError::fail(format!("{label}: {e}")))?;
+fn check(prog: &pdc_spmd::ir::SpmdProgram, n: usize, label: &str) {
+    let mut m =
+        SpmdMachine::new(prog, CostModel::ipsc2()).unwrap_or_else(|e| panic!("{label}: {e}"));
     m.preset_var("n", Scalar::Int(n as i64));
     m.preload_array(
         "Old",
         pdc_mapping::Dist::ColumnCyclic,
         &driver::standard_input(n, n),
     );
-    let out = m
-        .run()
-        .map_err(|e| TestCaseError::fail(format!("{label}: {e}")))?;
-    prop_assert_eq!(out.report.undelivered, 0, "{}: orphaned messages", label);
-    let gathered = m
-        .gather("New")
-        .map_err(|e| TestCaseError::fail(format!("{label}: {e}")))?;
+    let out = m.run().unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(out.report.undelivered, 0, "{label}: orphaned messages");
+    let gathered = m.gather("New").unwrap_or_else(|e| panic!("{label}: {e}"));
     let inputs = Inputs::new()
         .scalar("n", Scalar::Int(n as i64))
         .array("Old", driver::standard_input(n, n));
     let seq = driver::run_sequential(&programs::gauss_seidel(), "gs_iteration", &inputs)
-        .map_err(|e| TestCaseError::fail(format!("{label}: {e}")))?;
-    prop_assert_eq!(
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(
         driver::first_mismatch(&gathered, &seq),
         None,
-        "{}: wrong matrix",
-        label
+        "{label}: wrong matrix"
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_levels_match_sequential(
-        n in 5usize..16,
-        s in 1usize..6,
-        blk in 1usize..6,
-    ) {
+#[test]
+fn all_levels_match_sequential() {
+    cases(24, "all_levels_match_sequential", |rng| {
+        let n = rng.range_usize(5, 16);
+        let s = rng.range_usize(1, 6);
+        let blk = rng.range_usize(1, 6);
         let program = programs::gauss_seidel();
-        let job = Job::new(&program, "gs_iteration", programs::wavefront_decomposition(s))
-            .with_const("n", n as i64);
+        let job = Job::new(
+            &program,
+            "gs_iteration",
+            programs::wavefront_decomposition(s),
+        )
+        .with_const("n", n as i64);
         let rt = driver::compile(&job, Strategy::Runtime).unwrap();
-        check(&rt.spmd, n, "runtime")?;
+        check(&rt.spmd, n, "runtime");
         let ct = driver::compile(&job, Strategy::CompileTime).unwrap();
-        check(&ct.spmd, n, "compile-time")?;
+        check(&ct.spmd, n, "compile-time");
         for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3 { blksize: blk }] {
             let (opt, _) = optimize(&ct.spmd, level);
-            check(&opt, n, &format!("{level}"))?;
+            check(&opt, n, &format!("{level}"));
         }
-        check(&handwritten::gauss_seidel(s, blk), n, "handwritten")?;
-    }
+        check(&handwritten::gauss_seidel(s, blk), n, "handwritten");
+    });
+}
 
-    /// Optimizations never increase message count, and blocking divides
-    /// the pipelined stream count by roughly the block size.
-    #[test]
-    fn optimization_message_monotonicity(
-        n in 8usize..16,
-        s in 2usize..5,
-        blk in 1usize..6,
-    ) {
+/// Optimizations never increase message count, and blocking divides
+/// the pipelined stream count by roughly the block size.
+#[test]
+fn optimization_message_monotonicity() {
+    cases(24, "optimization_message_monotonicity", |rng| {
+        let n = rng.range_usize(8, 16);
+        let s = rng.range_usize(2, 5);
+        let blk = rng.range_usize(1, 6);
         let program = programs::gauss_seidel();
-        let job = Job::new(&program, "gs_iteration", programs::wavefront_decomposition(s))
-            .with_const("n", n as i64);
+        let job = Job::new(
+            &program,
+            "gs_iteration",
+            programs::wavefront_decomposition(s),
+        )
+        .with_const("n", n as i64);
         let ct = driver::compile(&job, Strategy::CompileTime).unwrap();
         let count = |prog: &pdc_spmd::ir::SpmdProgram| {
             let mut m = SpmdMachine::new(prog, CostModel::zero()).unwrap();
@@ -93,8 +95,8 @@ proptest! {
         let m2 = count(&o2);
         let (o3, _) = optimize(&ct.spmd, OptLevel::O3 { blksize: blk });
         let m3 = count(&o3);
-        prop_assert!(m1 <= base);
-        prop_assert!(m2 <= m1);
-        prop_assert!(m3 <= m2);
-    }
+        assert!(m1 <= base);
+        assert!(m2 <= m1);
+        assert!(m3 <= m2);
+    });
 }

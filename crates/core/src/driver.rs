@@ -10,7 +10,7 @@ use pdc_istructure::IMatrix;
 use pdc_lang::interp::Interpreter;
 use pdc_lang::value::Value;
 use pdc_lang::Program;
-use pdc_machine::{Backend, CostModel};
+use pdc_machine::{Backend, CostModel, FaultPlan, RelConfig};
 use pdc_mapping::Decomposition;
 use pdc_spmd::ir::SpmdProgram;
 use pdc_spmd::run::{RunOutcome, SpmdMachine};
@@ -47,6 +47,9 @@ pub struct Job<'a> {
     pub extent_overrides: HashMap<String, (usize, usize)>,
     /// Execution backend for the compiled program (simulated by default).
     pub backend: Backend,
+    /// Fault plan and retransmission policy the execution should run
+    /// under. `None` (the default) runs the raw, fault-free fabric.
+    pub fault_plan: Option<(FaultPlan, RelConfig)>,
 }
 
 impl<'a> Job<'a> {
@@ -61,6 +64,7 @@ impl<'a> Job<'a> {
             const_params: HashMap::new(),
             extent_overrides: HashMap::new(),
             backend: Backend::Simulated,
+            fault_plan: None,
         }
     }
 
@@ -73,6 +77,15 @@ impl<'a> Job<'a> {
     /// Select the execution backend for this job (simulated by default).
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Inject faults from `plan` during execution, running the machine's
+    /// reliable-delivery protocol. Outputs are unchanged (the protocol
+    /// recovers every message); timing and the
+    /// [`FaultReport`](pdc_machine::FaultReport) reflect the damage.
+    pub fn with_fault_plan(mut self, plan: FaultPlan, cfg: RelConfig) -> Self {
+        self.fault_plan = Some((plan, cfg));
         self
     }
 }
@@ -89,6 +102,8 @@ pub struct Compiled {
     pub inlined: Inlined,
     /// The execution backend the job requested (used by [`execute`]).
     pub backend: Backend,
+    /// Fault plan the job requested (used by [`execute`]).
+    pub fault_plan: Option<(FaultPlan, RelConfig)>,
 }
 
 /// Run the front half of the pipeline: inline, analyze, generate.
@@ -119,6 +134,7 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         analysis,
         inlined,
         backend: job.backend,
+        fault_plan: job.fault_plan.clone(),
     })
 }
 
@@ -210,6 +226,9 @@ pub fn execute_on(
     backend: Backend,
 ) -> Result<Execution, SpmdError> {
     let mut machine = SpmdMachine::new(&compiled.spmd, cost)?.with_backend(backend);
+    if let Some((plan, cfg)) = &compiled.fault_plan {
+        machine = machine.with_faults_cfg(plan.clone(), *cfg);
+    }
     for (name, v) in &inputs.scalars {
         machine.preset_var(name, *v);
     }

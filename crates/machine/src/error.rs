@@ -39,6 +39,21 @@ pub enum MachineError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// The reliable-delivery layer retransmitted a frame its configured
+    /// maximum number of times without ever seeing an acknowledgement —
+    /// the peer is unreachable (every copy was dropped by the fault plan)
+    /// or gone. Names the starved stream so tests and operators can see
+    /// exactly which channel died.
+    RetriesExhausted {
+        /// The sending processor that gave up.
+        proc: ProcId,
+        /// The peer that never acknowledged.
+        peer: ProcId,
+        /// The tag of the starved stream.
+        tag: Tag,
+        /// How many retransmissions were attempted.
+        retries: u32,
+    },
     /// A threaded-backend receive saw no traffic at all for the configured
     /// wall-clock window. Real threads cannot take the global no-progress
     /// snapshot the simulator's deadlock detector uses, so a cyclic
@@ -80,6 +95,18 @@ impl fmt::Display for MachineError {
             MachineError::StepBudgetExceeded { budget } => {
                 write!(f, "step budget of {budget} exceeded")
             }
+            MachineError::RetriesExhausted {
+                proc,
+                peer,
+                tag,
+                retries,
+            } => {
+                write!(
+                    f,
+                    "retries exhausted: {proc} retransmitted {tag} to {peer} \
+                     {retries} times without an ack"
+                )
+            }
             MachineError::RecvTimeout {
                 proc,
                 src,
@@ -113,6 +140,21 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("P0 awaits t3 from P1"));
         assert!(s.contains("P1 awaits t4 from P0"));
+    }
+
+    #[test]
+    fn display_retries_exhausted_names_the_stream() {
+        let e = MachineError::RetriesExhausted {
+            proc: ProcId(2),
+            peer: ProcId(0),
+            tag: Tag(9),
+            retries: 16,
+        };
+        let s = e.to_string();
+        assert!(s.contains("P2"));
+        assert!(s.contains("P0"));
+        assert!(s.contains("t9"));
+        assert!(s.contains("16"));
     }
 
     #[test]

@@ -46,6 +46,58 @@ pub trait Fabric {
     /// Typed receive attempt (`crecv`): consume the oldest matching
     /// message if one is pending, else `None` (caller must block).
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>>;
+
+    /// A send whose frame the transport loses: charge the sender exactly
+    /// as [`send`](Fabric::send) would (the words left the CPU) but
+    /// deliver nothing. Fault-injection hook — the default implementation
+    /// charges nobody and delivers nothing, which is correct for fabrics
+    /// that do not model send cost.
+    fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
+        let _ = (src, dst, tag, words);
+    }
+
+    /// Deposit a transport-manufactured frame — a duplicate or a delayed
+    /// copy — without charging the sender, arriving `extra` cycles later
+    /// than a regular send issued now would. The default implementation
+    /// falls back to a plain [`send`](Fabric::send).
+    fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        let _ = extra;
+        self.send(src, dst, tag, payload);
+    }
+}
+
+/// A mutable reference to a fabric is itself a fabric, so wrappers like
+/// [`FaultyFabric`](crate::FaultyFabric) can borrow rather than own.
+/// Every method — including the provided ones — delegates explicitly so
+/// an implementation's overrides are never bypassed.
+impl<F: Fabric + ?Sized> Fabric for &mut F {
+    fn n_procs(&self) -> usize {
+        (**self).n_procs()
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        (**self).cost_model()
+    }
+
+    fn tick(&mut self, p: ProcId, cycles: u64) {
+        (**self).tick(p, cycles);
+    }
+
+    fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        (**self).send(src, dst, tag, payload);
+    }
+
+    fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        (**self).try_recv(dst, src, tag)
+    }
+
+    fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
+        (**self).send_lost(src, dst, tag, words);
+    }
+
+    fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        (**self).inject(src, dst, tag, payload, extra);
+    }
 }
 
 /// The simulated multiprocessor: `n` logical clocks, a typed-channel
@@ -70,6 +122,11 @@ pub struct Machine {
     /// its factor — a heterogeneous machine for the §5.4 load-balancing
     /// experiments. Network flight time is unaffected.
     slowdown: Vec<u64>,
+    /// Set when a process sends a message to itself — a code-generation
+    /// bug the driver must surface as [`MachineError::SelfSend`]. The
+    /// fabric records it rather than panicking so release builds fail
+    /// loudly too (the frame is *not* delivered).
+    self_send: Option<ProcId>,
 }
 
 impl Machine {
@@ -88,6 +145,7 @@ impl Machine {
             procs: vec![ProcStats::default(); n],
             trace: Trace::disabled(),
             slowdown: vec![1; n],
+            self_send: None,
         }
     }
 
@@ -145,14 +203,16 @@ impl Machine {
     /// plus per-word cost and deposits the message with an arrival stamp of
     /// `sender clock + flight`.
     ///
-    /// Self-sends are recorded as [`MachineError::SelfSend`]-worthy by the
-    /// higher layers; the fabric permits them only because the run-time
-    /// resolution *tests* would never generate one — we debug-assert here.
+    /// A self-send (`src == dst`) is a code-generation bug — the compiler
+    /// must turn same-processor coercions into local reads (§3.1). The
+    /// fabric records it (see [`take_self_send`](Machine::take_self_send))
+    /// and delivers nothing; the scheduler surfaces it as
+    /// [`MachineError::SelfSend`] in every build profile.
     pub fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
-        debug_assert_ne!(
-            src, dst,
-            "coerce on the same processor must be a local read"
-        );
+        if src == dst {
+            self.self_send.get_or_insert(src);
+            return;
+        }
         let words = payload.len();
         let send_cost = self.cost.send_cost(words) * self.slowdown[src.0];
         self.clocks[src.0] = self.clocks[src.0].plus(send_cost);
@@ -207,6 +267,101 @@ impl Machine {
     /// Is a message pending for `(src → dst, tag)`?
     pub fn has_pending(&self, dst: ProcId, src: ProcId, tag: Tag) -> bool {
         self.network.has_pending(src, dst, tag)
+    }
+
+    /// Take and clear the recorded self-send fault, if any. Drivers call
+    /// this after every process step; `Some(p)` must become
+    /// [`MachineError::SelfSend`].
+    pub fn take_self_send(&mut self) -> Option<ProcId> {
+        self.self_send.take()
+    }
+
+    /// A send whose frame the transport loses: the sender pays the full
+    /// packing cost and the trace records the attempt, but nothing enters
+    /// the network. Fault-injection primitive.
+    pub fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
+        let send_cost = self.cost.send_cost(words) * self.slowdown[src.0];
+        self.clocks[src.0] = self.clocks[src.0].plus(send_cost);
+        self.procs[src.0].sends += 1;
+        self.procs[src.0].words_sent += words as u64;
+        self.trace.record(Event {
+            proc: src,
+            at: self.clocks[src.0],
+            kind: EventKind::Send { dst, tag, words },
+        });
+    }
+
+    /// Deposit a transport-manufactured frame — a duplicate or a delayed
+    /// copy — without charging the sender. It arrives at
+    /// `sender clock + flight + extra`, as if the transport had been
+    /// holding it since the matching [`send_lost`](Machine::send_lost).
+    pub fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        let sent_at = self.clocks[src.0];
+        let arrives_at = sent_at.plus(self.cost.flight).plus(extra);
+        self.network.deliver(Message {
+            src,
+            dst,
+            tag,
+            payload,
+            sent_at,
+            arrives_at,
+        });
+    }
+
+    /// Consume the oldest pending message for `(src → dst, tag)` with **no**
+    /// clock or statistics effect — the reliable-delivery layer's pump uses
+    /// this to do sequence-number bookkeeping out of band, then charges the
+    /// receiver in program order via [`charge_recv`](Machine::charge_recv).
+    pub fn take_raw(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Message> {
+        self.network.take(src, dst, tag)
+    }
+
+    /// Charge `dst` for receiving a `words`-long payload that arrived at
+    /// `arrives_at`: idle until the arrival if necessary, then pay the
+    /// unpacking cost. The accounting half of [`try_recv`](Machine::try_recv),
+    /// for payloads already pulled out via [`take_raw`](Machine::take_raw).
+    pub fn charge_recv(
+        &mut self,
+        dst: ProcId,
+        src: ProcId,
+        tag: Tag,
+        arrives_at: Time,
+        words: usize,
+    ) {
+        let before = self.clocks[dst.0];
+        let ready = if arrives_at > before {
+            self.procs[dst.0].idle_cycles += arrives_at.0 - before.0;
+            arrives_at
+        } else {
+            before
+        };
+        self.clocks[dst.0] = ready.plus(self.cost.recv_cost(words) * self.slowdown[dst.0]);
+        self.procs[dst.0].recvs += 1;
+        self.trace.record(Event {
+            proc: dst,
+            at: self.clocks[dst.0],
+            kind: EventKind::Recv {
+                src,
+                tag,
+                words,
+                waited: arrives_at.0.saturating_sub(before.0),
+            },
+        });
+    }
+
+    /// Advance `p`'s clock by `cycles` of protocol work (slowdown-scaled)
+    /// without counting an executed instruction — ack processing, timer
+    /// service, and similar bookkeeping the program never wrote.
+    pub fn busy(&mut self, p: ProcId, cycles: u64) {
+        self.clocks[p.0] = self.clocks[p.0].plus(cycles * self.slowdown[p.0]);
+    }
+
+    /// Advance `p`'s clock to at least `t` — how a retransmission timer
+    /// "fires" in simulated time when every processor is otherwise stuck.
+    pub fn advance_clock_to(&mut self, p: ProcId, t: Time) {
+        if t > self.clocks[p.0] {
+            self.clocks[p.0] = t;
+        }
     }
 
     /// Record that the process on `p` finished (for the trace).
@@ -281,6 +436,14 @@ impl Fabric for Machine {
 
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
         Machine::try_recv(self, dst, src, tag)
+    }
+
+    fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
+        Machine::send_lost(self, src, dst, tag, words);
+    }
+
+    fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        Machine::inject(self, src, dst, tag, payload, extra);
     }
 }
 
@@ -359,6 +522,92 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         let _ = Machine::new(0, CostModel::zero());
+    }
+
+    #[test]
+    fn self_send_is_recorded_not_delivered() {
+        let mut m = Machine::new(2, CostModel::ipsc2());
+        m.send(ProcId(1), ProcId(1), Tag(0), vec![1, 2]);
+        assert_eq!(m.take_self_send(), Some(ProcId(1)));
+        assert_eq!(m.take_self_send(), None, "take clears the fault");
+        assert!(m.try_recv(ProcId(1), ProcId(1), Tag(0)).is_none());
+        assert_eq!(m.undelivered(), 0);
+        // No charge either: a self-send is a bug, not a machine event.
+        assert_eq!(m.clock(ProcId(1)), Time(0));
+    }
+
+    #[test]
+    fn send_lost_charges_sender_without_delivery() {
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c);
+        m.send_lost(ProcId(0), ProcId(1), Tag(0), 3);
+        assert_eq!(m.clock(ProcId(0)), Time(c.send_cost(3)));
+        assert_eq!(m.stats().procs[0].sends, 1);
+        assert_eq!(m.stats().procs[0].words_sent, 3);
+        assert!(m.try_recv(ProcId(1), ProcId(0), Tag(0)).is_none());
+        assert_eq!(m.undelivered(), 0);
+    }
+
+    #[test]
+    fn inject_delivers_without_charging_sender() {
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c);
+        m.inject(ProcId(0), ProcId(1), Tag(0), vec![9], 250);
+        assert_eq!(m.clock(ProcId(0)), Time(0));
+        assert_eq!(m.stats().procs[0].sends, 0);
+        assert_eq!(m.try_recv(ProcId(1), ProcId(0), Tag(0)), Some(vec![9]));
+        // Arrival = sender clock (0) + flight + extra.
+        assert_eq!(m.clock(ProcId(1)), Time(c.flight + 250 + c.recv_cost(1)));
+    }
+
+    #[test]
+    fn take_raw_plus_charge_recv_equals_try_recv() {
+        let c = CostModel::ipsc2();
+        let mut a = Machine::new(2, c);
+        let mut b = Machine::new(2, c);
+        a.send(ProcId(0), ProcId(1), Tag(0), vec![1, 2]);
+        b.send(ProcId(0), ProcId(1), Tag(0), vec![1, 2]);
+        a.try_recv(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        let msg = b.take_raw(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        // take_raw alone moves nothing.
+        assert_eq!(b.clock(ProcId(1)), Time(0));
+        b.charge_recv(
+            ProcId(1),
+            ProcId(0),
+            Tag(0),
+            msg.arrives_at,
+            msg.payload.len(),
+        );
+        assert_eq!(a.clock(ProcId(1)), b.clock(ProcId(1)));
+        assert_eq!(
+            a.stats().procs[1].idle_cycles,
+            b.stats().procs[1].idle_cycles
+        );
+        assert_eq!(a.stats().procs[1].recvs, b.stats().procs[1].recvs);
+    }
+
+    #[test]
+    fn busy_and_advance_clock_to() {
+        let mut m = Machine::new(2, CostModel::zero()).with_slowdowns(vec![2, 1]);
+        m.busy(ProcId(0), 10);
+        assert_eq!(m.clock(ProcId(0)), Time(20), "busy is slowdown-scaled");
+        assert_eq!(m.stats().procs[0].ops, 0, "busy counts no instruction");
+        m.advance_clock_to(ProcId(0), Time(15));
+        assert_eq!(m.clock(ProcId(0)), Time(20), "never moves backwards");
+        m.advance_clock_to(ProcId(0), Time(120));
+        assert_eq!(m.clock(ProcId(0)), Time(120));
+    }
+
+    #[test]
+    fn mut_ref_fabric_delegates_overrides() {
+        fn lose<F: Fabric>(mut f: F) {
+            f.send_lost(ProcId(0), ProcId(1), Tag(0), 2);
+        }
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c);
+        lose(&mut m);
+        // Machine's override ran (charged the sender), not the no-op default.
+        assert_eq!(m.clock(ProcId(0)), Time(c.send_cost(2)));
     }
 }
 

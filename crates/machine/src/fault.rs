@@ -1,0 +1,652 @@
+//! Deterministic fault injection for the machine fabric.
+//!
+//! The paper's generated code assumes the iPSC/2 interconnect never loses,
+//! duplicates, or reorders a message — the §4 pipelining argument (send new
+//! values as soon as they are produced) is only safe on a perfectly
+//! reliable network. This module lets tests and experiments *break* that
+//! assumption on purpose, reproducibly: a seeded [`FaultPlan`] decides, for
+//! the `k`-th transmission on each `(src, dst, tag)` triple, whether the
+//! transport delivers it intact, drops it, duplicates it, delays it, or
+//! reorders it past its successor.
+//!
+//! # Determinism
+//!
+//! Every decision is a pure function of `(seed, src, dst, tag, k)` where
+//! `k` is the per-triple transmission index. The index is counted on the
+//! *sender*, and FIFO order within a typed channel is program order on the
+//! sender (see [`Scheduler`](crate::Scheduler)), so the same program run on
+//! the deterministic simulator always sees the exact same injected faults —
+//! no `Math.random`-style ambient entropy, no OS entropy, just a private
+//! xorshift64* stream re-derived per message. On the threaded backend the
+//! per-transmission decisions are equally deterministic, but wall-clock
+//! retransmission timing can change *how many* transmissions occur.
+//!
+//! # Composition
+//!
+//! [`FaultyFabric`] wraps any [`Fabric`] — the simulator's
+//! [`Machine`](crate::Machine), the threaded backend's
+//! [`Endpoint`](crate::threaded::Endpoint), or a test double — so every
+//! unmodified [`Process`](crate::Process) composes with it. Fault plans are
+//! normally paired with the reliable-delivery layer (see
+//! [`reliable`](crate::reliable)); a lossy plan without reliability simply
+//! loses data, exactly like a real datagram network.
+
+use crate::fabric::Fabric;
+use crate::message::{ProcId, Tag, Word};
+use std::collections::{BTreeSet, HashMap};
+
+/// Scale of the per-mille probability knobs: a knob value of
+/// [`PM_SCALE`] means "always".
+pub const PM_SCALE: u32 = 1000;
+
+/// What the faulty transport does with one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver intact.
+    Deliver,
+    /// Charge the sender, then lose the frame.
+    Drop,
+    /// Deliver intact, plus a transport-manufactured copy.
+    Duplicate,
+    /// Deliver with this many extra cycles of flight time.
+    Delay(u64),
+    /// Hold the frame back and release it after the next transmission on
+    /// the same triple (a reorder-within-a-triple).
+    Hold,
+}
+
+/// A processor stall event: at the `at_op`-th charged instruction on
+/// `proc`, the processor loses `cycles` extra cycles (a page fault, an
+/// interrupt storm — anything that delays one processor without touching
+/// the network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stall {
+    /// The processor that stalls.
+    pub proc: ProcId,
+    /// The instruction index (per-processor `tick` count) at which it
+    /// stalls. The first charged instruction is index 0.
+    pub at_op: u64,
+    /// Extra cycles charged at that instruction.
+    pub cycles: u64,
+}
+
+/// A seeded, fully deterministic description of what the fabric does to
+/// traffic. All probability knobs are per-mille (`0..=1000`).
+///
+/// `max_faults_per_triple` bounds how many faults the plan may inject on
+/// one `(src, dst, tag)` stream; once the budget is spent, later
+/// transmissions pass through untouched. Together with a retransmit cap
+/// larger than the budget this guarantees that a reliable run over a lossy
+/// plan always converges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the per-message decision streams.
+    pub seed: u64,
+    /// Per-mille probability of dropping a transmission.
+    pub drop_pm: u32,
+    /// Per-mille probability of duplicating a transmission.
+    pub dup_pm: u32,
+    /// Per-mille probability of delaying a transmission.
+    pub delay_pm: u32,
+    /// Extra flight cycles for a delayed transmission.
+    pub delay_cycles: u64,
+    /// Per-mille probability of holding a transmission back past its
+    /// successor on the same triple.
+    pub reorder_pm: u32,
+    /// Fault budget per `(src, dst, tag)` triple (`u32::MAX` = unlimited).
+    pub max_faults_per_triple: u32,
+    /// Triples whose every transmission is dropped, budget or not — the
+    /// way to force a [`MachineError::RetriesExhausted`](crate::MachineError)
+    /// outcome deterministically.
+    pub black_holes: BTreeSet<(ProcId, ProcId, Tag)>,
+    /// Processor stall events.
+    pub stalls: Vec<Stall>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfectly reliable fabric. Runs configured with
+    /// it take the exact same code path as runs with no plan at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_pm: 0,
+            dup_pm: 0,
+            delay_pm: 0,
+            delay_cycles: 0,
+            reorder_pm: 0,
+            max_faults_per_triple: u32::MAX,
+            black_holes: BTreeSet::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// An empty plan carrying only a seed (ready for builder calls).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Does this plan inject nothing at all?
+    pub fn is_none(&self) -> bool {
+        self.drop_pm == 0
+            && self.dup_pm == 0
+            && self.delay_pm == 0
+            && self.reorder_pm == 0
+            && self.black_holes.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Set the per-mille drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined fault probabilities exceed 1000‰.
+    pub fn with_drops(mut self, pm: u32) -> Self {
+        self.drop_pm = pm;
+        self.check();
+        self
+    }
+
+    /// Set the per-mille duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined fault probabilities exceed 1000‰.
+    pub fn with_dups(mut self, pm: u32) -> Self {
+        self.dup_pm = pm;
+        self.check();
+        self
+    }
+
+    /// Set the per-mille delay probability and the extra flight cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined fault probabilities exceed 1000‰.
+    pub fn with_delays(mut self, pm: u32, cycles: u64) -> Self {
+        self.delay_pm = pm;
+        self.delay_cycles = cycles;
+        self.check();
+        self
+    }
+
+    /// Set the per-mille reorder probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined fault probabilities exceed 1000‰.
+    pub fn with_reorders(mut self, pm: u32) -> Self {
+        self.reorder_pm = pm;
+        self.check();
+        self
+    }
+
+    /// Bound the number of faults injected per `(src, dst, tag)` triple.
+    pub fn with_fault_budget(mut self, max: u32) -> Self {
+        self.max_faults_per_triple = max;
+        self
+    }
+
+    /// Drop *every* transmission on the given triple, ignoring the budget.
+    pub fn with_black_hole(mut self, src: ProcId, dst: ProcId, tag: Tag) -> Self {
+        self.black_holes.insert((src, dst, tag));
+        self
+    }
+
+    /// Add a processor stall event.
+    pub fn with_stall(mut self, proc: ProcId, at_op: u64, cycles: u64) -> Self {
+        self.stalls.push(Stall {
+            proc,
+            at_op,
+            cycles,
+        });
+        self
+    }
+
+    fn check(&self) {
+        assert!(
+            self.drop_pm + self.dup_pm + self.delay_pm + self.reorder_pm <= PM_SCALE,
+            "combined fault probabilities exceed {PM_SCALE} per mille"
+        );
+    }
+
+    /// The decision for the `k`-th transmission on `(src, dst, tag)` —
+    /// a pure function, independent of any mutable state.
+    pub fn decide(&self, src: ProcId, dst: ProcId, tag: Tag, k: u64) -> FaultDecision {
+        if self.black_holes.contains(&(src, dst, tag)) {
+            return FaultDecision::Drop;
+        }
+        let mut x = splitmix(
+            self.seed
+                ^ splitmix(src.0 as u64 ^ (dst.0 as u64).rotate_left(17) ^ ((tag.0 as u64) << 34))
+                ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // xorshift64*: one more scramble so adjacent k values decorrelate.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let roll = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32 % PM_SCALE;
+        if roll < self.drop_pm {
+            FaultDecision::Drop
+        } else if roll < self.drop_pm + self.dup_pm {
+            FaultDecision::Duplicate
+        } else if roll < self.drop_pm + self.dup_pm + self.delay_pm {
+            FaultDecision::Delay(self.delay_cycles)
+        } else if roll < self.drop_pm + self.dup_pm + self.delay_pm + self.reorder_pm {
+            FaultDecision::Hold
+        } else {
+            FaultDecision::Deliver
+        }
+    }
+}
+
+/// SplitMix64 finalizer, used to derive per-message decision streams.
+fn splitmix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tally of the faults a plan actually injected during one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transmissions dropped.
+    pub drops: u64,
+    /// Transmissions duplicated.
+    pub dups: u64,
+    /// Transmissions delayed.
+    pub delays: u64,
+    /// Transmissions held back past a successor.
+    pub reorders: u64,
+    /// Stall events fired.
+    pub stalls: u64,
+    /// Total extra cycles charged by stalls.
+    pub stall_cycles: u64,
+}
+
+impl FaultCounts {
+    /// Total message-level faults injected (stalls excluded).
+    pub fn total(&self) -> u64 {
+        self.drops + self.dups + self.delays + self.reorders
+    }
+
+    /// Merge another tally into this one (threaded backend teardown).
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.drops += other.drops;
+        self.dups += other.dups;
+        self.delays += other.delays;
+        self.reorders += other.reorders;
+        self.stalls += other.stalls;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// The mutable run-time state of a plan: per-triple transmission indices
+/// and fault budgets, held (reordered) frames, per-processor instruction
+/// counters for stalls, and the injected-fault tally.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    xmit: HashMap<(ProcId, ProcId, Tag), u64>,
+    spent: HashMap<(ProcId, ProcId, Tag), u32>,
+    held: HashMap<(ProcId, ProcId, Tag), Vec<Word>>,
+    ops: HashMap<ProcId, u64>,
+    fired: Vec<bool>,
+    counts: FaultCounts,
+}
+
+impl FaultState {
+    /// Fresh state for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = vec![false; plan.stalls.len()];
+        FaultState {
+            plan,
+            xmit: HashMap::new(),
+            spent: HashMap::new(),
+            held: HashMap::new(),
+            ops: HashMap::new(),
+            fired,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Frames currently held for reordering (should be zero after a
+    /// reliable run converges — retransmits flush them).
+    pub fn held_frames(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Account one charged instruction on `p` and return the extra stall
+    /// cycles (usually zero) to fold into the charge.
+    pub fn stall_cycles(&mut self, p: ProcId) -> u64 {
+        let op = self.ops.entry(p).or_insert(0);
+        let at = *op;
+        *op += 1;
+        if self.plan.stalls.is_empty() {
+            return 0;
+        }
+        let mut extra = 0;
+        for (i, s) in self.plan.stalls.iter().enumerate() {
+            if !self.fired[i] && s.proc == p && s.at_op == at {
+                self.fired[i] = true;
+                extra += s.cycles;
+                self.counts.stalls += 1;
+                self.counts.stall_cycles += s.cycles;
+            }
+        }
+        extra
+    }
+
+    /// Decide the fate of the next transmission on `(src, dst, tag)`,
+    /// advancing the per-triple index and spending the fault budget.
+    pub fn next_decision(&mut self, src: ProcId, dst: ProcId, tag: Tag) -> FaultDecision {
+        let key = (src, dst, tag);
+        let k = self.xmit.entry(key).or_insert(0);
+        let index = *k;
+        *k += 1;
+        let mut d = self.plan.decide(src, dst, tag, index);
+        let black_hole = self.plan.black_holes.contains(&key);
+        if !black_hole {
+            let spent = self.spent.entry(key).or_insert(0);
+            if d != FaultDecision::Deliver {
+                if *spent >= self.plan.max_faults_per_triple {
+                    d = FaultDecision::Deliver;
+                } else {
+                    *spent += 1;
+                }
+            }
+        }
+        // Never stack two held frames on one triple: a second Hold would
+        // only swap which frame waits, so deliver instead.
+        if d == FaultDecision::Hold && self.held.contains_key(&key) {
+            d = FaultDecision::Deliver;
+        }
+        d
+    }
+
+    /// Transmit `frame` over `fabric`, applying the plan. Dropped and
+    /// delayed frames still charge the sender (the words left the CPU);
+    /// duplicates and released held frames are transport-manufactured and
+    /// charge nobody.
+    pub fn dispatch<F: Fabric + ?Sized>(
+        &mut self,
+        fabric: &mut F,
+        src: ProcId,
+        dst: ProcId,
+        tag: Tag,
+        frame: Vec<Word>,
+    ) {
+        let key = (src, dst, tag);
+        let d = self.next_decision(src, dst, tag);
+        match d {
+            FaultDecision::Deliver => fabric.send(src, dst, tag, frame),
+            FaultDecision::Drop => {
+                self.counts.drops += 1;
+                fabric.send_lost(src, dst, tag, frame.len());
+            }
+            FaultDecision::Duplicate => {
+                self.counts.dups += 1;
+                fabric.send(src, dst, tag, frame.clone());
+                fabric.inject(src, dst, tag, frame, 0);
+            }
+            FaultDecision::Delay(extra) => {
+                self.counts.delays += 1;
+                fabric.send_lost(src, dst, tag, frame.len());
+                fabric.inject(src, dst, tag, frame, extra);
+            }
+            FaultDecision::Hold => {
+                self.counts.reorders += 1;
+                fabric.send_lost(src, dst, tag, frame.len());
+                self.held.insert(key, frame);
+                return;
+            }
+        }
+        // A transmission went out on this triple: release any held
+        // predecessor *after* it, completing the reorder.
+        if let Some(h) = self.held.remove(&key) {
+            fabric.inject(src, dst, tag, h, 0);
+        }
+    }
+}
+
+/// A [`Fabric`] that applies a [`FaultPlan`] to every send and tick,
+/// leaving receives untouched. Wraps any fabric — including a
+/// `&mut Machine` — so unmodified processes run over a lossy network.
+#[derive(Debug)]
+pub struct FaultyFabric<F: Fabric> {
+    inner: F,
+    state: FaultState,
+}
+
+impl<F: Fabric> FaultyFabric<F> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: F, plan: FaultPlan) -> Self {
+        FaultyFabric {
+            inner,
+            state: FaultState::new(plan),
+        }
+    }
+
+    /// The wrapped fabric.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.state.counts()
+    }
+
+    /// Unwrap, returning the inner fabric.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+}
+
+impl<F: Fabric> Fabric for FaultyFabric<F> {
+    fn n_procs(&self) -> usize {
+        self.inner.n_procs()
+    }
+
+    fn cost_model(&self) -> &crate::cost::CostModel {
+        self.inner.cost_model()
+    }
+
+    fn tick(&mut self, p: ProcId, cycles: u64) {
+        let extra = self.state.stall_cycles(p);
+        self.inner.tick(p, cycles + extra);
+    }
+
+    fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        self.state.dispatch(&mut self.inner, src, dst, tag, payload);
+    }
+
+    fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        self.inner.try_recv(dst, src, tag)
+    }
+
+    fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
+        self.inner.send_lost(src, dst, tag, words);
+    }
+
+    fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        self.inner.inject(src, dst, tag, payload, extra);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::fabric::Machine;
+    use crate::message::Time;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::seeded(42).with_drops(300).with_dups(100);
+        for k in 0..64 {
+            assert_eq!(
+                plan.decide(ProcId(0), ProcId(1), Tag(3), k),
+                plan.decide(ProcId(0), ProcId(1), Tag(3), k),
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_vary_with_seed_triple_and_index() {
+        let a = FaultPlan::seeded(1).with_drops(500);
+        let b = FaultPlan::seeded(2).with_drops(500);
+        let decisions = |p: &FaultPlan, src: usize, tag: u32| -> Vec<FaultDecision> {
+            (0..256)
+                .map(|k| p.decide(ProcId(src), ProcId(1), Tag(tag), k))
+                .collect()
+        };
+        assert_ne!(
+            decisions(&a, 0, 0),
+            decisions(&b, 0, 0),
+            "seeds decorrelate"
+        );
+        assert_ne!(
+            decisions(&a, 0, 0),
+            decisions(&a, 2, 0),
+            "triples decorrelate"
+        );
+        assert_ne!(decisions(&a, 0, 0), decisions(&a, 0, 7), "tags decorrelate");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_calibrated() {
+        let plan = FaultPlan::seeded(9).with_drops(250);
+        let drops = (0..10_000)
+            .filter(|&k| plan.decide(ProcId(0), ProcId(1), Tag(0), k) == FaultDecision::Drop)
+            .count();
+        assert!((2_000..3_000).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn empty_plan_is_none_and_delivers_everything() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for k in 0..128 {
+            assert_eq!(
+                plan.decide(ProcId(0), ProcId(1), Tag(0), k),
+                FaultDecision::Deliver
+            );
+        }
+        assert!(!FaultPlan::seeded(0).with_drops(1).is_none());
+    }
+
+    #[test]
+    fn budget_caps_faults_per_triple() {
+        let plan = FaultPlan::seeded(3).with_drops(1000).with_fault_budget(2);
+        let mut st = FaultState::new(plan);
+        let drops = (0..50)
+            .filter(|_| st.next_decision(ProcId(0), ProcId(1), Tag(0)) == FaultDecision::Drop)
+            .count();
+        assert_eq!(drops, 2);
+        // An independent triple has its own budget.
+        assert_eq!(
+            st.next_decision(ProcId(0), ProcId(1), Tag(1)),
+            FaultDecision::Drop
+        );
+    }
+
+    #[test]
+    fn black_hole_ignores_budget() {
+        let plan =
+            FaultPlan::seeded(0)
+                .with_fault_budget(1)
+                .with_black_hole(ProcId(0), ProcId(1), Tag(5));
+        let mut st = FaultState::new(plan);
+        for _ in 0..20 {
+            assert_eq!(
+                st.next_decision(ProcId(0), ProcId(1), Tag(5)),
+                FaultDecision::Drop
+            );
+        }
+        assert_eq!(
+            st.next_decision(ProcId(0), ProcId(1), Tag(6)),
+            FaultDecision::Deliver
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn probability_overflow_rejected() {
+        let _ = FaultPlan::seeded(0).with_drops(700).with_dups(400);
+    }
+
+    #[test]
+    fn faulty_fabric_drops_on_machine() {
+        let plan = FaultPlan::seeded(0).with_black_hole(ProcId(0), ProcId(1), Tag(0));
+        let mut f = FaultyFabric::new(Machine::new(2, CostModel::ipsc2()), plan);
+        f.send(ProcId(0), ProcId(1), Tag(0), vec![1, 2]);
+        // Sender paid for the send...
+        assert_eq!(
+            f.inner().clock(ProcId(0)),
+            Time(CostModel::ipsc2().send_cost(2))
+        );
+        // ...but nothing was delivered.
+        assert!(f.try_recv(ProcId(1), ProcId(0), Tag(0)).is_none());
+        assert_eq!(f.counts().drops, 1);
+    }
+
+    #[test]
+    fn faulty_fabric_duplicates_on_machine() {
+        let plan = FaultPlan::seeded(0).with_dups(1000);
+        let mut f = FaultyFabric::new(Machine::new(2, CostModel::zero()), plan);
+        f.send(ProcId(0), ProcId(1), Tag(0), vec![7]);
+        assert_eq!(f.try_recv(ProcId(1), ProcId(0), Tag(0)), Some(vec![7]));
+        assert_eq!(f.try_recv(ProcId(1), ProcId(0), Tag(0)), Some(vec![7]));
+        assert!(f.try_recv(ProcId(1), ProcId(0), Tag(0)).is_none());
+        assert_eq!(f.counts().dups, 1);
+    }
+
+    #[test]
+    fn faulty_fabric_reorders_within_triple() {
+        let plan = FaultPlan::seeded(11).with_reorders(1000);
+        let mut f = FaultyFabric::new(Machine::new(2, CostModel::zero()), plan);
+        f.send(ProcId(0), ProcId(1), Tag(0), vec![1]); // held
+        f.send(ProcId(0), ProcId(1), Tag(0), vec![2]); // delivered, then releases [1]
+        assert_eq!(f.try_recv(ProcId(1), ProcId(0), Tag(0)), Some(vec![2]));
+        assert_eq!(f.try_recv(ProcId(1), ProcId(0), Tag(0)), Some(vec![1]));
+        assert!(f.counts().reorders >= 1);
+    }
+
+    #[test]
+    fn delay_shifts_arrival_stamp() {
+        let plan = FaultPlan::seeded(0).with_delays(1000, 500);
+        let cost = CostModel::ipsc2();
+        let mut f = FaultyFabric::new(Machine::new(2, cost), plan);
+        f.send(ProcId(0), ProcId(1), Tag(0), vec![1]);
+        f.try_recv(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        let expected = cost.send_cost(1) + cost.flight + 500 + cost.recv_cost(1);
+        assert_eq!(f.inner().clock(ProcId(1)), Time(expected));
+        assert_eq!(f.counts().delays, 1);
+    }
+
+    #[test]
+    fn stalls_charge_extra_cycles_once() {
+        let plan = FaultPlan::seeded(0).with_stall(ProcId(0), 1, 1_000);
+        let mut f = FaultyFabric::new(Machine::new(2, CostModel::zero()), plan);
+        f.tick(ProcId(0), 1); // op 0: no stall
+        f.tick(ProcId(0), 1); // op 1: stall fires
+        f.tick(ProcId(0), 1); // op 2: no stall (fires once)
+        assert_eq!(f.inner().clock(ProcId(0)), Time(3 + 1_000));
+        assert_eq!(f.counts().stalls, 1);
+        assert_eq!(f.counts().stall_cycles, 1_000);
+    }
+}

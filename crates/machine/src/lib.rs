@@ -45,8 +45,10 @@
 mod cost;
 mod error;
 mod fabric;
+pub mod fault;
 mod message;
 mod network;
+pub mod reliable;
 mod sched;
 mod stats;
 pub mod threaded;
@@ -55,9 +57,11 @@ mod trace;
 pub use cost::CostModel;
 pub use error::MachineError;
 pub use fabric::{Fabric, Machine};
+pub use fault::{FaultCounts, FaultDecision, FaultPlan, FaultState, FaultyFabric, Stall};
 pub use message::{Message, ProcId, Tag, Time, Word};
 pub use network::Network;
+pub use reliable::{ack_tag, RelConfig, ACK_TAG_BIT};
 pub use sched::{Process, RunReport, Scheduler, Step};
-pub use stats::{MachineStats, NetworkStats, ProcStats};
+pub use stats::{FaultReport, MachineStats, NetworkStats, ProcStats};
 pub use threaded::{Backend, ThreadedRunner, DEFAULT_RECV_TIMEOUT};
 pub use trace::{render_gantt as trace_render, Event, EventKind, Trace};

@@ -1,0 +1,283 @@
+//! Reliable delivery over an unreliable fabric.
+//!
+//! The raw fabric guarantees nothing once a [`FaultPlan`](crate::FaultPlan)
+//! is in force: frames may be dropped, duplicated, delayed, or reordered
+//! within a `(src, dst, tag)` triple. This module supplies the classic
+//! remedy — per-stream sequence numbers, cumulative positive
+//! acknowledgements, and bounded retransmission with exponential backoff —
+//! as backend-neutral building blocks. The simulator's
+//! [`Scheduler::run_faulty`](crate::Scheduler::run_faulty) instantiates
+//! them with logical-clock deadlines ([`Time`]); the threaded backend with
+//! wall-clock deadlines ([`std::time::Instant`]).
+//!
+//! # Wire format
+//!
+//! A *data frame* on `(src, dst, tag)` is the program payload prefixed
+//! with one word: `[seq, w0, w1, …]`, where `seq` is the zero-based
+//! position of the message in its stream. An *ack frame* travels on the
+//! reversed pair under the companion tag [`ack_tag`]`(tag)` — the original
+//! tag with bit 31 set — and carries a single word: the *cumulative*
+//! acknowledgement `n`, meaning "every sequence number below `n` has been
+//! received". Cumulative acks are idempotent, so lost, duplicated, or
+//! reordered acks never corrupt the protocol; at worst they cause a
+//! spurious retransmission, which the receive-side dedup absorbs.
+//!
+//! Program tags must therefore stay below [`ACK_TAG_BIT`]; the compiler
+//! allocates small dense tags, so the top bit is free by construction
+//! (debug-asserted at the send site).
+
+use crate::message::{Tag, Time, Word};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+/// Tag-space bit reserved for acknowledgement streams: the ack channel
+/// for `(src, dst, tag)` is `(dst, src, tag | ACK_TAG_BIT)`.
+pub const ACK_TAG_BIT: u32 = 1 << 31;
+
+/// The companion acknowledgement tag of a data tag.
+pub fn ack_tag(t: Tag) -> Tag {
+    Tag(t.0 | ACK_TAG_BIT)
+}
+
+/// Is this tag an acknowledgement stream?
+pub fn is_ack_tag(t: Tag) -> bool {
+    t.0 & ACK_TAG_BIT != 0
+}
+
+/// Prefix `payload` with its sequence number.
+pub fn frame(seq: u64, payload: &[Word]) -> Vec<Word> {
+    let mut f = Vec::with_capacity(payload.len() + 1);
+    f.push(seq as Word);
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Split a data frame back into `(seq, payload)`.
+pub fn unframe(mut f: Vec<Word>) -> (u64, Vec<Word>) {
+    let seq = f[0] as u64;
+    f.remove(0);
+    (seq, f)
+}
+
+/// Retransmission policy, shared by both backends. The two timeout bases
+/// reflect the two notions of time: the simulator retries after
+/// `rto_cycles` *logical* cycles of the sender's clock, the threaded
+/// backend after `rto_wall` of real time. Both double per retry
+/// (exponential backoff, capped at 2¹⁰×).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelConfig {
+    /// Base retransmission timeout on the simulator, in logical cycles.
+    /// The default is ~30× an iPSC/2 round trip, so a healthy ack always
+    /// arrives first.
+    pub rto_cycles: u64,
+    /// Base retransmission timeout on the threaded backend, wall-clock.
+    pub rto_wall: Duration,
+    /// Retransmissions per frame before the sender gives up with
+    /// [`MachineError::RetriesExhausted`](crate::MachineError).
+    pub max_retries: u32,
+}
+
+impl Default for RelConfig {
+    fn default() -> Self {
+        RelConfig {
+            rto_cycles: 50_000,
+            rto_wall: Duration::from_millis(20),
+            max_retries: 16,
+        }
+    }
+}
+
+impl RelConfig {
+    /// The logical-clock timeout after `retries` retransmissions.
+    pub fn backoff_cycles(&self, retries: u32) -> u64 {
+        self.rto_cycles.saturating_mul(1u64 << retries.min(10))
+    }
+
+    /// The wall-clock timeout after `retries` retransmissions.
+    pub fn backoff_wall(&self, retries: u32) -> Duration {
+        self.rto_wall.saturating_mul(1u32 << retries.min(10))
+    }
+}
+
+/// A frame awaiting acknowledgement. `T` is the deadline type: [`Time`]
+/// on the simulator, `std::time::Instant` on the threaded backend.
+#[derive(Debug, Clone)]
+pub struct Pending<T> {
+    /// Sequence number of the frame.
+    pub seq: u64,
+    /// The full wire frame (seq word included), kept for retransmission.
+    pub frame: Vec<Word>,
+    /// Retransmissions so far.
+    pub retries: u32,
+    /// When the next retransmission fires.
+    pub deadline: T,
+}
+
+/// Send side of one `(dst, tag)` stream: the next sequence number and the
+/// window of unacknowledged frames, oldest first.
+#[derive(Debug, Clone)]
+pub struct SenderChan<T> {
+    /// Sequence number the next send will use.
+    pub next_seq: u64,
+    /// Frames sent but not yet cumulatively acknowledged.
+    pub unacked: VecDeque<Pending<T>>,
+}
+
+// Manual impl: the derive would demand `T: Default`, but an empty window
+// holds no deadlines (`Instant` has no default).
+impl<T> Default for SenderChan<T> {
+    fn default() -> Self {
+        SenderChan::new()
+    }
+}
+
+impl<T> SenderChan<T> {
+    /// A fresh stream at sequence zero.
+    pub fn new() -> Self {
+        SenderChan {
+            next_seq: 0,
+            unacked: VecDeque::new(),
+        }
+    }
+
+    /// Apply a cumulative ack (`every seq < cum received`), retiring
+    /// acknowledged frames. Returns how many frames were retired; stale
+    /// acks retire nothing and are harmless.
+    pub fn ack(&mut self, cum: u64) -> usize {
+        let mut retired = 0;
+        while self.unacked.front().is_some_and(|p| p.seq < cum) {
+            self.unacked.pop_front();
+            retired += 1;
+        }
+        retired
+    }
+}
+
+/// Receive side of one `(src, tag)` stream: in-order reassembly with
+/// duplicate suppression and gap tracking.
+#[derive(Debug, Clone, Default)]
+pub struct RecvChan {
+    /// The next sequence number the program expects; everything below it
+    /// has been delivered (or queued in `ready`).
+    expected: u64,
+    /// Frames that arrived ahead of a gap, keyed by sequence number.
+    ooo: BTreeMap<u64, (Time, Vec<Word>)>,
+    /// In-order payloads ready for the program, with their arrival stamps.
+    pub ready: VecDeque<(Time, Vec<Word>)>,
+    /// Duplicate frames discarded.
+    pub dups: u64,
+    /// Largest gap observed between an out-of-order arrival and the
+    /// expected sequence number.
+    pub max_gap: u64,
+}
+
+impl RecvChan {
+    /// A fresh stream expecting sequence zero.
+    pub fn new() -> Self {
+        RecvChan::default()
+    }
+
+    /// Ingest one data frame. In-order frames (and any out-of-order
+    /// successors they unlock) move to `ready`; early frames are stashed;
+    /// old or already-stashed frames count as duplicates.
+    pub fn on_frame(&mut self, seq: u64, arrives: Time, payload: Vec<Word>) {
+        if seq < self.expected {
+            self.dups += 1;
+        } else if seq == self.expected {
+            self.ready.push_back((arrives, payload));
+            self.expected += 1;
+            while let Some(entry) = self.ooo.remove(&self.expected) {
+                self.ready.push_back(entry);
+                self.expected += 1;
+            }
+        } else {
+            self.max_gap = self.max_gap.max(seq - self.expected);
+            if self.ooo.insert(seq, (arrives, payload)).is_some() {
+                self.dups += 1;
+            }
+        }
+    }
+
+    /// The cumulative acknowledgement to advertise: every sequence number
+    /// below this has been received.
+    pub fn cumulative(&self) -> u64 {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_tag_sets_top_bit() {
+        assert_eq!(ack_tag(Tag(5)), Tag(5 | ACK_TAG_BIT));
+        assert!(is_ack_tag(ack_tag(Tag(0))));
+        assert!(!is_ack_tag(Tag(12)));
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let f = frame(7, &[10, 20, 30]);
+        assert_eq!(f, vec![7, 10, 20, 30]);
+        assert_eq!(unframe(f), (7, vec![10, 20, 30]));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let c = RelConfig {
+            rto_cycles: 100,
+            ..RelConfig::default()
+        };
+        assert_eq!(c.backoff_cycles(0), 100);
+        assert_eq!(c.backoff_cycles(1), 200);
+        assert_eq!(c.backoff_cycles(3), 800);
+        assert_eq!(c.backoff_cycles(10), 100 << 10);
+        assert_eq!(c.backoff_cycles(40), 100 << 10, "cap at 2^10");
+        assert_eq!(c.backoff_wall(2), c.rto_wall * 4);
+    }
+
+    #[test]
+    fn cumulative_ack_retires_prefix() {
+        let mut s: SenderChan<Time> = SenderChan::new();
+        for seq in 0..4 {
+            s.unacked.push_back(Pending {
+                seq,
+                frame: frame(seq, &[0]),
+                retries: 0,
+                deadline: Time::ZERO,
+            });
+        }
+        assert_eq!(s.ack(2), 2);
+        assert_eq!(s.unacked.front().unwrap().seq, 2);
+        // A stale (already-seen) ack is harmless.
+        assert_eq!(s.ack(1), 0);
+        assert_eq!(s.ack(4), 2);
+        assert!(s.unacked.is_empty());
+    }
+
+    #[test]
+    fn recv_chan_orders_and_dedups() {
+        let mut r = RecvChan::new();
+        r.on_frame(1, Time(10), vec![11]); // early: gap of 1
+        assert_eq!(r.cumulative(), 0);
+        assert_eq!(r.max_gap, 1);
+        r.on_frame(0, Time(20), vec![10]); // fills the gap, unlocks 1
+        assert_eq!(r.cumulative(), 2);
+        let drained: Vec<_> = r.ready.drain(..).map(|(_, p)| p).collect();
+        assert_eq!(drained, vec![vec![10], vec![11]]);
+        r.on_frame(0, Time(30), vec![10]); // retransmitted duplicate
+        assert_eq!(r.dups, 1);
+        assert_eq!(r.cumulative(), 2);
+        assert!(r.ready.is_empty());
+    }
+
+    #[test]
+    fn recv_chan_counts_stashed_duplicates() {
+        let mut r = RecvChan::new();
+        r.on_frame(3, Time(0), vec![1]);
+        r.on_frame(3, Time(0), vec![1]);
+        assert_eq!(r.dups, 1);
+        assert_eq!(r.max_gap, 3);
+    }
+}

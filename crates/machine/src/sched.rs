@@ -1,9 +1,14 @@
 //! The deterministic scheduler.
 
+use crate::cost::CostModel;
 use crate::error::MachineError;
 use crate::fabric::{Fabric, Machine};
-use crate::message::{ProcId, Tag};
-use crate::stats::MachineStats;
+use crate::fault::{FaultPlan, FaultState};
+use crate::message::{ProcId, Tag, Time, Word};
+use crate::reliable::{
+    ack_tag, frame, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
+};
+use crate::stats::{FaultReport, MachineStats};
 use std::collections::BTreeMap;
 
 /// What a process did on one scheduling step.
@@ -57,8 +62,16 @@ pub struct RunReport {
     /// whole run. Because FIFO order within a typed channel is exactly
     /// program order on the sender, these counts are identical across
     /// execution backends and are the key invariant the differential
-    /// tests compare.
+    /// tests compare. Under the reliability layer these are the
+    /// *program-level* counts — retransmissions and acks are protocol
+    /// traffic and tallied in [`fault`](RunReport::fault) instead.
     pub pair_messages: BTreeMap<(ProcId, ProcId, Tag), u64>,
+    /// The triples behind [`undelivered`](RunReport::undelivered), with
+    /// queue depths — diagnostic parity between the backends.
+    pub pending: Vec<(ProcId, ProcId, Tag, usize)>,
+    /// Fault-injection and reliable-delivery accounting; `None` when the
+    /// run used the raw fabric.
+    pub fault: Option<FaultReport>,
 }
 
 /// Drives a set of [`Process`]es over a [`Machine`] until all finish.
@@ -151,7 +164,11 @@ impl Scheduler {
                         });
                     }
                     steps += 1;
-                    match processes[p].step(&mut *machine, me)? {
+                    let step = processes[p].step(&mut *machine, me)?;
+                    if let Some(sp) = machine.take_self_send() {
+                        return Err(MachineError::SelfSend { proc: sp });
+                    }
+                    match step {
                         Step::Ran => {
                             progressed = true;
                             quantum -= 1;
@@ -196,7 +213,448 @@ impl Scheduler {
             steps,
             undelivered: machine.undelivered(),
             pair_messages: machine.pair_counts(),
+            pending: machine.pending_triples(),
+            fault: None,
         })
+    }
+
+    /// Run `processes[p]` on processor `p` over a faulty fabric, with the
+    /// reliable-delivery protocol interposed: every program send is
+    /// sequence-numbered and retransmitted on a logical-clock timeout
+    /// until acknowledged; every program receive is deduplicated and
+    /// reordered back into sequence. The `plan` decides which frames the
+    /// transport mistreats (acks included — they travel through the same
+    /// faulty fabric under [`ack_tag`]).
+    ///
+    /// Everything stays deterministic: fault decisions are pure functions
+    /// of the plan, and retransmission timers fire in logical time, so
+    /// identical inputs give identical outputs, clocks, and
+    /// [`FaultReport`]s run after run.
+    ///
+    /// # Errors
+    ///
+    /// The vanilla [`run`](Scheduler::run) errors, plus
+    /// [`MachineError::RetriesExhausted`] when a frame is retransmitted
+    /// `cfg.max_retries` times without an acknowledgement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len() != machine.n_procs()`.
+    pub fn run_faulty(
+        &self,
+        machine: &mut Machine,
+        processes: &mut [&mut dyn Process],
+        plan: &FaultPlan,
+        cfg: RelConfig,
+    ) -> Result<RunReport, MachineError> {
+        assert_eq!(
+            processes.len(),
+            machine.n_procs(),
+            "one process per processor"
+        );
+        let n = processes.len();
+        let mut fault = FaultState::new(plan.clone());
+        let mut rel = RelState::new(n, cfg);
+        let mut done = vec![false; n];
+        let mut last_block: Vec<Option<(ProcId, Tag)>> = vec![None; n];
+        let mut steps: u64 = 0;
+        loop {
+            let round_activity = rel.activity;
+            let mut progressed = false;
+            for p in 0..n {
+                let me = ProcId(p);
+                if done[p] {
+                    // A finished process still owes the protocol: ingest
+                    // late frames, re-ack retransmissions, retire acks,
+                    // and service its own retransmission timers.
+                    rel.pump_acks(machine, me);
+                    rel.pump_all_data(machine, &mut fault, me);
+                    rel.service_timers(machine, &mut fault, me);
+                    if let Some(e) = rel.fatal.take() {
+                        return Err(e);
+                    }
+                    continue;
+                }
+                let mut quantum = self.quantum;
+                loop {
+                    if steps >= self.step_budget {
+                        return Err(MachineError::StepBudgetExceeded {
+                            budget: self.step_budget,
+                        });
+                    }
+                    steps += 1;
+                    let step = {
+                        let mut view = ReliableView {
+                            m: &mut *machine,
+                            fault: &mut fault,
+                            rel: &mut rel,
+                        };
+                        processes[p].step(&mut view, me)?
+                    };
+                    if let Some(sp) = machine.take_self_send() {
+                        return Err(MachineError::SelfSend { proc: sp });
+                    }
+                    if let Some(e) = rel.fatal.take() {
+                        return Err(e);
+                    }
+                    match step {
+                        Step::Ran => {
+                            progressed = true;
+                            last_block[p] = None;
+                            quantum -= 1;
+                            if quantum == 0 {
+                                break;
+                            }
+                        }
+                        Step::BlockedOnRecv { src, tag } => {
+                            last_block[p] = Some((src, tag));
+                            // The pump may have just completed the stream;
+                            // retry immediately if so. No parking otherwise:
+                            // the next frame may need a retransmission that
+                            // only this round's timer service can trigger.
+                            if rel.has_ready(me, src, tag) {
+                                progressed = true;
+                                continue;
+                            }
+                            break;
+                        }
+                        Step::Done => {
+                            done[p] = true;
+                            machine.finish(me);
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if done.iter().all(|&d| d) && rel.all_acked() {
+                break;
+            }
+            if !progressed && rel.activity == round_activity {
+                // Nothing moved on its own. If a retransmission timer is
+                // set, simulated time jumps to the earliest deadline — the
+                // discrete-event "wait for the timer to fire".
+                if let Some((p, t)) = rel.earliest_deadline() {
+                    machine.advance_clock_to(p, t);
+                    rel.service_timers(machine, &mut fault, p);
+                    if let Some(e) = rel.fatal.take() {
+                        return Err(e);
+                    }
+                    if rel.activity != round_activity {
+                        continue;
+                    }
+                }
+                let waiting = last_block
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| !done[*p])
+                    .filter_map(|(p, b)| b.map(|(src, tag)| (ProcId(p), src, tag)))
+                    .collect();
+                return Err(MachineError::Deadlock { waiting });
+            }
+        }
+        Ok(RunReport {
+            stats: machine.stats(),
+            steps,
+            undelivered: rel.undelivered(),
+            pair_messages: rel.logical_sent.clone(),
+            pending: rel.pending_triples(),
+            fault: Some(FaultReport {
+                injected: fault.counts(),
+                retransmits: rel.retransmits,
+                acks_sent: rel.acks_sent,
+                dup_frames_dropped: rel.dup_total(),
+                max_gap: rel.max_gap(),
+                raw_leftover: machine.undelivered(),
+            }),
+        })
+    }
+}
+
+/// Per-processor protocol state for a reliable simulated run.
+#[derive(Debug, Default)]
+struct RelProc {
+    /// Send side, one stream per `(dst, tag)`.
+    senders: BTreeMap<(ProcId, Tag), SenderChan<Time>>,
+    /// Receive side, one stream per `(src, tag)`.
+    recvs: BTreeMap<(ProcId, Tag), RecvChan>,
+}
+
+/// Whole-machine protocol state for [`Scheduler::run_faulty`].
+#[derive(Debug)]
+struct RelState {
+    procs: Vec<RelProc>,
+    cfg: RelConfig,
+    /// Program-level sends per `(src, dst, tag)` — the backend-invariant
+    /// counts reported as `pair_messages`.
+    logical_sent: BTreeMap<(ProcId, ProcId, Tag), u64>,
+    /// Program-level receives per `(src, dst, tag)`.
+    logical_recvd: BTreeMap<(ProcId, ProcId, Tag), u64>,
+    retransmits: u64,
+    acks_sent: u64,
+    /// Monotone counter bumped by every protocol event (frame ingested,
+    /// ack retired, retransmission) — the no-progress detector compares
+    /// it across a scheduling round.
+    activity: u64,
+    /// First fatal protocol error, surfaced after the faulting step.
+    fatal: Option<MachineError>,
+}
+
+impl RelState {
+    fn new(n: usize, cfg: RelConfig) -> Self {
+        RelState {
+            procs: (0..n).map(|_| RelProc::default()).collect(),
+            cfg,
+            logical_sent: BTreeMap::new(),
+            logical_recvd: BTreeMap::new(),
+            retransmits: 0,
+            acks_sent: 0,
+            activity: 0,
+            fatal: None,
+        }
+    }
+
+    /// Consume every pending ack frame addressed to `me`, retiring
+    /// acknowledged sends. Ack processing is interrupt-style: it charges
+    /// the unpacking cost but never idles the processor waiting.
+    fn pump_acks(&mut self, m: &mut Machine, me: ProcId) {
+        let chans: Vec<(ProcId, Tag)> = self.procs[me.0].senders.keys().copied().collect();
+        for (dst, tag) in chans {
+            while let Some(msg) = m.take_raw(me, dst, ack_tag(tag)) {
+                let cum = msg.payload[0] as u64;
+                let cost = m.cost_model().recv_cost(1);
+                m.busy(me, cost);
+                let chan = self.procs[me.0]
+                    .senders
+                    .get_mut(&(dst, tag))
+                    .expect("chan exists: key came from the map");
+                chan.ack(cum);
+                self.activity += 1;
+            }
+        }
+    }
+
+    /// Ingest every raw data frame pending for `(src → me, tag)` into the
+    /// stream's [`RecvChan`], then acknowledge the batch. Acks travel
+    /// through the faulty fabric too — a lost ack is just another fault
+    /// the retransmission path absorbs.
+    fn pump_data(
+        &mut self,
+        m: &mut Machine,
+        fault: &mut FaultState,
+        me: ProcId,
+        src: ProcId,
+        tag: Tag,
+    ) {
+        let mut drained = 0u64;
+        let chan = self.procs[me.0].recvs.entry((src, tag)).or_default();
+        while let Some(msg) = m.take_raw(me, src, tag) {
+            let (seq, payload) = unframe(msg.payload);
+            chan.on_frame(seq, msg.arrives_at, payload);
+            drained += 1;
+        }
+        if drained > 0 {
+            self.activity += drained;
+            let cum = self.procs[me.0].recvs[&(src, tag)].cumulative();
+            fault.dispatch(m, me, src, ack_tag(tag), vec![cum as Word]);
+            self.acks_sent += 1;
+        }
+    }
+
+    /// [`pump_data`](RelState::pump_data) over every stream `me` has ever
+    /// received on — housekeeping for finished processes.
+    fn pump_all_data(&mut self, m: &mut Machine, fault: &mut FaultState, me: ProcId) {
+        let chans: Vec<(ProcId, Tag)> = self.procs[me.0].recvs.keys().copied().collect();
+        for (src, tag) in chans {
+            self.pump_data(m, fault, me, src, tag);
+        }
+    }
+
+    /// Retransmit the oldest unacknowledged frame of any stream whose
+    /// deadline has passed, doubling its backoff; flag
+    /// [`MachineError::RetriesExhausted`] once a frame runs out of
+    /// retries. Only the oldest frame per stream retransmits — the
+    /// cumulative ack it provokes retires everything the receiver
+    /// already has.
+    fn service_timers(&mut self, m: &mut Machine, fault: &mut FaultState, me: ProcId) {
+        if self.fatal.is_some() {
+            return;
+        }
+        let now = m.clock(me);
+        let chans: Vec<(ProcId, Tag)> = self.procs[me.0].senders.keys().copied().collect();
+        for (dst, tag) in chans {
+            let resend = {
+                let chan = self.procs[me.0]
+                    .senders
+                    .get_mut(&(dst, tag))
+                    .expect("chan exists: key came from the map");
+                let Some(p) = chan.unacked.front_mut() else {
+                    continue;
+                };
+                if p.deadline > now {
+                    continue;
+                }
+                if p.retries >= self.cfg.max_retries {
+                    self.fatal = Some(MachineError::RetriesExhausted {
+                        proc: me,
+                        peer: dst,
+                        tag,
+                        retries: p.retries,
+                    });
+                    return;
+                }
+                p.retries += 1;
+                p.deadline = now.plus(self.cfg.backoff_cycles(p.retries));
+                p.frame.clone()
+            };
+            fault.dispatch(m, me, dst, tag, resend);
+            self.retransmits += 1;
+            self.activity += 1;
+        }
+    }
+
+    /// Is an in-order payload ready for the program on `(src → me, tag)`?
+    fn has_ready(&self, me: ProcId, src: ProcId, tag: Tag) -> bool {
+        self.procs[me.0]
+            .recvs
+            .get(&(src, tag))
+            .is_some_and(|c| !c.ready.is_empty())
+    }
+
+    /// Has every sent frame been acknowledged?
+    fn all_acked(&self) -> bool {
+        self.procs
+            .iter()
+            .all(|rp| rp.senders.values().all(|c| c.unacked.is_empty()))
+    }
+
+    /// The earliest retransmission deadline across all streams, if any.
+    fn earliest_deadline(&self) -> Option<(ProcId, Time)> {
+        let mut best: Option<(ProcId, Time)> = None;
+        for (p, rp) in self.procs.iter().enumerate() {
+            for chan in rp.senders.values() {
+                if let Some(pending) = chan.unacked.front() {
+                    if best.is_none_or(|(_, t)| pending.deadline < t) {
+                        best = Some((ProcId(p), pending.deadline));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Program-level messages sent but never received.
+    fn undelivered(&self) -> usize {
+        self.logical_sent
+            .iter()
+            .map(|(k, &s)| {
+                s.saturating_sub(self.logical_recvd.get(k).copied().unwrap_or(0)) as usize
+            })
+            .sum()
+    }
+
+    /// The triples behind [`undelivered`](RelState::undelivered).
+    fn pending_triples(&self) -> Vec<(ProcId, ProcId, Tag, usize)> {
+        self.logical_sent
+            .iter()
+            .filter_map(|(&(src, dst, tag), &s)| {
+                let r = self
+                    .logical_recvd
+                    .get(&(src, dst, tag))
+                    .copied()
+                    .unwrap_or(0);
+                (s > r).then_some((src, dst, tag, (s - r) as usize))
+            })
+            .collect()
+    }
+
+    fn dup_total(&self) -> u64 {
+        self.procs
+            .iter()
+            .flat_map(|rp| rp.recvs.values())
+            .map(|c| c.dups)
+            .sum()
+    }
+
+    fn max_gap(&self) -> u64 {
+        self.procs
+            .iter()
+            .flat_map(|rp| rp.recvs.values())
+            .map(|c| c.max_gap)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The fabric a process sees during [`Scheduler::run_faulty`]: sends are
+/// framed, tracked, and dispatched through the fault plan; receives pop
+/// reassembled in-order payloads and charge the receiver exactly as a
+/// vanilla receive would.
+struct ReliableView<'a> {
+    m: &'a mut Machine,
+    fault: &'a mut FaultState,
+    rel: &'a mut RelState,
+}
+
+impl Fabric for ReliableView<'_> {
+    fn n_procs(&self) -> usize {
+        self.m.n_procs()
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        self.m.cost_model()
+    }
+
+    fn tick(&mut self, p: ProcId, cycles: u64) {
+        let extra = self.fault.stall_cycles(p);
+        self.m.tick(p, cycles + extra);
+    }
+
+    fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        debug_assert_eq!(
+            tag.0 & ACK_TAG_BIT,
+            0,
+            "program tags must stay below the ack bit"
+        );
+        if src == dst {
+            // Delegate so the self-send fault is recorded uniformly.
+            self.m.send(src, dst, tag, payload);
+            return;
+        }
+        self.rel.pump_acks(self.m, src);
+        self.rel.service_timers(self.m, self.fault, src);
+        *self.rel.logical_sent.entry((src, dst, tag)).or_insert(0) += 1;
+        let seq = {
+            let chan = self.rel.procs[src.0].senders.entry((dst, tag)).or_default();
+            let s = chan.next_seq;
+            chan.next_seq += 1;
+            s
+        };
+        let fr = frame(seq, &payload);
+        self.fault.dispatch(self.m, src, dst, tag, fr.clone());
+        let deadline = self.m.clock(src).plus(self.rel.cfg.rto_cycles);
+        self.rel.procs[src.0]
+            .senders
+            .get_mut(&(dst, tag))
+            .expect("chan created above")
+            .unacked
+            .push_back(Pending {
+                seq,
+                frame: fr,
+                retries: 0,
+                deadline,
+            });
+    }
+
+    fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        self.rel.pump_acks(self.m, dst);
+        self.rel.service_timers(self.m, self.fault, dst);
+        self.rel.pump_data(self.m, self.fault, dst, src, tag);
+        let chan = self.rel.procs[dst.0].recvs.get_mut(&(src, tag))?;
+        let (arrives, payload) = chan.ready.pop_front()?;
+        self.m.charge_recv(dst, src, tag, arrives, payload.len());
+        *self.rel.logical_recvd.entry((src, dst, tag)).or_insert(0) += 1;
+        Some(payload)
     }
 }
 
@@ -211,21 +669,22 @@ mod tests {
     use super::*;
     use crate::cost::CostModel;
 
-    /// A toy process defined by a script of actions.
-    enum Action {
+    /// A toy process defined by a script of actions (shared with the
+    /// `faulty_tests` sibling module).
+    pub(super) enum Action {
         Compute(u64),
         Send(usize, u32, Vec<i64>),
         Recv(usize, u32),
     }
 
-    struct Scripted {
+    pub(super) struct Scripted {
         script: Vec<Action>,
         pc: usize,
-        received: Vec<Vec<i64>>,
+        pub(super) received: Vec<Vec<i64>>,
     }
 
     impl Scripted {
-        fn new(script: Vec<Action>) -> Self {
+        pub(super) fn new(script: Vec<Action>) -> Self {
             Scripted {
                 script,
                 pc: 0,
@@ -342,6 +801,16 @@ mod tests {
     }
 
     #[test]
+    fn self_send_surfaces_as_error() {
+        let mut m = Machine::new(2, CostModel::zero());
+        let mut pa = Scripted::new(vec![Action::Send(0, 0, vec![1])]);
+        let mut pb = Scripted::new(vec![]);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+        let err = Scheduler::new().run(&mut m, &mut ps).unwrap_err();
+        assert_eq!(err, MachineError::SelfSend { proc: ProcId(0) });
+    }
+
+    #[test]
     fn quantum_does_not_change_results() {
         let build = || {
             (
@@ -374,5 +843,174 @@ mod tests {
         for w in results.windows(2) {
             assert_eq!(w[0], w[1]);
         }
+    }
+}
+
+#[cfg(test)]
+mod faulty_tests {
+    use super::tests::{Action, Scripted};
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::fault::FaultPlan;
+
+    /// A 10-message stream 0 → 1 plus an unrelated reply, exercising
+    /// FIFO recovery end to end.
+    fn stream_scripts() -> (Vec<Action>, Vec<Action>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..10 {
+            a.push(Action::Send(1, 0, vec![i]));
+            a.push(Action::Compute(10));
+            b.push(Action::Recv(0, 0));
+        }
+        a.push(Action::Recv(1, 1));
+        b.push(Action::Send(0, 1, vec![99]));
+        (a, b)
+    }
+
+    fn run_faulty2(
+        a: Vec<Action>,
+        b: Vec<Action>,
+        plan: &FaultPlan,
+        cfg: RelConfig,
+    ) -> Result<(RunReport, Vec<Vec<Word>>), MachineError> {
+        let mut m = Machine::new(2, CostModel::ipsc2());
+        let mut pa = Scripted::new(a);
+        let mut pb = Scripted::new(b);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+        let report = Scheduler::new().run_faulty(&mut m, &mut ps, plan, cfg)?;
+        Ok((report, pb.received))
+    }
+
+    #[test]
+    fn empty_plan_delivers_in_order_with_quiet_report() {
+        let (a, b) = stream_scripts();
+        let (report, received) =
+            run_faulty2(a, b, &FaultPlan::none(), RelConfig::default()).unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(received, expected);
+        assert_eq!(report.undelivered, 0);
+        assert!(report.pending.is_empty());
+        let fr = report.fault.expect("reliable run carries a report");
+        assert_eq!(fr.injected.total(), 0);
+        assert_eq!(fr.retransmits, 0);
+        assert_eq!(fr.dup_frames_dropped, 0);
+        assert_eq!(fr.max_gap, 0);
+        // Logical pair counts see the program's messages, not the acks.
+        assert_eq!(
+            report.pair_messages.get(&(ProcId(0), ProcId(1), Tag(0))),
+            Some(&10)
+        );
+        assert_eq!(report.pair_messages.len(), 2);
+    }
+
+    #[test]
+    fn lossy_plan_recovers_exactly_once_in_order() {
+        let plan = FaultPlan::seeded(7)
+            .with_drops(250)
+            .with_dups(150)
+            .with_delays(100, 5_000)
+            .with_reorders(100)
+            .with_fault_budget(6);
+        let (a, b) = stream_scripts();
+        let (report, received) = run_faulty2(a, b, &plan, RelConfig::default()).unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(received, expected, "exactly-once, in-order delivery");
+        assert_eq!(report.undelivered, 0);
+        let fr = report.fault.expect("reliable run carries a report");
+        assert!(fr.injected.total() > 0, "the plan actually injected faults");
+        assert!(
+            fr.retransmits > 0 || fr.injected.drops == 0,
+            "drops force retransmissions"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible() {
+        let plan = FaultPlan::seeded(21)
+            .with_drops(300)
+            .with_dups(200)
+            .with_fault_budget(8);
+        let run = || {
+            let (a, b) = stream_scripts();
+            let (report, received) = run_faulty2(a, b, &plan, RelConfig::default()).unwrap();
+            (
+                received,
+                report.stats.makespan(),
+                report.fault.unwrap(),
+                report.pair_messages,
+            )
+        };
+        assert_eq!(run(), run(), "logical time makes faulty runs deterministic");
+    }
+
+    #[test]
+    fn stalls_slow_one_processor() {
+        let quiet = FaultPlan::none();
+        let stalled = FaultPlan::seeded(0).with_stall(ProcId(0), 2, 1_000_000);
+        let (a, b) = stream_scripts();
+        let (base, _) = run_faulty2(a, b, &quiet, RelConfig::default()).unwrap();
+        let (a, b) = stream_scripts();
+        let (slow, received) = run_faulty2(a, b, &stalled, RelConfig::default()).unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(received, expected);
+        assert_eq!(slow.fault.unwrap().injected.stall_cycles, 1_000_000);
+        assert!(
+            slow.stats.makespan().0 >= base.stats.makespan().0 + 1_000_000,
+            "the stall is on the critical path"
+        );
+    }
+
+    #[test]
+    fn black_hole_exhausts_retries_and_names_the_stream() {
+        let plan = FaultPlan::seeded(0).with_black_hole(ProcId(0), ProcId(1), Tag(0));
+        let cfg = RelConfig {
+            rto_cycles: 500,
+            max_retries: 3,
+            ..RelConfig::default()
+        };
+        let err = run_faulty2(
+            vec![Action::Send(1, 0, vec![1])],
+            vec![Action::Recv(0, 0)],
+            &plan,
+            cfg,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::RetriesExhausted {
+                proc: ProcId(0),
+                peer: ProcId(1),
+                tag: Tag(0),
+                retries: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn cyclic_deadlock_still_detected_under_reliability() {
+        let err = run_faulty2(
+            vec![Action::Recv(1, 0)],
+            vec![Action::Recv(0, 0)],
+            &FaultPlan::none(),
+            RelConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            MachineError::Deadlock { waiting } => assert_eq!(waiting.len(), 2),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn self_send_surfaces_under_reliability() {
+        let err = run_faulty2(
+            vec![Action::Send(0, 0, vec![1])],
+            vec![],
+            &FaultPlan::none(),
+            RelConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MachineError::SelfSend { proc: ProcId(0) });
     }
 }

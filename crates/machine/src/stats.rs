@@ -1,5 +1,6 @@
 //! Execution statistics.
 
+use crate::fault::FaultCounts;
 use crate::message::Time;
 
 /// Cumulative traffic through the interconnect.
@@ -68,9 +69,40 @@ impl MachineStats {
     }
 }
 
+/// What the fault-injection and reliable-delivery machinery did during a
+/// run. Attached to [`RunReport`](crate::RunReport) whenever a run used
+/// the reliability layer, so drivers can observe degradation without
+/// parsing logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults the plan actually injected (drops, dups, delays, reorders,
+    /// stalls).
+    pub injected: FaultCounts,
+    /// Data frames retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Acknowledgement frames sent.
+    pub acks_sent: u64,
+    /// Duplicate data frames discarded by receive-side dedup.
+    pub dup_frames_dropped: u64,
+    /// Largest sequence-number gap any receive stream observed (0 means
+    /// nothing ever arrived out of order).
+    pub max_gap: u64,
+    /// Raw frames still sitting in the transport when the run ended —
+    /// late duplicates and stragglers the protocol already made redundant.
+    /// Program-level delivery is tracked separately and must be complete.
+    pub raw_leftover: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_report_defaults_to_quiet() {
+        let r = FaultReport::default();
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.injected.total(), 0);
+    }
 
     #[test]
     fn makespan_is_max_clock() {

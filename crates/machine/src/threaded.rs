@@ -43,9 +43,13 @@
 use crate::cost::CostModel;
 use crate::error::MachineError;
 use crate::fabric::Fabric;
+use crate::fault::{FaultCounts, FaultPlan, FaultState};
 use crate::message::{Message, ProcId, Tag, Time, Word};
+use crate::reliable::{
+    ack_tag, frame, is_ack_tag, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
+};
 use crate::sched::{Process, RunReport, Step};
-use crate::stats::{MachineStats, NetworkStats, ProcStats};
+use crate::stats::{FaultReport, MachineStats, NetworkStats, ProcStats};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -98,6 +102,54 @@ impl Gauge {
     }
 }
 
+/// The reliable-delivery state of one endpoint: its own [`FaultState`]
+/// (each endpoint only dispatches frames it sends, so per-triple decision
+/// streams stay private), sequence-tracked send/receive channels with
+/// wall-clock retransmission deadlines, and protocol tallies.
+#[derive(Debug)]
+struct EndpointRel {
+    fault: FaultState,
+    cfg: RelConfig,
+    senders: BTreeMap<(ProcId, Tag), SenderChan<Instant>>,
+    recvs: BTreeMap<(ProcId, Tag), RecvChan>,
+    /// Program-level sends per `(dst, tag)` — the backend-invariant pair
+    /// counts for the run report.
+    logical_sent: BTreeMap<(ProcId, Tag), u64>,
+    /// Program-level receives per `(src, tag)`.
+    logical_recvd: BTreeMap<(ProcId, Tag), u64>,
+    retransmits: u64,
+    acks_sent: u64,
+    fatal: Option<MachineError>,
+}
+
+impl EndpointRel {
+    fn new(plan: FaultPlan, cfg: RelConfig) -> Self {
+        EndpointRel {
+            fault: FaultState::new(plan),
+            cfg,
+            senders: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            logical_sent: BTreeMap::new(),
+            logical_recvd: BTreeMap::new(),
+            retransmits: 0,
+            acks_sent: 0,
+            fatal: None,
+        }
+    }
+
+    fn all_acked(&self) -> bool {
+        self.senders.values().all(|c| c.unacked.is_empty())
+    }
+
+    /// The earliest wall-clock retransmission deadline, if any.
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.senders
+            .values()
+            .filter_map(|c| c.unacked.front().map(|p| p.deadline))
+            .min()
+    }
+}
+
 /// One processor's thread-local view of the machine: its logical clock and
 /// counters, a sender handle per peer, and the receiving end of its own
 /// incoming channel with the per-`(src, tag)` demultiplexing stash.
@@ -117,6 +169,19 @@ pub struct Endpoint {
     stash: HashMap<(ProcId, Tag), VecDeque<Message>>,
     /// Messages sent per `(dst, tag)`, merged into the run report.
     sent: BTreeMap<(ProcId, Tag), u64>,
+    /// Messages consumed per `(src, tag)` — the receive-side mirror of
+    /// `sent`, merged into per-triple pending counts at teardown.
+    recvd: BTreeMap<(ProcId, Tag), u64>,
+    /// Set when the process sends to itself; surfaced as
+    /// [`MachineError::SelfSend`] by the thread loop, as the scheduler
+    /// does on the simulator.
+    self_send: Option<ProcId>,
+    /// Reliable-delivery state; `None` runs the raw fabric.
+    rel: Option<Box<EndpointRel>>,
+    /// Peers whose receive channel has hung up (their thread finished). A
+    /// peer can only finish after its program-level receives completed, so
+    /// a transmit that bounces off a dead peer is as good as acked.
+    dead: Vec<bool>,
     gauge: Arc<Gauge>,
     recv_timeout: Duration,
 }
@@ -132,17 +197,270 @@ impl Endpoint {
     /// Consume a message: idle accounting and clock advance identical to
     /// [`Machine::try_recv`](crate::Machine::try_recv).
     fn consume(&mut self, msg: Message) -> Vec<Word> {
-        let words = msg.payload.len();
-        let ready = if msg.arrives_at > self.clock {
-            self.stats.idle_cycles += msg.arrives_at.0 - self.clock.0;
-            msg.arrives_at
+        *self.recvd.entry((msg.src, msg.tag)).or_insert(0) += 1;
+        let payload = msg.payload;
+        self.charge_recv(msg.arrives_at, payload.len());
+        self.gauge.dec();
+        payload
+    }
+
+    /// The accounting half of [`consume`](Endpoint::consume): idle until
+    /// the arrival stamp if necessary, then pay the unpacking cost.
+    fn charge_recv(&mut self, arrives_at: Time, words: usize) {
+        let ready = if arrives_at > self.clock {
+            self.stats.idle_cycles += arrives_at.0 - self.clock.0;
+            arrives_at
         } else {
             self.clock
         };
         self.clock = ready.plus(self.cost.recv_cost(words) * self.slowdown);
         self.stats.recvs += 1;
-        self.gauge.dec();
-        msg.payload
+    }
+
+    /// Take and clear the recorded self-send fault, if any.
+    fn take_self_send(&mut self) -> Option<ProcId> {
+        self.self_send.take()
+    }
+
+    /// Take and clear the recorded fatal protocol error, if any.
+    fn take_fatal(&mut self) -> Option<MachineError> {
+        self.rel.as_mut().and_then(|r| r.fatal.take())
+    }
+
+    /// Reliable-mode ingestion: drain the wire, retire acknowledged sends,
+    /// reassemble data frames into their streams, and acknowledge every
+    /// batch ingested. Acks travel through this endpoint's fault state
+    /// too, so a lossy plan can lose them — the peer's retransmission
+    /// absorbs that.
+    fn rel_pump(&mut self) {
+        self.drain();
+        let mut rel = self.rel.take().expect("rel_pump requires reliable mode");
+        let chans: Vec<(ProcId, Tag)> = self.stash.keys().copied().collect();
+        for (peer, tag) in chans {
+            if is_ack_tag(tag) {
+                while let Some(msg) = self
+                    .stash
+                    .get_mut(&(peer, tag))
+                    .and_then(VecDeque::pop_front)
+                {
+                    self.gauge.dec();
+                    // Interrupt-style ack processing: unpacking cost only,
+                    // never idle waiting.
+                    self.clock = self.clock.plus(self.cost.recv_cost(1) * self.slowdown);
+                    let cum = msg.payload[0] as u64;
+                    let data_tag = Tag(tag.0 & !ACK_TAG_BIT);
+                    if let Some(chan) = rel.senders.get_mut(&(peer, data_tag)) {
+                        chan.ack(cum);
+                    }
+                }
+            } else {
+                let mut drained = 0u64;
+                while let Some(msg) = self
+                    .stash
+                    .get_mut(&(peer, tag))
+                    .and_then(VecDeque::pop_front)
+                {
+                    self.gauge.dec();
+                    let (seq, payload) = unframe(msg.payload);
+                    rel.recvs.entry((peer, tag)).or_default().on_frame(
+                        seq,
+                        msg.arrives_at,
+                        payload,
+                    );
+                    drained += 1;
+                }
+                if drained > 0 {
+                    let cum = rel.recvs[&(peer, tag)].cumulative();
+                    rel.acks_sent += 1;
+                    rel.fault
+                        .dispatch(self, self.me, peer, ack_tag(tag), vec![cum as Word]);
+                }
+            }
+        }
+        self.rel = Some(rel);
+    }
+
+    /// Retransmit the oldest unacknowledged frame of any stream whose
+    /// wall-clock deadline has passed, doubling its backoff; flag
+    /// [`MachineError::RetriesExhausted`] once a frame runs dry.
+    fn rel_service_timers(&mut self) {
+        let mut rel = self.rel.take().expect("timers require reliable mode");
+        if rel.fatal.is_none() {
+            let now = Instant::now();
+            let chans: Vec<(ProcId, Tag)> = rel.senders.keys().copied().collect();
+            for (dst, tag) in chans {
+                let resend = {
+                    let chan = rel
+                        .senders
+                        .get_mut(&(dst, tag))
+                        .expect("chan exists: key came from the map");
+                    if self.dead[dst.0] {
+                        // The peer's thread exited, which it can only do
+                        // after completing its program-level receives: our
+                        // data got through and only the ack was lost.
+                        // Retire the window instead of retrying forever
+                        // against a disconnected channel.
+                        chan.unacked.clear();
+                        continue;
+                    }
+                    let Some(p) = chan.unacked.front_mut() else {
+                        continue;
+                    };
+                    if p.deadline > now {
+                        continue;
+                    }
+                    if p.retries >= rel.cfg.max_retries {
+                        rel.fatal = Some(MachineError::RetriesExhausted {
+                            proc: self.me,
+                            peer: dst,
+                            tag,
+                            retries: p.retries,
+                        });
+                        break;
+                    }
+                    p.retries += 1;
+                    p.deadline = now + rel.cfg.backoff_wall(p.retries);
+                    p.frame.clone()
+                };
+                rel.retransmits += 1;
+                rel.fault.dispatch(self, self.me, dst, tag, resend);
+            }
+        }
+        self.rel = Some(rel);
+    }
+
+    /// Reliable-mode send: pump acks, service timers, then frame, track,
+    /// and dispatch through the fault plan.
+    fn rel_send(&mut self, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        debug_assert_eq!(
+            tag.0 & ACK_TAG_BIT,
+            0,
+            "program tags must stay below the ack bit"
+        );
+        self.rel_pump();
+        self.rel_service_timers();
+        let rel = self.rel.as_mut().expect("rel_send requires reliable mode");
+        *rel.logical_sent.entry((dst, tag)).or_insert(0) += 1;
+        let fr = {
+            let chan = rel.senders.entry((dst, tag)).or_default();
+            let seq = chan.next_seq;
+            chan.next_seq += 1;
+            let fr = frame(seq, &payload);
+            chan.unacked.push_back(Pending {
+                seq,
+                frame: fr.clone(),
+                retries: 0,
+                deadline: Instant::now() + rel.cfg.rto_wall,
+            });
+            fr
+        };
+        let mut rel = self.rel.take().expect("still in reliable mode");
+        rel.fault.dispatch(self, self.me, dst, tag, fr);
+        self.rel = Some(rel);
+    }
+
+    /// Reliable-mode receive attempt: pump, service timers, then pop the
+    /// next in-order payload if the stream has one ready.
+    fn rel_try_recv(&mut self, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
+        self.rel_pump();
+        self.rel_service_timers();
+        let rel = self.rel.as_mut().expect("rel recv requires reliable mode");
+        let (arrives, payload) = rel.recvs.get_mut(&(src, tag))?.ready.pop_front()?;
+        *rel.logical_recvd.entry((src, tag)).or_insert(0) += 1;
+        self.charge_recv(arrives, payload.len());
+        Some(payload)
+    }
+
+    /// Reliable-mode block: wait until the `(src, tag)` stream has an
+    /// in-order payload ready, retransmitting on schedule meanwhile. The
+    /// liveness window resets on any arrival, exactly as
+    /// [`wait_for`](Endpoint::wait_for) does.
+    fn rel_wait_for(&mut self, src: ProcId, tag: Tag) -> Result<(), MachineError> {
+        let mut liveness = Instant::now() + self.recv_timeout;
+        loop {
+            self.rel_pump();
+            self.rel_service_timers();
+            if let Some(e) = self.take_fatal() {
+                return Err(e);
+            }
+            {
+                let rel = self.rel.as_ref().expect("rel wait requires reliable mode");
+                if rel
+                    .recvs
+                    .get(&(src, tag))
+                    .is_some_and(|c| !c.ready.is_empty())
+                {
+                    return Ok(());
+                }
+            }
+            let now = Instant::now();
+            if now >= liveness {
+                return Err(MachineError::RecvTimeout {
+                    proc: self.me,
+                    src,
+                    tag,
+                    waited_ms: self.recv_timeout.as_millis() as u64,
+                });
+            }
+            // Sleep until the liveness deadline or the next retransmission
+            // timer, whichever is sooner.
+            let rel = self.rel.as_ref().expect("rel wait requires reliable mode");
+            let until = rel
+                .earliest_deadline()
+                .map_or(liveness, |d| d.min(liveness));
+            match self.rx.recv_timeout(until.saturating_duration_since(now)) {
+                Ok(m) => {
+                    self.stash.entry((m.src, m.tag)).or_default().push_back(m);
+                    liveness = Instant::now() + self.recv_timeout;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every peer is gone: the awaited payload — and any
+                    // retransmission of it — can never arrive.
+                    return Err(MachineError::Deadlock {
+                        waiting: vec![(self.me, src, tag)],
+                    });
+                }
+            }
+        }
+    }
+
+    /// Post-completion linger: a finished process keeps answering the
+    /// protocol — re-acking retransmitted data, retransmitting its own
+    /// unacknowledged frames — until its send window is empty. Without
+    /// this, a dropped final ack would starve the peer's retransmissions
+    /// against a dead thread.
+    fn rel_linger(&mut self) -> Result<(), MachineError> {
+        loop {
+            self.rel_pump();
+            self.rel_service_timers();
+            if let Some(e) = self.take_fatal() {
+                return Err(e);
+            }
+            let rel = self.rel.as_ref().expect("linger requires reliable mode");
+            if rel.all_acked() {
+                return Ok(());
+            }
+            let until = rel
+                .earliest_deadline()
+                .unwrap_or_else(|| Instant::now() + Duration::from_millis(1));
+            match self
+                .rx
+                .recv_timeout(until.saturating_duration_since(Instant::now()))
+            {
+                Ok(m) => {
+                    self.stash.entry((m.src, m.tag)).or_default().push_back(m);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // All peers finished their own linger, which requires
+                    // their receive streams to be complete — the missing
+                    // acks were sent and lost, not the data. Program-level
+                    // delivery is audited separately from logical counts.
+                    return Ok(());
+                }
+            }
+        }
     }
 
     /// Block until a `(src, tag)` message is stashed, or fail after
@@ -201,16 +519,26 @@ impl Fabric for Endpoint {
 
     fn tick(&mut self, p: ProcId, cycles: u64) {
         debug_assert_eq!(p, self.me, "an endpoint only drives its own clock");
-        self.clock = self.clock.plus(cycles * self.slowdown);
+        let extra = self.rel.as_mut().map_or(0, |r| r.fault.stall_cycles(p));
+        self.clock = self.clock.plus((cycles + extra) * self.slowdown);
         self.stats.ops += 1;
     }
 
     fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
         debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
-        debug_assert_ne!(
-            src, dst,
-            "coerce on the same processor must be a local read"
-        );
+        if src == dst {
+            // A self-send is a code-generation bug; record it for the
+            // thread loop to surface, exactly as the simulator does.
+            self.self_send.get_or_insert(src);
+            return;
+        }
+        // Program sends route through the reliability layer when it is
+        // on; protocol frames (dispatched while `rel` is detached) fall
+        // through to the raw path below.
+        if self.rel.is_some() {
+            self.rel_send(dst, tag, payload);
+            return;
+        }
         let words = payload.len();
         let send_cost = self.cost.send_cost(words) * self.slowdown;
         self.clock = self.clock.plus(send_cost);
@@ -223,22 +551,61 @@ impl Fabric for Endpoint {
         if let Some(tx) = &self.senders[dst.0] {
             // A hung-up receiver has already finished; the message simply
             // stays undelivered, exactly like an untaken simulator queue.
-            let _ = tx.send(Message {
-                src,
-                dst,
-                tag,
-                payload,
-                sent_at,
-                arrives_at,
-            });
+            if tx
+                .send(Message {
+                    src,
+                    dst,
+                    tag,
+                    payload,
+                    sent_at,
+                    arrives_at,
+                })
+                .is_err()
+            {
+                self.dead[dst.0] = true;
+            }
         }
     }
 
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
         debug_assert_eq!(dst, self.me, "an endpoint only receives as itself");
+        if self.rel.is_some() {
+            return self.rel_try_recv(src, tag);
+        }
         self.drain();
         let msg = self.stash.get_mut(&(src, tag))?.pop_front()?;
         Some(self.consume(msg))
+    }
+
+    fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
+        debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
+        let _ = (dst, tag);
+        let send_cost = self.cost.send_cost(words) * self.slowdown;
+        self.clock = self.clock.plus(send_cost);
+        self.stats.sends += 1;
+        self.stats.words_sent += words as u64;
+    }
+
+    fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
+        let sent_at = self.clock;
+        let arrives_at = sent_at.plus(self.cost.flight).plus(extra);
+        self.gauge.inc();
+        if let Some(tx) = &self.senders[dst.0] {
+            if tx
+                .send(Message {
+                    src,
+                    dst,
+                    tag,
+                    payload,
+                    sent_at,
+                    arrives_at,
+                })
+                .is_err()
+            {
+                self.dead[dst.0] = true;
+            }
+        }
     }
 }
 
@@ -247,7 +614,20 @@ struct ThreadDone {
     clock: Time,
     stats: ProcStats,
     sent: BTreeMap<(ProcId, Tag), u64>,
+    recvd: BTreeMap<(ProcId, Tag), u64>,
     steps: u64,
+    rel: Option<ThreadRelDone>,
+}
+
+/// Reliable-mode tallies from one finished thread.
+struct ThreadRelDone {
+    logical_sent: BTreeMap<(ProcId, Tag), u64>,
+    logical_recvd: BTreeMap<(ProcId, Tag), u64>,
+    retransmits: u64,
+    acks_sent: u64,
+    dups: u64,
+    max_gap: u64,
+    injected: FaultCounts,
 }
 
 /// Drives one [`Process`] per OS thread to completion and merges the
@@ -259,6 +639,7 @@ pub struct ThreadedRunner {
     recv_timeout: Duration,
     step_budget: u64,
     slowdowns: Option<Vec<u64>>,
+    faults: Option<(FaultPlan, RelConfig)>,
 }
 
 impl ThreadedRunner {
@@ -269,7 +650,19 @@ impl ThreadedRunner {
             recv_timeout: DEFAULT_RECV_TIMEOUT,
             step_budget: u64::MAX,
             slowdowns: None,
+            faults: None,
         }
+    }
+
+    /// Run over a faulty fabric with the reliable-delivery protocol
+    /// interposed (wall-clock retransmission deadlines). The plan's
+    /// per-transmission decisions stay deterministic, but *how many*
+    /// transmissions occur depends on real-time retransmission races, so
+    /// only program-visible results — outputs and logical pair counts —
+    /// are reproducible, not the protocol tallies.
+    pub fn with_faults(mut self, plan: FaultPlan, cfg: RelConfig) -> Self {
+        self.faults = Some((plan, cfg));
+        self
     }
 
     /// Fail a blocked receive after `timeout` without any arrival.
@@ -343,6 +736,13 @@ impl ThreadedRunner {
                 rx,
                 stash: HashMap::new(),
                 sent: BTreeMap::new(),
+                recvd: BTreeMap::new(),
+                self_send: None,
+                rel: self
+                    .faults
+                    .as_ref()
+                    .map(|(plan, cfg)| Box::new(EndpointRel::new(plan.clone(), *cfg))),
+                dead: vec![false; n],
                 gauge: Arc::clone(&gauge),
                 recv_timeout: self.recv_timeout,
             })
@@ -367,17 +767,43 @@ impl ThreadedRunner {
                                 return Err(MachineError::StepBudgetExceeded { budget });
                             }
                             steps += 1;
-                            match process.step(&mut ep, me)? {
+                            let step = process.step(&mut ep, me)?;
+                            if let Some(sp) = ep.take_self_send() {
+                                return Err(MachineError::SelfSend { proc: sp });
+                            }
+                            if let Some(e) = ep.take_fatal() {
+                                return Err(e);
+                            }
+                            match step {
                                 Step::Ran => {}
                                 Step::Done => break,
-                                Step::BlockedOnRecv { src, tag } => ep.wait_for(src, tag)?,
+                                Step::BlockedOnRecv { src, tag } => {
+                                    if ep.rel.is_some() {
+                                        ep.rel_wait_for(src, tag)?;
+                                    } else {
+                                        ep.wait_for(src, tag)?;
+                                    }
+                                }
                             }
+                        }
+                        if ep.rel.is_some() {
+                            ep.rel_linger()?;
                         }
                         Ok(ThreadDone {
                             clock: ep.clock,
                             stats: ep.stats,
                             sent: ep.sent,
+                            recvd: ep.recvd,
                             steps,
+                            rel: ep.rel.take().map(|r| ThreadRelDone {
+                                logical_sent: r.logical_sent,
+                                logical_recvd: r.logical_recvd,
+                                retransmits: r.retransmits,
+                                acks_sent: r.acks_sent,
+                                dups: r.recvs.values().map(|c| c.dups).sum(),
+                                max_gap: r.recvs.values().map(|c| c.max_gap).max().unwrap_or(0),
+                                injected: r.fault.counts(),
+                            }),
                         })
                         // `ep` drops here, hanging up this processor's
                         // sender handles.
@@ -411,8 +837,11 @@ impl ThreadedRunner {
             match e {
                 MachineError::ProcessFault { .. } => 0,
                 MachineError::StepBudgetExceeded { .. } => 1,
-                MachineError::RecvTimeout { .. } => 2,
-                _ => 3,
+                // A starved sender is the root cause; its peers cascade
+                // into timeouts and hang-up deadlocks.
+                MachineError::RetriesExhausted { .. } => 2,
+                MachineError::RecvTimeout { .. } => 3,
+                _ => 4,
             }
         }
         let mut worst: Option<MachineError> = None;
@@ -430,24 +859,58 @@ impl ThreadedRunner {
             return Err(e);
         }
 
+        let reliable = self.faults.is_some();
         let mut pair_messages: BTreeMap<(ProcId, ProcId, Tag), u64> = BTreeMap::new();
+        let mut recvd_by_triple: BTreeMap<(ProcId, ProcId, Tag), u64> = BTreeMap::new();
         let mut network = NetworkStats::default();
         let mut steps: u64 = 0;
-        let mut recvs: u64 = 0;
         let mut clocks = Vec::with_capacity(n);
         let mut procs = Vec::with_capacity(n);
+        let mut fault_report = reliable.then(FaultReport::default);
         for (p, d) in done.into_iter().enumerate() {
-            for ((dst, tag), count) in d.sent {
-                pair_messages.insert((ProcId(p), dst, tag), count);
+            let me = ProcId(p);
+            if let Some(r) = d.rel {
+                // Reliable mode: report *program-level* traffic; raw frame
+                // counts (retransmits, acks, seq overhead) stay visible in
+                // the per-processor and network stats.
+                for ((dst, tag), count) in r.logical_sent {
+                    pair_messages.insert((me, dst, tag), count);
+                }
+                for ((src, tag), count) in r.logical_recvd {
+                    recvd_by_triple.insert((src, me, tag), count);
+                }
+                let fr = fault_report.as_mut().expect("reliable mode");
+                fr.injected.merge(&r.injected);
+                fr.retransmits += r.retransmits;
+                fr.acks_sent += r.acks_sent;
+                fr.dup_frames_dropped += r.dups;
+                fr.max_gap = fr.max_gap.max(r.max_gap);
+            } else {
+                for ((dst, tag), count) in d.sent {
+                    pair_messages.insert((me, dst, tag), count);
+                }
+                for ((src, tag), count) in d.recvd {
+                    recvd_by_triple.insert((src, me, tag), count);
+                }
             }
             network.messages += d.stats.sends;
             network.words += d.stats.words_sent;
-            recvs += d.stats.recvs;
             steps += d.steps;
             clocks.push(d.clock);
             procs.push(d.stats);
         }
         network.max_in_flight = gauge.max.load(Ordering::SeqCst);
+        let pending: Vec<(ProcId, ProcId, Tag, usize)> = pair_messages
+            .iter()
+            .filter_map(|(&(src, dst, tag), &sent)| {
+                let got = recvd_by_triple.get(&(src, dst, tag)).copied().unwrap_or(0);
+                (sent > got).then_some((src, dst, tag, (sent - got) as usize))
+            })
+            .collect();
+        let undelivered = pending.iter().map(|&(_, _, _, k)| k).sum();
+        if let Some(fr) = fault_report.as_mut() {
+            fr.raw_leftover = gauge.cur.load(Ordering::SeqCst) as usize;
+        }
         Ok(RunReport {
             stats: MachineStats {
                 network,
@@ -455,8 +918,10 @@ impl ThreadedRunner {
                 clocks,
             },
             steps,
-            undelivered: (network.messages - recvs) as usize,
+            undelivered,
             pair_messages,
+            pending,
+            fault: fault_report,
         })
     }
 }
@@ -643,5 +1108,121 @@ mod tests {
             .unwrap();
         assert_eq!(report.stats.clocks[0], Time(30));
         assert_eq!(report.stats.clocks[1], Time(10));
+    }
+
+    #[test]
+    fn pending_triples_reported_at_teardown() {
+        let mut procs = vec![
+            Scripted::new(vec![
+                Action::Send(1, 0, vec![1]),
+                Action::Send(1, 3, vec![2]),
+            ]),
+            Scripted::new(vec![Action::Recv(0, 0)]),
+        ];
+        let report = ThreadedRunner::new(CostModel::zero())
+            .run(&mut procs)
+            .unwrap();
+        assert_eq!(report.undelivered, 1);
+        assert_eq!(report.pending, vec![(ProcId(0), ProcId(1), Tag(3), 1)]);
+    }
+
+    #[test]
+    fn self_send_surfaces_as_error() {
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(0, 0, vec![1])]),
+            Scripted::new(vec![]),
+        ];
+        let err = ThreadedRunner::new(CostModel::zero())
+            .run(&mut procs)
+            .unwrap_err();
+        assert_eq!(err, MachineError::SelfSend { proc: ProcId(0) });
+    }
+
+    /// A short RTO so lossy tests retransmit promptly.
+    fn fast_rel() -> RelConfig {
+        RelConfig {
+            rto_wall: Duration::from_millis(2),
+            ..RelConfig::default()
+        }
+    }
+
+    fn stream_scripts() -> Vec<Scripted> {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..10 {
+            a.push(Action::Send(1, 0, vec![i]));
+            b.push(Action::Recv(0, 0));
+        }
+        a.push(Action::Recv(1, 1));
+        b.push(Action::Send(0, 1, vec![99]));
+        vec![Scripted::new(a), Scripted::new(b)]
+    }
+
+    #[test]
+    fn reliable_empty_plan_delivers_in_order() {
+        let mut procs = stream_scripts();
+        let report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_faults(FaultPlan::none(), fast_rel())
+            .run(&mut procs)
+            .unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(procs[1].received, expected);
+        assert_eq!(report.undelivered, 0);
+        assert!(report.pending.is_empty());
+        let fr = report.fault.expect("reliable run carries a report");
+        assert_eq!(fr.injected.total(), 0);
+        assert_eq!(
+            report.pair_messages.get(&(ProcId(0), ProcId(1), Tag(0))),
+            Some(&10),
+            "logical pair counts see program messages, not protocol frames"
+        );
+    }
+
+    #[test]
+    fn reliable_lossy_plan_recovers_exactly_once_in_order() {
+        let plan = FaultPlan::seeded(7)
+            .with_drops(250)
+            .with_dups(150)
+            .with_delays(100, 5_000)
+            .with_reorders(100)
+            .with_fault_budget(6);
+        let mut procs = stream_scripts();
+        let report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_faults(plan, fast_rel())
+            .run(&mut procs)
+            .unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(procs[1].received, expected, "exactly-once, in-order");
+        assert_eq!(report.undelivered, 0);
+        let fr = report.fault.expect("reliable run carries a report");
+        assert!(fr.injected.total() > 0, "the plan injected faults");
+    }
+
+    #[test]
+    fn reliable_black_hole_exhausts_retries() {
+        let plan = FaultPlan::seeded(0).with_black_hole(ProcId(0), ProcId(1), Tag(0));
+        let cfg = RelConfig {
+            rto_wall: Duration::from_millis(2),
+            max_retries: 3,
+            ..RelConfig::default()
+        };
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(1, 0, vec![1])]),
+            Scripted::new(vec![Action::Recv(0, 0)]),
+        ];
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_recv_timeout(Duration::from_secs(30))
+            .with_faults(plan, cfg)
+            .run(&mut procs)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::RetriesExhausted {
+                proc: ProcId(0),
+                peer: ProcId(1),
+                tag: Tag(0),
+                retries: 3,
+            }
+        );
     }
 }

@@ -6,7 +6,10 @@ use crate::scalar::Scalar;
 use crate::vm::ProcVm;
 use crate::SpmdError;
 use pdc_istructure::IMatrix;
-use pdc_machine::{Backend, CostModel, Machine, Process, RunReport, Scheduler, ThreadedRunner};
+use pdc_machine::{
+    Backend, CostModel, FaultPlan, Machine, Process, RelConfig, RunReport, Scheduler,
+    ThreadedRunner,
+};
 use pdc_mapping::OwnerSet;
 use std::sync::Arc;
 
@@ -32,6 +35,7 @@ pub struct SpmdMachine {
     vms: Vec<ProcVm>,
     scheduler: Scheduler,
     backend: Backend,
+    faults: Option<(FaultPlan, RelConfig)>,
     ran: bool,
 }
 
@@ -67,6 +71,7 @@ impl SpmdMachine {
             vms,
             scheduler: Scheduler::new(),
             backend: Backend::Simulated,
+            faults: None,
             ran: false,
         })
     }
@@ -91,6 +96,35 @@ impl SpmdMachine {
         self.backend
     }
 
+    /// Inject faults from `plan` and run under the reliable-delivery
+    /// protocol with the default [`RelConfig`]. A [`FaultPlan::none`] plan
+    /// is a no-op: the run takes the vanilla fast path and is bit-identical
+    /// to a run without this call. Program outputs under a lossy plan are
+    /// identical to a fault-free run; only timing and the
+    /// [`FaultReport`](pdc_machine::FaultReport) differ.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.with_faults_cfg(plan, RelConfig::default())
+    }
+
+    /// Like [`with_faults`](Self::with_faults) with an explicit
+    /// retransmission policy.
+    pub fn with_faults_cfg(mut self, plan: FaultPlan, cfg: RelConfig) -> Self {
+        self.faults = if plan.is_none() {
+            None
+        } else {
+            Some((plan, cfg))
+        };
+        self
+    }
+
+    /// Force the reliable-delivery protocol even with no faults to inject.
+    /// Useful for measuring protocol overhead: sequencing, acks, and
+    /// timers all run, but nothing is ever dropped.
+    pub fn with_reliable_delivery(mut self, cfg: RelConfig) -> Self {
+        self.faults = Some((FaultPlan::none(), cfg));
+        self
+    }
+
     /// Execute to completion.
     ///
     /// # Errors
@@ -104,11 +138,22 @@ impl SpmdMachine {
             Backend::Simulated => {
                 let mut refs: Vec<&mut dyn Process> =
                     self.vms.iter_mut().map(|v| v as &mut dyn Process).collect();
-                self.scheduler.run(&mut self.machine, &mut refs)?
+                match &self.faults {
+                    Some((plan, cfg)) => {
+                        self.scheduler
+                            .run_faulty(&mut self.machine, &mut refs, plan, *cfg)?
+                    }
+                    None => self.scheduler.run(&mut self.machine, &mut refs)?,
+                }
             }
-            Backend::Threaded { recv_timeout } => ThreadedRunner::new(*self.machine.cost_model())
-                .with_recv_timeout(recv_timeout)
-                .run(&mut self.vms)?,
+            Backend::Threaded { recv_timeout } => {
+                let mut runner =
+                    ThreadedRunner::new(*self.machine.cost_model()).with_recv_timeout(recv_timeout);
+                if let Some((plan, cfg)) = &self.faults {
+                    runner = runner.with_faults(plan.clone(), *cfg);
+                }
+                runner.run(&mut self.vms)?
+            }
         };
         self.ran = true;
         Ok(RunOutcome { report })
@@ -388,6 +433,72 @@ mod tests {
         let mut m = SpmdMachine::new(&prog, CostModel::zero()).unwrap();
         let err = m.run().unwrap_err();
         assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn lossy_faults_do_not_change_outputs() {
+        // The ping-pong under a lossy plan: the reliability layer must
+        // recover the exact program-level traffic on both backends.
+        let cost = CostModel::ipsc2();
+        let p0 = vec![
+            SStmt::Send {
+                to: SExpr::int(1),
+                tag: 1,
+                values: vec![SExpr::int(21)],
+            },
+            SStmt::Recv {
+                from: SExpr::int(1),
+                tag: 2,
+                into: vec![RecvTarget::Var("r".into())],
+            },
+        ];
+        let p1 = vec![
+            SStmt::Recv {
+                from: SExpr::int(0),
+                tag: 1,
+                into: vec![RecvTarget::Var("x".into())],
+            },
+            SStmt::Send {
+                to: SExpr::int(0),
+                tag: 2,
+                values: vec![SExpr::var("x").mul(SExpr::int(2))],
+            },
+        ];
+        let prog = SpmdProgram::new(vec![p0, p1]);
+        let plan = pdc_machine::FaultPlan::seeded(11)
+            .with_drops(300)
+            .with_dups(150)
+            .with_fault_budget(4);
+        let cfg = pdc_machine::RelConfig {
+            rto_wall: std::time::Duration::from_millis(2),
+            ..Default::default()
+        };
+
+        for backend in [Backend::Simulated, Backend::threaded()] {
+            let mut m = SpmdMachine::new(&prog, cost)
+                .unwrap()
+                .with_backend(backend)
+                .with_faults_cfg(plan.clone(), cfg);
+            let out = m.run().unwrap();
+            assert_eq!(m.vm(0).var("r"), Some(Scalar::Int(42)), "{backend:?}");
+            assert_eq!(out.report.undelivered, 0);
+            assert!(out.report.fault.is_some(), "reliable run reports faults");
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_takes_vanilla_path() {
+        // FaultPlan::none() must be bit-identical to not calling
+        // with_faults at all: same makespan, same counters, no report.
+        let prog = owner_writes_program();
+        let mut plain = SpmdMachine::new(&prog, CostModel::ipsc2()).unwrap();
+        let plain_out = plain.run().unwrap();
+        let mut none = SpmdMachine::new(&prog, CostModel::ipsc2())
+            .unwrap()
+            .with_faults(pdc_machine::FaultPlan::none());
+        let none_out = none.run().unwrap();
+        assert_eq!(none_out.report.stats, plain_out.report.stats);
+        assert_eq!(none_out.report.fault, None, "no reliability layer ran");
     }
 
     #[test]

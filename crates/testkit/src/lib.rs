@@ -24,6 +24,8 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
+pub mod fault;
+
 /// A SplitMix64 pseudo-random generator: tiny, fast, and statistically
 /// good enough for test-case generation. Deterministic across platforms.
 #[derive(Debug, Clone)]

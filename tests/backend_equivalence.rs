@@ -115,7 +115,9 @@ fn check(w: &Workload, strategy: Strategy) {
     let thr = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::threaded())
         .unwrap_or_else(|e| panic!("{label} (threaded): {e}"));
 
-    // Both backends deliver every message they send.
+    // Both backends deliver every message they send, and both report the
+    // same (empty) set of pending (src, dst, tag) triples — the threaded
+    // backend's diagnostic parity with the simulator's `pending_triples`.
     assert_eq!(
         sim.outcome.report.undelivered, 0,
         "{label}: sim undelivered"
@@ -123,6 +125,16 @@ fn check(w: &Workload, strategy: Strategy) {
     assert_eq!(
         thr.outcome.report.undelivered, 0,
         "{label}: threaded undelivered"
+    );
+    assert_eq!(
+        sim.outcome.report.pending,
+        Vec::new(),
+        "{label}: sim pending triples"
+    );
+    assert_eq!(
+        thr.outcome.report.pending,
+        Vec::new(),
+        "{label}: threaded pending triples"
     );
 
     // Outputs: threaded == simulated == sequential interpreter.

@@ -173,6 +173,38 @@ pub fn run_wavefront(
     }
 }
 
+/// Like [`run_wavefront`] but with tracing enabled on an explicit
+/// backend, returning the full [`RunReport`](pdc_machine::RunReport)
+/// (whose `trace` feeds the Chrome exporter and critical-path analyzer).
+///
+/// # Panics
+///
+/// Panics on simulation errors — the harness treats those as bugs.
+pub fn run_wavefront_traced(
+    variant: Variant,
+    n: usize,
+    nprocs: usize,
+    cost: CostModel,
+    backend: pdc_machine::Backend,
+    trace_cap: usize,
+) -> pdc_machine::RunReport {
+    let prog = build_wavefront(variant, n, nprocs);
+    let mut m = SpmdMachine::new(&prog, cost)
+        .expect("program lowers")
+        .with_backend(backend)
+        .with_trace(trace_cap);
+    m.preset_var("n", Scalar::Int(n as i64));
+    m.preload_array(
+        "Old",
+        pdc_mapping::Dist::ColumnCyclic,
+        &driver::standard_input(n, n),
+    );
+    let out = m
+        .run()
+        .unwrap_or_else(|e| panic!("{variant} (n={n}, s={nprocs}, {backend:?}): {e}"));
+    out.report
+}
+
 /// Default processor counts swept by Figures 6 and 7.
 pub fn processor_sweep(n: usize) -> Vec<usize> {
     [1usize, 2, 4, 8, 16, 32]

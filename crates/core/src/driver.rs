@@ -50,6 +50,8 @@ pub struct Job<'a> {
     /// Fault plan and retransmission policy the execution should run
     /// under. `None` (the default) runs the raw, fault-free fabric.
     pub fault_plan: Option<(FaultPlan, RelConfig)>,
+    /// Event-trace buffer cap; `None` (the default) disables tracing.
+    pub trace_cap: Option<usize>,
 }
 
 impl<'a> Job<'a> {
@@ -65,6 +67,7 @@ impl<'a> Job<'a> {
             extent_overrides: HashMap::new(),
             backend: Backend::Simulated,
             fault_plan: None,
+            trace_cap: None,
         }
     }
 
@@ -88,6 +91,13 @@ impl<'a> Job<'a> {
         self.fault_plan = Some((plan, cfg));
         self
     }
+
+    /// Record an event trace (up to `cap` events) during execution; read
+    /// it back with [`Execution::trace`]. Works on both backends.
+    pub fn with_trace(mut self, cap: usize) -> Self {
+        self.trace_cap = Some(cap);
+        self
+    }
 }
 
 /// A compiled program bundled with the analysis that produced it (needed
@@ -104,6 +114,8 @@ pub struct Compiled {
     pub backend: Backend,
     /// Fault plan the job requested (used by [`execute`]).
     pub fault_plan: Option<(FaultPlan, RelConfig)>,
+    /// Trace cap the job requested (used by [`execute`]).
+    pub trace_cap: Option<usize>,
 }
 
 /// Run the front half of the pipeline: inline, analyze, generate.
@@ -135,6 +147,7 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         inlined,
         backend: job.backend,
         fault_plan: job.fault_plan.clone(),
+        trace_cap: job.trace_cap,
     })
 }
 
@@ -196,6 +209,12 @@ impl Execution {
     pub fn makespan(&self) -> u64 {
         self.outcome.report.stats.makespan().0
     }
+
+    /// The event trace of the run (empty unless the job enabled tracing
+    /// with [`Job::with_trace`]).
+    pub fn trace(&self) -> &pdc_machine::Trace {
+        &self.outcome.report.trace
+    }
 }
 
 /// Run a compiled program on the backend its [`Job`] selected
@@ -228,6 +247,9 @@ pub fn execute_on(
     let mut machine = SpmdMachine::new(&compiled.spmd, cost)?.with_backend(backend);
     if let Some((plan, cfg)) = &compiled.fault_plan {
         machine = machine.with_faults_cfg(plan.clone(), *cfg);
+    }
+    if let Some(cap) = compiled.trace_cap {
+        machine = machine.with_trace(cap);
     }
     for (name, v) in &inputs.scalars {
         machine.preset_var(name, *v);

@@ -5,7 +5,7 @@ use crate::error::MachineError;
 use crate::message::{Message, ProcId, Tag, Time, Word};
 use crate::network::Network;
 use crate::stats::{MachineStats, ProcStats};
-use crate::trace::{Event, EventKind, Trace};
+use crate::trace::{EventKind, Trace};
 use std::collections::BTreeMap;
 
 /// What a [`Process`](crate::Process) sees of the machine it runs on:
@@ -149,10 +149,15 @@ impl Machine {
         }
     }
 
-    /// Enable bounded event tracing.
+    /// Enable bounded event tracing (keep-oldest overflow policy).
     pub fn with_trace(mut self, cap: usize) -> Self {
         self.trace = Trace::bounded(cap);
         self
+    }
+
+    /// Install a caller-configured trace (e.g. keep-newest policy).
+    pub fn enable_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// Make the machine heterogeneous: processor `p` takes
@@ -195,8 +200,10 @@ impl Machine {
     /// Charge `cycles` of computation to processor `p` (scaled by its
     /// slowdown factor) and count one executed instruction.
     pub fn tick(&mut self, p: ProcId, cycles: u64) {
-        self.clocks[p.0] = self.clocks[p.0].plus(cycles * self.slowdown[p.0]);
+        let before = self.clocks[p.0];
+        self.clocks[p.0] = before.plus(cycles * self.slowdown[p.0]);
         self.procs[p.0].ops += 1;
+        self.trace.record_compute(p, before, self.clocks[p.0]);
     }
 
     /// Asynchronous typed send (`csend`): charges the sender the start-up
@@ -220,11 +227,16 @@ impl Machine {
         let arrives_at = sent_at.plus(self.cost.flight);
         self.procs[src.0].sends += 1;
         self.procs[src.0].words_sent += words as u64;
-        self.trace.record(Event {
-            proc: src,
-            at: sent_at,
-            kind: EventKind::Send { dst, tag, words },
-        });
+        self.trace.record(
+            src,
+            sent_at,
+            EventKind::Send {
+                dst,
+                tag,
+                words,
+                cost: send_cost,
+            },
+        );
         self.network.deliver(Message {
             src,
             dst,
@@ -249,18 +261,20 @@ impl Machine {
         } else {
             before
         };
-        self.clocks[dst.0] = ready.plus(self.cost.recv_cost(words) * self.slowdown[dst.0]);
+        let recv_cost = self.cost.recv_cost(words) * self.slowdown[dst.0];
+        self.clocks[dst.0] = ready.plus(recv_cost);
         self.procs[dst.0].recvs += 1;
-        self.trace.record(Event {
-            proc: dst,
-            at: self.clocks[dst.0],
-            kind: EventKind::Recv {
+        self.trace.record(
+            dst,
+            self.clocks[dst.0],
+            EventKind::Recv {
                 src,
                 tag,
                 words,
                 waited: msg.arrives_at.0.saturating_sub(before.0),
+                cost: recv_cost,
             },
-        });
+        );
         Some(msg.payload)
     }
 
@@ -277,18 +291,23 @@ impl Machine {
     }
 
     /// A send whose frame the transport loses: the sender pays the full
-    /// packing cost and the trace records the attempt, but nothing enters
+    /// packing cost and the trace records the loss, but nothing enters
     /// the network. Fault-injection primitive.
     pub fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
         let send_cost = self.cost.send_cost(words) * self.slowdown[src.0];
         self.clocks[src.0] = self.clocks[src.0].plus(send_cost);
         self.procs[src.0].sends += 1;
         self.procs[src.0].words_sent += words as u64;
-        self.trace.record(Event {
-            proc: src,
-            at: self.clocks[src.0],
-            kind: EventKind::Send { dst, tag, words },
-        });
+        self.trace.record(
+            src,
+            self.clocks[src.0],
+            EventKind::FrameLost {
+                dst,
+                tag,
+                words,
+                cost: send_cost,
+            },
+        );
     }
 
     /// Deposit a transport-manufactured frame — a duplicate or a delayed
@@ -335,25 +354,30 @@ impl Machine {
         } else {
             before
         };
-        self.clocks[dst.0] = ready.plus(self.cost.recv_cost(words) * self.slowdown[dst.0]);
+        let recv_cost = self.cost.recv_cost(words) * self.slowdown[dst.0];
+        self.clocks[dst.0] = ready.plus(recv_cost);
         self.procs[dst.0].recvs += 1;
-        self.trace.record(Event {
-            proc: dst,
-            at: self.clocks[dst.0],
-            kind: EventKind::Recv {
+        self.trace.record(
+            dst,
+            self.clocks[dst.0],
+            EventKind::Recv {
                 src,
                 tag,
                 words,
                 waited: arrives_at.0.saturating_sub(before.0),
+                cost: recv_cost,
             },
-        });
+        );
     }
 
     /// Advance `p`'s clock by `cycles` of protocol work (slowdown-scaled)
     /// without counting an executed instruction — ack processing, timer
-    /// service, and similar bookkeeping the program never wrote.
+    /// service, and similar bookkeeping the program never wrote. Traced
+    /// as compute: the processor really is busy over the interval.
     pub fn busy(&mut self, p: ProcId, cycles: u64) {
-        self.clocks[p.0] = self.clocks[p.0].plus(cycles * self.slowdown[p.0]);
+        let before = self.clocks[p.0];
+        self.clocks[p.0] = before.plus(cycles * self.slowdown[p.0]);
+        self.trace.record_compute(p, before, self.clocks[p.0]);
     }
 
     /// Advance `p`'s clock to at least `t` — how a retransmission timer
@@ -367,11 +391,7 @@ impl Machine {
     /// Record that the process on `p` finished (for the trace).
     pub fn finish(&mut self, p: ProcId) {
         let at = self.clocks[p.0];
-        self.trace.record(Event {
-            proc: p,
-            at,
-            kind: EventKind::Finish,
-        });
+        self.trace.record(p, at, EventKind::Finish);
     }
 
     /// Validate a processor id.
@@ -406,9 +426,24 @@ impl Machine {
         }
     }
 
-    /// The event trace recorded so far.
+    /// The event trace recorded so far. Open compute intervals are not
+    /// yet flushed; prefer [`snapshot_trace`](Machine::snapshot_trace)
+    /// for a finished run.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Flush open compute intervals and clone the trace — what a
+    /// [`RunReport`](crate::RunReport) carries.
+    pub fn snapshot_trace(&mut self) -> Trace {
+        self.trace.flush();
+        self.trace.clone()
+    }
+
+    /// Mutable trace access for the protocol layers (retransmit/ack
+    /// events recorded by the scheduler's reliable-delivery state).
+    pub(crate) fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     /// Cumulative messages delivered per `(src, dst, tag)` triple.
@@ -512,10 +547,54 @@ mod tests {
         m.send(ProcId(0), ProcId(1), Tag(1), vec![1]);
         m.try_recv(ProcId(1), ProcId(0), Tag(1)).unwrap();
         m.finish(ProcId(0));
-        let kinds: Vec<_> = m.trace().events().iter().map(|e| &e.kind).collect();
+        let kinds: Vec<_> = m.trace().events().map(|e| &e.kind).collect();
         assert!(matches!(kinds[0], EventKind::Send { .. }));
         assert!(matches!(kinds[1], EventKind::Recv { .. }));
         assert!(matches!(kinds[2], EventKind::Finish));
+    }
+
+    #[test]
+    fn trace_coalesces_ticks_and_records_costs() {
+        let c = CostModel::ipsc2();
+        let mut m = Machine::new(2, c).with_trace(16);
+        m.tick(ProcId(0), 3);
+        m.tick(ProcId(0), 4);
+        m.send(ProcId(0), ProcId(1), Tag(0), vec![1, 2]);
+        m.try_recv(ProcId(1), ProcId(0), Tag(0)).unwrap();
+        let evs: Vec<_> = m.snapshot_trace().events().cloned().collect();
+        // Two ticks coalesced into one compute interval, flushed by the send.
+        assert_eq!(evs[0].kind, EventKind::Compute { cycles: 7 });
+        assert_eq!(evs[0].at, Time(7));
+        assert_eq!(
+            evs[1].kind,
+            EventKind::Send {
+                dst: ProcId(1),
+                tag: Tag(0),
+                words: 2,
+                cost: c.send_cost(2),
+            }
+        );
+        match evs[2].kind {
+            EventKind::Recv { waited, cost, .. } => {
+                assert_eq!(cost, c.recv_cost(2));
+                assert_eq!(waited, 7 + c.send_cost(2) + c.flight);
+            }
+            ref other => panic!("expected recv, got {other:?}"),
+        }
+        // Intervals tile the receiver's timeline: at - duration = start.
+        assert_eq!(evs[2].start(), Time(0));
+        assert_eq!(evs[2].at, m.clock(ProcId(1)));
+    }
+
+    #[test]
+    fn send_lost_traced_as_frame_lost() {
+        let mut m = Machine::new(2, CostModel::ipsc2()).with_trace(16);
+        m.send_lost(ProcId(0), ProcId(1), Tag(3), 2);
+        let evs: Vec<_> = m.snapshot_trace().events().cloned().collect();
+        assert!(matches!(
+            evs[0].kind,
+            EventKind::FrameLost { tag: Tag(3), .. }
+        ));
     }
 
     #[test]

@@ -53,6 +53,8 @@ mod sched;
 mod stats;
 pub mod threaded;
 mod trace;
+pub mod trace_analysis;
+pub mod trace_chrome;
 
 pub use cost::CostModel;
 pub use error::MachineError;
@@ -64,4 +66,8 @@ pub use reliable::{ack_tag, RelConfig, ACK_TAG_BIT};
 pub use sched::{Process, RunReport, Scheduler, Step};
 pub use stats::{FaultReport, MachineStats, NetworkStats, ProcStats};
 pub use threaded::{Backend, ThreadedRunner, DEFAULT_RECV_TIMEOUT};
-pub use trace::{render_gantt as trace_render, Event, EventKind, Trace};
+pub use trace::{render_gantt as trace_render, DropPolicy, Event, EventKind, Trace};
+pub use trace_analysis::{
+    analyze, CommEdge, CriticalPath, PathSegment, ProcProfile, TraceAnalysis,
+};
+pub use trace_chrome::{chrome_trace, validate_chrome_trace, ChromeStats};

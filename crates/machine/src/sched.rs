@@ -9,6 +9,7 @@ use crate::reliable::{
     ack_tag, frame, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
 };
 use crate::stats::{FaultReport, MachineStats};
+use crate::trace::{EventKind, Trace};
 use std::collections::BTreeMap;
 
 /// What a process did on one scheduling step.
@@ -72,6 +73,12 @@ pub struct RunReport {
     /// Fault-injection and reliable-delivery accounting; `None` when the
     /// run used the raw fabric.
     pub fault: Option<FaultReport>,
+    /// The event trace of the run — empty unless tracing was enabled
+    /// ([`Machine::with_trace`](crate::Machine::with_trace) on the
+    /// simulator, [`ThreadedRunner::with_trace`](crate::ThreadedRunner::with_trace)
+    /// on real threads). Check [`Trace::dropped`] before treating it as
+    /// complete: a bounded trace silently truncates at its cap.
+    pub trace: Trace,
 }
 
 /// Drives a set of [`Process`]es over a [`Machine`] until all finish.
@@ -215,6 +222,7 @@ impl Scheduler {
             pair_messages: machine.pair_counts(),
             pending: machine.pending_triples(),
             fault: None,
+            trace: machine.snapshot_trace(),
         })
     }
 
@@ -359,6 +367,7 @@ impl Scheduler {
             undelivered: rel.undelivered(),
             pair_messages: rel.logical_sent.clone(),
             pending: rel.pending_triples(),
+            trace: machine.snapshot_trace(),
             fault: Some(FaultReport {
                 injected: fault.counts(),
                 retransmits: rel.retransmits,
@@ -429,6 +438,16 @@ impl RelState {
                     .get_mut(&(dst, tag))
                     .expect("chan exists: key came from the map");
                 chan.ack(cum);
+                let now = m.clock(me);
+                m.trace_mut().record(
+                    me,
+                    now,
+                    EventKind::Ack {
+                        peer: dst,
+                        tag,
+                        cum,
+                    },
+                );
                 self.activity += 1;
             }
         }
@@ -505,9 +524,13 @@ impl RelState {
                 }
                 p.retries += 1;
                 p.deadline = now.plus(self.cfg.backoff_cycles(p.retries));
-                p.frame.clone()
+                (p.seq, p.frame.clone())
             };
-            fault.dispatch(m, me, dst, tag, resend);
+            let (seq, payload) = resend;
+            let at = m.clock(me);
+            m.trace_mut()
+                .record(me, at, EventKind::Retransmit { dst, tag, seq });
+            fault.dispatch(m, me, dst, tag, payload);
             self.retransmits += 1;
             self.activity += 1;
         }

@@ -50,6 +50,7 @@ use crate::reliable::{
 };
 use crate::sched::{Process, RunReport, Step};
 use crate::stats::{FaultReport, MachineStats, NetworkStats, ProcStats};
+use crate::trace::{EventKind, Trace};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -184,6 +185,12 @@ pub struct Endpoint {
     dead: Vec<bool>,
     gauge: Arc<Gauge>,
     recv_timeout: Duration,
+    /// Per-endpoint event trace, recorded exactly as the simulator's
+    /// [`Machine`](crate::Machine) records its global one; merged by
+    /// timestamp into the run report at teardown. Because every event's
+    /// `at` comes from the backend-invariant logical clock, the merged
+    /// trace matches the simulator's on the raw fabric.
+    trace: Trace,
 }
 
 impl Endpoint {
@@ -199,22 +206,35 @@ impl Endpoint {
     fn consume(&mut self, msg: Message) -> Vec<Word> {
         *self.recvd.entry((msg.src, msg.tag)).or_insert(0) += 1;
         let payload = msg.payload;
-        self.charge_recv(msg.arrives_at, payload.len());
+        self.charge_recv(msg.src, msg.tag, msg.arrives_at, payload.len());
         self.gauge.dec();
         payload
     }
 
     /// The accounting half of [`consume`](Endpoint::consume): idle until
     /// the arrival stamp if necessary, then pay the unpacking cost.
-    fn charge_recv(&mut self, arrives_at: Time, words: usize) {
+    fn charge_recv(&mut self, src: ProcId, tag: Tag, arrives_at: Time, words: usize) {
+        let waited = arrives_at.0.saturating_sub(self.clock.0);
         let ready = if arrives_at > self.clock {
-            self.stats.idle_cycles += arrives_at.0 - self.clock.0;
+            self.stats.idle_cycles += waited;
             arrives_at
         } else {
             self.clock
         };
-        self.clock = ready.plus(self.cost.recv_cost(words) * self.slowdown);
+        let recv_cost = self.cost.recv_cost(words) * self.slowdown;
+        self.clock = ready.plus(recv_cost);
         self.stats.recvs += 1;
+        self.trace.record(
+            self.me,
+            self.clock,
+            EventKind::Recv {
+                src,
+                tag,
+                words,
+                waited,
+                cost: recv_cost,
+            },
+        );
     }
 
     /// Take and clear the recorded self-send fault, if any.
@@ -245,12 +265,24 @@ impl Endpoint {
                 {
                     self.gauge.dec();
                     // Interrupt-style ack processing: unpacking cost only,
-                    // never idle waiting.
-                    self.clock = self.clock.plus(self.cost.recv_cost(1) * self.slowdown);
+                    // never idle waiting. Traced as compute, exactly as
+                    // the simulator's `busy` is.
+                    let before = self.clock;
+                    self.clock = before.plus(self.cost.recv_cost(1) * self.slowdown);
+                    self.trace.record_compute(self.me, before, self.clock);
                     let cum = msg.payload[0] as u64;
                     let data_tag = Tag(tag.0 & !ACK_TAG_BIT);
                     if let Some(chan) = rel.senders.get_mut(&(peer, data_tag)) {
                         chan.ack(cum);
+                        self.trace.record(
+                            self.me,
+                            self.clock,
+                            EventKind::Ack {
+                                peer,
+                                tag: data_tag,
+                                cum,
+                            },
+                        );
                     }
                 }
             } else {
@@ -320,10 +352,13 @@ impl Endpoint {
                     }
                     p.retries += 1;
                     p.deadline = now + rel.cfg.backoff_wall(p.retries);
-                    p.frame.clone()
+                    (p.seq, p.frame.clone())
                 };
+                let (seq, payload) = resend;
+                self.trace
+                    .record(self.me, self.clock, EventKind::Retransmit { dst, tag, seq });
                 rel.retransmits += 1;
-                rel.fault.dispatch(self, self.me, dst, tag, resend);
+                rel.fault.dispatch(self, self.me, dst, tag, payload);
             }
         }
         self.rel = Some(rel);
@@ -367,7 +402,7 @@ impl Endpoint {
         let rel = self.rel.as_mut().expect("rel recv requires reliable mode");
         let (arrives, payload) = rel.recvs.get_mut(&(src, tag))?.ready.pop_front()?;
         *rel.logical_recvd.entry((src, tag)).or_insert(0) += 1;
-        self.charge_recv(arrives, payload.len());
+        self.charge_recv(src, tag, arrives, payload.len());
         Some(payload)
     }
 
@@ -520,8 +555,10 @@ impl Fabric for Endpoint {
     fn tick(&mut self, p: ProcId, cycles: u64) {
         debug_assert_eq!(p, self.me, "an endpoint only drives its own clock");
         let extra = self.rel.as_mut().map_or(0, |r| r.fault.stall_cycles(p));
-        self.clock = self.clock.plus((cycles + extra) * self.slowdown);
+        let before = self.clock;
+        self.clock = before.plus((cycles + extra) * self.slowdown);
         self.stats.ops += 1;
+        self.trace.record_compute(p, before, self.clock);
     }
 
     fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
@@ -547,6 +584,16 @@ impl Fabric for Endpoint {
         self.stats.sends += 1;
         self.stats.words_sent += words as u64;
         *self.sent.entry((dst, tag)).or_insert(0) += 1;
+        self.trace.record(
+            src,
+            sent_at,
+            EventKind::Send {
+                dst,
+                tag,
+                words,
+                cost: send_cost,
+            },
+        );
         self.gauge.inc();
         if let Some(tx) = &self.senders[dst.0] {
             // A hung-up receiver has already finished; the message simply
@@ -579,11 +626,20 @@ impl Fabric for Endpoint {
 
     fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
         debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
-        let _ = (dst, tag);
         let send_cost = self.cost.send_cost(words) * self.slowdown;
         self.clock = self.clock.plus(send_cost);
         self.stats.sends += 1;
         self.stats.words_sent += words as u64;
+        self.trace.record(
+            src,
+            self.clock,
+            EventKind::FrameLost {
+                dst,
+                tag,
+                words,
+                cost: send_cost,
+            },
+        );
     }
 
     fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
@@ -616,6 +672,7 @@ struct ThreadDone {
     sent: BTreeMap<(ProcId, Tag), u64>,
     recvd: BTreeMap<(ProcId, Tag), u64>,
     steps: u64,
+    trace: Trace,
     rel: Option<ThreadRelDone>,
 }
 
@@ -640,6 +697,11 @@ pub struct ThreadedRunner {
     step_budget: u64,
     slowdowns: Option<Vec<u64>>,
     faults: Option<(FaultPlan, RelConfig)>,
+    /// Trace configuration template, cloned (empty) onto each endpoint.
+    /// Disabled by default. Note the cap applies *per processor* here —
+    /// each thread bounds its own memory — where the simulator's cap is
+    /// global.
+    trace: Trace,
 }
 
 impl ThreadedRunner {
@@ -651,7 +713,23 @@ impl ThreadedRunner {
             step_budget: u64::MAX,
             slowdowns: None,
             faults: None,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Enable bounded event tracing, `cap` events *per processor*
+    /// (keep-oldest policy; see [`with_trace_config`](Self::with_trace_config)).
+    pub fn with_trace(mut self, cap: usize) -> Self {
+        self.trace = Trace::bounded(cap);
+        self
+    }
+
+    /// Enable tracing with the cap/policy of a configured [`Trace`] — how
+    /// a simulator machine's trace configuration is carried over to the
+    /// threaded backend.
+    pub fn with_trace_config(mut self, template: &Trace) -> Self {
+        self.trace = template.like();
+        self
     }
 
     /// Run over a faulty fabric with the reliable-delivery protocol
@@ -745,6 +823,7 @@ impl ThreadedRunner {
                 dead: vec![false; n],
                 gauge: Arc::clone(&gauge),
                 recv_timeout: self.recv_timeout,
+                trace: self.trace.like(),
             })
             .collect();
         // Drop the original senders so each receiver's only handles are
@@ -776,7 +855,10 @@ impl ThreadedRunner {
                             }
                             match step {
                                 Step::Ran => {}
-                                Step::Done => break,
+                                Step::Done => {
+                                    ep.trace.record(me, ep.clock, EventKind::Finish);
+                                    break;
+                                }
                                 Step::BlockedOnRecv { src, tag } => {
                                     if ep.rel.is_some() {
                                         ep.rel_wait_for(src, tag)?;
@@ -795,6 +877,7 @@ impl ThreadedRunner {
                             sent: ep.sent,
                             recvd: ep.recvd,
                             steps,
+                            trace: std::mem::take(&mut ep.trace),
                             rel: ep.rel.take().map(|r| ThreadRelDone {
                                 logical_sent: r.logical_sent,
                                 logical_recvd: r.logical_recvd,
@@ -867,8 +950,10 @@ impl ThreadedRunner {
         let mut clocks = Vec::with_capacity(n);
         let mut procs = Vec::with_capacity(n);
         let mut fault_report = reliable.then(FaultReport::default);
+        let mut traces = Vec::with_capacity(n);
         for (p, d) in done.into_iter().enumerate() {
             let me = ProcId(p);
+            traces.push(d.trace);
             if let Some(r) = d.rel {
                 // Reliable mode: report *program-level* traffic; raw frame
                 // counts (retransmits, acks, seq overhead) stay visible in
@@ -922,6 +1007,7 @@ impl ThreadedRunner {
             pair_messages,
             pending,
             fault: fault_report,
+            trace: Trace::merge(traces),
         })
     }
 }

@@ -91,6 +91,15 @@ impl SpmdMachine {
         self
     }
 
+    /// Enable event tracing with a bounded buffer. Works on *both*
+    /// backends — the run's [`RunReport`] carries the (flushed, merged)
+    /// trace. On the simulator the cap is global; on the threaded
+    /// backend it applies per processor.
+    pub fn with_trace(mut self, cap: usize) -> Self {
+        self.machine.enable_trace(pdc_machine::Trace::bounded(cap));
+        self
+    }
+
     /// The configured execution backend.
     pub fn backend(&self) -> Backend {
         self.backend
@@ -151,6 +160,12 @@ impl SpmdMachine {
                     ThreadedRunner::new(*self.machine.cost_model()).with_recv_timeout(recv_timeout);
                 if let Some((plan, cfg)) = &self.faults {
                     runner = runner.with_faults(plan.clone(), *cfg);
+                }
+                // Forward the machine's trace configuration — dropping it
+                // here is exactly the silently-empty-trace bug this layer
+                // regression-tests against.
+                if self.machine.trace().is_enabled() {
+                    runner = runner.with_trace_config(self.machine.trace());
                 }
                 runner.run(&mut self.vms)?
             }

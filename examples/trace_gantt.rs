@@ -1,25 +1,34 @@
-//! Visualize the wavefront: run the pipelined (Optimized II) program with
-//! event tracing enabled and print a text Gantt chart. The staircase of
-//! sends and receives is the diagonal wavefront of the paper's Figure 2b.
+//! Visualize the wavefront: run two program versions with event tracing
+//! enabled, print a text Gantt chart, and decompose each run's critical
+//! path. The staircase of sends and receives is the diagonal wavefront
+//! of the paper's Figure 2b, and the critical-path breakdown shows *why*
+//! the serialized version is slow: its makespan is message overhead and
+//! blocking, not compute.
 //!
-//! Run with `cargo run --release --example trace_gantt [n] [s]`.
+//! Pass `--threaded` to run on the threaded backend instead of the
+//! simulator — the trace (and the chart) is identical, which is the
+//! point of the unified observability layer.
+//!
+//! Run with `cargo run --release --example trace_gantt [n] [s] [--threaded]`.
 
 use pdc_core::driver::{self, Job, Strategy};
 use pdc_core::programs;
-use pdc_machine::{trace_render, CostModel, Machine};
+use pdc_machine::{analyze, trace_render, Backend, CostModel};
 use pdc_opt::{optimize, OptLevel};
 use pdc_spmd::run::SpmdMachine;
 use pdc_spmd::Scalar;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(24);
-    let s: usize = std::env::args()
-        .nth(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let mut nums = args.iter().filter_map(|a| a.parse::<usize>().ok());
+    let n = nums.next().unwrap_or(24);
+    let s = nums.next().unwrap_or(4);
+    let backend = if threaded {
+        Backend::threaded()
+    } else {
+        Backend::Simulated
+    };
     let program = programs::gauss_seidel();
     let job = Job::new(
         &program,
@@ -36,8 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         let (opt, _) = optimize(&compiled.spmd, level);
-        let machine = Machine::new(s, CostModel::ipsc2()).with_trace(100_000);
-        let mut m = SpmdMachine::with_machine(&opt, machine)?;
+        let mut m = SpmdMachine::new(&opt, CostModel::ipsc2())?
+            .with_backend(backend)
+            .with_trace(100_000);
         m.preset_var("n", Scalar::Int(n as i64));
         m.preload_array(
             "Old",
@@ -45,8 +55,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &driver::standard_input(n, n),
         );
         let out = m.run()?;
-        println!("== {label} ==  ({} cycles)", out.report.stats.makespan().0);
-        print!("{}", trace_render(m.machine().trace(), s, 100));
+        let makespan = out.report.stats.makespan().0;
+        println!("== {label} ==  ({makespan} cycles)");
+        print!("{}", trace_render(&out.report.trace, s, 100));
+
+        let cp = analyze(&out.report.trace, s).critical_path;
+        let pct = |x: u64| 100.0 * x as f64 / makespan.max(1) as f64;
+        println!(
+            "critical path: compute {} ({:.0}%), msg overhead {} ({:.0}%), \
+             flight {} ({:.0}%), blocked {} ({:.0}%)",
+            cp.compute,
+            pct(cp.compute),
+            cp.send_overhead + cp.recv_overhead,
+            pct(cp.send_overhead + cp.recv_overhead),
+            cp.flight,
+            pct(cp.flight),
+            cp.blocked,
+            pct(cp.blocked),
+        );
         println!();
     }
     println!("s = send, r = receive, # = both, | = finish");

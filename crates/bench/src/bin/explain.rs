@@ -1,0 +1,163 @@
+//! Explain the compilation of the paper's five program versions: print
+//! each variant's remark stream (what every phase did and what it
+//! declined to do, with source spans), then verify the static
+//! message-cost prediction against a traced, fault-free simulator run.
+//!
+//! Output goes to stdout plus `BENCH_remarks.json`, which bundles the
+//! remark streams with the predicted-vs-observed accounting. The bin
+//! re-parses its own JSON with the std-only parser and exits non-zero if
+//! the document is malformed or any prediction misses — CI runs this at
+//! n=16, s=4.
+//!
+//! Usage: `cargo run --release -p pdc-bench --bin explain [n] [s]`
+//! (defaults: n=16, s=4).
+
+use pdc_bench::{compile_wavefront, print_table, Variant};
+use pdc_core::driver::{self, Inputs};
+use pdc_machine::trace_chrome::parse_json;
+use pdc_machine::CostModel;
+use pdc_spmd::Scalar;
+use std::fmt::Write as _;
+
+fn slug(v: Variant) -> &'static str {
+    match v {
+        Variant::RuntimeRes => "runtime_res",
+        Variant::CompileTime => "compile_time",
+        Variant::OptimizedI => "optimized_i",
+        Variant::OptimizedII => "optimized_ii",
+        Variant::OptimizedIII { .. } => "optimized_iii",
+        Variant::Handwritten { .. } => "handwritten",
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let s: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let variants = [
+        Variant::RuntimeRes,
+        Variant::CompileTime,
+        Variant::OptimizedI,
+        Variant::OptimizedII,
+        Variant::OptimizedIII { blksize: 4 },
+    ];
+
+    let mut failures = 0usize;
+    let mut rows = Vec::new();
+    let mut doc = format!("{{\n  \"n\": {n},\n  \"s\": {s},\n  \"runs\": [\n");
+    for (i, v) in variants.into_iter().enumerate() {
+        let mut compiled = compile_wavefront(v, n, s).expect("compiler variant");
+        compiled.trace_cap = Some(1 << 20);
+
+        println!("==== {v} ====");
+        println!("{}", compiled.remarks_text());
+
+        let inputs = Inputs::new()
+            .scalar("n", Scalar::Int(n as i64))
+            .array("Old", driver::standard_input(n, n));
+        let exec = driver::execute(&compiled, &inputs, CostModel::ipsc2())
+            .unwrap_or_else(|e| panic!("{v}: {e}"));
+        let report = exec.verify_predictions();
+        let predicted_msgs = compiled.prediction.total_messages();
+        let predicted_words = compiled.prediction.total_words();
+        let observed_msgs = exec.messages();
+        let observed_words = exec.outcome.report.stats.network.words;
+        for m in &report.mismatches {
+            eprintln!("{v}: PREDICTION MISS: {m}");
+        }
+        if !report.ok() || !report.statically_exact || !report.trace_checked {
+            failures += 1;
+        }
+        rows.push((
+            v.to_string(),
+            vec![
+                predicted_msgs.to_string(),
+                observed_msgs.to_string(),
+                predicted_words.to_string(),
+                observed_words.to_string(),
+                report.checked_channels.to_string(),
+                if report.ok() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ],
+        ));
+
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        let _ = write!(
+            doc,
+            "    {{\"variant\": \"{}\", \"predicted_messages\": {predicted_msgs}, \
+             \"observed_messages\": {observed_msgs}, \"predicted_words\": {predicted_words}, \
+             \"observed_words\": {observed_words}, \"channels\": {}, \"exact\": {}, \
+             \"verified\": {}, \"vectorized\": {}, \"jammed\": {}, \"stripped\": {}, \
+             \"remarks\": {}}}",
+            slug(v),
+            report.checked_channels,
+            report.statically_exact,
+            report.ok(),
+            compiled.opt_report.vectorized,
+            compiled.opt_report.jammed,
+            compiled.opt_report.stripped,
+            compiled.remarks_json(),
+        );
+    }
+    doc.push_str("\n  ]\n}\n");
+
+    // The document must survive the same std-only parser CI uses on the
+    // Chrome traces, and every run must have verified.
+    match parse_json(&doc) {
+        Ok(parsed) => {
+            let runs = parsed
+                .get("runs")
+                .and_then(|r| r.as_arr())
+                .unwrap_or_default();
+            if runs.len() != variants.len() {
+                eprintln!("BENCH_remarks.json: expected {} runs", variants.len());
+                failures += 1;
+            }
+            for run in runs {
+                let name = run
+                    .get("variant")
+                    .and_then(|x| x.as_str())
+                    .unwrap_or("?")
+                    .to_owned();
+                let remark_count = run
+                    .get("remarks")
+                    .and_then(|r| r.get("remarks"))
+                    .and_then(|r| r.as_arr())
+                    .map_or(0, <[_]>::len);
+                if remark_count == 0 {
+                    eprintln!("{name}: no remarks in BENCH_remarks.json");
+                    failures += 1;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("BENCH_remarks.json does not parse: {e}");
+            failures += 1;
+        }
+    }
+    std::fs::write("BENCH_remarks.json", &doc).expect("write BENCH_remarks.json");
+    println!("wrote BENCH_remarks.json");
+
+    print_table(
+        &format!("predicted vs observed messages, {n}x{n} wavefront on {s} processors"),
+        &[
+            "pred msgs".into(),
+            "obs msgs".into(),
+            "pred words".into(),
+            "obs words".into(),
+            "channels".into(),
+            "match".into(),
+        ],
+        &rows,
+    );
+
+    if failures > 0 {
+        eprintln!("\n{failures} verification failure(s)");
+        std::process::exit(1);
+    }
+}

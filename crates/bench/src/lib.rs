@@ -18,11 +18,11 @@
 //! * `ablation_cost` — the same programs under a shared-memory-like cost
 //!   model (is message combining still worth it when messages are cheap?).
 
-use pdc_core::driver::{self, Inputs, Job, Strategy};
+use pdc_core::driver::{self, Compiled, Inputs, Job, Strategy};
 use pdc_core::handwritten;
 use pdc_core::programs;
 use pdc_machine::CostModel;
-use pdc_opt::{optimize, OptLevel};
+use pdc_opt::OptLevel;
 use pdc_spmd::ir::SpmdProgram;
 use pdc_spmd::run::SpmdMachine;
 use pdc_spmd::Scalar;
@@ -78,6 +78,38 @@ pub struct Measurement {
     pub verified: bool,
 }
 
+/// Drive the compiler for a wavefront variant, keeping the full
+/// [`Compiled`] bundle — remark stream, optimization report, and static
+/// cost prediction included. `None` for the handwritten program, which
+/// never goes through the compiler.
+///
+/// # Panics
+///
+/// Panics on compilation failure (the canonical program always compiles).
+pub fn compile_wavefront(variant: Variant, n: usize, nprocs: usize) -> Option<Compiled> {
+    let (strategy, level) = match variant {
+        Variant::Handwritten { .. } => return None,
+        Variant::RuntimeRes => (Strategy::Runtime, None),
+        Variant::CompileTime => (Strategy::CompileTime, Some(OptLevel::O0)),
+        Variant::OptimizedI => (Strategy::CompileTime, Some(OptLevel::O1)),
+        Variant::OptimizedII => (Strategy::CompileTime, Some(OptLevel::O2)),
+        Variant::OptimizedIII { blksize } => {
+            (Strategy::CompileTime, Some(OptLevel::O3 { blksize }))
+        }
+    };
+    let program = programs::gauss_seidel();
+    let mut job = Job::new(
+        &program,
+        "gs_iteration",
+        programs::wavefront_decomposition(nprocs),
+    )
+    .with_const("n", n as i64);
+    if let Some(level) = level {
+        job = job.with_opt_level(level);
+    }
+    Some(driver::compile(&job, strategy).expect("wavefront compiles"))
+}
+
 /// Build the SPMD program for a variant of the wavefront benchmark.
 ///
 /// # Panics
@@ -86,40 +118,10 @@ pub struct Measurement {
 pub fn build_wavefront(variant: Variant, n: usize, nprocs: usize) -> SpmdProgram {
     match variant {
         Variant::Handwritten { blksize } => handwritten::gauss_seidel(nprocs, blksize),
-        Variant::RuntimeRes | Variant::CompileTime => {
-            let program = programs::gauss_seidel();
-            let job = Job::new(
-                &program,
-                "gs_iteration",
-                programs::wavefront_decomposition(nprocs),
-            )
-            .with_const("n", n as i64);
-            let strategy = if variant == Variant::RuntimeRes {
-                Strategy::Runtime
-            } else {
-                Strategy::CompileTime
-            };
-            driver::compile(&job, strategy)
-                .expect("wavefront compiles")
+        _ => {
+            compile_wavefront(variant, n, nprocs)
+                .expect("compiler variant")
                 .spmd
-        }
-        Variant::OptimizedI | Variant::OptimizedII | Variant::OptimizedIII { .. } => {
-            let program = programs::gauss_seidel();
-            let job = Job::new(
-                &program,
-                "gs_iteration",
-                programs::wavefront_decomposition(nprocs),
-            )
-            .with_const("n", n as i64);
-            let compiled =
-                driver::compile(&job, Strategy::CompileTime).expect("wavefront compiles");
-            let level = match variant {
-                Variant::OptimizedI => OptLevel::O1,
-                Variant::OptimizedII => OptLevel::O2,
-                Variant::OptimizedIII { blksize } => OptLevel::O3 { blksize },
-                _ => unreachable!(),
-            };
-            optimize(&compiled.spmd, level).0
         }
     }
 }

@@ -30,11 +30,17 @@ use crate::translate::{
 use crate::CoreError;
 use pdc_lang::ast::{Block, Expr, ExprKind, Stmt};
 use pdc_mapping::{solve_for, Affine, IterSet, OwnerExpr, Solution};
+use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{expr_to_string, RecvTarget, SBinOp, SExpr, SStmt, SpmdProgram};
+use std::collections::BTreeMap;
 
 /// Maximum operands per statement (tag-space partitioning; must match
 /// run-time resolution so the two strategies are comparable).
 const MAX_OPERANDS: usize = 64;
+
+/// The width of each statement's tag block: message tag `t` belongs to
+/// statement `t / TAG_STRIDE`, operand `t % TAG_STRIDE`.
+pub const TAG_STRIDE: u32 = MAX_OPERANDS as u32;
 
 /// Compile the inlined program with compile-time resolution: one
 /// specialized body per processor.
@@ -44,13 +50,35 @@ const MAX_OPERANDS: usize = 64;
 /// [`CoreError::Unsupported`] for constructs outside the compilable
 /// subset.
 pub fn compile(inlined: &Inlined, analysis: &Analysis) -> Result<SpmdProgram, CoreError> {
+    compile_with_remarks(inlined, analysis, &mut RemarkSink::new()).map(|(p, _)| p)
+}
+
+/// [`compile`], additionally emitting one remark per (statement,
+/// specialization decision) — aggregated over processors, with a `procs`
+/// detail counting how many made the same decision — and returning the
+/// statement-id → source-span map (message tag `t` belongs to statement
+/// `t / TAG_STRIDE`).
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] for constructs outside the compilable
+/// subset.
+pub fn compile_with_remarks(
+    inlined: &Inlined,
+    analysis: &Analysis,
+    sink: &mut RemarkSink,
+) -> Result<(SpmdProgram, BTreeMap<u32, pdc_lang::Span>), CoreError> {
     let mut bodies = Vec::with_capacity(analysis.nprocs());
+    let mut events: BTreeMap<(u32, Ev), usize> = BTreeMap::new();
+    let mut spans: BTreeMap<u32, pdc_lang::Span> = BTreeMap::new();
     for p in 0..analysis.nprocs() {
         let mut cg = Codegen {
             analysis,
             p,
             next_sid: 0,
             loops: Vec::new(),
+            events: Vec::new(),
+            spans: BTreeMap::new(),
         };
         let mut body = cg.block(&inlined.body)?;
         body = cleanup(body);
@@ -59,8 +87,111 @@ pub fn compile(inlined: &Inlined, analysis: &Analysis) -> Result<SpmdProgram, Co
         body = stride_loops(body);
         body = cleanup(body);
         bodies.push(body);
+        for e in cg.events {
+            *events.entry(e).or_insert(0) += 1;
+        }
+        if p == 0 {
+            // Statement ids are assigned in AST walk order, identically
+            // on every processor.
+            spans = cg.spans;
+        }
     }
-    Ok(SpmdProgram::new(bodies))
+    for ((sid, ev), procs) in &events {
+        let mut r = ev.remark();
+        if let Some(k) = ev.operand() {
+            r = r.with_tag(sid * TAG_STRIDE + k as u32);
+        }
+        if let Some(span) = spans.get(sid) {
+            r = r.with_span(*span);
+        }
+        sink.emit(r.detail("procs", procs));
+    }
+    Ok((SpmdProgram::new(bodies), spans))
+}
+
+/// One per-processor specialization decision, recorded during code
+/// generation and aggregated across processors into remarks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// The evaluator role is statically absent on this processor.
+    EvalDeleted,
+    /// Evaluator iterations of a loop variable restricted to a stride.
+    EvalRestricted { var: String, modulus: i64 },
+    /// A run-time ownership guard decides the evaluator role.
+    EvalGuarded,
+    /// Replicated target: every processor evaluates its own copy.
+    EvalReplicated,
+    /// The sender role for operand `k` is statically absent.
+    SendDeleted { k: usize },
+    /// No send for operand `k`: its owner is always the evaluator.
+    SendElided { k: usize },
+    /// The `dest != mynode` guard was statically deleted for operand `k`.
+    SendGuardDeleted { k: usize },
+    /// A run-time destination guard protects the send of operand `k`.
+    SendGuarded { k: usize },
+    /// The owner of a pinned operand broadcasts it to all processors.
+    Broadcast { k: usize },
+    /// Operand `k` is always remote here: an unconditional receive.
+    RecvAlways { k: usize },
+    /// Operand `k` is always local here: a direct read, no message.
+    ReadLocal { k: usize },
+    /// Local-or-receive for operand `k` is dispatched at run time.
+    ReadRuntime { k: usize },
+}
+
+impl Ev {
+    fn remark(&self) -> Remark {
+        use RemarkKind::{Applied, Missed};
+        let r = |kind, msg: &str| Remark::new(Phase::CompileTime, kind, msg);
+        match self {
+            Ev::EvalDeleted => r(Applied, "evaluator role statically deleted"),
+            Ev::EvalRestricted { var, modulus } => r(
+                Applied,
+                "restricted evaluator iterations to a residue class",
+            )
+            .detail("var", var)
+            .detail("stride", modulus),
+            Ev::EvalGuarded => r(Missed, "runtime ownership guard decides the evaluator role"),
+            Ev::EvalReplicated => r(
+                Applied,
+                "replicated target: every processor evaluates its own copy",
+            ),
+            Ev::SendDeleted { .. } => r(Applied, "sender role statically deleted"),
+            Ev::SendElided { .. } => r(
+                Applied,
+                "send elided: operand owner is always the evaluator",
+            ),
+            Ev::SendGuardDeleted { .. } => r(
+                Applied,
+                "destination guard statically deleted (owner and evaluator never coincide)",
+            ),
+            Ev::SendGuarded { .. } => r(Missed, "runtime destination guard protects the send"),
+            Ev::Broadcast { .. } => r(
+                Applied,
+                "pinned operand broadcast by its owner to all processors",
+            ),
+            Ev::RecvAlways { .. } => {
+                r(Applied, "operand always remote here: unconditional receive")
+            }
+            Ev::ReadLocal { .. } => r(Applied, "operand always local here: direct read"),
+            Ev::ReadRuntime { .. } => r(Missed, "local-or-receive dispatched at run time"),
+        }
+    }
+
+    /// The operand index the event concerns, if any.
+    fn operand(&self) -> Option<usize> {
+        match self {
+            Ev::SendDeleted { k }
+            | Ev::SendElided { k }
+            | Ev::SendGuardDeleted { k }
+            | Ev::SendGuarded { k }
+            | Ev::Broadcast { k }
+            | Ev::RecvAlways { k }
+            | Ev::ReadLocal { k }
+            | Ev::ReadRuntime { k } => Some(*k),
+            _ => None,
+        }
+    }
 }
 
 /// A static condition for processor membership: a conjunction of per-loop-
@@ -206,6 +337,10 @@ struct Codegen<'a> {
     next_sid: u32,
     /// Enclosing loop variables, outermost first.
     loops: Vec<String>,
+    /// Specialization decisions made on this processor, per statement.
+    events: Vec<(u32, Ev)>,
+    /// Source span of each statement id (identical on every processor).
+    spans: BTreeMap<u32, pdc_lang::Span>,
 }
 
 impl Codegen<'_> {
@@ -507,10 +642,12 @@ impl Codegen<'_> {
         }
         let sid = self.next_sid;
         self.next_sid += 1;
+        self.spans.insert(sid, span);
         let tag = |k: usize| sid * MAX_OPERANDS as u32 + k as u32;
 
         if matches!(eval, EvalOwner::All) {
-            return self.assignment_replicated(target, rhs, operands, tag, out);
+            self.events.push((sid, Ev::EvalReplicated));
+            return self.assignment_replicated(target, rhs, operands, sid, tag, out);
         }
 
         let eval_cond = self.cond_for(eval, None).or_else(|_| match &target {
@@ -529,6 +666,25 @@ impl Codegen<'_> {
                 span,
             }),
         })?;
+        match &eval_cond {
+            Cond::Never => self.events.push((sid, Ev::EvalDeleted)),
+            Cond::Parts { per_var, guards } => {
+                for (v, s) in per_var {
+                    if s.modulus > 1 {
+                        self.events.push((
+                            sid,
+                            Ev::EvalRestricted {
+                                var: v.clone(),
+                                modulus: s.modulus,
+                            },
+                        ));
+                    }
+                }
+                if !guards.is_empty() {
+                    self.events.push((sid, Ev::EvalGuarded));
+                }
+            }
+        }
         let eval_dest = self.owner_runtime_expr(eval, None, Some(&target))?;
 
         // ---- sender roles ----
@@ -537,10 +693,12 @@ impl Codegen<'_> {
                 continue; // replicated operands are read locally everywhere
             }
             if owner_equals(&oi.owner, eval) {
+                self.events.push((sid, Ev::SendElided { k }));
                 continue; // owner is always the evaluator: pure local read
             }
             let own_cond = self.cond_for(&oi.owner, Some(&oi.operand))?;
             if matches!(own_cond, Cond::Never) {
+                self.events.push((sid, Ev::SendDeleted { k }));
                 continue;
             }
             // (owner == p) ∧ ¬(eval == p):
@@ -579,6 +737,7 @@ impl Codegen<'_> {
                                 .all(|(v, _)| pv_eval.iter().any(|(w, _)| w == v));
                         if own_subsets_eval && eval_cond.is_always() {
                             // owner implies evaluator: no send role.
+                            self.events.push((sid, Ev::SendElided { k }));
                             continue;
                         }
                         false
@@ -586,7 +745,10 @@ impl Codegen<'_> {
                 }
                 _ => false,
             };
-            if !negation_static {
+            if negation_static {
+                self.events.push((sid, Ev::SendGuardDeleted { k }));
+            } else {
+                self.events.push((sid, Ev::SendGuarded { k }));
                 send_cond.push_guard(eval_dest.clone().ne(SExpr::int(self.p as i64)));
             }
             let code = vec![
@@ -620,12 +782,14 @@ impl Codegen<'_> {
             let relation = self.operand_relation(&own_cond, &eval_cond);
             match relation {
                 Rel::AlwaysLocal => {
+                    self.events.push((sid, Ev::ReadLocal { k }));
                     body.push(SStmt::Let {
                         var: t_var.clone(),
                         value: self.read_local(&oi.operand)?,
                     });
                 }
                 Rel::AlwaysRemote => {
+                    self.events.push((sid, Ev::RecvAlways { k }));
                     body.push(SStmt::Recv {
                         from: src,
                         tag: tag(k),
@@ -633,6 +797,7 @@ impl Codegen<'_> {
                     });
                 }
                 Rel::Runtime => {
+                    self.events.push((sid, Ev::ReadRuntime { k }));
                     body.push(SStmt::If {
                         cond: src.clone().eq(SExpr::int(self.p as i64)),
                         then: vec![SStmt::Let {
@@ -696,6 +861,7 @@ impl Codegen<'_> {
         target: Target,
         rhs: &Expr,
         operands: &[OperandInfo],
+        sid: u32,
         tag: impl Fn(usize) -> u32,
         out: &mut Vec<SStmt>,
     ) -> Result<(), CoreError> {
@@ -709,6 +875,7 @@ impl Codegen<'_> {
                     let t_var = format!("$b{}_{k}", self.next_sid);
                     match own_cond {
                         c if c.is_always() => {
+                            self.events.push((sid, Ev::Broadcast { k }));
                             // This processor owns it: read and broadcast.
                             out.push(SStmt::Let {
                                 var: t_var.clone(),
@@ -725,6 +892,7 @@ impl Codegen<'_> {
                             }
                         }
                         Cond::Never => {
+                            self.events.push((sid, Ev::RecvAlways { k }));
                             out.push(SStmt::Recv {
                                 from: src,
                                 tag: tag(k),
@@ -732,6 +900,7 @@ impl Codegen<'_> {
                             });
                         }
                         _ => {
+                            self.events.push((sid, Ev::ReadRuntime { k }));
                             // Undecidable owner: guard at run time.
                             let q_var = format!("$q{}_{k}", self.next_sid);
                             let mut sends = vec![SStmt::Let {

@@ -1,21 +1,24 @@
 //! End-to-end pipeline: compile → distribute inputs → simulate → gather →
 //! (optionally) check against the sequential interpreter.
 
-use crate::analysis::Analysis;
+use crate::analysis::{Analysis, EvalOwner};
 use crate::compile_time;
 use crate::inline::{inline_program, Inlined, ParamMapMode, ParamMaps};
 use crate::runtime_res;
 use crate::CoreError;
 use pdc_istructure::IMatrix;
+use pdc_lang::ast::{Block, Stmt};
 use pdc_lang::interp::Interpreter;
 use pdc_lang::value::Value;
 use pdc_lang::Program;
-use pdc_machine::{Backend, CostModel, FaultPlan, RelConfig};
-use pdc_mapping::Decomposition;
+use pdc_machine::{Backend, CostModel, FaultPlan, ProcId, RelConfig, Tag};
+use pdc_mapping::{Decomposition, DistInstance};
+use pdc_opt::{optimize_with_remarks, OptLevel, OptReport};
+use pdc_report::{Phase, Prediction, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::SpmdProgram;
 use pdc_spmd::run::{RunOutcome, SpmdMachine};
 use pdc_spmd::{Scalar, SpmdError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Which code generator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,10 @@ pub struct Job<'a> {
     pub fault_plan: Option<(FaultPlan, RelConfig)>,
     /// Event-trace buffer cap; `None` (the default) disables tracing.
     pub trace_cap: Option<usize>,
+    /// Optimization level for the generated code; `None` (the default)
+    /// leaves the resolver output untouched (equivalent to
+    /// [`OptLevel::O0`] but skips the pipeline entirely).
+    pub opt_level: Option<OptLevel>,
 }
 
 impl<'a> Job<'a> {
@@ -68,6 +75,7 @@ impl<'a> Job<'a> {
             backend: Backend::Simulated,
             fault_plan: None,
             trace_cap: None,
+            opt_level: None,
         }
     }
 
@@ -98,6 +106,13 @@ impl<'a> Job<'a> {
         self.trace_cap = Some(cap);
         self
     }
+
+    /// Run the §4 optimization pipeline on the generated code at the
+    /// given level (the paper's Optimized I/II/III variants).
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = Some(level);
+        self
+    }
 }
 
 /// A compiled program bundled with the analysis that produced it (needed
@@ -116,6 +131,32 @@ pub struct Compiled {
     pub fault_plan: Option<(FaultPlan, RelConfig)>,
     /// Trace cap the job requested (used by [`execute`]).
     pub trace_cap: Option<usize>,
+    /// The full remark stream, in pipeline order: analysis, resolution,
+    /// optimization passes, cost model.
+    pub remarks: Vec<Remark>,
+    /// What the optimization pipeline did (all-zero when the job set no
+    /// [`Job::with_opt_level`]).
+    pub opt_report: OptReport,
+    /// Static per-channel message-cost prediction for the *final* code
+    /// (after optimization). Verified against observation by
+    /// [`Execution::verify_predictions`].
+    pub prediction: Prediction,
+    /// Source span of each assignment statement, keyed by statement id
+    /// (`sid = tag / TAG_STRIDE`). Used to resolve IR-level remarks and
+    /// trace tags back to source.
+    pub stmt_spans: BTreeMap<u32, pdc_lang::Span>,
+}
+
+impl Compiled {
+    /// The remark stream rendered as human-readable text.
+    pub fn remarks_text(&self) -> String {
+        pdc_report::render_text(&self.remarks)
+    }
+
+    /// The remark stream as deterministic JSON.
+    pub fn remarks_json(&self) -> String {
+        pdc_report::remarks_json(&self.remarks)
+    }
 }
 
 /// Run the front half of the pipeline: inline, analyze, generate.
@@ -137,10 +178,33 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         &job.const_params,
         &job.extent_overrides,
     )?;
-    let spmd = match strategy {
-        Strategy::Runtime => runtime_res::compile(&inlined, &analysis)?,
-        Strategy::CompileTime => compile_time::compile(&inlined, &analysis)?,
+    let mut sink = RemarkSink::new();
+    emit_analysis_remarks(&inlined.body, &analysis, &mut sink);
+    let (spmd, stmt_spans) = match strategy {
+        Strategy::Runtime => runtime_res::compile_with_remarks(&inlined, &analysis, &mut sink)?,
+        Strategy::CompileTime => {
+            compile_time::compile_with_remarks(&inlined, &analysis, &mut sink)?
+        }
     };
+    let (spmd, opt_report) = match job.opt_level {
+        Some(level) => optimize_with_remarks(&spmd, level, &mut sink),
+        None => (spmd, OptReport::default()),
+    };
+    let mut remarks = sink.into_remarks();
+    // Optimization passes run on the SPMD IR, which carries no spans;
+    // their remarks name the communication tag instead. Statement ids are
+    // processor-independent, so `tag / TAG_STRIDE` resolves the source
+    // statement.
+    for r in &mut remarks {
+        if r.span.is_none() {
+            if let Some(tag) = r.tag {
+                if let Some(span) = stmt_spans.get(&(tag / compile_time::TAG_STRIDE)) {
+                    r.span = Some(*span);
+                }
+            }
+        }
+    }
+    let prediction = predict_compiled(&spmd, &analysis, &job.const_params, &mut remarks);
     Ok(Compiled {
         spmd,
         analysis,
@@ -148,7 +212,105 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         backend: job.backend,
         fault_plan: job.fault_plan.clone(),
         trace_cap: job.trace_cap,
+        remarks,
+        opt_report,
+        prediction,
+        stmt_spans,
     })
+}
+
+/// Walk the inlined source and emit one [`Phase::Analysis`] remark per
+/// assignment: who evaluates it and who owns each coercible operand —
+/// the *evaluators*/*participants* attributes of §3.2 made visible.
+fn emit_analysis_remarks(block: &Block, analysis: &Analysis, sink: &mut RemarkSink) {
+    fn owner_desc(o: &EvalOwner) -> String {
+        match o {
+            EvalOwner::All => "ALL".to_owned(),
+            EvalOwner::Expr(e) => e.to_string(),
+            EvalOwner::Dynamic => "run-time".to_owned(),
+        }
+    }
+    for stmt in &block.stmts {
+        if let Ok(Some(roles)) = analysis.roles(stmt) {
+            let remote = roles
+                .operands
+                .iter()
+                .filter(|o| o.owner != roles.eval)
+                .count();
+            let mut r = if roles.eval == EvalOwner::Dynamic {
+                Remark::new(
+                    Phase::Analysis,
+                    RemarkKind::Missed,
+                    "left-hand-side owner is not statically analyzable; \
+                     only run-time resolution is possible",
+                )
+            } else {
+                Remark::new(
+                    Phase::Analysis,
+                    RemarkKind::Applied,
+                    format!("evaluator {}", owner_desc(&roles.eval)),
+                )
+            }
+            .with_span(stmt.span())
+            .detail("operands", roles.operands.len())
+            .detail("coercible", remote);
+            for (k, op) in roles.operands.iter().enumerate() {
+                r = r.detail(format!("owner{k}"), owner_desc(&op.owner));
+            }
+            sink.emit(r);
+        }
+        match stmt {
+            Stmt::For { body, .. } => emit_analysis_remarks(body, analysis, sink),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                emit_analysis_remarks(then_blk, analysis, sink);
+                if let Some(b) = else_blk {
+                    emit_analysis_remarks(b, analysis, sink);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run the static cost model over the final code and append its remarks.
+fn predict_compiled(
+    spmd: &SpmdProgram,
+    analysis: &Analysis,
+    const_params: &HashMap<String, i64>,
+    remarks: &mut Vec<Remark>,
+) -> Prediction {
+    let env: BTreeMap<String, i64> = const_params.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let mut arrays: BTreeMap<String, DistInstance> = BTreeMap::new();
+    for name in analysis.arrays().keys() {
+        if let Ok(inst) = analysis.inst(name) {
+            arrays.insert(name.clone(), inst);
+        }
+    }
+    let prediction = pdc_report::predict(spmd, &env, &arrays);
+    remarks.push(
+        Remark::new(
+            Phase::CostModel,
+            RemarkKind::Applied,
+            format!(
+                "predicted {} message(s), {} payload word(s) over {} channel(s)",
+                prediction.total_messages(),
+                prediction.total_words(),
+                prediction.sends.len()
+            ),
+        )
+        .detail("exact", prediction.exact)
+        .detail("balanced", prediction.protocol_consistent()),
+    );
+    for note in &prediction.notes {
+        remarks.push(Remark::new(
+            Phase::CostModel,
+            RemarkKind::Missed,
+            note.clone(),
+        ));
+    }
+    prediction
 }
 
 /// Input bindings for an execution.
@@ -188,6 +350,36 @@ pub struct Execution {
     pub outcome: RunOutcome,
     /// The machine, for gathers and white-box inspection.
     pub machine: SpmdMachine,
+    /// The static cost prediction carried over from [`Compiled`], so the
+    /// run can be checked against it with
+    /// [`Execution::verify_predictions`].
+    pub prediction: Prediction,
+    /// Number of processors the program was compiled for.
+    pub n_procs: usize,
+}
+
+/// Outcome of checking a static [`Prediction`] against an actual run.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionReport {
+    /// Distinct `(src, dst, tag)` channels compared (union of predicted
+    /// and observed).
+    pub checked_channels: usize,
+    /// Human-readable discrepancies; empty iff the prediction held.
+    pub mismatches: Vec<String>,
+    /// Whether the model claimed exactness ([`Prediction::exact`]). An
+    /// inexact prediction may legitimately mismatch.
+    pub statically_exact: bool,
+    /// Whether the per-channel word counts were additionally checked
+    /// against the event trace's communication matrix (requires a
+    /// complete trace).
+    pub trace_checked: bool,
+}
+
+impl PredictionReport {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
 }
 
 impl Execution {
@@ -214,6 +406,78 @@ impl Execution {
     /// with [`Job::with_trace`]).
     pub fn trace(&self) -> &pdc_machine::Trace {
         &self.outcome.report.trace
+    }
+
+    /// Check the compile-time cost prediction against what the run
+    /// actually did:
+    ///
+    /// 1. per-`(src, dst, tag)` message counts vs. the scheduler's
+    ///    [`pair_messages`](pdc_machine::RunReport::pair_messages)
+    ///    (program-level counts, so this holds under fault injection
+    ///    too);
+    /// 2. total payload words vs. the fabric counters (fault-free runs
+    ///    only — retransmissions inflate the raw counters);
+    /// 3. when a complete event trace is present, per-channel messages
+    ///    *and* words vs. the trace's communication matrix.
+    ///
+    /// On a fault-free simulator run of a program the model marked
+    /// [`exact`](Prediction::exact), every check must pass.
+    pub fn verify_predictions(&self) -> PredictionReport {
+        let pred = &self.prediction;
+        let mut rep = PredictionReport {
+            statically_exact: pred.exact,
+            ..PredictionReport::default()
+        };
+        let observed = &self.outcome.report.pair_messages;
+        let mut keys: BTreeSet<(usize, usize, u32)> = pred.sends.keys().copied().collect();
+        keys.extend(observed.keys().map(|(s, d, t)| (s.0, d.0, t.0)));
+        for k in keys {
+            rep.checked_channels += 1;
+            let want = pred.sends.get(&k).map_or(0, |c| c.messages);
+            let got = observed
+                .get(&(ProcId(k.0), ProcId(k.1), Tag(k.2)))
+                .copied()
+                .unwrap_or(0);
+            if want != got {
+                rep.mismatches.push(format!(
+                    "P{}->P{} tag {}: predicted {} message(s), observed {}",
+                    k.0, k.1, k.2, want, got
+                ));
+            }
+        }
+        if self.outcome.report.fault.is_none() {
+            let want = pred.total_words();
+            let got = self.outcome.report.stats.network.words;
+            if want != got {
+                rep.mismatches.push(format!(
+                    "total payload: predicted {want} word(s), observed {got}"
+                ));
+            }
+        }
+        let trace = &self.outcome.report.trace;
+        if !trace.is_empty() && trace.dropped() == 0 {
+            rep.trace_checked = true;
+            let analysis = pdc_machine::trace_analysis::analyze(trace, self.n_procs);
+            let traced: BTreeMap<(usize, usize, u32), (u64, u64)> = analysis
+                .comm
+                .iter()
+                .map(|e| ((e.src.0, e.dst.0, e.tag.0), (e.messages, e.words)))
+                .collect();
+            let mut keys: BTreeSet<(usize, usize, u32)> = pred.sends.keys().copied().collect();
+            keys.extend(traced.keys().copied());
+            for k in keys {
+                let want = pred.sends.get(&k).copied().unwrap_or_default();
+                let (got_m, got_w) = traced.get(&k).copied().unwrap_or((0, 0));
+                if want.messages != got_m || want.words != got_w {
+                    rep.mismatches.push(format!(
+                        "trace P{}->P{} tag {}: predicted {} message(s)/{} word(s), \
+                         traced {got_m}/{got_w}",
+                        k.0, k.1, k.2, want.messages, want.words
+                    ));
+                }
+            }
+        }
+        rep
     }
 }
 
@@ -266,7 +530,12 @@ pub fn execute_on(
         machine.preload_array(name, dist, data);
     }
     let outcome = machine.run()?;
-    Ok(Execution { outcome, machine })
+    Ok(Execution {
+        outcome,
+        machine,
+        prediction: compiled.prediction.clone(),
+        n_procs: compiled.spmd.n_procs(),
+    })
 }
 
 /// Run the *sequential* program on the same inputs with the reference

@@ -21,7 +21,9 @@ use crate::inline::Inlined;
 use crate::translate::{owner_to_sexpr, translate_simple, translate_with_operands, Operand};
 use crate::CoreError;
 use pdc_lang::ast::{Block, Expr, ExprKind, Stmt};
+use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
+use std::collections::BTreeMap;
 
 /// Maximum operands per statement (tag-space partitioning).
 const MAX_OPERANDS: usize = 64;
@@ -33,17 +35,49 @@ const MAX_OPERANDS: usize = 64;
 /// [`CoreError::Unsupported`] for constructs outside the compilable
 /// subset (conditions reading arrays, too many operands, …).
 pub fn compile(inlined: &Inlined, analysis: &Analysis) -> Result<SpmdProgram, CoreError> {
+    compile_with_remarks(inlined, analysis, &mut RemarkSink::new()).map(|(p, _)| p)
+}
+
+/// [`compile`], additionally emitting one Missed remark per assignment —
+/// with run-time resolution *nothing* is decided statically: every
+/// processor evaluates the membership tests at run time — and returning
+/// the statement-id → source-span map (message tag `t` belongs to
+/// statement `t / 64`).
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] for constructs outside the compilable
+/// subset (conditions reading arrays, too many operands, …).
+pub fn compile_with_remarks(
+    inlined: &Inlined,
+    analysis: &Analysis,
+    sink: &mut RemarkSink,
+) -> Result<(SpmdProgram, BTreeMap<u32, pdc_lang::Span>), CoreError> {
     let mut cg = Codegen {
         analysis,
         next_sid: 0,
+        spans: BTreeMap::new(),
     };
     let body = cg.block(&inlined.body)?;
-    Ok(SpmdProgram::uniform(analysis.nprocs(), body))
+    for (sid, span) in &cg.spans {
+        sink.emit(
+            Remark::new(
+                Phase::RuntimeRes,
+                RemarkKind::Missed,
+                "every processor tests its role in this statement at run time",
+            )
+            .with_span(*span)
+            .detail("stmt", sid),
+        );
+    }
+    Ok((SpmdProgram::uniform(analysis.nprocs(), body), cg.spans))
 }
 
 struct Codegen<'a> {
     analysis: &'a Analysis,
     next_sid: u32,
+    /// Source span of each assignment's statement id.
+    spans: BTreeMap<u32, pdc_lang::Span>,
 }
 
 /// The SPMD expression that computes an owner at run time.
@@ -212,6 +246,7 @@ impl Codegen<'_> {
         }
         let sid = self.next_sid;
         self.next_sid += 1;
+        self.spans.insert(sid, span);
         let tag = |k: usize| sid * MAX_OPERANDS as u32 + k as u32;
         let is_mapped = |v: &str| self.analysis.is_pinned_scalar(v);
 

@@ -15,16 +15,24 @@
 //! programs it is applied to.
 
 use pdc_lang::ast::{Block, Expr, ExprKind, Program, Stmt};
+use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 
 /// Swap every outermost perfectly nested loop pair whose headers are
 /// independent (the inner bounds do not mention the outer variable, and
 /// vice versa). Returns the transformed program and the number of pairs
 /// swapped.
 pub fn interchange(program: &Program) -> (Program, usize) {
+    interchange_with_remarks(program, &mut RemarkSink::new())
+}
+
+/// [`interchange`], additionally emitting one Applied or Missed remark
+/// per perfectly nested loop pair considered. This pass runs on the
+/// source AST, so its remarks carry source spans directly.
+pub fn interchange_with_remarks(program: &Program, sink: &mut RemarkSink) -> (Program, usize) {
     let mut count = 0;
     let mut out = program.clone();
     for proc in &mut out.procs {
-        proc.body = interchange_block(std::mem::take(&mut proc.body), &mut count);
+        proc.body = interchange_block(std::mem::take(&mut proc.body), &mut count, sink);
     }
     (out, count)
 }
@@ -41,16 +49,16 @@ fn expr_mentions(e: &Expr, v: &str) -> bool {
     }
 }
 
-fn interchange_block(block: Block, count: &mut usize) -> Block {
+fn interchange_block(block: Block, count: &mut usize, sink: &mut RemarkSink) -> Block {
     let stmts = block
         .stmts
         .into_iter()
-        .map(|s| interchange_stmt(s, count))
+        .map(|s| interchange_stmt(s, count, sink))
         .collect();
     Block { stmts }
 }
 
-fn interchange_stmt(s: Stmt, count: &mut usize) -> Stmt {
+fn interchange_stmt(s: Stmt, count: &mut usize, sink: &mut RemarkSink) -> Stmt {
     match s {
         Stmt::For {
             var: v1,
@@ -79,9 +87,17 @@ fn interchange_stmt(s: Stmt, count: &mut usize) -> Stmt {
                         && st1.as_ref().is_none_or(|e| !expr_mentions(e, &v2));
                     if inner_independent {
                         *count += 1;
+                        sink.emit(
+                            Remark::new(
+                                Phase::Interchange,
+                                RemarkKind::Applied,
+                                format!("interchanged perfectly nested loops `{v1}`/`{v2}`"),
+                            )
+                            .with_span(sp1),
+                        );
                         // Do not recurse into the swapped pair (that
                         // would swap it back); only transform the body.
-                        let body = interchange_block(b2, count);
+                        let body = interchange_block(b2, count, sink);
                         return Stmt::For {
                             var: v2,
                             lo: lo2,
@@ -100,6 +116,14 @@ fn interchange_stmt(s: Stmt, count: &mut usize) -> Stmt {
                             span: sp2,
                         };
                     }
+                    sink.emit(
+                        Remark::new(
+                            Phase::Interchange,
+                            RemarkKind::Missed,
+                            format!("loop headers of `{v1}`/`{v2}` are interdependent"),
+                        )
+                        .with_span(sp1),
+                    );
                 }
             }
             Stmt::For {
@@ -107,7 +131,7 @@ fn interchange_stmt(s: Stmt, count: &mut usize) -> Stmt {
                 lo: lo1,
                 hi: hi1,
                 step: st1,
-                body: interchange_block(b1, count),
+                body: interchange_block(b1, count, sink),
                 span: sp1,
             }
         }
@@ -118,8 +142,8 @@ fn interchange_stmt(s: Stmt, count: &mut usize) -> Stmt {
             span,
         } => Stmt::If {
             cond,
-            then_blk: interchange_block(then_blk, count),
-            else_blk: else_blk.map(|b| interchange_block(b, count)),
+            then_blk: interchange_block(then_blk, count, sink),
+            else_blk: else_blk.map(|b| interchange_block(b, count, sink)),
             span,
         },
         other => other,

@@ -19,22 +19,88 @@
 
 use crate::canon::{canon, canon_eq, shift_sexpr, solve_shift};
 use pdc_mapping::Affine;
+use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{SBinOp, SExpr, SStmt, SpmdProgram};
+use std::collections::BTreeSet;
+
+/// One successful fusion: tag, iteration shift, residue modulus.
+type Fused = (u32, i64, i64);
 
 /// Apply jamming to every body; returns the rewritten program and the
 /// number of streams fused.
 pub fn jam(prog: &SpmdProgram) -> (SpmdProgram, usize) {
+    jam_with_remarks(prog, &mut RemarkSink::new())
+}
+
+/// [`jam`], additionally emitting an Applied remark per fused stream
+/// (with the solved shift and residue modulus) and a Missed remark per
+/// sender-shaped candidate that found no compatible producer.
+pub fn jam_with_remarks(prog: &SpmdProgram, sink: &mut RemarkSink) -> (SpmdProgram, usize) {
     let mut out = prog.clone();
     let mut count = 0;
+    let mut fused: Vec<Fused> = Vec::new();
     for body in out.bodies_mut() {
-        let (b, c) = jam_body(std::mem::take(body));
+        let (b, c) = jam_body(std::mem::take(body), &mut fused);
         *body = b;
         count += c;
+    }
+    fused.sort_unstable();
+    fused.dedup();
+    let fused_tags: BTreeSet<u32> = fused.iter().map(|(t, _, _)| *t).collect();
+    for (tag, delta, modulus) in &fused {
+        sink.emit(
+            Remark::new(
+                Phase::Jam,
+                RemarkKind::Applied,
+                "fused value send into its producing loop (sent as soon as computed)",
+            )
+            .with_tag(*tag)
+            .detail("shift", delta)
+            .detail("modulus", modulus),
+        );
+    }
+    // Sender-shaped candidates in the *input* that no fusion consumed.
+    let mut missed: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+    for body in prog.bodies() {
+        scan_missed(body, &fused_tags, &mut missed);
+    }
+    for (tag, reason) in missed {
+        sink.emit(Remark::new(Phase::Jam, RemarkKind::Missed, reason).with_tag(tag));
     }
     (out, count)
 }
 
-fn jam_body(body: Vec<SStmt>) -> (Vec<SStmt>, usize) {
+/// Collect sender-shaped blocks (direct children of loop bodies, where
+/// `jam_loop` looks) whose tags were never fused, with a diagnosis.
+fn scan_missed(body: &[SStmt], fused: &BTreeSet<u32>, out: &mut BTreeSet<(u32, &'static str)>) {
+    for s in body {
+        match s {
+            SStmt::For { body: inner, .. } => {
+                for st in inner {
+                    if let Some(sender) = as_sender(st) {
+                        if !fused.contains(&sender.tag) {
+                            let reason = if parse_residue(&sender.guard).is_none() {
+                                "sender guard is not a residue test"
+                            } else {
+                                "no producer computes the sent values in the same loop \
+                                 body with an agreeing guard and constant shift"
+                            };
+                            out.insert((sender.tag, reason));
+                        }
+                    }
+                }
+                scan_missed(inner, fused, out);
+            }
+            SStmt::If { then, els, .. } => {
+                scan_missed(then, fused, out);
+                scan_missed(els, fused, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn jam_body(body: Vec<SStmt>, fused: &mut Vec<Fused>) -> (Vec<SStmt>, usize) {
     let mut count = 0;
     let body = body
         .into_iter()
@@ -46,8 +112,8 @@ fn jam_body(body: Vec<SStmt>) -> (Vec<SStmt>, usize) {
                 step,
                 body: inner,
             } => {
-                let (inner, c1) = jam_body(inner);
-                let (inner, c2) = jam_loop(&var, &lo, &hi, inner);
+                let (inner, c1) = jam_body(inner, fused);
+                let (inner, c2) = jam_loop(&var, &lo, &hi, inner, fused);
                 count += c1 + c2;
                 SStmt::For {
                     var,
@@ -58,8 +124,8 @@ fn jam_body(body: Vec<SStmt>) -> (Vec<SStmt>, usize) {
                 }
             }
             SStmt::If { cond, then, els } => {
-                let (t, c1) = jam_body(then);
-                let (e, c2) = jam_body(els);
+                let (t, c1) = jam_body(then, fused);
+                let (e, c2) = jam_body(els, fused);
                 count += c1 + c2;
                 SStmt::If {
                     cond,
@@ -227,7 +293,13 @@ fn as_sender(s: &SStmt) -> Option<Sender> {
 
 /// Try to fuse producer/sender pairs among the top-level statements of
 /// one outer loop body.
-fn jam_loop(v: &str, olo: &SExpr, ohi: &SExpr, body: Vec<SStmt>) -> (Vec<SStmt>, usize) {
+fn jam_loop(
+    v: &str,
+    olo: &SExpr,
+    ohi: &SExpr,
+    body: Vec<SStmt>,
+    fused_info: &mut Vec<Fused>,
+) -> (Vec<SStmt>, usize) {
     // Find one (producer, sender) pair; apply; repeat.
     let mut body = body;
     let mut fused = 0;
@@ -298,6 +370,7 @@ fn jam_loop(v: &str, olo: &SExpr, ohi: &SExpr, body: Vec<SStmt>) -> (Vec<SStmt>,
                 }
                 // All checks passed: fuse.
                 apply_fusion(&mut body, pi, si, v, olo, ohi, delta, &prod, &sender);
+                fused_info.push((sender.tag, delta, ma));
                 fused += 1;
                 continue 'retry;
             }

@@ -1,6 +1,9 @@
 //! The optimization pipeline: the paper's Optimized I / II / III levels.
 
-use crate::{jam, strip_mine, vectorize};
+use crate::jam::jam_with_remarks;
+use crate::strip::strip_mine_with_remarks;
+use crate::vectorize::vectorize_with_remarks;
+use pdc_report::RemarkSink;
 use pdc_spmd::ir::SpmdProgram;
 use std::fmt;
 
@@ -44,25 +47,36 @@ pub struct OptReport {
 
 /// Run the pipeline at the requested level.
 pub fn optimize(prog: &SpmdProgram, level: OptLevel) -> (SpmdProgram, OptReport) {
+    optimize_with_remarks(prog, level, &mut RemarkSink::new())
+}
+
+/// [`optimize`], additionally collecting each pass's Applied/Missed
+/// remarks into `sink` (vectorize, then jam, then strip, as far as the
+/// level runs them).
+pub fn optimize_with_remarks(
+    prog: &SpmdProgram,
+    level: OptLevel,
+    sink: &mut RemarkSink,
+) -> (SpmdProgram, OptReport) {
     let mut report = OptReport::default();
     let mut out = prog.clone();
     if level == OptLevel::O0 {
         return (out, report);
     }
-    let (v, n) = vectorize(&out);
+    let (v, n) = vectorize_with_remarks(&out, sink);
     out = v;
     report.vectorized = n;
     if level == OptLevel::O1 {
         return (out, report);
     }
-    let (j, n) = jam(&out);
+    let (j, n) = jam_with_remarks(&out, sink);
     out = j;
     report.jammed = n;
     if level == OptLevel::O2 {
         return (out, report);
     }
     if let OptLevel::O3 { blksize } = level {
-        let (s, n) = strip_mine(&out, blksize);
+        let (s, n) = strip_mine_with_remarks(&out, blksize, sink);
         out = s;
         report.stripped = n;
     }

@@ -21,13 +21,14 @@
 //! * all occurrences agree on the loop bounds.
 
 use crate::canon::{canon_eq, mentions};
+use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 #[derive(Debug, Clone)]
 enum TagState {
     Ok { lo: SExpr, hi: SExpr },
-    Bad,
+    Bad(&'static str),
 }
 
 /// Apply strip mining with the given block size. Returns the rewritten
@@ -37,8 +38,22 @@ enum TagState {
 ///
 /// Panics if `blksize == 0`.
 pub fn strip_mine(prog: &SpmdProgram, blksize: usize) -> (SpmdProgram, usize) {
+    strip_mine_with_remarks(prog, blksize, &mut RemarkSink::new())
+}
+
+/// [`strip_mine`], additionally emitting one Applied or Missed remark per
+/// message tag considered.
+///
+/// # Panics
+///
+/// Panics if `blksize == 0`.
+pub fn strip_mine_with_remarks(
+    prog: &SpmdProgram,
+    blksize: usize,
+    sink: &mut RemarkSink,
+) -> (SpmdProgram, usize) {
     assert!(blksize > 0, "block size must be positive");
-    let mut tags: HashMap<u32, TagState> = HashMap::new();
+    let mut tags: BTreeMap<u32, TagState> = BTreeMap::new();
     for body in prog.bodies() {
         qualify(body, None, &mut tags);
     }
@@ -46,9 +61,25 @@ pub fn strip_mine(prog: &SpmdProgram, blksize: usize) -> (SpmdProgram, usize) {
         .iter()
         .filter_map(|(t, s)| match s {
             TagState::Ok { .. } => Some(*t),
-            TagState::Bad => None,
+            TagState::Bad(_) => None,
         })
         .collect();
+    for (tag, state) in &tags {
+        match state {
+            TagState::Ok { .. } => sink.emit(
+                Remark::new(
+                    Phase::Strip,
+                    RemarkKind::Applied,
+                    "blocked element stream into strip-mined block transfers",
+                )
+                .with_tag(*tag)
+                .detail("blksize", blksize),
+            ),
+            TagState::Bad(reason) => {
+                sink.emit(Remark::new(Phase::Strip, RemarkKind::Missed, *reason).with_tag(*tag))
+            }
+        }
+    }
     if good.is_empty() {
         return (prog.clone(), 0);
     }
@@ -69,13 +100,23 @@ struct LoopCtx<'a> {
     unit_step: bool,
 }
 
-fn note(tags: &mut HashMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>, dep: &SExpr) {
+fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>, dep: &SExpr) {
     let Some(ctx) = ctx else {
-        tags.insert(tag, TagState::Bad);
+        tags.insert(
+            tag,
+            TagState::Bad("communication is not at the top level of an element loop"),
+        );
         return;
     };
-    if !ctx.unit_step || mentions(dep, ctx.var) {
-        tags.insert(tag, TagState::Bad);
+    if !ctx.unit_step {
+        tags.insert(tag, TagState::Bad("enclosing loop step is not 1"));
+        return;
+    }
+    if mentions(dep, ctx.var) {
+        tags.insert(
+            tag,
+            TagState::Bad("peer processor depends on the loop variable"),
+        );
         return;
     }
     match tags.get(&tag) {
@@ -90,32 +131,38 @@ fn note(tags: &mut HashMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>, 
         }
         Some(TagState::Ok { lo, hi }) => {
             if !canon_eq(lo, ctx.lo) || !canon_eq(hi, ctx.hi) {
-                tags.insert(tag, TagState::Bad);
+                tags.insert(
+                    tag,
+                    TagState::Bad("occurrences disagree on the loop bounds"),
+                );
             }
         }
-        Some(TagState::Bad) => {}
+        Some(TagState::Bad(_)) => {}
     }
 }
 
-fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut HashMap<u32, TagState>) {
+fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut BTreeMap<u32, TagState>) {
     for s in body {
         match s {
             SStmt::Send { to, tag, values } => {
                 if values.len() == 1 {
                     note(tags, *tag, ctx, to);
                 } else {
-                    tags.insert(*tag, TagState::Bad);
+                    tags.insert(*tag, TagState::Bad("send carries more than one value"));
                 }
             }
             SStmt::Recv { from, tag, into } => {
                 if into.len() == 1 && matches!(into[0], RecvTarget::Var(_)) {
                     note(tags, *tag, ctx, from);
                 } else {
-                    tags.insert(*tag, TagState::Bad);
+                    tags.insert(
+                        *tag,
+                        TagState::Bad("receive does not target a single scalar variable"),
+                    );
                 }
             }
             SStmt::SendBuf { tag, .. } | SStmt::RecvBuf { tag, .. } => {
-                tags.insert(*tag, TagState::Bad);
+                tags.insert(*tag, TagState::Bad("stream is already a block transfer"));
             }
             SStmt::For {
                 var,

@@ -17,24 +17,32 @@
 //! * a tag that appears in any other position is left untouched.
 
 use crate::canon::{canon_eq, mentions};
+use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Per-tag qualification state.
 #[derive(Debug, Clone)]
 enum TagState {
     /// All occurrences so far fit the pattern with these loop bounds.
     Ok { lo: SExpr, hi: SExpr },
-    /// Some occurrence disqualifies the tag.
-    Bad,
+    /// Some occurrence disqualifies the tag (the reason why).
+    Bad(&'static str),
 }
 
 /// Apply vectorization to every body; returns the rewritten program and
 /// the number of send loops combined.
 pub fn vectorize(prog: &SpmdProgram) -> (SpmdProgram, usize) {
+    vectorize_with_remarks(prog, &mut RemarkSink::new())
+}
+
+/// [`vectorize`], additionally emitting one Applied or Missed remark per
+/// message tag considered (remarks carry the tag; the driver resolves
+/// tags to source spans).
+pub fn vectorize_with_remarks(prog: &SpmdProgram, sink: &mut RemarkSink) -> (SpmdProgram, usize) {
     let read_only = read_only_arrays(prog);
     // Phase 1: qualify tags.
-    let mut tags: HashMap<u32, TagState> = HashMap::new();
+    let mut tags: BTreeMap<u32, TagState> = BTreeMap::new();
     for body in prog.bodies() {
         qualify(body, &read_only, &mut tags);
     }
@@ -42,9 +50,24 @@ pub fn vectorize(prog: &SpmdProgram) -> (SpmdProgram, usize) {
         .iter()
         .filter_map(|(t, s)| match s {
             TagState::Ok { .. } => Some(*t),
-            TagState::Bad => None,
+            TagState::Bad(_) => None,
         })
         .collect();
+    for (tag, state) in &tags {
+        match state {
+            TagState::Ok { .. } => sink.emit(
+                Remark::new(
+                    Phase::Vectorize,
+                    RemarkKind::Applied,
+                    "combined element-wise sends of a read-only array into one block transfer",
+                )
+                .with_tag(*tag),
+            ),
+            TagState::Bad(reason) => {
+                sink.emit(Remark::new(Phase::Vectorize, RemarkKind::Missed, *reason).with_tag(*tag))
+            }
+        }
+    }
     if good.is_empty() {
         return (prog.clone(), 0);
     }
@@ -153,7 +176,7 @@ fn send_pairs(var: &str, body: &[SStmt], read_only: &HashSet<String>) -> Vec<(us
     out
 }
 
-fn note(tags: &mut HashMap<u32, TagState>, tag: u32, lo: &SExpr, hi: &SExpr) {
+fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, lo: &SExpr, hi: &SExpr) {
     match tags.get(&tag) {
         None => {
             tags.insert(
@@ -166,24 +189,30 @@ fn note(tags: &mut HashMap<u32, TagState>, tag: u32, lo: &SExpr, hi: &SExpr) {
         }
         Some(TagState::Ok { lo: l0, hi: h0 }) => {
             if !canon_eq(l0, lo) || !canon_eq(h0, hi) {
-                tags.insert(tag, TagState::Bad);
+                poison(tags, tag, "send and receive loop bounds differ");
             }
         }
-        Some(TagState::Bad) => {}
+        Some(TagState::Bad(_)) => {}
     }
 }
 
-fn poison(tags: &mut HashMap<u32, TagState>, tag: u32) {
-    tags.insert(tag, TagState::Bad);
+fn poison(tags: &mut BTreeMap<u32, TagState>, tag: u32, reason: &'static str) {
+    tags.insert(tag, TagState::Bad(reason));
 }
 
-fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut HashMap<u32, TagState>) {
+fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut BTreeMap<u32, TagState>) {
     for s in body {
         match s {
-            SStmt::Send { tag, .. } | SStmt::SendBuf { tag, .. } | SStmt::RecvBuf { tag, .. } => {
-                poison(tags, *tag)
+            SStmt::Send { tag, .. } => {
+                poison(tags, *tag, "send is not inside a unit-step element loop")
             }
-            SStmt::Recv { tag, .. } => poison(tags, *tag), // recv outside a loop
+            SStmt::SendBuf { tag, .. } | SStmt::RecvBuf { tag, .. } => {
+                poison(tags, *tag, "stream is already a block transfer")
+            }
+            SStmt::Recv { tag, .. } => {
+                // A receive outside any loop.
+                poison(tags, *tag, "receive is not inside a unit-step element loop")
+            }
             SStmt::For {
                 var,
                 lo,
@@ -212,12 +241,20 @@ fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut HashMap<u32, 
                             if shape_ok {
                                 note(tags, *tag, lo, hi);
                             } else {
-                                poison(tags, *tag);
+                                poison(
+                                    tags,
+                                    *tag,
+                                    "receive shape not vectorizable (non-unit step, \
+                                     multiple targets, or source depends on the loop variable)",
+                                );
                             }
                         }
-                        SStmt::Send { tag, .. } if !send_positions.contains(&pos) => {
-                            poison(tags, *tag)
-                        }
+                        SStmt::Send { tag, .. } if !send_positions.contains(&pos) => poison(
+                            tags,
+                            *tag,
+                            "send is not a (read-only array read; send) pair with a \
+                             loop-independent destination",
+                        ),
                         SStmt::Send { .. } => {}
                         other => qualify(std::slice::from_ref(other), read_only, tags),
                     }

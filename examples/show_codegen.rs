@@ -1,12 +1,14 @@
 //! Print the code the compiler generates for the wavefront program —
 //! the machine-readable analogue of the paper's Figure 5 and Appendix A
-//! listings.
+//! listings — together with the compiler's remark stream explaining what
+//! each phase did (and declined to do) to get there.
 //!
 //! Run with `cargo run --example show_codegen [s] [processor]`.
 
-use pdc_core::driver::{compile, Job, Strategy};
+use pdc_core::driver::{compile, Compiled, Job, Strategy};
 use pdc_core::programs;
-use pdc_opt::{optimize, OptLevel};
+use pdc_opt::OptLevel;
+use pdc_report::Phase;
 use pdc_spmd::ir::SpmdProgram;
 
 fn show(title: &str, prog: &SpmdProgram, p: usize) {
@@ -15,6 +17,20 @@ fn show(title: &str, prog: &SpmdProgram, p: usize) {
     let text = one.to_string();
     // Strip the synthetic "all 1 processors:" header.
     println!("{}", text.trim_start_matches("all 1 processors:\n"));
+}
+
+/// Print only the remarks of the given phases (the front-half phases
+/// repeat identically at every level, so each section shows what's new).
+fn show_remarks(compiled: &Compiled, phases: &[Phase]) {
+    let picked: Vec<_> = compiled
+        .remarks
+        .iter()
+        .filter(|r| phases.contains(&r.phase))
+        .cloned()
+        .collect();
+    if !picked.is_empty() {
+        println!("remarks:\n{}", pdc_report::render_text(&picked));
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,21 +58,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rt.spmd,
         0,
     );
+    show_remarks(&rt, &[Phase::Analysis, Phase::RuntimeRes]);
 
     let ct = compile(&job, Strategy::CompileTime)?;
     show("compile-time resolution (Figure 5)", &ct.spmd, p);
+    show_remarks(&ct, &[Phase::Analysis, Phase::CompileTime]);
 
-    for (title, level) in [
-        ("optimized I — vectorized old columns (A.2)", OptLevel::O1),
-        ("optimized II — pipelined new values (A.3)", OptLevel::O2),
+    for (title, level, phases) in [
+        (
+            "optimized I — vectorized old columns (A.2)",
+            OptLevel::O1,
+            vec![Phase::Vectorize],
+        ),
+        (
+            "optimized II — pipelined new values (A.3)",
+            OptLevel::O2,
+            vec![Phase::Vectorize, Phase::Jam],
+        ),
         (
             "optimized III — blocked new values (A.4)",
             OptLevel::O3 { blksize: 8 },
+            vec![Phase::Vectorize, Phase::Jam, Phase::Strip],
         ),
     ] {
-        let (opt, report) = optimize(&ct.spmd, level);
-        show(title, &opt, p);
-        println!("pass report: {report:?}\n");
+        let opt = compile(&job.clone().with_opt_level(level), Strategy::CompileTime)?;
+        show(title, &opt.spmd, p);
+        show_remarks(&opt, &phases);
+        println!("pass report: {:?}", opt.opt_report);
+        println!(
+            "cost model:  {} message(s), {} payload word(s) over {} channel(s) predicted\n",
+            opt.prediction.total_messages(),
+            opt.prediction.total_words(),
+            opt.prediction.sends.len()
+        );
     }
     Ok(())
 }

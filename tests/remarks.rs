@@ -1,0 +1,155 @@
+//! Golden tests for the compiler remark stream on the wavefront program.
+//!
+//! The per-phase Applied/Missed counts are pinned for every optimization
+//! level, every optimization-pass remark must carry a source span, and
+//! two identical compiles must serialize to byte-identical JSON.
+
+use pdc_core::driver::{compile, Compiled, Job, Strategy};
+use pdc_core::programs;
+use pdc_opt::OptLevel;
+use pdc_report::{counts, Phase, RemarkKind};
+
+const N: usize = 16;
+const S: usize = 4;
+
+fn compile_wavefront(strategy: Strategy, level: Option<OptLevel>) -> Compiled {
+    let program = programs::gauss_seidel();
+    let mut job = Job::new(
+        &program,
+        "gs_iteration",
+        programs::wavefront_decomposition(S),
+    )
+    .with_const("n", N as i64);
+    if let Some(level) = level {
+        job = job.with_opt_level(level);
+    }
+    compile(&job, strategy).expect("wavefront compiles")
+}
+
+fn count(c: &Compiled, phase: Phase, kind: RemarkKind) -> usize {
+    counts(&c.remarks).get(&(phase, kind)).copied().unwrap_or(0)
+}
+
+#[test]
+fn golden_counts_runtime_resolution() {
+    let c = compile_wavefront(Strategy::Runtime, None);
+    // Seven assignments: two replicated `let`s, four boundary copies and
+    // rows, one interior point.
+    assert_eq!(count(&c, Phase::Analysis, RemarkKind::Applied), 7);
+    assert_eq!(count(&c, Phase::Analysis, RemarkKind::Missed), 0);
+    // §3.1 resolves every one of them at run time.
+    assert_eq!(count(&c, Phase::RuntimeRes, RemarkKind::Missed), 7);
+    assert_eq!(count(&c, Phase::RuntimeRes, RemarkKind::Applied), 0);
+    assert_eq!(count(&c, Phase::CostModel, RemarkKind::Applied), 1);
+    assert_eq!(count(&c, Phase::CostModel, RemarkKind::Missed), 0);
+}
+
+#[test]
+fn golden_counts_per_opt_level() {
+    // (level, vectorize A/M, jam A/M, strip A/M)
+    let cases = [
+        (OptLevel::O0, (0, 0), (0, 0), (0, 0)),
+        (OptLevel::O1, (1, 1), (0, 0), (0, 0)),
+        (OptLevel::O2, (1, 1), (1, 0), (0, 0)),
+        (OptLevel::O3 { blksize: 4 }, (1, 1), (1, 0), (1, 1)),
+    ];
+    for (level, vec, jam, strip) in cases {
+        let c = compile_wavefront(Strategy::CompileTime, Some(level));
+        // The front half does not depend on the level.
+        assert_eq!(
+            count(&c, Phase::Analysis, RemarkKind::Applied),
+            7,
+            "{level}"
+        );
+        assert_eq!(
+            count(&c, Phase::CompileTime, RemarkKind::Applied),
+            16,
+            "{level}"
+        );
+        // One statement (the last-row copy whose owner depends on `n`)
+        // keeps a runtime ownership guard.
+        assert_eq!(
+            count(&c, Phase::CompileTime, RemarkKind::Missed),
+            1,
+            "{level}"
+        );
+        let got = (
+            (
+                count(&c, Phase::Vectorize, RemarkKind::Applied),
+                count(&c, Phase::Vectorize, RemarkKind::Missed),
+            ),
+            (
+                count(&c, Phase::Jam, RemarkKind::Applied),
+                count(&c, Phase::Jam, RemarkKind::Missed),
+            ),
+            (
+                count(&c, Phase::Strip, RemarkKind::Applied),
+                count(&c, Phase::Strip, RemarkKind::Missed),
+            ),
+        );
+        assert_eq!(got, (vec, jam, strip), "{level}");
+        // The report counts per-processor rewrites; remarks are per tag.
+        // A pass fired iff it has an Applied remark.
+        assert_eq!(c.opt_report.vectorized > 0, vec.0 > 0, "{level}");
+        assert_eq!(c.opt_report.jammed > 0, jam.0 > 0, "{level}");
+        assert_eq!(c.opt_report.stripped > 0, strip.0 > 0, "{level}");
+        assert_eq!(
+            count(&c, Phase::CostModel, RemarkKind::Applied),
+            1,
+            "{level}"
+        );
+        assert_eq!(
+            count(&c, Phase::CostModel, RemarkKind::Missed),
+            0,
+            "{level}"
+        );
+    }
+}
+
+#[test]
+fn every_opt_candidate_has_a_source_span() {
+    let c = compile_wavefront(Strategy::CompileTime, Some(OptLevel::O3 { blksize: 4 }));
+    let mut opt_remarks = 0;
+    for r in &c.remarks {
+        if matches!(r.phase, Phase::Vectorize | Phase::Jam | Phase::Strip) {
+            opt_remarks += 1;
+            assert!(
+                r.span.is_some(),
+                "[{}] {} remark lacks a span: {}",
+                r.phase,
+                r.kind,
+                r.message
+            );
+            assert!(r.tag.is_some(), "opt remark lacks a tag: {}", r.message);
+        }
+    }
+    assert!(opt_remarks >= 5, "expected a full candidate list");
+}
+
+#[test]
+fn remark_stream_is_deterministic() {
+    let a = compile_wavefront(Strategy::CompileTime, Some(OptLevel::O3 { blksize: 4 }));
+    let b = compile_wavefront(Strategy::CompileTime, Some(OptLevel::O3 { blksize: 4 }));
+    assert_eq!(a.remarks_json(), b.remarks_json());
+    assert_eq!(a.remarks_text(), b.remarks_text());
+    let c = compile_wavefront(Strategy::Runtime, None);
+    let d = compile_wavefront(Strategy::Runtime, None);
+    assert_eq!(c.remarks_json(), d.remarks_json());
+}
+
+#[test]
+fn remarks_json_parses_with_std_only_parser() {
+    let c = compile_wavefront(Strategy::CompileTime, Some(OptLevel::O3 { blksize: 4 }));
+    let doc = pdc_machine::trace_chrome::parse_json(&c.remarks_json()).expect("valid JSON");
+    let remarks = doc
+        .get("remarks")
+        .and_then(|r| r.as_arr())
+        .expect("remarks array");
+    assert_eq!(remarks.len(), c.remarks.len());
+    for r in remarks {
+        assert!(r.get("phase").and_then(|p| p.as_str()).is_some());
+        assert!(r.get("kind").and_then(|k| k.as_str()).is_some());
+        assert!(r.get("message").and_then(|m| m.as_str()).is_some());
+    }
+    assert!(doc.get("counts").is_some());
+}

@@ -1,0 +1,201 @@
+//! Run the static communication-safety analyzer (`pdc-analyze`) over
+//! every compiled variant of the paper's programs and prove them clean.
+//!
+//! For each (program, variant, size) the bin compiles, analyzes the
+//! final SPMD code, and requires a *verified* result: the walk exact,
+//! every `(src, dst, tag)` channel's sends equal to its receives, the
+//! abstract replay deadlock-free, single assignment intact, and zero
+//! lints. Any diagnostic is unexpected and fails the run.
+//!
+//! The sweep covers the five Figure 6/7 wavefront variants (run-time
+//! resolution, compile-time resolution, Optimized I–III) at n=16/s=4 and
+//! n=128/s=4, plus the Jacobi program at n=16/s=4 under both generators.
+//! Results go to stdout and `BENCH_lint.json`; the bin re-parses its own
+//! JSON with the std-only parser and exits non-zero on any malformed
+//! document, unverified program, or unexpected diagnostic.
+//!
+//! Usage: `cargo run --release -p pdc-bench --bin lint`
+
+use pdc_bench::{compile_wavefront, print_table, Variant};
+use pdc_core::driver::{self, Compiled, Job, Strategy};
+use pdc_core::programs;
+use pdc_machine::trace_chrome::{parse_json, Json};
+use pdc_opt::OptLevel;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn slug(v: Variant) -> &'static str {
+    match v {
+        Variant::RuntimeRes => "runtime_res",
+        Variant::CompileTime => "compile_time",
+        Variant::OptimizedI => "optimized_i",
+        Variant::OptimizedII => "optimized_ii",
+        Variant::OptimizedIII { .. } => "optimized_iii",
+        Variant::Handwritten { .. } => "handwritten",
+    }
+}
+
+struct Run {
+    program: &'static str,
+    variant: String,
+    n: usize,
+    s: usize,
+    compiled: Compiled,
+}
+
+fn jacobi_compiled(strategy: Strategy, level: Option<OptLevel>, n: usize, s: usize) -> Compiled {
+    let program = programs::jacobi();
+    let mut job = Job::new(&program, "jacobi", programs::wavefront_decomposition(s))
+        .with_const("n", n as i64);
+    if let Some(level) = level {
+        job = job.with_opt_level(level);
+    }
+    driver::compile(&job, strategy).expect("jacobi compiles")
+}
+
+fn main() {
+    let wavefront_variants = [
+        Variant::RuntimeRes,
+        Variant::CompileTime,
+        Variant::OptimizedI,
+        Variant::OptimizedII,
+        Variant::OptimizedIII { blksize: 4 },
+    ];
+
+    let mut runs: Vec<Run> = Vec::new();
+    for (n, s) in [(16usize, 4usize), (128, 4)] {
+        for v in wavefront_variants {
+            runs.push(Run {
+                program: "wavefront",
+                variant: slug(v).into(),
+                n,
+                s,
+                compiled: compile_wavefront(v, n, s).expect("compiler variant"),
+            });
+        }
+    }
+    for (variant, strategy, level) in [
+        ("runtime_res", Strategy::Runtime, None),
+        ("compile_time", Strategy::CompileTime, Some(OptLevel::O0)),
+        ("optimized_ii", Strategy::CompileTime, Some(OptLevel::O2)),
+    ] {
+        runs.push(Run {
+            program: "jacobi",
+            variant: variant.into(),
+            n: 16,
+            s: 4,
+            compiled: jacobi_compiled(strategy, level, 16, 4),
+        });
+    }
+
+    let mut failures = 0usize;
+    let mut rows = Vec::new();
+    let mut doc = String::from("{\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let consts: HashMap<String, i64> = [("n".to_string(), run.n as i64)].into();
+        let (env, arrays) = run.compiled.static_env(&consts);
+        let report = pdc_analyze::analyze(&run.compiled.spmd, &env, &arrays);
+        let name = format!("{} {} n={} s={}", run.program, run.variant, run.n, run.s);
+
+        let messages: u64 = report.channels.values().map(|c| c.sent).sum();
+        if !report.verified() {
+            eprintln!("{name}: NOT VERIFIED (exact={})", report.exact);
+            failures += 1;
+        }
+        for d in &report.diagnostics {
+            let span = d
+                .tag
+                .and_then(|t| run.compiled.resolve_tag_span(t))
+                .map(|s| format!(" at {s}"))
+                .unwrap_or_default();
+            eprintln!("{name}: unexpected diagnostic{span}: {}", d.message);
+            failures += 1;
+        }
+        for note in &report.notes {
+            eprintln!("{name}: note: {note}");
+        }
+
+        rows.push((
+            name,
+            vec![
+                report.channels.len().to_string(),
+                messages.to_string(),
+                report.diagnostics.len().to_string(),
+                if report.verified() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ],
+        ));
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        let _ = write!(
+            doc,
+            "    {{\"program\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"s\": {}, \
+             \"exact\": {}, \"verified\": {}, \"channels\": {}, \"messages\": {messages}, \
+             \"diagnostics\": {}}}",
+            run.program,
+            run.variant,
+            run.n,
+            run.s,
+            report.exact,
+            report.verified(),
+            report.channels.len(),
+            report.diagnostics.len(),
+        );
+    }
+    doc.push_str("\n  ]\n}\n");
+
+    // The document must survive the std-only parser and agree with the
+    // sweep: every run present and verified with zero diagnostics.
+    match parse_json(&doc) {
+        Ok(parsed) => {
+            let parsed_runs = parsed
+                .get("runs")
+                .and_then(|r| r.as_arr())
+                .unwrap_or_default();
+            if parsed_runs.len() != runs.len() {
+                eprintln!("BENCH_lint.json: expected {} runs", runs.len());
+                failures += 1;
+            }
+            for r in parsed_runs {
+                let verified = r.get("verified") == Some(&Json::Bool(true));
+                let diags = r
+                    .get("diagnostics")
+                    .and_then(|d| d.as_num())
+                    .unwrap_or(f64::NAN);
+                if !verified || diags != 0.0 {
+                    let name = r.get("program").and_then(|x| x.as_str()).unwrap_or("?");
+                    let variant = r.get("variant").and_then(|x| x.as_str()).unwrap_or("?");
+                    eprintln!("BENCH_lint.json: {name}/{variant} not clean");
+                    failures += 1;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("BENCH_lint.json does not parse: {e}");
+            failures += 1;
+        }
+    }
+    std::fs::write("BENCH_lint.json", &doc).expect("write BENCH_lint.json");
+    println!("wrote BENCH_lint.json");
+
+    print_table(
+        "static communication-safety sweep",
+        &[
+            "channels".into(),
+            "messages".into(),
+            "diags".into(),
+            "verified".into(),
+        ],
+        &rows,
+    );
+
+    if failures > 0 {
+        eprintln!("\n{failures} lint failure(s)");
+        std::process::exit(1);
+    }
+    println!("\nall programs statically verified");
+}

@@ -212,7 +212,12 @@ impl Analysis {
                 return Ok(EvalOwner::Dynamic);
             }
         };
-        Ok(EvalOwner::Expr(inst.owner_expr(&i_aff, &j_aff)))
+        // A distribution without a symbolic owner (table assignments)
+        // degrades to the run-time ownership path instead of aborting.
+        Ok(match inst.owner_expr(&i_aff, &j_aff) {
+            Ok(expr) => EvalOwner::Expr(expr),
+            Err(_) => EvalOwner::Dynamic,
+        })
     }
 
     /// The roles of an assignment statement ([`Stmt::Let`] of a scalar or

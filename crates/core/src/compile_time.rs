@@ -549,16 +549,28 @@ impl Codegen<'_> {
                         })
                     }
                 };
-                let (li, lj) = inst.local_expr(&i_aff, &j_aff);
-                let idx = if affs.len() == 1 {
-                    vec![local_index_to_sexpr(&lj)]
-                } else {
-                    vec![local_index_to_sexpr(&li), local_index_to_sexpr(&lj)]
-                };
-                Ok(SExpr::ARead {
-                    array: array.to_owned(),
-                    idx,
-                })
+                match inst.local_expr(&i_aff, &j_aff) {
+                    Ok((li, lj)) => {
+                        let idx = if affs.len() == 1 {
+                            vec![local_index_to_sexpr(&lj)]
+                        } else {
+                            vec![local_index_to_sexpr(&li), local_index_to_sexpr(&lj)]
+                        };
+                        Ok(SExpr::ARead {
+                            array: array.to_owned(),
+                            idx,
+                        })
+                    }
+                    // No symbolic Local function: let the VM apply Local
+                    // at run time, exactly like the table-assignment path.
+                    Err(_) => Ok(SExpr::AReadGlobal {
+                        array: array.to_owned(),
+                        idx: indices
+                            .iter()
+                            .map(translate_simple)
+                            .collect::<Result<_, _>>()?,
+                    }),
+                }
             }
             None => Ok(SExpr::AReadGlobal {
                 array: array.to_owned(),

@@ -6,6 +6,7 @@ use crate::compile_time;
 use crate::inline::{inline_program, Inlined, ParamMapMode, ParamMaps};
 use crate::runtime_res;
 use crate::CoreError;
+use pdc_analyze::AnalysisReport;
 use pdc_istructure::IMatrix;
 use pdc_lang::ast::{Block, Stmt};
 use pdc_lang::interp::Interpreter;
@@ -59,6 +60,13 @@ pub struct Job<'a> {
     /// leaves the resolver output untouched (equivalent to
     /// [`OptLevel::O0`] but skips the pipeline entirely).
     pub opt_level: Option<OptLevel>,
+    /// Run the static communication-safety analyzer (`pdc-analyze`) over
+    /// the final code. `None` (the default) enables it at O1 and above;
+    /// `Some(false)` disables it, `Some(true)` forces it on. When the
+    /// analysis is exact and finds errors, [`compile`] returns
+    /// [`CoreError::StaticAnalysis`] instead of letting the program
+    /// deadlock or fault at run time.
+    pub verify_static: Option<bool>,
 }
 
 impl<'a> Job<'a> {
@@ -76,6 +84,7 @@ impl<'a> Job<'a> {
             fault_plan: None,
             trace_cap: None,
             opt_level: None,
+            verify_static: None,
         }
     }
 
@@ -113,6 +122,13 @@ impl<'a> Job<'a> {
         self.opt_level = Some(level);
         self
     }
+
+    /// Force the static communication-safety analyzer on or off
+    /// (defaults to on at O1 and above). See [`Job::verify_static`].
+    pub fn with_verify_static(mut self, enabled: bool) -> Self {
+        self.verify_static = Some(enabled);
+        self
+    }
 }
 
 /// A compiled program bundled with the analysis that produced it (needed
@@ -141,6 +157,12 @@ pub struct Compiled {
     /// (after optimization). Verified against observation by
     /// [`Execution::verify_predictions`].
     pub prediction: Prediction,
+    /// Static communication-safety analysis of the final code (`None`
+    /// when the job disabled it or the default left it off below O1).
+    /// When present and [`verified`](AnalysisReport::verified), the
+    /// program provably cannot deadlock, orphan messages, or double-write
+    /// an I-structure element for this problem size.
+    pub verification: Option<AnalysisReport>,
     /// Source span of each assignment statement, keyed by statement id
     /// (`sid = tag / TAG_STRIDE`). Used to resolve IR-level remarks and
     /// trace tags back to source.
@@ -151,6 +173,32 @@ impl Compiled {
     /// The remark stream rendered as human-readable text.
     pub fn remarks_text(&self) -> String {
         pdc_report::render_text(&self.remarks)
+    }
+
+    /// Resolve a communication tag back to the source span of the
+    /// assignment it implements (`sid = tag / TAG_STRIDE`). Used to
+    /// anchor analyzer diagnostics and trace events to source.
+    pub fn resolve_tag_span(&self, tag: u32) -> Option<pdc_lang::Span> {
+        self.stmt_spans
+            .get(&(tag / compile_time::TAG_STRIDE))
+            .copied()
+    }
+
+    /// The static environment (scalar constants and preloaded-array
+    /// instances) the cost model and analyzer interpreted this program
+    /// under — for re-running either over a mutated copy in tests.
+    pub fn static_env(
+        &self,
+        const_params: &HashMap<String, i64>,
+    ) -> (BTreeMap<String, i64>, BTreeMap<String, DistInstance>) {
+        static_env(&self.analysis, const_params)
+    }
+
+    /// The source span of the first write to `array` in the inlined
+    /// program — the anchor for double-write diagnostics, whose IR
+    /// statements carry no communication tags.
+    pub fn resolve_array_span(&self, array: &str) -> Option<pdc_lang::Span> {
+        array_write_span(&self.inlined.body, array)
     }
 
     /// The remark stream as deterministic JSON.
@@ -205,6 +253,43 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         }
     }
     let prediction = predict_compiled(&spmd, &analysis, &job.const_params, &mut remarks);
+    let verify = job
+        .verify_static
+        .unwrap_or(!matches!(job.opt_level, None | Some(OptLevel::O0)));
+    let verification = if verify {
+        let (env, arrays) = static_env(&analysis, &job.const_params);
+        let report = pdc_analyze::analyze(&spmd, &env, &arrays);
+        for mut r in report.remarks() {
+            // Tag-carrying findings resolve spans like optimizer remarks;
+            // double writes carry the array instead — anchor them to the
+            // first source write of that array.
+            if r.span.is_none() {
+                if let Some(tag) = r.tag {
+                    r.span = stmt_spans.get(&(tag / compile_time::TAG_STRIDE)).copied();
+                }
+            }
+            remarks.push(r);
+        }
+        for d in &report.diagnostics {
+            if let (None, Some(array)) = (d.tag, &d.array) {
+                if let Some(span) = array_write_span(&inlined.body, array) {
+                    if let Some(r) = remarks.iter_mut().rev().find(|r| {
+                        r.phase == Phase::Analyze && r.span.is_none() && r.message == d.message
+                    }) {
+                        r.span = Some(span);
+                    }
+                }
+            }
+        }
+        if report.exact && report.has_errors() {
+            return Err(CoreError::StaticAnalysis {
+                diagnostics: report.errors().cloned().collect(),
+            });
+        }
+        Some(report)
+    } else {
+        None
+    };
     Ok(Compiled {
         spmd,
         analysis,
@@ -215,8 +300,56 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         remarks,
         opt_report,
         prediction,
+        verification,
         stmt_spans,
     })
+}
+
+/// The scalar environment and preloaded-array instances the static
+/// models (cost prediction, safety analysis) interpret the final code
+/// under.
+fn static_env(
+    analysis: &Analysis,
+    const_params: &HashMap<String, i64>,
+) -> (BTreeMap<String, i64>, BTreeMap<String, DistInstance>) {
+    let env: BTreeMap<String, i64> = const_params.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let mut arrays: BTreeMap<String, DistInstance> = BTreeMap::new();
+    for name in analysis.arrays().keys() {
+        if let Ok(inst) = analysis.inst(name) {
+            arrays.insert(name.clone(), inst);
+        }
+    }
+    (env, arrays)
+}
+
+/// The source span of the first write to `array` in the inlined program
+/// — the anchor for double-write diagnostics, whose IR statements carry
+/// no tags.
+fn array_write_span(block: &Block, array: &str) -> Option<pdc_lang::Span> {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::ArrayWrite { array: a, span, .. } if a == array => return Some(*span),
+            Stmt::For { body, .. } => {
+                if let Some(s) = array_write_span(body, array) {
+                    return Some(s);
+                }
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                if let Some(s) = array_write_span(then_blk, array) {
+                    return Some(s);
+                }
+                if let Some(b) = else_blk {
+                    if let Some(s) = array_write_span(b, array) {
+                        return Some(s);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Walk the inlined source and emit one [`Phase::Analysis`] remark per
@@ -281,13 +414,7 @@ fn predict_compiled(
     const_params: &HashMap<String, i64>,
     remarks: &mut Vec<Remark>,
 ) -> Prediction {
-    let env: BTreeMap<String, i64> = const_params.iter().map(|(k, v)| (k.clone(), *v)).collect();
-    let mut arrays: BTreeMap<String, DistInstance> = BTreeMap::new();
-    for name in analysis.arrays().keys() {
-        if let Ok(inst) = analysis.inst(name) {
-            arrays.insert(name.clone(), inst);
-        }
-    }
+    let (env, arrays) = static_env(analysis, const_params);
     let prediction = pdc_report::predict(spmd, &env, &arrays);
     remarks.push(
         Remark::new(

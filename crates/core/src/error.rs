@@ -34,6 +34,14 @@ pub enum CoreError {
         /// The requested name.
         name: String,
     },
+    /// The static communication-safety analyzer *proved* the compiled
+    /// program faulty — it would deadlock, fault, or double-write an
+    /// I-structure at run time. Only emitted when the analysis was exact
+    /// (inexact analyses degrade to remarks instead).
+    StaticAnalysis {
+        /// The error-severity findings, in analyzer order.
+        diagnostics: Vec<pdc_analyze::Diagnostic>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +62,17 @@ impl fmt::Display for CoreError {
                 write!(f, "array `{name}` has no mapping in the decomposition")
             }
             CoreError::NoEntry { name } => write!(f, "entry procedure `{name}` not found"),
+            CoreError::StaticAnalysis { diagnostics } => {
+                write!(
+                    f,
+                    "static analysis found {} communication error(s)",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "; {}", d.message)?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::error::LangError;
 use crate::span::Span;
 use std::collections::{HashMap, HashSet};
 
-/// Check a parsed program.
+/// Check a parsed program, stopping at the first violation.
 ///
 /// Enforced rules:
 ///
@@ -21,12 +21,27 @@ use std::collections::{HashMap, HashSet};
 ///
 /// # Errors
 ///
-/// The first violation is reported as [`LangError::Check`].
+/// The first violation is reported as [`LangError::Check`]. Tooling that
+/// wants the full list uses [`check_all`].
 pub fn check(program: &Program) -> Result<(), LangError> {
+    match check_all(program).into_iter().next() {
+        Some(first) => Err(first),
+        None => Ok(()),
+    }
+}
+
+/// Check a parsed program and collect **every** violation, in source
+/// order, each with its span — the batch-diagnostics form of [`check`].
+/// The checker recovers after each violation (an offending name still
+/// enters scope; an unknown name is reported once per use) so one
+/// mistake does not hide the next. Renders through `pdc-report` as
+/// check-phase remarks.
+pub fn check_all(program: &Program) -> Vec<LangError> {
     let mut arities: HashMap<&str, usize> = HashMap::new();
+    let mut diags = Vec::new();
     for p in &program.procs {
         if arities.insert(&p.name, p.params.len()).is_some() {
-            return Err(LangError::Check {
+            diags.push(LangError::Check {
                 message: format!("procedure `{}` defined twice", p.name),
                 span: p.span,
             });
@@ -36,7 +51,7 @@ pub fn check(program: &Program) -> Result<(), LangError> {
         let mut seen = HashSet::new();
         for param in &p.params {
             if !seen.insert(param.as_str()) {
-                return Err(LangError::Check {
+                diags.push(LangError::Check {
                     message: format!("duplicate parameter `{param}` in `{}`", p.name),
                     span: p.span,
                 });
@@ -45,15 +60,17 @@ pub fn check(program: &Program) -> Result<(), LangError> {
         let mut scope = Scope {
             arities: &arities,
             frames: vec![p.params.iter().cloned().collect()],
+            diags: &mut diags,
         };
-        check_block(&p.body, &mut scope)?;
+        check_block(&p.body, &mut scope);
     }
-    Ok(())
+    diags
 }
 
 struct Scope<'a> {
     arities: &'a HashMap<&'a str, usize>,
     frames: Vec<HashSet<String>>,
+    diags: &'a mut Vec<LangError>,
 }
 
 impl Scope<'_> {
@@ -61,32 +78,37 @@ impl Scope<'_> {
         self.frames.iter().any(|f| f.contains(name))
     }
 
-    fn define(&mut self, name: &str, span: Span) -> Result<(), LangError> {
+    fn report(&mut self, message: String, span: Span) {
+        self.diags.push(LangError::Check { message, span });
+    }
+
+    /// Bind `name`, reporting a violation if it shadows an existing
+    /// binding. The name enters scope either way, so later uses of it
+    /// are not spuriously "undefined".
+    fn define(&mut self, name: &str, span: Span) {
         if self.is_defined(name) {
-            return Err(LangError::Check {
-                message: format!("`{name}` is already defined (scalars are single-assignment)"),
+            self.report(
+                format!("`{name}` is already defined (scalars are single-assignment)"),
                 span,
-            });
+            );
         }
         self.frames.last_mut().expect("scope").insert(name.into());
-        Ok(())
     }
 }
 
-fn check_block(block: &Block, scope: &mut Scope<'_>) -> Result<(), LangError> {
+fn check_block(block: &Block, scope: &mut Scope<'_>) {
     scope.frames.push(HashSet::new());
     for stmt in &block.stmts {
-        check_stmt(stmt, scope)?;
+        check_stmt(stmt, scope);
     }
     scope.frames.pop();
-    Ok(())
 }
 
-fn check_stmt(stmt: &Stmt, scope: &mut Scope<'_>) -> Result<(), LangError> {
+fn check_stmt(stmt: &Stmt, scope: &mut Scope<'_>) {
     match stmt {
         Stmt::Let { name, init, span } => {
-            check_expr(init, scope)?;
-            scope.define(name, *span)
+            check_expr(init, scope);
+            scope.define(name, *span);
         }
         Stmt::ArrayWrite {
             array,
@@ -95,15 +117,12 @@ fn check_stmt(stmt: &Stmt, scope: &mut Scope<'_>) -> Result<(), LangError> {
             span,
         } => {
             if !scope.is_defined(array) {
-                return Err(LangError::Check {
-                    message: format!("array `{array}` used before definition"),
-                    span: *span,
-                });
+                scope.report(format!("array `{array}` used before definition"), *span);
             }
             for ix in indices {
-                check_expr(ix, scope)?;
+                check_expr(ix, scope);
             }
-            check_expr(value, scope)
+            check_expr(value, scope);
         }
         Stmt::For {
             var,
@@ -113,18 +132,17 @@ fn check_stmt(stmt: &Stmt, scope: &mut Scope<'_>) -> Result<(), LangError> {
             body,
             span,
         } => {
-            check_expr(lo, scope)?;
-            check_expr(hi, scope)?;
+            check_expr(lo, scope);
+            check_expr(hi, scope);
             if let Some(s) = step {
-                check_expr(s, scope)?;
+                check_expr(s, scope);
             }
             scope.frames.push(HashSet::new());
-            scope.define(var, *span)?;
+            scope.define(var, *span);
             for s in &body.stmts {
-                check_stmt(s, scope)?;
+                check_stmt(s, scope);
             }
             scope.frames.pop();
-            Ok(())
         }
         Stmt::If {
             cond,
@@ -132,77 +150,59 @@ fn check_stmt(stmt: &Stmt, scope: &mut Scope<'_>) -> Result<(), LangError> {
             else_blk,
             ..
         } => {
-            check_expr(cond, scope)?;
-            check_block(then_blk, scope)?;
+            check_expr(cond, scope);
+            check_block(then_blk, scope);
             if let Some(e) = else_blk {
-                check_block(e, scope)?;
+                check_block(e, scope);
             }
-            Ok(())
         }
         Stmt::Return { value, .. } => check_expr(value, scope),
         Stmt::ExprStmt { expr, .. } => check_expr(expr, scope),
     }
 }
 
-fn check_expr(expr: &Expr, scope: &mut Scope<'_>) -> Result<(), LangError> {
+fn check_expr(expr: &Expr, scope: &mut Scope<'_>) {
     match &expr.kind {
-        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) => Ok(()),
+        ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) => {}
         ExprKind::Var(name) => {
-            if scope.is_defined(name) {
-                Ok(())
-            } else {
-                Err(LangError::Check {
-                    message: format!("`{name}` used before definition"),
-                    span: expr.span,
-                })
+            if !scope.is_defined(name) {
+                scope.report(format!("`{name}` used before definition"), expr.span);
             }
         }
         ExprKind::ArrayRead { array, indices } => {
             if !scope.is_defined(array) {
-                return Err(LangError::Check {
-                    message: format!("array `{array}` used before definition"),
-                    span: expr.span,
-                });
+                scope.report(format!("array `{array}` used before definition"), expr.span);
             }
             for ix in indices {
-                check_expr(ix, scope)?;
+                check_expr(ix, scope);
             }
-            Ok(())
         }
         ExprKind::Binary { lhs, rhs, .. } => {
-            check_expr(lhs, scope)?;
-            check_expr(rhs, scope)
+            check_expr(lhs, scope);
+            check_expr(rhs, scope);
         }
         ExprKind::Unary { operand, .. } => check_expr(operand, scope),
         ExprKind::Call { name, args } => {
             match scope.arities.get(name.as_str()) {
                 None => {
-                    return Err(LangError::Check {
-                        message: format!("call to undefined procedure `{name}`"),
-                        span: expr.span,
-                    })
+                    scope.report(format!("call to undefined procedure `{name}`"), expr.span);
                 }
                 Some(&arity) if arity != args.len() => {
-                    return Err(LangError::Check {
-                        message: format!(
-                            "`{name}` takes {arity} argument(s), {} given",
-                            args.len()
-                        ),
-                        span: expr.span,
-                    })
+                    scope.report(
+                        format!("`{name}` takes {arity} argument(s), {} given", args.len()),
+                        expr.span,
+                    );
                 }
                 Some(_) => {}
             }
             for a in args {
-                check_expr(a, scope)?;
+                check_expr(a, scope);
             }
-            Ok(())
         }
         ExprKind::Alloc { dims } => {
             for d in dims {
-                check_expr(d, scope)?;
+                check_expr(d, scope);
             }
-            Ok(())
         }
     }
 }
@@ -276,6 +276,29 @@ mod tests {
                 .to_string()
                 .contains("takes 1 argument")
         );
+    }
+
+    #[test]
+    fn check_all_collects_every_violation_in_source_order() {
+        use crate::check::check_all;
+        let src = "procedure f(n) {
+                let a = x;
+                let a = y;
+                return g(n);
+            }";
+        let prog = crate::parser::parse_unchecked(src).expect("parses");
+        let diags = check_all(&prog);
+        let messages: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        assert_eq!(diags.len(), 4, "got: {messages:?}");
+        assert!(messages[0].contains("`x` used before definition"));
+        assert!(messages[1].contains("`y` used before definition"));
+        assert!(messages[2].contains("`a` is already defined"));
+        assert!(messages[3].contains("undefined procedure `g`"));
+        // Every diagnostic carries a resolvable span.
+        for d in &diags {
+            let rendered = d.render(src);
+            assert!(rendered.contains(" at "), "missing span: {rendered}");
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod token;
 pub mod value;
 
 pub use ast::{BinOp, Block, Expr, MapDecl, Proc, Program, Stmt, UnOp};
+pub use check::check_all;
 pub use error::LangError;
-pub use parser::parse;
+pub use parser::{parse, parse_unchecked};
 pub use span::Span;

@@ -70,6 +70,54 @@ pub enum MachineError {
     },
 }
 
+impl MachineError {
+    /// For a [`MachineError::Deadlock`], the circular wait among the
+    /// blocked processors, if one exists. Each entry is `(receiver,
+    /// awaited source, tag)` and the awaited source of each entry is the
+    /// receiver of the next (wrapping around). The cycle is rotated to
+    /// start at its smallest-numbered processor, which makes it directly
+    /// comparable with the cycle the static analyzer reports for the
+    /// same program. `None` for other errors and for deadlocks without a
+    /// cycle (e.g. a processor awaiting an already-finished peer).
+    pub fn wait_cycle(&self) -> Option<Vec<(ProcId, ProcId, Tag)>> {
+        let MachineError::Deadlock { waiting } = self else {
+            return None;
+        };
+        // Each blocked processor waits on exactly one peer, so the
+        // wait-for graph is functional: chase out-edges from each node
+        // until we revisit one. A revisit inside the current chase is a
+        // cycle; a node seen in an earlier chase leads out of one.
+        let edges: std::collections::BTreeMap<ProcId, (ProcId, Tag)> = waiting
+            .iter()
+            .map(|&(p, src, tag)| (p, (src, tag)))
+            .collect();
+        let mut done: std::collections::BTreeSet<ProcId> = Default::default();
+        for &start in edges.keys() {
+            let mut path: Vec<ProcId> = Vec::new();
+            let mut cur = start;
+            while edges.contains_key(&cur) && !done.contains(&cur) {
+                if let Some(at) = path.iter().position(|&p| p == cur) {
+                    let cycle: Vec<ProcId> = path[at..].to_vec();
+                    let min = cycle.iter().enumerate().min_by_key(|(_, p)| **p)?.0;
+                    return Some(
+                        (0..cycle.len())
+                            .map(|i| {
+                                let p = cycle[(min + i) % cycle.len()];
+                                let (src, tag) = edges[&p];
+                                (p, src, tag)
+                            })
+                            .collect(),
+                    );
+                }
+                path.push(cur);
+                cur = edges[&cur].0;
+            }
+            done.extend(path);
+        }
+        None
+    }
+}
+
 impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -86,6 +134,17 @@ impl fmt::Display for MachineError {
                         write!(f, ", ")?;
                     }
                     write!(f, "{p} awaits {tag} from {src}")?;
+                }
+                if let Some(cycle) = self.wait_cycle() {
+                    write!(f, "; circular wait: ")?;
+                    for (p, _, tag) in &cycle {
+                        write!(f, "{p} -{tag}-> ")?;
+                    }
+                    write!(f, "{}", cycle[0].0)?;
+                    let extra = waiting.len() - cycle.len();
+                    if extra > 0 {
+                        write!(f, " ({extra} more blocked behind the cycle)")?;
+                    }
                 }
                 Ok(())
             }
@@ -140,6 +199,44 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("P0 awaits t3 from P1"));
         assert!(s.contains("P1 awaits t4 from P0"));
+        assert!(s.contains("circular wait: P0 -t3-> P1 -t4-> P0"), "{s}");
+    }
+
+    #[test]
+    fn wait_cycle_rotates_to_smallest_and_counts_the_tail() {
+        // P3 -> P2 -> P1 -> P2 is a 2-cycle with P3 blocked behind it.
+        let e = MachineError::Deadlock {
+            waiting: vec![
+                (ProcId(3), ProcId(2), Tag(7)),
+                (ProcId(2), ProcId(1), Tag(5)),
+                (ProcId(1), ProcId(2), Tag(6)),
+            ],
+        };
+        let cycle = e.wait_cycle().expect("cycle");
+        assert_eq!(
+            cycle,
+            vec![
+                (ProcId(1), ProcId(2), Tag(6)),
+                (ProcId(2), ProcId(1), Tag(5))
+            ]
+        );
+        let s = e.to_string();
+        assert!(s.contains("circular wait: P1 -t6-> P2 -t5-> P1"), "{s}");
+        assert!(s.contains("(1 more blocked behind the cycle)"), "{s}");
+    }
+
+    #[test]
+    fn no_cycle_when_awaiting_a_finished_peer() {
+        // Both waiters block on P9, which is not itself blocked (it
+        // finished without sending) — a starvation chain, not a cycle.
+        let e = MachineError::Deadlock {
+            waiting: vec![
+                (ProcId(0), ProcId(9), Tag(1)),
+                (ProcId(1), ProcId(0), Tag(2)),
+            ],
+        };
+        assert_eq!(e.wait_cycle(), None);
+        assert!(!e.to_string().contains("circular wait"));
     }
 
     #[test]

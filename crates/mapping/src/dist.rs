@@ -1,6 +1,7 @@
 //! Distribution families and their Map/Local/Alloc functions.
 
 use crate::affine::Affine;
+use crate::error::MappingError;
 use crate::owner::{OwnerExpr, OwnerSet};
 use std::fmt;
 use std::sync::Arc;
@@ -268,20 +269,21 @@ impl DistInstance {
             other => panic!("unbound index variable {other}"),
         };
         self.owner_expr(&Affine::var("i"), &Affine::var("j"))
+            .expect("table assignments were handled above")
             .eval(&env)
     }
 
     /// Symbolic **Map**: owner of `(i_expr, j_expr)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for non-analyzable distributions
-    /// ([`Dist::is_analyzable`] is false) — callers must check first and
-    /// fall back to run-time ownership.
-    pub fn owner_expr(&self, i_expr: &Affine, j_expr: &Affine) -> OwnerExpr {
+    /// [`MappingError::NoSymbolicOwner`] for non-analyzable distributions
+    /// ([`Dist::is_analyzable`] is false) — callers fall back to run-time
+    /// ownership.
+    pub fn owner_expr(&self, i_expr: &Affine, j_expr: &Affine) -> Result<OwnerExpr, MappingError> {
         let zi = i_expr.offset(-1); // zero-based
         let zj = j_expr.offset(-1);
-        match &self.dist {
+        Ok(match &self.dist {
             Dist::Replicated => OwnerExpr::All,
             Dist::OnProcessor(p) => OwnerExpr::Const(*p),
             Dist::ColumnCyclic => OwnerExpr::CyclicMod {
@@ -326,9 +328,11 @@ impl DistInstance {
                 pcols: *pcols,
             },
             Dist::ColumnAssigned { .. } => {
-                panic!("table assignments have no symbolic owner; check is_analyzable()")
+                return Err(MappingError::NoSymbolicOwner {
+                    dist: self.dist.to_string(),
+                })
             }
-        }
+        })
     }
 
     /// **Local**: position of global `(i, j)` within its owner's local
@@ -346,21 +350,27 @@ impl DistInstance {
             "j" => j,
             other => panic!("unbound index variable {other}"),
         };
-        let (li, lj) = self.local_expr(&Affine::var("i"), &Affine::var("j"));
+        let (li, lj) = self
+            .local_expr(&Affine::var("i"), &Affine::var("j"))
+            .expect("table assignments were handled above");
         (li.eval(&env), lj.eval(&env))
     }
 
     /// Symbolic **Local**.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for non-analyzable distributions, like
-    /// [`DistInstance::owner_expr`].
-    pub fn local_expr(&self, i_expr: &Affine, j_expr: &Affine) -> (LocalIndex, LocalIndex) {
+    /// [`MappingError::NoSymbolicLocal`] for non-analyzable
+    /// distributions, like [`DistInstance::owner_expr`].
+    pub fn local_expr(
+        &self,
+        i_expr: &Affine,
+        j_expr: &Affine,
+    ) -> Result<(LocalIndex, LocalIndex), MappingError> {
         let id_i = LocalIndex::affine(i_expr.clone());
         let id_j = LocalIndex::affine(j_expr.clone());
         let s = self.nprocs as i64;
-        match &self.dist {
+        Ok(match &self.dist {
             Dist::Replicated | Dist::OnProcessor(_) => (id_i, id_j),
             Dist::ColumnCyclic => (
                 id_i,
@@ -469,9 +479,11 @@ impl DistInstance {
                 },
             ),
             Dist::ColumnAssigned { .. } => {
-                panic!("table assignments have no symbolic local function; check is_analyzable()")
+                return Err(MappingError::NoSymbolicLocal {
+                    dist: self.dist.to_string(),
+                })
             }
-        }
+        })
     }
 
     /// **Alloc**: the local array shape each processor allocates
@@ -628,7 +640,9 @@ mod tests {
     fn symbolic_owner_matches_concrete() {
         let d = DistInstance::new(Dist::ColumnCyclic, 8, 8, 4);
         // owner of A[i, j+1] at j = 5 equals direct owner(_, 6).
-        let o = d.owner_expr(&Affine::var("i"), &Affine::var("j").offset(1));
+        let o = d
+            .owner_expr(&Affine::var("i"), &Affine::var("j").offset(1))
+            .expect("cyclic dists are analyzable");
         let got = o.eval(&|v| match v {
             "i" => 3,
             "j" => 5,
@@ -713,6 +727,32 @@ mod assigned_tests {
     fn assigned_is_not_analyzable() {
         assert!(!Dist::column_weighted(&[1, 1]).is_analyzable());
         assert!(Dist::ColumnCyclic.is_analyzable());
+    }
+
+    #[test]
+    fn symbolic_queries_on_tables_return_typed_errors() {
+        use crate::error::MappingError;
+        let d = DistInstance::new(
+            Dist::ColumnAssigned {
+                table: Arc::new(vec![0, 1]),
+            },
+            2,
+            4,
+            2,
+        );
+        let i = Affine::var("i");
+        let j = Affine::var("j");
+        assert!(matches!(
+            d.owner_expr(&i, &j),
+            Err(MappingError::NoSymbolicOwner { .. })
+        ));
+        assert!(matches!(
+            d.local_expr(&i, &j),
+            Err(MappingError::NoSymbolicLocal { .. })
+        ));
+        // The concrete (non-symbolic) queries still work.
+        assert_eq!(d.owner(1, 2), OwnerSet::One(1));
+        assert_eq!(d.local(1, 3), (1, 2));
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Typed errors for symbolic-mapping queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// A mapping query that cannot be answered symbolically.
+///
+/// Table-based assignments ([`Dist::ColumnAssigned`](crate::Dist)) have
+/// no closed-form Map/Local functions; asking for one is not a bug but
+/// an *inconclusive* outcome (§3.2): callers fall back to run-time
+/// ownership resolution, and static analyses degrade to inexact results
+/// instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The distribution has no symbolic owner expression.
+    NoSymbolicOwner {
+        /// Display form of the offending distribution.
+        dist: String,
+    },
+    /// The distribution has no symbolic local-index function.
+    NoSymbolicLocal {
+        /// Display form of the offending distribution.
+        dist: String,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::NoSymbolicOwner { dist } => {
+                write!(f, "`{dist}` has no symbolic owner function")
+            }
+            MappingError::NoSymbolicLocal { dist } => {
+                write!(f, "`{dist}` has no symbolic local function")
+            }
+        }
+    }
+}
+
+impl Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_distribution() {
+        let e = MappingError::NoSymbolicOwner {
+            dist: "column-assigned(len 3)".into(),
+        };
+        assert!(e.to_string().contains("column-assigned(len 3)"));
+        assert!(e.to_string().contains("no symbolic owner"));
+    }
+}

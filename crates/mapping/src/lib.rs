@@ -39,11 +39,13 @@
 mod affine;
 mod decomp;
 mod dist;
+mod error;
 mod owner;
 mod solve;
 
 pub use affine::Affine;
 pub use decomp::{Decomposition, ScalarMap, ThreeVal};
 pub use dist::{Dist, DistInstance, LocalIndex, LocalTerm};
+pub use error::MappingError;
 pub use owner::{OwnerExpr, OwnerSet};
 pub use solve::{solve_for, IterSet, Solution};

@@ -24,9 +24,10 @@
 //! independent of array data — all five of the paper's Fig. 6/7 wavefront
 //! variants, at every optimization level — the prediction is **exact**.
 
-use pdc_mapping::{DistInstance, OwnerSet};
-use pdc_spmd::ir::{RecvTarget, SBinOp, SExpr, SStmt, SUnOp, SpmdProgram};
-use std::collections::{BTreeMap, HashMap};
+use crate::interp;
+use pdc_mapping::DistInstance;
+use pdc_spmd::ir::SpmdProgram;
+use std::collections::BTreeMap;
 
 /// Predicted traffic on one `(src, dst, tag)` channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,38 +72,30 @@ impl Prediction {
     }
 }
 
-/// Per-statement fuel per processor: a backstop against runaway loop
-/// bounds, far above anything the paper's programs execute at
-/// prediction-relevant sizes.
-const FUEL: u64 = 50_000_000;
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Abs {
-    Int(i64),
-    Float(f64),
-    Bool(bool),
-    Top,
+/// Counting sink over the shared abstract walk ([`crate::interp`]).
+struct CostSink {
+    out: Prediction,
 }
 
-impl Abs {
-    fn as_f64(self) -> Option<f64> {
-        match self {
-            Abs::Int(v) => Some(v as f64),
-            Abs::Float(v) => Some(v),
-            _ => None,
+impl interp::Events for CostSink {
+    fn send(&mut self, proc: usize, dst: usize, tag: u32, words: u64) {
+        let c = self.out.sends.entry((proc, dst, tag)).or_default();
+        c.messages += 1;
+        c.words += words;
+    }
+
+    fn recv(&mut self, proc: usize, src: usize, tag: u32, words: u64, _sink: interp::RecvSink<'_>) {
+        let c = self.out.recvs.entry((src, proc, tag)).or_default();
+        c.messages += 1;
+        c.words += words;
+    }
+
+    fn note(&mut self, _proc: usize, msg: String) {
+        self.out.exact = false;
+        if self.out.notes.len() < 32 && !self.out.notes.contains(&msg) {
+            self.out.notes.push(msg);
         }
     }
-}
-
-struct Interp<'a> {
-    p: usize,
-    nprocs: usize,
-    env: HashMap<String, Abs>,
-    /// Per-array distribution instances; `None` marks an array whose
-    /// extents could not be evaluated (owner queries go to ⊤).
-    arrays: HashMap<String, Option<DistInstance>>,
-    fuel: u64,
-    out: &'a mut Prediction,
 }
 
 /// Statically predict the communication of `prog`.
@@ -116,395 +109,14 @@ pub fn predict(
     env: &BTreeMap<String, i64>,
     arrays: &BTreeMap<String, DistInstance>,
 ) -> Prediction {
-    let mut out = Prediction {
-        exact: true,
-        ..Prediction::default()
+    let mut sink = CostSink {
+        out: Prediction {
+            exact: true,
+            ..Prediction::default()
+        },
     };
-    let nprocs = prog.n_procs();
-    for p in 0..nprocs {
-        let mut interp = Interp {
-            p,
-            nprocs,
-            env: env.iter().map(|(k, v)| (k.clone(), Abs::Int(*v))).collect(),
-            arrays: arrays
-                .iter()
-                .map(|(k, v)| (k.clone(), Some(v.clone())))
-                .collect(),
-            fuel: FUEL,
-            out: &mut out,
-        };
-        interp.block(prog.body(p));
-    }
-    out
-}
-
-impl Interp<'_> {
-    fn note(&mut self, msg: String) {
-        self.out.exact = false;
-        if self.out.notes.len() < 32 && !self.out.notes.contains(&msg) {
-            self.out.notes.push(msg);
-        }
-    }
-
-    fn block(&mut self, body: &[SStmt]) {
-        for s in body {
-            if self.fuel == 0 {
-                self.note(format!("P{}: fuel exhausted, prediction truncated", self.p));
-                return;
-            }
-            self.fuel -= 1;
-            self.stmt(s);
-        }
-    }
-
-    fn stmt(&mut self, s: &SStmt) {
-        match s {
-            SStmt::Let { var, value } => {
-                let v = self.eval(value);
-                self.env.insert(var.clone(), v);
-            }
-            SStmt::AllocDist {
-                array,
-                rows,
-                cols,
-                dist,
-            } => {
-                let inst = match (self.eval(rows), self.eval(cols)) {
-                    (Abs::Int(r), Abs::Int(c)) => Some(DistInstance::new(
-                        dist.clone(),
-                        r.max(0) as usize,
-                        c.max(0) as usize,
-                        self.nprocs,
-                    )),
-                    _ => {
-                        self.note(format!(
-                            "P{}: extents of `{array}` are not statically known",
-                            self.p
-                        ));
-                        None
-                    }
-                };
-                self.arrays.insert(array.clone(), inst);
-            }
-            SStmt::AllocBuf { .. }
-            | SStmt::AWrite { .. }
-            | SStmt::AWriteGlobal { .. }
-            | SStmt::BufWrite { .. }
-            | SStmt::Comment(_) => {}
-            SStmt::Send { to, tag, values } => {
-                // Payload size depends only on arity, not on the values.
-                let words = 2 * values.len() as u64;
-                match self.eval(to) {
-                    Abs::Int(dst) if dst >= 0 && (dst as usize) < self.nprocs => {
-                        let c = self
-                            .out
-                            .sends
-                            .entry((self.p, dst as usize, *tag))
-                            .or_default();
-                        c.messages += 1;
-                        c.words += words;
-                    }
-                    _ => self.note(format!(
-                        "P{}: destination of send tag {tag} is not statically known",
-                        self.p
-                    )),
-                }
-            }
-            SStmt::SendBuf {
-                to, tag, lo, hi, ..
-            } => match (self.eval(to), self.eval(lo), self.eval(hi)) {
-                (Abs::Int(dst), Abs::Int(l), Abs::Int(h))
-                    if dst >= 0 && (dst as usize) < self.nprocs && h >= l =>
-                {
-                    let c = self
-                        .out
-                        .sends
-                        .entry((self.p, dst as usize, *tag))
-                        .or_default();
-                    c.messages += 1;
-                    c.words += 2 * (h - l + 1) as u64;
-                }
-                _ => self.note(format!(
-                    "P{}: block send tag {tag} has unknown destination or slice",
-                    self.p
-                )),
-            },
-            SStmt::Recv { from, tag, into } => {
-                for t in into {
-                    self.havoc_target(t);
-                }
-                match self.eval(from) {
-                    Abs::Int(src) if src >= 0 && (src as usize) < self.nprocs => {
-                        let c = self
-                            .out
-                            .recvs
-                            .entry((src as usize, self.p, *tag))
-                            .or_default();
-                        c.messages += 1;
-                        c.words += 2 * into.len() as u64;
-                    }
-                    _ => self.note(format!(
-                        "P{}: source of receive tag {tag} is not statically known",
-                        self.p
-                    )),
-                }
-            }
-            SStmt::RecvBuf {
-                from, tag, lo, hi, ..
-            } => match (self.eval(from), self.eval(lo), self.eval(hi)) {
-                (Abs::Int(src), Abs::Int(l), Abs::Int(h))
-                    if src >= 0 && (src as usize) < self.nprocs && h >= l =>
-                {
-                    let c = self
-                        .out
-                        .recvs
-                        .entry((src as usize, self.p, *tag))
-                        .or_default();
-                    c.messages += 1;
-                    c.words += 2 * (h - l + 1) as u64;
-                }
-                _ => self.note(format!(
-                    "P{}: block receive tag {tag} has unknown source or slice",
-                    self.p
-                )),
-            },
-            SStmt::For {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => {
-                // The VM evaluates lo/hi once, before the first test.
-                let lo = self.eval(lo);
-                let hi = self.eval(hi);
-                let step = self.eval(step);
-                let (Abs::Int(lo), Abs::Int(hi), Abs::Int(step)) = (lo, hi, step) else {
-                    self.note(format!(
-                        "P{}: bounds of loop over `{var}` are not statically known",
-                        self.p
-                    ));
-                    self.havoc_block(body);
-                    self.env.insert(var.clone(), Abs::Top);
-                    return;
-                };
-                if step == 0 {
-                    // The VM faults here; nothing further executes.
-                    self.note(format!("P{}: loop over `{var}` has zero step", self.p));
-                    return;
-                }
-                let mut v = lo;
-                while if step > 0 { v <= hi } else { v >= hi } {
-                    if self.fuel == 0 {
-                        self.note(format!("P{}: fuel exhausted, prediction truncated", self.p));
-                        return;
-                    }
-                    self.env.insert(var.clone(), Abs::Int(v));
-                    self.block(body);
-                    match v.checked_add(step) {
-                        Some(next) => v = next,
-                        None => break,
-                    }
-                }
-                self.env.insert(var.clone(), Abs::Int(v));
-            }
-            SStmt::If { cond, then, els } => match self.eval(cond) {
-                Abs::Bool(true) => self.block(then),
-                Abs::Bool(false) => self.block(els),
-                _ => {
-                    self.note(format!(
-                        "P{}: branch condition is not statically known",
-                        self.p
-                    ));
-                    self.havoc_block(then);
-                    self.havoc_block(els);
-                }
-            },
-        }
-    }
-
-    fn havoc_target(&mut self, t: &RecvTarget) {
-        if let RecvTarget::Var(v) = t {
-            self.env.insert(v.clone(), Abs::Top);
-        }
-    }
-
-    /// A block skipped under unknown control: forget everything it could
-    /// assign, and flag any communication it contains as uncounted.
-    fn havoc_block(&mut self, body: &[SStmt]) {
-        for s in body {
-            match s {
-                SStmt::Let { var, .. } => {
-                    self.env.insert(var.clone(), Abs::Top);
-                }
-                SStmt::AllocDist { array, .. } => {
-                    self.arrays.insert(array.clone(), None);
-                }
-                SStmt::Send { tag, .. } | SStmt::SendBuf { tag, .. } => self.note(format!(
-                    "P{}: send tag {tag} under unknown control cannot be counted",
-                    self.p
-                )),
-                SStmt::Recv { tag, into, .. } => {
-                    for t in into {
-                        self.havoc_target(t);
-                    }
-                    self.note(format!(
-                        "P{}: receive tag {tag} under unknown control cannot be counted",
-                        self.p
-                    ));
-                }
-                SStmt::RecvBuf { tag, .. } => self.note(format!(
-                    "P{}: receive tag {tag} under unknown control cannot be counted",
-                    self.p
-                )),
-                SStmt::For { var, body, .. } => {
-                    self.env.insert(var.clone(), Abs::Top);
-                    self.havoc_block(body);
-                }
-                SStmt::If { then, els, .. } => {
-                    self.havoc_block(then);
-                    self.havoc_block(els);
-                }
-                SStmt::AllocBuf { .. }
-                | SStmt::AWrite { .. }
-                | SStmt::AWriteGlobal { .. }
-                | SStmt::BufWrite { .. }
-                | SStmt::Comment(_) => {}
-            }
-        }
-    }
-
-    fn indices(&mut self, idx: &[SExpr]) -> Option<(i64, i64)> {
-        match idx {
-            [j] => match self.eval(j) {
-                Abs::Int(j) => Some((1, j)),
-                _ => None,
-            },
-            [i, j] => match (self.eval(i), self.eval(j)) {
-                (Abs::Int(i), Abs::Int(j)) => Some((i, j)),
-                _ => None,
-            },
-            _ => None,
-        }
-    }
-
-    fn eval(&mut self, e: &SExpr) -> Abs {
-        match e {
-            SExpr::Int(v) => Abs::Int(*v),
-            SExpr::Float(v) => Abs::Float(*v),
-            SExpr::Bool(v) => Abs::Bool(*v),
-            SExpr::Var(v) => self.env.get(v).copied().unwrap_or(Abs::Top),
-            SExpr::MyNode => Abs::Int(self.p as i64),
-            SExpr::NProcs => Abs::Int(self.nprocs as i64),
-            SExpr::Bin(op, a, b) => {
-                let a = self.eval(a);
-                let b = self.eval(b);
-                binop(*op, a, b)
-            }
-            SExpr::Un(op, a) => match (op, self.eval(a)) {
-                (SUnOp::Neg, Abs::Int(v)) => v.checked_neg().map(Abs::Int).unwrap_or(Abs::Top),
-                (SUnOp::Neg, Abs::Float(v)) => Abs::Float(-v),
-                (SUnOp::Not, Abs::Bool(v)) => Abs::Bool(!v),
-                _ => Abs::Top,
-            },
-            // Array and buffer contents are opaque to the cost model.
-            SExpr::ARead { .. } | SExpr::AReadGlobal { .. } | SExpr::BufRead { .. } => Abs::Top,
-            SExpr::OwnerOf { array, idx } => {
-                let Some((i, j)) = self.indices(idx) else {
-                    return Abs::Top;
-                };
-                match self.arrays.get(array) {
-                    Some(Some(inst)) => match inst.owner(i, j) {
-                        OwnerSet::One(q) => Abs::Int(q as i64),
-                        // Replicated data is owned locally (VM rule).
-                        OwnerSet::All => Abs::Int(self.p as i64),
-                    },
-                    _ => Abs::Top,
-                }
-            }
-            SExpr::LocalOf { array, idx, dim } => {
-                let Some((i, j)) = self.indices(idx) else {
-                    return Abs::Top;
-                };
-                match self.arrays.get(array) {
-                    Some(Some(inst)) => {
-                        let (li, lj) = inst.local(i, j);
-                        Abs::Int(if *dim == 0 { li } else { lj })
-                    }
-                    _ => Abs::Top,
-                }
-            }
-        }
-    }
-}
-
-/// Mirror of the VM's `scalar_binop`, lifted to the abstract domain.
-fn binop(op: SBinOp, l: Abs, r: Abs) -> Abs {
-    use SBinOp::*;
-    if l == Abs::Top || r == Abs::Top {
-        return Abs::Top;
-    }
-    match op {
-        Add | Sub | Mul | Div | FloorDiv | Mod | Min | Max => match (l, r) {
-            (Abs::Int(a), Abs::Int(b)) => {
-                let v = match op {
-                    Add => a.checked_add(b),
-                    Sub => a.checked_sub(b),
-                    Mul => a.checked_mul(b),
-                    Div | FloorDiv => (b != 0).then(|| a.div_euclid(b)),
-                    Mod => (b != 0).then(|| a.rem_euclid(b)),
-                    Min => Some(a.min(b)),
-                    Max => Some(a.max(b)),
-                    _ => unreachable!(),
-                };
-                v.map(Abs::Int).unwrap_or(Abs::Top)
-            }
-            _ => {
-                let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-                    return Abs::Top;
-                };
-                Abs::Float(match op {
-                    Add => a + b,
-                    Sub => a - b,
-                    Mul => a * b,
-                    Div => a / b,
-                    FloorDiv => (a / b).floor(),
-                    Mod => a - b * (a / b).floor(),
-                    Min => a.min(b),
-                    Max => a.max(b),
-                    _ => unreachable!(),
-                })
-            }
-        },
-        Eq | Ne => {
-            let eq = match (l, r) {
-                (Abs::Bool(a), Abs::Bool(b)) => a == b,
-                _ => {
-                    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-                        return Abs::Top;
-                    };
-                    a == b
-                }
-            };
-            Abs::Bool(if op == Eq { eq } else { !eq })
-        }
-        Lt | Le | Gt | Ge => {
-            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-                return Abs::Top;
-            };
-            Abs::Bool(match op {
-                Lt => a < b,
-                Le => a <= b,
-                Gt => a > b,
-                Ge => a >= b,
-                _ => unreachable!(),
-            })
-        }
-        And | Or => match (l, r) {
-            (Abs::Bool(a), Abs::Bool(b)) => Abs::Bool(if op == And { a && b } else { a || b }),
-            _ => Abs::Top,
-        },
-    }
+    interp::walk(prog, env, arrays, &mut sink);
+    sink.out
 }
 
 #[cfg(test)]

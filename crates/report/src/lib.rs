@@ -19,6 +19,7 @@
 //!   time.
 
 pub mod cost;
+pub mod interp;
 
 pub use cost::{predict, ChannelCost, Prediction};
 
@@ -45,6 +46,12 @@ pub enum Phase {
     Interchange,
     /// Static message-cost prediction.
     CostModel,
+    /// Static communication-safety analysis (`pdc-analyze`): send/recv
+    /// matching, deadlock freedom, single assignment, lints.
+    Analyze,
+    /// Front-end static checks (single assignment, definition before
+    /// use, call arity) collected in batch by `pdc_lang::check_all`.
+    Check,
 }
 
 impl Phase {
@@ -59,6 +66,8 @@ impl Phase {
             Phase::Strip => "strip",
             Phase::Interchange => "interchange",
             Phase::CostModel => "cost-model",
+            Phase::Analyze => "analyze",
+            Phase::Check => "check",
         }
     }
 }
@@ -185,6 +194,17 @@ impl RemarkSink {
     pub fn is_empty(&self) -> bool {
         self.remarks.is_empty()
     }
+}
+
+/// Render front-end batch diagnostics (`pdc_lang::check_all`) as
+/// check-phase remarks, each anchored to its source span — the bridge
+/// from the checker's error list into the remark stream tooling
+/// ([`render_text`], [`remarks_json`]) the rest of the pipeline uses.
+pub fn check_remarks(errors: &[pdc_lang::LangError]) -> Vec<Remark> {
+    errors
+        .iter()
+        .map(|e| Remark::new(Phase::Check, RemarkKind::Missed, e.to_string()).with_span(e.span()))
+        .collect()
 }
 
 /// Applied/Missed counts per phase, in a deterministic order.
@@ -338,5 +358,19 @@ mod tests {
         let c = counts(&sample());
         assert_eq!(c[&(Phase::Vectorize, RemarkKind::Applied)], 1);
         assert_eq!(c[&(Phase::Jam, RemarkKind::Missed)], 1);
+    }
+
+    #[test]
+    fn check_remarks_bridges_front_end_diagnostics() {
+        let src = "procedure main() { let a = 1; let a = b; return a; }";
+        let program = pdc_lang::parse_unchecked(src).expect("parses");
+        let errs = pdc_lang::check_all(&program);
+        assert_eq!(errs.len(), 2, "redefinition of `a` and undefined `b`");
+        let remarks = check_remarks(&errs);
+        assert_eq!(remarks.len(), errs.len());
+        assert!(remarks
+            .iter()
+            .all(|r| r.phase == Phase::Check && r.kind == RemarkKind::Missed && r.span.is_some()));
+        assert!(render_text(&remarks).contains("[check] missed"));
     }
 }

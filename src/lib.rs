@@ -1,8 +1,10 @@
 //! Facade crate: re-exports the pdc workspace public API.
+pub use pdc_analyze as analyze;
 pub use pdc_core as core;
 pub use pdc_istructure as istructure;
 pub use pdc_lang as lang;
 pub use pdc_machine as machine;
 pub use pdc_mapping as mapping;
 pub use pdc_opt as opt;
+pub use pdc_report as report;
 pub use pdc_spmd as spmd;

@@ -13,10 +13,14 @@
 
 use pdc_core::driver::{self, Inputs, Job, Strategy as CodegenStrategy};
 use pdc_core::programs;
-use pdc_machine::{Backend, CostModel};
+use pdc_machine::{Backend, CostModel, MachineError};
 use pdc_mapping::{Decomposition, Dist, ScalarMap};
-use pdc_spmd::Scalar;
+use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
+use pdc_spmd::run::SpmdMachine;
+use pdc_spmd::{Scalar, SpmdError};
 use pdc_testkit::{cases, Rng};
+use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// A recipe for one `let` statement: which earlier variables it reads and
 /// how it combines them.
@@ -221,6 +225,156 @@ fn threaded_backend_matches_interpreter_on_random_decompositions() {
                 thr.outcome.report.pair_messages, sim.outcome.report.pair_messages,
                 "{label}: per-pair message counts diverge"
             );
+        },
+    );
+}
+
+/// A random straight-line communication pattern over 2–4 processors:
+/// point-to-point messages with uniquely tagged sends and receives
+/// spliced into each endpoint's statement list at random positions.
+/// Random placement makes receives frequently precede the sends that
+/// would unblock their peer, so the family naturally contains both
+/// deadlock-free programs and genuine deadlock cycles; on top of that a
+/// message sometimes loses its receive (orphan) and a processor
+/// sometimes gains a receive nothing ever sends (starvation).
+fn random_comm_program(rng: &mut Rng) -> SpmdProgram {
+    let nprocs = rng.range_usize(2, 5);
+    let mut bodies: Vec<Vec<SStmt>> = vec![Vec::new(); nprocs];
+    let n_msgs = rng.range_usize(1, 8);
+    for m in 0..n_msgs {
+        let src = rng.range_usize(0, nprocs);
+        let mut dst = rng.range_usize(0, nprocs);
+        if dst == src {
+            dst = (dst + 1) % nprocs;
+        }
+        let tag = 10 + m as u32;
+        let at = rng.range_usize(0, bodies[src].len() + 1);
+        bodies[src].insert(
+            at,
+            SStmt::Send {
+                to: SExpr::int(dst as i64),
+                tag,
+                values: vec![SExpr::int(m as i64)],
+            },
+        );
+        if rng.range_usize(0, 10) > 0 {
+            let at = rng.range_usize(0, bodies[dst].len() + 1);
+            bodies[dst].insert(
+                at,
+                SStmt::Recv {
+                    from: SExpr::int(src as i64),
+                    tag,
+                    into: vec![RecvTarget::Var(format!("v{m}"))],
+                },
+            );
+        }
+        if rng.range_usize(0, 10) == 0 {
+            let p = rng.range_usize(0, nprocs);
+            let mut q = rng.range_usize(0, nprocs);
+            if q == p {
+                q = (q + 1) % nprocs;
+            }
+            let at = rng.range_usize(0, bodies[p].len() + 1);
+            bodies[p].insert(
+                at,
+                SStmt::Recv {
+                    from: SExpr::int(q as i64),
+                    tag: 100 + m as u32,
+                    into: vec![RecvTarget::Var(format!("w{m}"))],
+                },
+            );
+        }
+    }
+    SpmdProgram::new(bodies)
+}
+
+/// Differential property tying the static analyzer to the machine: a
+/// statically *verified* program never deadlocks at runtime, and a
+/// program the simulator deadlocks on is always statically flagged with
+/// an error-severity diagnostic. (Warnings — orphaned or dead sends —
+/// are allowed on verified programs: they waste messages but cannot
+/// block progress.)
+#[test]
+fn static_verification_agrees_with_simulated_deadlock_behaviour() {
+    let deadlocked = std::cell::Cell::new(0usize);
+    let verified = std::cell::Cell::new(0usize);
+    cases(
+        220,
+        "static_verification_agrees_with_simulated_deadlock_behaviour",
+        |rng| {
+            let prog = random_comm_program(rng);
+            let report = pdc_analyze::analyze(&prog, &BTreeMap::new(), &BTreeMap::new());
+            assert!(report.exact, "straight-line constants must stay exact");
+            let result = SpmdMachine::new(&prog, CostModel::zero())
+                .expect("lowers")
+                .run();
+            match &result {
+                Ok(_) => {}
+                Err(SpmdError::Machine(MachineError::Deadlock { .. })) => {
+                    deadlocked.set(deadlocked.get() + 1);
+                    assert!(
+                        report.has_errors(),
+                        "runtime deadlock escaped the analyzer:\n{prog}"
+                    );
+                }
+                Err(e) => panic!("unexpected machine error: {e}\n{prog}"),
+            }
+            if report.verified() {
+                verified.set(verified.get() + 1);
+                assert!(
+                    result.is_ok(),
+                    "statically verified program failed at runtime: {}\n{prog}",
+                    result.unwrap_err()
+                );
+            }
+        },
+    );
+    // Both directions of the implication must actually be exercised.
+    assert!(
+        deadlocked.get() > 10,
+        "family too tame: {}",
+        deadlocked.get()
+    );
+    assert!(verified.get() > 10, "family too broken: {}", verified.get());
+}
+
+/// The same agreement on the threaded backend, where a deadlock has no
+/// global no-progress snapshot and surfaces as a receive timeout or an
+/// await on a finished peer instead. Fewer seeds: each deadlocking case
+/// costs a real wall-clock timeout.
+#[test]
+fn static_verification_agrees_with_threaded_deadlock_behaviour() {
+    cases(
+        24,
+        "static_verification_agrees_with_threaded_deadlock_behaviour",
+        |rng| {
+            let prog = random_comm_program(rng);
+            let report = pdc_analyze::analyze(&prog, &BTreeMap::new(), &BTreeMap::new());
+            let result = SpmdMachine::new(&prog, CostModel::zero())
+                .expect("lowers")
+                .with_backend(Backend::Threaded {
+                    recv_timeout: Duration::from_millis(250),
+                })
+                .run();
+            match &result {
+                Ok(_) => {}
+                Err(SpmdError::Machine(
+                    MachineError::Deadlock { .. } | MachineError::RecvTimeout { .. },
+                )) => {
+                    assert!(
+                        report.has_errors(),
+                        "threaded deadlock escaped the analyzer:\n{prog}"
+                    );
+                }
+                Err(e) => panic!("unexpected machine error: {e}\n{prog}"),
+            }
+            if report.verified() {
+                assert!(
+                    result.is_ok(),
+                    "statically verified program failed on threads: {}\n{prog}",
+                    result.unwrap_err()
+                );
+            }
         },
     );
 }

@@ -67,6 +67,15 @@ pub struct Job<'a> {
     /// [`CoreError::StaticAnalysis`] instead of letting the program
     /// deadlock or fault at run time.
     pub verify_static: Option<bool>,
+    /// Search for the decomposition automatically instead of trusting
+    /// [`Job::decomp`] verbatim. When set, [`compile`] enumerates the
+    /// candidate space around the seed decomposition ([`Job::decomp`]
+    /// supplies the machine size, the arrays to distribute, and the
+    /// scalars whose placement is swept), scores every candidate with
+    /// the exact static cost and makespan models under this
+    /// [`CostModel`], and compiles the winner. The search is recorded as
+    /// [`Phase::Tune`] remarks and in [`Compiled::tune`].
+    pub auto_decomposition: Option<CostModel>,
 }
 
 impl<'a> Job<'a> {
@@ -85,6 +94,7 @@ impl<'a> Job<'a> {
             trace_cap: None,
             opt_level: None,
             verify_static: None,
+            auto_decomposition: None,
         }
     }
 
@@ -129,6 +139,20 @@ impl<'a> Job<'a> {
         self.verify_static = Some(enabled);
         self
     }
+
+    /// Search for the best decomposition automatically under the iPSC/2
+    /// cost model instead of compiling [`Job::decomp`] verbatim. See
+    /// [`Job::auto_decomposition`].
+    pub fn with_auto_decomposition(self) -> Self {
+        self.with_auto_decomposition_under(CostModel::ipsc2())
+    }
+
+    /// Like [`Job::with_auto_decomposition`], scoring candidates under
+    /// an explicit machine cost model.
+    pub fn with_auto_decomposition_under(mut self, cost: CostModel) -> Self {
+        self.auto_decomposition = Some(cost);
+        self
+    }
 }
 
 /// A compiled program bundled with the analysis that produced it (needed
@@ -167,6 +191,10 @@ pub struct Compiled {
     /// (`sid = tag / TAG_STRIDE`). Used to resolve IR-level remarks and
     /// trace tags back to source.
     pub stmt_spans: BTreeMap<u32, pdc_lang::Span>,
+    /// The decomposition search, when the job asked for
+    /// [`Job::with_auto_decomposition`]: every candidate with its exact
+    /// score or rejection reason, and the winner this compilation used.
+    pub tune: Option<pdc_tune::TuneResult>,
 }
 
 impl Compiled {
@@ -213,6 +241,9 @@ impl Compiled {
 ///
 /// Any [`CoreError`] from inlining, analysis, or code generation.
 pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError> {
+    if job.auto_decomposition.is_some() {
+        return compile_auto(job, strategy);
+    }
     let inlined = inline_program(
         job.program,
         job.entry,
@@ -302,7 +333,89 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         prediction,
         verification,
         stmt_spans,
+        tune: None,
     })
+}
+
+/// Run the automatic decomposition search ([`Job::auto_decomposition`])
+/// and compile the winner.
+///
+/// Candidates are compiled with static verification off (the winner is
+/// re-verified) and scored by [`pdc_tune::search`]; the winning
+/// decomposition and optimization level are then compiled under the
+/// job's own settings. The whole search is appended to the remark
+/// stream as [`Phase::Tune`]: one `applied` remark for the selection,
+/// one `missed` remark per losing candidate with its exact score or
+/// rejection reason — deterministic, so the remark JSON is byte-stable
+/// across runs.
+fn compile_auto(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError> {
+    let cost = job
+        .auto_decomposition
+        .expect("compile_auto requires auto_decomposition");
+    let space = pdc_tune::SearchSpace::from_seed(&job.decomp, job.opt_level);
+    let candidates = pdc_tune::enumerate(&space);
+    let searched = candidates.len();
+    let result = pdc_tune::search(candidates, &cost, |cand| {
+        let mut cjob = job.clone();
+        cjob.auto_decomposition = None;
+        cjob.decomp = cand.decomp.clone();
+        cjob.opt_level = cand.opt_level;
+        // Candidate compiles skip the safety analyzer: exactness pruning
+        // already rejects anything the models cannot fully evaluate, and
+        // the winner is re-verified below under the job's own settings.
+        cjob.verify_static = Some(false);
+        let compiled = compile(&cjob, strategy).map_err(|e| format!("compile failed: {e}"))?;
+        let (env, arrays) = compiled.static_env(&cjob.const_params);
+        Ok(pdc_tune::CandidateProgram {
+            spmd: compiled.spmd,
+            env,
+            arrays,
+            prediction: Some(compiled.prediction),
+        })
+    })
+    .map_err(|e| CoreError::Tune {
+        message: e.to_string(),
+    })?;
+
+    let winner = result.winner();
+    let mut fjob = job.clone();
+    fjob.auto_decomposition = None;
+    fjob.decomp = winner.candidate.decomp.clone();
+    fjob.opt_level = winner.candidate.opt_level;
+    let mut compiled = compile(&fjob, strategy)?;
+
+    let score = result.winner_score();
+    compiled.remarks.push(
+        Remark::new(
+            Phase::Tune,
+            RemarkKind::Applied,
+            format!("selected decomposition `{}`", winner.candidate.label),
+        )
+        .detail("candidates", searched)
+        .detail("viable", result.viable())
+        .detail("makespan", score.makespan)
+        .detail("messages", score.messages)
+        .detail("words", score.words),
+    );
+    for (i, e) in result.evaluated.iter().enumerate() {
+        if i == result.winner {
+            continue;
+        }
+        let r = Remark::new(
+            Phase::Tune,
+            RemarkKind::Missed,
+            format!("candidate `{}`", e.candidate.label),
+        );
+        compiled.remarks.push(match &e.outcome {
+            Ok(s) => r
+                .detail("makespan", s.makespan)
+                .detail("messages", s.messages)
+                .detail("words", s.words),
+            Err(reason) => r.detail("rejected", reason),
+        });
+    }
+    compiled.tune = Some(result);
+    Ok(compiled)
 }
 
 /// The scalar environment and preloaded-array instances the static

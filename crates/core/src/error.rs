@@ -42,6 +42,13 @@ pub enum CoreError {
         /// The error-severity findings, in analyzer order.
         diagnostics: Vec<pdc_analyze::Diagnostic>,
     },
+    /// The automatic decomposition search found no viable candidate:
+    /// every enumerated decomposition either failed to compile or lost
+    /// static exactness (the tuner refuses to rank on inexact scores).
+    Tune {
+        /// What the search reported.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -72,6 +79,9 @@ impl fmt::Display for CoreError {
                     write!(f, "; {}", d.message)?;
                 }
                 Ok(())
+            }
+            CoreError::Tune { message } => {
+                write!(f, "automatic decomposition search failed: {message}")
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Whole-program domain decompositions.
 
 use crate::dist::Dist;
+use crate::error::MappingError;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -118,9 +119,33 @@ impl Decomposition {
     }
 
     /// Map an array variable (builder style).
-    pub fn array(mut self, name: impl Into<String>, d: Dist) -> Self {
-        self.arrays.insert(name.into(), d);
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already mapped: silently overwriting a prior
+    /// `Dist` hid bugs in code that assembles decompositions
+    /// programmatically. Use [`Decomposition::try_array`] to handle the
+    /// duplicate as a typed error instead.
+    pub fn array(self, name: impl Into<String>, d: Dist) -> Self {
+        match self.try_array(name, d) {
+            Ok(this) => this,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Map an array variable, reporting a duplicate registration as
+    /// [`MappingError::DuplicateArray`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::DuplicateArray`] if `name` is already mapped.
+    pub fn try_array(mut self, name: impl Into<String>, d: Dist) -> Result<Self, MappingError> {
+        let name = name.into();
+        if self.arrays.contains_key(&name) {
+            return Err(MappingError::DuplicateArray { name });
+        }
+        self.arrays.insert(name, d);
+        Ok(self)
     }
 
     /// The mapping of scalar `name` ([`ScalarMap::All`] if unmapped).
@@ -181,6 +206,39 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn scalar_processor_bounds_checked() {
         let _ = Decomposition::new(2).scalar("a", ScalarMap::On(2));
+    }
+
+    #[test]
+    fn duplicate_array_registration_is_a_typed_error() {
+        let d = Decomposition::new(2).array("A", Dist::ColumnCyclic);
+        let err = d.try_array("A", Dist::RowCyclic).unwrap_err();
+        assert_eq!(
+            err,
+            MappingError::DuplicateArray { name: "A".into() },
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("already mapped"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn duplicate_array_registration_panics_in_builder() {
+        let _ = Decomposition::new(2)
+            .array("A", Dist::ColumnCyclic)
+            .array("A", Dist::RowCyclic);
+    }
+
+    #[test]
+    fn try_array_keeps_the_first_mapping_on_error() {
+        let d = Decomposition::new(2).array("A", Dist::ColumnCyclic);
+        // The failed builder consumed `d`; rebuild and confirm semantics.
+        let d2 = Decomposition::new(2)
+            .array("A", Dist::ColumnCyclic)
+            .try_array("B", Dist::RowBlock)
+            .expect("fresh name registers");
+        assert_eq!(d2.array_dist("A"), Some(Dist::ColumnCyclic));
+        assert_eq!(d2.array_dist("B"), Some(Dist::RowBlock));
+        assert_eq!(d.array_dist("A"), Some(Dist::ColumnCyclic));
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub enum MappingError {
         /// Display form of the offending distribution.
         dist: String,
     },
+    /// An array was registered twice in one
+    /// [`Decomposition`](crate::Decomposition). Silently overwriting the
+    /// first `Dist` hid bugs in code that builds decompositions
+    /// programmatically (the tuner), so repeat registration is typed.
+    DuplicateArray {
+        /// The array registered twice.
+        name: String,
+    },
 }
 
 impl fmt::Display for MappingError {
@@ -32,6 +40,9 @@ impl fmt::Display for MappingError {
             }
             MappingError::NoSymbolicLocal { dist } => {
                 write!(f, "`{dist}` has no symbolic local function")
+            }
+            MappingError::DuplicateArray { name } => {
+                write!(f, "array `{name}` is already mapped in this decomposition")
             }
         }
     }

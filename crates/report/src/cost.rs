@@ -73,8 +73,21 @@ impl Prediction {
 }
 
 /// Counting sink over the shared abstract walk ([`crate::interp`]).
-struct CostSink {
-    out: Prediction,
+/// Shared with [`crate::makespan`] so prediction and timing can ride the
+/// same walk.
+pub(crate) struct CostSink {
+    pub(crate) out: Prediction,
+}
+
+impl CostSink {
+    pub(crate) fn new() -> Self {
+        CostSink {
+            out: Prediction {
+                exact: true,
+                ..Prediction::default()
+            },
+        }
+    }
 }
 
 impl interp::Events for CostSink {
@@ -109,12 +122,7 @@ pub fn predict(
     env: &BTreeMap<String, i64>,
     arrays: &BTreeMap<String, DistInstance>,
 ) -> Prediction {
-    let mut sink = CostSink {
-        out: Prediction {
-            exact: true,
-            ..Prediction::default()
-        },
-    };
+    let mut sink = CostSink::new();
     interp::walk(prog, env, arrays, &mut sink);
     sink.out
 }

@@ -68,6 +68,87 @@ pub enum RecvSink<'a> {
     Buffer(&'a str),
 }
 
+/// Local compute the VM would execute between two communication events,
+/// counted by cost class. The walk mirrors the lowering instruction by
+/// instruction — one `mem` per `Load`/`Store`/`Alloc*`/`Buf*`, one `alu`
+/// per `Bin`/`Un` (global array accesses add two for the Map/Local
+/// evaluation), one `istruct` per `ARead`/`AWrite`, one `branch` per
+/// `JumpIfFalse` (loop tests and `if` guards) — so a timing sink can
+/// charge exactly what `instr_cost` charges at run time. Stack pushes
+/// and unconditional jumps cost zero cycles and are not counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// `Bin`/`Un` instructions (`alu_op` cycles each).
+    pub alu: u64,
+    /// `Load`/`Store`/`AllocDist`/`AllocBuf`/`BufRead`/`BufWrite`
+    /// instructions (`mem_op` cycles each).
+    pub mem: u64,
+    /// `ARead`/`AWrite`/`AReadGlobal`/`AWriteGlobal` instructions
+    /// (`istruct_op` cycles each; the global forms also count two `alu`).
+    pub istruct: u64,
+    /// `JumpIfFalse` instructions (`loop_overhead` cycles each).
+    pub branch: u64,
+}
+
+impl Work {
+    /// No work at all?
+    pub fn is_zero(&self) -> bool {
+        *self == Work::default()
+    }
+}
+
+impl std::ops::AddAssign for Work {
+    fn add_assign(&mut self, o: Work) {
+        self.alu += o.alu;
+        self.mem += o.mem;
+        self.istruct += o.istruct;
+        self.branch += o.branch;
+    }
+}
+
+/// Instruction-cost classes of evaluating `e`, mirroring the lowering:
+/// every expression compiles to pushes (free), loads, ALU operations,
+/// and array/buffer accesses whose count depends only on the syntax,
+/// never on the values.
+pub fn expr_work(e: &SExpr, w: &mut Work) {
+    match e {
+        SExpr::Int(_) | SExpr::Float(_) | SExpr::Bool(_) | SExpr::MyNode | SExpr::NProcs => {}
+        SExpr::Var(_) => w.mem += 1,
+        SExpr::Bin(_, a, b) => {
+            expr_work(a, w);
+            expr_work(b, w);
+            w.alu += 1;
+        }
+        SExpr::Un(_, a) => {
+            expr_work(a, w);
+            w.alu += 1;
+        }
+        SExpr::ARead { idx, .. } => {
+            for i in idx {
+                expr_work(i, w);
+            }
+            w.istruct += 1;
+        }
+        SExpr::AReadGlobal { idx, .. } => {
+            for i in idx {
+                expr_work(i, w);
+            }
+            w.istruct += 1;
+            w.alu += 2;
+        }
+        SExpr::OwnerOf { idx, .. } | SExpr::LocalOf { idx, .. } => {
+            for i in idx {
+                expr_work(i, w);
+            }
+            w.alu += 2;
+        }
+        SExpr::BufRead { idx, .. } => {
+            expr_work(idx, w);
+            w.mem += 1;
+        }
+    }
+}
+
 /// Observer of the abstract walk. All hooks default to no-ops so sinks
 /// implement only what they consume.
 ///
@@ -77,6 +158,15 @@ pub trait Events {
     /// Walk of processor `proc`'s body is starting.
     fn proc_begin(&mut self, proc: usize) {
         let _ = proc;
+    }
+
+    /// Local compute executed since the previous event on `proc`.
+    /// Emitted lazily — immediately before each send/recv and once at
+    /// the end of the processor's walk — so consecutive local
+    /// statements batch into a single call. Never called with zero
+    /// work.
+    fn work(&mut self, proc: usize, work: Work) {
+        let _ = (proc, work);
     }
 
     /// A send whose destination (and slice, for block sends) was
@@ -115,6 +205,50 @@ pub trait Events {
     }
 }
 
+/// Fan one walk out to two sinks — e.g. message counting and timing in a
+/// single pass over the program.
+pub struct Tee<'a, A: Events, B: Events> {
+    /// First sink; sees every event before `b`.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: Events, B: Events> Events for Tee<'_, A, B> {
+    fn proc_begin(&mut self, proc: usize) {
+        self.a.proc_begin(proc);
+        self.b.proc_begin(proc);
+    }
+    fn work(&mut self, proc: usize, work: Work) {
+        self.a.work(proc, work);
+        self.b.work(proc, work);
+    }
+    fn send(&mut self, proc: usize, dst: usize, tag: u32, words: u64) {
+        self.a.send(proc, dst, tag, words);
+        self.b.send(proc, dst, tag, words);
+    }
+    fn recv(&mut self, proc: usize, src: usize, tag: u32, words: u64, sink: RecvSink<'_>) {
+        self.a.recv(proc, src, tag, words, sink);
+        self.b.recv(proc, src, tag, words, sink);
+    }
+    fn array_write(&mut self, proc: usize, array: &str, element: Option<(usize, i64, i64)>) {
+        self.a.array_write(proc, array, element);
+        self.b.array_write(proc, array, element);
+    }
+    fn var_read(&mut self, proc: usize, name: &str) {
+        self.a.var_read(proc, name);
+        self.b.var_read(proc, name);
+    }
+    fn buf_read(&mut self, proc: usize, buf: &str) {
+        self.a.buf_read(proc, buf);
+        self.b.buf_read(proc, buf);
+    }
+    fn note(&mut self, proc: usize, msg: String) {
+        self.a.note(proc, msg.clone());
+        self.b.note(proc, msg);
+    }
+}
+
 /// Run the abstract walk of `prog` over every processor, reporting to
 /// `events`.
 ///
@@ -140,9 +274,11 @@ pub fn walk<E: Events>(
                 .map(|(k, v)| (k.clone(), Some(v.clone())))
                 .collect(),
             fuel: FUEL,
+            pending: Work::default(),
             events,
         };
         interp.block(prog.body(p));
+        interp.flush_work();
     }
 }
 
@@ -154,12 +290,23 @@ struct Interp<'a, E: Events> {
     /// extents could not be evaluated (owner queries go to ⊤).
     arrays: HashMap<String, Option<DistInstance>>,
     fuel: u64,
+    /// Compute accumulated since the last emitted event, mirroring the
+    /// instruction stream the lowering would produce; flushed through
+    /// [`Events::work`] before each communication event.
+    pending: Work,
     events: &'a mut E,
 }
 
 impl<E: Events> Interp<'_, E> {
     fn note(&mut self, msg: String) {
         self.events.note(self.p, msg);
+    }
+
+    fn flush_work(&mut self) {
+        if !self.pending.is_zero() {
+            let w = std::mem::take(&mut self.pending);
+            self.events.work(self.p, w);
+        }
     }
 
     fn block(&mut self, body: &[SStmt]) {
@@ -177,6 +324,8 @@ impl<E: Events> Interp<'_, E> {
         match s {
             SStmt::Let { var, value } => {
                 let v = self.eval(value);
+                expr_work(value, &mut self.pending);
+                self.pending.mem += 1; // Store
                 self.env.insert(var.clone(), v);
             }
             SStmt::AllocDist {
@@ -200,34 +349,60 @@ impl<E: Events> Interp<'_, E> {
                         None
                     }
                 };
+                expr_work(rows, &mut self.pending);
+                expr_work(cols, &mut self.pending);
+                self.pending.mem += 1; // AllocDist
                 self.arrays.insert(array.clone(), inst);
             }
             SStmt::AllocBuf { len, .. } => {
                 self.eval(len);
+                expr_work(len, &mut self.pending);
+                self.pending.mem += 1; // AllocBuf
             }
             SStmt::AWrite { array, idx, value } => {
                 let element = self.indices(idx).map(|(li, lj)| (self.p, li, lj));
                 self.eval(value);
+                for i in idx {
+                    expr_work(i, &mut self.pending);
+                }
+                expr_work(value, &mut self.pending);
+                self.pending.istruct += 1; // AWrite
                 self.events.array_write(self.p, array, element);
             }
             SStmt::AWriteGlobal { array, idx, value } => {
                 let element = self.global_element(array, idx);
                 self.eval(value);
+                for i in idx {
+                    expr_work(i, &mut self.pending);
+                }
+                expr_work(value, &mut self.pending);
+                self.pending.istruct += 1; // AWriteGlobal …
+                self.pending.alu += 2; // … plus its owner/local maps
                 self.events.array_write(self.p, array, element);
             }
             SStmt::BufWrite { idx, value, .. } => {
                 self.eval(idx);
                 self.eval(value);
+                expr_work(value, &mut self.pending);
+                expr_work(idx, &mut self.pending);
+                self.pending.mem += 1; // BufWrite
             }
             SStmt::Comment(_) => {}
             SStmt::Send { to, tag, values } => {
                 for v in values {
                     self.eval(v);
                 }
+                // The VM evaluates the destination and payload before
+                // the zero-cost `Send` instruction itself.
+                expr_work(to, &mut self.pending);
+                for v in values {
+                    expr_work(v, &mut self.pending);
+                }
                 // Payload size depends only on arity, not on the values.
                 let words = 2 * values.len() as u64;
                 match self.eval(to) {
                     Abs::Int(dst) if dst >= 0 && (dst as usize) < self.nprocs => {
+                        self.flush_work();
                         self.events.send(self.p, dst as usize, *tag, words);
                     }
                     _ => self.note(format!(
@@ -244,10 +419,14 @@ impl<E: Events> Interp<'_, E> {
                 hi,
             } => {
                 self.events.buf_read(self.p, buf);
+                expr_work(to, &mut self.pending);
+                expr_work(lo, &mut self.pending);
+                expr_work(hi, &mut self.pending);
                 match (self.eval(to), self.eval(lo), self.eval(hi)) {
                     (Abs::Int(dst), Abs::Int(l), Abs::Int(h))
                         if dst >= 0 && (dst as usize) < self.nprocs && h >= l =>
                     {
+                        self.flush_work();
                         self.events
                             .send(self.p, dst as usize, *tag, 2 * (h - l + 1) as u64);
                     }
@@ -261,8 +440,13 @@ impl<E: Events> Interp<'_, E> {
                 for t in into {
                     self.havoc_target(t);
                 }
+                // The source is evaluated before the (zero-cost) `Recv`
+                // instruction; the stores into the targets execute only
+                // after the message has been consumed.
+                expr_work(from, &mut self.pending);
                 match self.eval(from) {
                     Abs::Int(src) if src >= 0 && (src as usize) < self.nprocs => {
+                        self.flush_work();
                         self.events.recv(
                             self.p,
                             src as usize,
@@ -270,6 +454,15 @@ impl<E: Events> Interp<'_, E> {
                             2 * into.len() as u64,
                             RecvSink::Targets(into),
                         );
+                        for t in into {
+                            match t {
+                                RecvTarget::Var(_) => self.pending.mem += 1, // Store
+                                RecvTarget::Buf { idx, .. } => {
+                                    expr_work(idx, &mut self.pending);
+                                    self.pending.mem += 1; // BufWrite
+                                }
+                            }
+                        }
                     }
                     _ => self.note(format!(
                         "P{}: source of receive tag {tag} is not statically known",
@@ -283,23 +476,29 @@ impl<E: Events> Interp<'_, E> {
                 buf,
                 lo,
                 hi,
-            } => match (self.eval(from), self.eval(lo), self.eval(hi)) {
-                (Abs::Int(src), Abs::Int(l), Abs::Int(h))
-                    if src >= 0 && (src as usize) < self.nprocs && h >= l =>
-                {
-                    self.events.recv(
-                        self.p,
-                        src as usize,
-                        *tag,
-                        2 * (h - l + 1) as u64,
-                        RecvSink::Buffer(buf),
-                    );
+            } => {
+                expr_work(from, &mut self.pending);
+                expr_work(lo, &mut self.pending);
+                expr_work(hi, &mut self.pending);
+                match (self.eval(from), self.eval(lo), self.eval(hi)) {
+                    (Abs::Int(src), Abs::Int(l), Abs::Int(h))
+                        if src >= 0 && (src as usize) < self.nprocs && h >= l =>
+                    {
+                        self.flush_work();
+                        self.events.recv(
+                            self.p,
+                            src as usize,
+                            *tag,
+                            2 * (h - l + 1) as u64,
+                            RecvSink::Buffer(buf),
+                        );
+                    }
+                    _ => self.note(format!(
+                        "P{}: block receive tag {tag} has unknown source or slice",
+                        self.p
+                    )),
                 }
-                _ => self.note(format!(
-                    "P{}: block receive tag {tag} has unknown source or slice",
-                    self.p
-                )),
-            },
+            }
             SStmt::For {
                 var,
                 lo,
@@ -308,10 +507,11 @@ impl<E: Events> Interp<'_, E> {
                 body,
             } => {
                 // The VM evaluates lo/hi once, before the first test.
-                let lo = self.eval(lo);
-                let hi = self.eval(hi);
-                let step = self.eval(step);
-                let (Abs::Int(lo), Abs::Int(hi), Abs::Int(step)) = (lo, hi, step) else {
+                let lo_v = self.eval(lo);
+                let hi_v = self.eval(hi);
+                let step_v = self.eval(step);
+                let (Abs::Int(lo_v), Abs::Int(hi_v), Abs::Int(step_v)) = (lo_v, hi_v, step_v)
+                else {
                     self.note(format!(
                         "P{}: bounds of loop over `{var}` are not statically known",
                         self.p
@@ -320,38 +520,93 @@ impl<E: Events> Interp<'_, E> {
                     self.env.insert(var.clone(), Abs::Top);
                     return;
                 };
-                if step == 0 {
+                if step_v == 0 {
                     // The VM faults here; nothing further executes.
                     self.note(format!("P{}: loop over `{var}` has zero step", self.p));
                     return;
                 }
-                let mut v = lo;
-                while if step > 0 { v <= hi } else { v >= hi } {
+                // Loop administration mirrors the lowering: init stores
+                // `var` and `$hi` (and `$step` for a dynamic step); a
+                // constant step's direction is picked at lowering time so
+                // its head is a 2-load compare, while a dynamic step pays
+                // the two-sided test on every iteration.
+                let const_step = matches!(step, SExpr::Int(_));
+                expr_work(lo, &mut self.pending);
+                self.pending.mem += 1; // Store var
+                expr_work(hi, &mut self.pending);
+                self.pending.mem += 1; // Store $hi
+                if !const_step {
+                    expr_work(step, &mut self.pending);
+                    self.pending.mem += 1; // Store $step
+                }
+                let (head, incr) = if const_step {
+                    (
+                        Work {
+                            mem: 2,
+                            alu: 1,
+                            branch: 1,
+                            ..Work::default()
+                        },
+                        Work {
+                            mem: 2,
+                            alu: 1,
+                            ..Work::default()
+                        },
+                    )
+                } else {
+                    (
+                        Work {
+                            mem: 6,
+                            alu: 7,
+                            branch: 1,
+                            ..Work::default()
+                        },
+                        Work {
+                            mem: 3,
+                            alu: 1,
+                            ..Work::default()
+                        },
+                    )
+                };
+                let mut v = lo_v;
+                loop {
+                    // The head test runs once per iteration *and* once
+                    // more to fail and exit the loop.
+                    self.pending += head;
+                    if !(if step_v > 0 { v <= hi_v } else { v >= hi_v }) {
+                        break;
+                    }
                     if self.fuel == 0 {
                         self.note(format!("P{}: fuel exhausted, prediction truncated", self.p));
                         return;
                     }
                     self.env.insert(var.clone(), Abs::Int(v));
                     self.block(body);
-                    match v.checked_add(step) {
+                    self.pending += incr;
+                    match v.checked_add(step_v) {
                         Some(next) => v = next,
                         None => break,
                     }
                 }
                 self.env.insert(var.clone(), Abs::Int(v));
             }
-            SStmt::If { cond, then, els } => match self.eval(cond) {
-                Abs::Bool(true) => self.block(then),
-                Abs::Bool(false) => self.block(els),
-                _ => {
-                    self.note(format!(
-                        "P{}: branch condition is not statically known",
-                        self.p
-                    ));
-                    self.havoc_block(then);
-                    self.havoc_block(els);
+            SStmt::If { cond, then, els } => {
+                let c = self.eval(cond);
+                expr_work(cond, &mut self.pending);
+                self.pending.branch += 1; // JumpIfFalse (the trailing Jump is free)
+                match c {
+                    Abs::Bool(true) => self.block(then),
+                    Abs::Bool(false) => self.block(els),
+                    _ => {
+                        self.note(format!(
+                            "P{}: branch condition is not statically known",
+                            self.p
+                        ));
+                        self.havoc_block(then);
+                        self.havoc_block(els);
+                    }
                 }
-            },
+            }
         }
     }
 

@@ -20,8 +20,10 @@
 
 pub mod cost;
 pub mod interp;
+pub mod makespan;
 
 pub use cost::{predict, ChannelCost, Prediction};
+pub use makespan::{estimate, predict_and_estimate, MakespanEstimate};
 
 use pdc_lang::Span;
 use std::collections::BTreeMap;
@@ -52,6 +54,9 @@ pub enum Phase {
     /// Front-end static checks (single assignment, definition before
     /// use, call arity) collected in batch by `pdc_lang::check_all`.
     Check,
+    /// Automatic decomposition search (`pdc-tune`): per-candidate scores
+    /// and rejection reasons, plus the selected winner.
+    Tune,
 }
 
 impl Phase {
@@ -68,6 +73,7 @@ impl Phase {
             Phase::CostModel => "cost-model",
             Phase::Analyze => "analyze",
             Phase::Check => "check",
+            Phase::Tune => "tune",
         }
     }
 }

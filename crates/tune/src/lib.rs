@@ -1,0 +1,586 @@
+//! Automatic decomposition search.
+//!
+//! The paper makes the programmer supply the domain decomposition
+//! (Figure 1's italicized mappings). With the exact static cost model
+//! (`pdc_report::cost`) and the exact static makespan model
+//! (`pdc_report::makespan`), the choice can instead be *searched*: this
+//! crate enumerates a space of candidate [`Decomposition`]s — per-array
+//! [`Dist`] choices over block, cyclic, and block-cyclic families in
+//! both dimensions, scalar placements, and strip-mine block sizes — and
+//! scores each candidate by compiling it and predicting its simulator
+//! makespan, without executing anything.
+//!
+//! The contract that makes the scores trustworthy: a candidate is
+//! *viable* only when its prediction is *exact* (every loop bound,
+//! branch, and message endpoint statically evaluable, sends matching
+//! receives, and the makespan replay free of deadlock). Candidates
+//! whose prediction degrades to `exact == false` are pruned with a
+//! recorded reason rather than ranked on a guess. For viable candidates
+//! the predicted makespan *equals* the measured simulator makespan
+//! cycle for cycle, so predicted-best is measured-best by construction
+//! — a property the `tune` bench bin and the `tests/tune.rs` harness
+//! re-validate empirically.
+//!
+//! The crate is driver-agnostic: [`search`] takes a closure that maps a
+//! [`Candidate`] to a compiled program, so `pdc-core` can plug in its
+//! own pipeline (`Job::with_auto_decomposition`) without a dependency
+//! cycle.
+
+use pdc_machine::CostModel;
+use pdc_mapping::{Decomposition, Dist, DistInstance, ScalarMap};
+use pdc_opt::OptLevel;
+use pdc_report::makespan;
+use pdc_report::Prediction;
+use pdc_spmd::ir::SpmdProgram;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// The candidate space for one program, derived from the seed
+/// decomposition the job supplied.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Machine size every candidate targets.
+    pub nprocs: usize,
+    /// Arrays needing a distribution (from the seed decomposition).
+    pub arrays: Vec<String>,
+    /// Scalar placements of the seed, kept verbatim in dist-sweeping
+    /// candidates.
+    pub seed_scalars: Vec<(String, ScalarMap)>,
+    /// Scalars whose placement is swept (`ALL` vs pinned on P0) while
+    /// the distribution is held at the baseline — one-factor-at-a-time
+    /// over the scalar axis.
+    pub sweep_scalars: Vec<String>,
+    /// Optimization levels swept per distribution; `None` skips the
+    /// pipeline. A single entry pins the level (the job asked for a
+    /// specific variant).
+    pub opt_levels: Vec<Option<OptLevel>>,
+    /// Block sizes for the block-cyclic distributions.
+    pub block_sizes: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// The default space around `seed`: sweep distributions uniformly
+    /// over both matrices, block-cyclic blocks of 2 and 4, the full
+    /// optimization ladder with strip-mine block sizes 2/4/8 (unless
+    /// `pinned_opt` fixes a level), scalar placement for the seed's
+    /// mapped scalars, and mixed per-array pairs.
+    pub fn from_seed(seed: &Decomposition, pinned_opt: Option<OptLevel>) -> Self {
+        SearchSpace {
+            nprocs: seed.nprocs(),
+            arrays: seed.arrays().map(|(n, _)| n.to_owned()).collect(),
+            seed_scalars: seed.scalars().map(|(n, m)| (n.to_owned(), m)).collect(),
+            sweep_scalars: seed.scalars().map(|(n, _)| n.to_owned()).collect(),
+            opt_levels: match pinned_opt {
+                Some(o) => vec![Some(o)],
+                None => vec![
+                    Some(OptLevel::O2),
+                    Some(OptLevel::O3 { blksize: 2 }),
+                    Some(OptLevel::O3 { blksize: 4 }),
+                    Some(OptLevel::O3 { blksize: 8 }),
+                    Some(OptLevel::O1),
+                    None,
+                ],
+            },
+            block_sizes: vec![2, 4],
+        }
+    }
+
+    /// Also sweep the placement of scalar `name` (builder style).
+    pub fn sweep_scalar(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        if !self.sweep_scalars.contains(&name) {
+            self.sweep_scalars.push(name);
+        }
+        self
+    }
+}
+
+/// One point of the search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The decomposition to compile under.
+    pub decomp: Decomposition,
+    /// The optimization level to compile at (`None` = pipeline off).
+    pub opt_level: Option<OptLevel>,
+    /// Deterministic human-readable identity, stable across runs —
+    /// remark and bench keys.
+    pub label: String,
+}
+
+/// Compact display for candidate labels (the `Display` of [`OptLevel`]
+/// is prose).
+fn opt_label(o: Option<OptLevel>) -> String {
+    match o {
+        None => "none".into(),
+        Some(OptLevel::O0) => "O0".into(),
+        Some(OptLevel::O1) => "O1".into(),
+        Some(OptLevel::O2) => "O2".into(),
+        Some(OptLevel::O3 { blksize }) => format!("O3(b={blksize})"),
+    }
+}
+
+fn label_of(decomp: &Decomposition, opt: Option<OptLevel>) -> String {
+    let mut parts: Vec<String> = decomp.arrays().map(|(n, d)| format!("{n}={d}")).collect();
+    for (n, m) in decomp.scalars() {
+        parts.push(format!("{n}:{m}"));
+    }
+    parts.push(format!("opt={}", opt_label(opt)));
+    parts.join(" ")
+}
+
+/// The distributions a candidate may assign to an array.
+fn dist_palette(nprocs: usize, block_sizes: &[usize]) -> Vec<Dist> {
+    let mut v = vec![
+        Dist::ColumnCyclic,
+        Dist::RowCyclic,
+        Dist::ColumnBlock,
+        Dist::RowBlock,
+    ];
+    for &b in block_sizes {
+        v.push(Dist::ColumnBlockCyclic { block: b });
+        v.push(Dist::RowBlockCyclic { block: b });
+    }
+    // True 2-d grids only: a 1×p or p×1 grid is already covered by the
+    // column/row block entries.
+    for prows in 2..nprocs {
+        if nprocs.is_multiple_of(prows) {
+            let pcols = nprocs / prows;
+            if pcols >= 2 {
+                v.push(Dist::Block2d { prows, pcols });
+            }
+        }
+    }
+    // Serial baseline: everything on one processor, no communication.
+    v.push(Dist::OnProcessor(0));
+    v
+}
+
+fn decomp_with(
+    space: &SearchSpace,
+    dist_of: impl Fn(usize) -> Dist,
+    scalars: &[(String, ScalarMap)],
+) -> Decomposition {
+    let mut d = Decomposition::new(space.nprocs);
+    for (s, m) in scalars {
+        d = d.scalar(s.clone(), *m);
+    }
+    for (k, a) in space.arrays.iter().enumerate() {
+        d = d.array(a.clone(), dist_of(k));
+    }
+    d
+}
+
+/// Enumerate the candidate list for `space`, in deterministic order:
+///
+/// 1. every palette distribution applied uniformly to all arrays, per
+///    optimization level (seed scalar placements);
+/// 2. scalar-placement variants (`ALL`, then everything on P0) at the
+///    baseline distribution and first optimization level;
+/// 3. mixed per-array pairs over the four core families (two-array
+///    programs), first optimization level.
+///
+/// Duplicates arising from overlap (e.g. a scalar variant identical to
+/// the seed placement) are dropped, keeping first occurrence.
+pub fn enumerate(space: &SearchSpace) -> Vec<Candidate> {
+    let palette = dist_palette(space.nprocs, &space.block_sizes);
+    let core4 = [
+        Dist::ColumnCyclic,
+        Dist::RowCyclic,
+        Dist::ColumnBlock,
+        Dist::RowBlock,
+    ];
+    let mut out: Vec<Candidate> = Vec::new();
+    let push = |out: &mut Vec<Candidate>, decomp: Decomposition, opt: Option<OptLevel>| {
+        if out.iter().any(|c| c.decomp == decomp && c.opt_level == opt) {
+            return;
+        }
+        let label = label_of(&decomp, opt);
+        out.push(Candidate {
+            decomp,
+            opt_level: opt,
+            label,
+        });
+    };
+
+    for &opt in &space.opt_levels {
+        for d in &palette {
+            let dec = decomp_with(space, |_| d.clone(), &space.seed_scalars);
+            push(&mut out, dec, opt);
+        }
+    }
+
+    if !space.sweep_scalars.is_empty() {
+        let first = space.opt_levels[0];
+        for placement in [ScalarMap::All, ScalarMap::On(0)] {
+            let scalars: Vec<(String, ScalarMap)> = space
+                .sweep_scalars
+                .iter()
+                .map(|n| (n.clone(), placement))
+                .collect();
+            let dec = decomp_with(space, |_| palette[0].clone(), &scalars);
+            push(&mut out, dec, first);
+        }
+    }
+
+    if space.arrays.len() == 2 {
+        let first = space.opt_levels[0];
+        for d0 in &core4 {
+            for d1 in &core4 {
+                if d0 == d1 {
+                    continue;
+                }
+                let dec = decomp_with(
+                    space,
+                    |k| if k == 0 { d0.clone() } else { d1.clone() },
+                    &space.seed_scalars,
+                );
+                push(&mut out, dec, first);
+            }
+        }
+    }
+
+    out
+}
+
+/// A candidate compiled and ready to score: the specialized program
+/// plus the static environment the models interpret it under.
+#[derive(Debug, Clone)]
+pub struct CandidateProgram {
+    /// The per-processor target program.
+    pub spmd: SpmdProgram,
+    /// Compile-time scalar constants (e.g. `n = 16`).
+    pub env: BTreeMap<String, i64>,
+    /// Distribution instances of preloaded arrays.
+    pub arrays: BTreeMap<String, DistInstance>,
+    /// A message-cost prediction the pipeline already computed, if any;
+    /// when present the scorer reuses it instead of re-walking.
+    pub prediction: Option<Prediction>,
+}
+
+/// The exact static score of a viable candidate. Ordered
+/// lexicographically — makespan first, messages and words as
+/// tie-breakers (candidate index breaks remaining ties, so selection is
+/// deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Score {
+    /// Predicted simulator makespan in cycles — equals the measured
+    /// makespan on viable candidates.
+    pub makespan: u64,
+    /// Predicted total messages.
+    pub messages: u64,
+    /// Predicted total payload words.
+    pub words: u64,
+}
+
+/// One scored (or rejected) candidate.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The candidate.
+    pub candidate: Candidate,
+    /// Its exact score, or the reason it was pruned (compile error,
+    /// inexact prediction, protocol inconsistency, replay deadlock).
+    pub outcome: Result<Score, String>,
+}
+
+/// The completed search.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Every candidate in enumeration order with its score or rejection
+    /// reason.
+    pub evaluated: Vec<Evaluated>,
+    /// Index of the winner in `evaluated`.
+    pub winner: usize,
+}
+
+impl TuneResult {
+    /// The winning candidate.
+    pub fn winner(&self) -> &Evaluated {
+        &self.evaluated[self.winner]
+    }
+
+    /// The winner's score.
+    ///
+    /// # Panics
+    ///
+    /// Never — the winner is viable by construction.
+    pub fn winner_score(&self) -> Score {
+        *self.winner().outcome.as_ref().expect("winner is viable")
+    }
+
+    /// How many candidates scored (were not pruned).
+    pub fn viable(&self) -> usize {
+        self.evaluated.iter().filter(|e| e.outcome.is_ok()).count()
+    }
+}
+
+/// Search failure: nothing to rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The candidate list was empty.
+    NoCandidates,
+    /// Every candidate was pruned; `sample_reasons` holds the first few
+    /// rejection reasons for diagnosis.
+    NoViableCandidate {
+        /// Candidates examined.
+        total: usize,
+        /// Up to three distinct rejection reasons.
+        sample_reasons: Vec<String>,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::NoCandidates => write!(f, "decomposition search over zero candidates"),
+            TuneError::NoViableCandidate {
+                total,
+                sample_reasons,
+            } => {
+                write!(
+                    f,
+                    "no viable candidate among {total}: {}",
+                    sample_reasons.join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl Error for TuneError {}
+
+/// Score one compiled candidate, enforcing the exactness-pruning rule.
+fn score_one(prog: &CandidateProgram, cost: &CostModel) -> Result<Score, String> {
+    let (prediction, est) = match &prog.prediction {
+        Some(p) => (
+            p.clone(),
+            makespan::estimate(&prog.spmd, &prog.env, &prog.arrays, cost),
+        ),
+        None => makespan::predict_and_estimate(&prog.spmd, &prog.env, &prog.arrays, cost),
+    };
+    if !prediction.exact {
+        return Err(format!(
+            "prediction inexact: {}",
+            prediction
+                .notes
+                .first()
+                .map(String::as_str)
+                .unwrap_or("(no note)")
+        ));
+    }
+    if !prediction.protocol_consistent() {
+        return Err("prediction is protocol-inconsistent (sends != receives)".into());
+    }
+    if !est.exact {
+        return Err(format!(
+            "makespan replay inexact: {}",
+            est.notes.first().map(String::as_str).unwrap_or("(no note)")
+        ));
+    }
+    Ok(Score {
+        makespan: est.makespan(),
+        messages: prediction.total_messages(),
+        words: prediction.total_words(),
+    })
+}
+
+/// Compile and score every candidate with `compile`, prune the inexact
+/// ones, and pick the winner: minimum `(makespan, messages, words,
+/// index)`. A compile error rejects the candidate (recorded as its
+/// reason) rather than aborting the search.
+///
+/// # Errors
+///
+/// [`TuneError::NoCandidates`] on an empty list;
+/// [`TuneError::NoViableCandidate`] when every candidate was pruned.
+pub fn search(
+    candidates: Vec<Candidate>,
+    cost: &CostModel,
+    mut compile: impl FnMut(&Candidate) -> Result<CandidateProgram, String>,
+) -> Result<TuneResult, TuneError> {
+    if candidates.is_empty() {
+        return Err(TuneError::NoCandidates);
+    }
+    let mut evaluated = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        let outcome = compile(&candidate).and_then(|prog| score_one(&prog, cost));
+        evaluated.push(Evaluated { candidate, outcome });
+    }
+    let winner = evaluated
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.outcome.as_ref().ok().map(|s| (*s, i)))
+        .min()
+        .map(|(_, i)| i);
+    match winner {
+        Some(winner) => Ok(TuneResult { evaluated, winner }),
+        None => {
+            let mut sample_reasons: Vec<String> = Vec::new();
+            for e in &evaluated {
+                if let Err(r) = &e.outcome {
+                    if !sample_reasons.contains(r) {
+                        sample_reasons.push(r.clone());
+                        if sample_reasons.len() == 3 {
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(TuneError::NoViableCandidate {
+                total: evaluated.len(),
+                sample_reasons,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_spmd::ir::{RecvTarget, SExpr, SStmt};
+
+    fn two_array_seed() -> Decomposition {
+        Decomposition::new(4)
+            .array("New", Dist::ColumnCyclic)
+            .array("Old", Dist::ColumnCyclic)
+    }
+
+    #[test]
+    fn default_space_exceeds_fifty_candidates() {
+        let space = SearchSpace::from_seed(&two_array_seed(), None);
+        let cands = enumerate(&space);
+        assert!(cands.len() >= 50, "only {} candidates", cands.len());
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_duplicate_free() {
+        let space = SearchSpace::from_seed(&two_array_seed(), None).sweep_scalar("c");
+        let a = enumerate(&space);
+        let b = enumerate(&space);
+        assert_eq!(a, b);
+        for (i, x) in a.iter().enumerate() {
+            for y in &a[i + 1..] {
+                assert!(
+                    !(x.decomp == y.decomp && x.opt_level == y.opt_level),
+                    "duplicate candidate {}",
+                    x.label
+                );
+            }
+        }
+        let labels: std::collections::BTreeSet<&str> = a.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels.len(), a.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn pinned_opt_level_is_not_swept() {
+        let space = SearchSpace::from_seed(&two_array_seed(), Some(OptLevel::O3 { blksize: 4 }));
+        let cands = enumerate(&space);
+        assert!(cands
+            .iter()
+            .all(|c| c.opt_level == Some(OptLevel::O3 { blksize: 4 })));
+    }
+
+    #[test]
+    fn scalar_placement_variants_appear_when_swept() {
+        let space = SearchSpace::from_seed(&two_array_seed(), None).sweep_scalar("c");
+        let cands = enumerate(&space);
+        assert!(cands
+            .iter()
+            .any(|c| c.decomp.scalar_map("c") == ScalarMap::On(0)));
+    }
+
+    #[test]
+    fn mixed_per_array_pairs_appear_for_two_array_programs() {
+        let space = SearchSpace::from_seed(&two_array_seed(), None);
+        let cands = enumerate(&space);
+        assert!(cands.iter().any(|c| {
+            c.decomp.array_dist("New") == Some(Dist::ColumnCyclic)
+                && c.decomp.array_dist("Old") == Some(Dist::RowBlock)
+        }));
+    }
+
+    /// A compile closure over hand-built SPMD programs: the candidate's
+    /// "New" distribution decides how much traffic the program sends, so
+    /// the search has a real gradient without needing the full compiler.
+    fn toy_compile(c: &Candidate) -> Result<CandidateProgram, String> {
+        let messages: i64 = match c.decomp.array_dist("New") {
+            Some(Dist::ColumnCyclic) => 1,
+            Some(Dist::RowCyclic) => 3,
+            Some(Dist::OnProcessor(0)) => return Err("serial candidate rejected".into()),
+            _ => 5,
+        };
+        let p0 = vec![SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(messages),
+            step: SExpr::int(1),
+            body: vec![SStmt::Send {
+                to: SExpr::int(1),
+                tag: 1,
+                values: vec![SExpr::var("i")],
+            }],
+        }];
+        let p1 = vec![SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(messages),
+            step: SExpr::int(1),
+            body: vec![SStmt::Recv {
+                from: SExpr::int(0),
+                tag: 1,
+                into: vec![RecvTarget::Var("x".into())],
+            }],
+        }];
+        Ok(CandidateProgram {
+            spmd: SpmdProgram::new(vec![p0, p1]),
+            env: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+            prediction: None,
+        })
+    }
+
+    #[test]
+    fn search_picks_the_cheapest_viable_candidate() {
+        let space = SearchSpace::from_seed(&two_array_seed(), Some(OptLevel::O2));
+        let result =
+            search(enumerate(&space), &CostModel::ipsc2(), toy_compile).expect("search succeeds");
+        let w = result.winner();
+        assert_eq!(
+            w.candidate.decomp.array_dist("New"),
+            Some(Dist::ColumnCyclic)
+        );
+        assert_eq!(result.winner_score().messages, 1);
+        // Rejections are recorded, not fatal.
+        assert!(result
+            .evaluated
+            .iter()
+            .any(|e| e.outcome == Err("serial candidate rejected".into())));
+        assert!(result.viable() < result.evaluated.len());
+    }
+
+    #[test]
+    fn search_with_nothing_viable_reports_reasons() {
+        let space = SearchSpace::from_seed(&two_array_seed(), Some(OptLevel::O2));
+        let err = search(enumerate(&space), &CostModel::ipsc2(), |_| {
+            Err("boom".into())
+        })
+        .unwrap_err();
+        let TuneError::NoViableCandidate {
+            total,
+            sample_reasons,
+        } = err
+        else {
+            panic!("expected NoViableCandidate, got {err}");
+        };
+        assert!(total >= 10);
+        assert_eq!(sample_reasons, vec!["boom".to_string()]);
+    }
+
+    #[test]
+    fn empty_candidate_list_is_an_error() {
+        assert_eq!(
+            search(Vec::new(), &CostModel::ipsc2(), toy_compile).unwrap_err(),
+            TuneError::NoCandidates
+        );
+    }
+}

@@ -8,3 +8,4 @@ pub use pdc_mapping as mapping;
 pub use pdc_opt as opt;
 pub use pdc_report as report;
 pub use pdc_spmd as spmd;
+pub use pdc_tune as tune;

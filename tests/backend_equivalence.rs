@@ -167,6 +167,87 @@ fn check(w: &Workload, strategy: Strategy) {
     );
 }
 
+/// An automatically tuned decomposition is bit-identical across
+/// backends too: the tuner picks a decomposition statically, so the
+/// compiled program it selects must satisfy the same equivalence
+/// contract — outputs equal to the sequential interpreter on both
+/// backends, identical per-pair message counts, identical makespan.
+#[test]
+fn backends_agree_on_tuned_decompositions() {
+    let n = 8usize;
+    let program = programs::gauss_seidel();
+    for strategy in [Strategy::Runtime, Strategy::CompileTime] {
+        let label = format!("tuned wavefront under {strategy:?}");
+        let mut job = Job::new(
+            &program,
+            "gs_iteration",
+            programs::wavefront_decomposition(4),
+        )
+        .with_const("n", n as i64)
+        .with_opt_level(pdc_opt::OptLevel::O2)
+        .with_auto_decomposition();
+        job.extent_overrides.insert("Old".into(), (n, n));
+        let compiled = driver::compile(&job, strategy).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(compiled.tune.is_some(), "{label}: missing search trace");
+        let inputs = Inputs::new()
+            .scalar("n", Scalar::Int(n as i64))
+            .array("Old", driver::standard_input(n, n));
+
+        let sim = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::Simulated)
+            .unwrap_or_else(|e| panic!("{label} (simulated): {e}"));
+        let thr = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::threaded())
+            .unwrap_or_else(|e| panic!("{label} (threaded): {e}"));
+
+        assert_eq!(
+            sim.outcome.report.undelivered, 0,
+            "{label}: sim undelivered"
+        );
+        assert_eq!(
+            thr.outcome.report.undelivered, 0,
+            "{label}: threaded undelivered"
+        );
+        assert_eq!(
+            sim.outcome.report.pending,
+            Vec::new(),
+            "{label}: sim pending"
+        );
+        assert_eq!(
+            thr.outcome.report.pending,
+            Vec::new(),
+            "{label}: threaded pending"
+        );
+
+        let g_sim = sim.gather("New").expect("sim gather");
+        let g_thr = thr.gather("New").expect("threaded gather");
+        let seq = driver::run_sequential(&program, "gs_iteration", &inputs).expect("sequential");
+        assert_eq!(
+            driver::first_mismatch(&g_sim, &seq),
+            None,
+            "{label}: simulator disagrees with sequential interpreter"
+        );
+        assert_eq!(
+            driver::first_mismatch(&g_thr, &seq),
+            None,
+            "{label}: threaded backend disagrees with sequential interpreter"
+        );
+        assert_eq!(
+            thr.outcome.report.pair_messages, sim.outcome.report.pair_messages,
+            "{label}: per-(src, dst, tag) message counts diverge"
+        );
+        assert_eq!(
+            thr.outcome.report.stats.makespan(),
+            sim.outcome.report.stats.makespan(),
+            "{label}: makespan diverges"
+        );
+        // And the tuner's predicted makespan is the one both backends agree on.
+        assert_eq!(
+            compiled.tune.as_ref().unwrap().winner_score().makespan,
+            sim.outcome.report.stats.makespan().0,
+            "{label}: tuner's predicted makespan diverges from execution"
+        );
+    }
+}
+
 #[test]
 fn backends_agree_under_runtime_resolution() {
     for w in workloads() {

@@ -1,0 +1,351 @@
+//! The decomposition tuner and its exact-scoring contract.
+
+use pdc_core::driver::{self, Inputs, Job, Strategy};
+use pdc_core::programs;
+use pdc_machine::{Backend, CostModel};
+use pdc_mapping::{Decomposition, Dist};
+use pdc_opt::OptLevel;
+use pdc_spmd::Scalar;
+use pdc_testkit::cases;
+use pdc_tune::TuneResult;
+
+/// The five compiler variants of Figures 6/7: strategy plus pinned
+/// optimization level (`None` = pipeline skipped, the run-time
+/// resolution configuration).
+const PAPER_VARIANTS: [(&str, Strategy, Option<OptLevel>); 5] = [
+    ("runtime", Strategy::Runtime, None),
+    ("compile_time", Strategy::CompileTime, Some(OptLevel::O0)),
+    ("optimized_i", Strategy::CompileTime, Some(OptLevel::O1)),
+    ("optimized_ii", Strategy::CompileTime, Some(OptLevel::O2)),
+    (
+        "optimized_iii",
+        Strategy::CompileTime,
+        Some(OptLevel::O3 { blksize: 4 }),
+    ),
+];
+
+/// The score of the paper's hand decomposition (uniform column-cyclic,
+/// [`programs::wavefront_decomposition`]) within a search trace, if it
+/// was viable.
+fn hand_candidate_score(tune: &TuneResult, nprocs: usize) -> Option<pdc_tune::Score> {
+    let hand = programs::wavefront_decomposition(nprocs);
+    tune.evaluated
+        .iter()
+        .filter(|e| e.candidate.decomp == hand)
+        .filter_map(|e| e.outcome.clone().ok())
+        .min()
+}
+
+/// Golden test on the Figure 6/7 wavefront: for every paper variant, the
+/// automatic search must rediscover the paper's hand decomposition — or
+/// beat it with a strictly lower predicted cost — and the search trace
+/// must be byte-stable across recompilations.
+fn check_wavefront_golden(n: usize, stability_variants: &[&str]) {
+    let s = 4usize;
+    let program = programs::gauss_seidel();
+    for (name, strategy, opt) in PAPER_VARIANTS {
+        let label = format!("wavefront n={n} {name}");
+        let make_job = || {
+            let mut job = Job::new(
+                &program,
+                "gs_iteration",
+                programs::wavefront_decomposition(s),
+            )
+            .with_const("n", n as i64)
+            .with_auto_decomposition();
+            if let Some(o) = opt {
+                job = job.with_opt_level(o);
+            }
+            job
+        };
+        let job = make_job();
+        let compiled = driver::compile(&job, strategy).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let tune = compiled.tune.as_ref().unwrap_or_else(|| {
+            panic!("{label}: auto-decomposition compile carries no search trace")
+        });
+        let winner = tune.winner();
+        let score = tune.winner_score();
+        let hand = hand_candidate_score(tune, s)
+            .unwrap_or_else(|| panic!("{label}: hand decomposition was not a viable candidate"));
+        let hand_decomp = programs::wavefront_decomposition(s);
+        assert!(
+            winner.candidate.decomp == hand_decomp || score < hand,
+            "{label}: winner `{}` (score {score:?}) neither is the paper's hand \
+             decomposition nor beats it (hand score {hand:?})",
+            winner.candidate.label
+        );
+        // The winner's predicted makespan is the measured makespan.
+        let inputs = Inputs::new()
+            .scalar("n", Scalar::Int(n as i64))
+            .array("Old", driver::standard_input(n, n));
+        let exec = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::Simulated)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(
+            score.makespan,
+            exec.makespan(),
+            "{label}: selected decomposition's predicted makespan diverges from the simulator"
+        );
+        // Byte-stable search trace: recompiling yields the identical
+        // remark JSON, Phase::Tune remarks included. (Repeating the whole
+        // search doubles its cost, so the large problem size spot-checks
+        // one variant instead of all five.)
+        if stability_variants.contains(&name) {
+            let again =
+                driver::compile(&make_job(), strategy).unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(
+                compiled.remarks_json(),
+                again.remarks_json(),
+                "{label}: search trace is not byte-stable"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_decomposition_rediscovers_the_paper_wavefront_small() {
+    check_wavefront_golden(
+        16,
+        &[
+            "runtime",
+            "compile_time",
+            "optimized_i",
+            "optimized_ii",
+            "optimized_iii",
+        ],
+    );
+}
+
+#[test]
+fn auto_decomposition_rediscovers_the_paper_wavefront_large() {
+    check_wavefront_golden(128, &["optimized_ii"]);
+}
+
+/// Under the iPSC/2 cost model small problems are communication-bound
+/// and the search correctly falls back to serial placement; once
+/// communication is cheap (the shared-memory preset) and the problem is
+/// big enough, the winner must be *exactly* the paper's hand
+/// decomposition — uniform column-cyclic — strip-mined at the largest
+/// swept block size. The search discovers the paper's Figure 6
+/// crossover instead of being told about it.
+#[test]
+fn cheap_communication_flips_the_winner_to_the_paper_decomposition() {
+    let s = 4usize;
+    let program = programs::gauss_seidel();
+    let compile_at = |n: usize| {
+        let job = Job::new(
+            &program,
+            "gs_iteration",
+            programs::wavefront_decomposition(s),
+        )
+        .with_const("n", n as i64)
+        .with_auto_decomposition_under(CostModel::shared_memory());
+        driver::compile(&job, Strategy::CompileTime).unwrap_or_else(|e| panic!("n={n}: {e}"))
+    };
+
+    // n=16: even cheap messages cannot pay for themselves; serial wins.
+    let small = compile_at(16);
+    let small_tune = small.tune.as_ref().expect("search trace");
+    assert_eq!(
+        small_tune.winner().candidate.decomp.array_dist("New"),
+        Some(Dist::OnProcessor(0)),
+        "n=16 should stay serial, got `{}`",
+        small_tune.winner().candidate.label
+    );
+
+    // n=32: the parallel wavefront pays off; the winner is the paper's
+    // column-cyclic decomposition, strip-mined.
+    let large = compile_at(32);
+    let tune = large.tune.as_ref().expect("search trace");
+    let winner = tune.winner();
+    assert_eq!(
+        winner.candidate.decomp,
+        programs::wavefront_decomposition(s),
+        "expected the paper's hand decomposition, got `{}`",
+        winner.candidate.label
+    );
+    assert_eq!(
+        winner.candidate.opt_level,
+        Some(OptLevel::O3 { blksize: 8 }),
+        "expected the strip-mined pipeline, got `{}`",
+        winner.candidate.label
+    );
+}
+
+/// A random distribution valid for `nprocs` processors, drawn from the
+/// block / cyclic / block-cyclic families plus serial placement.
+fn random_dist(rng: &mut pdc_testkit::Rng, nprocs: usize) -> Dist {
+    match rng.range_usize(0, 8) {
+        0 => Dist::ColumnCyclic,
+        1 => Dist::RowCyclic,
+        2 => Dist::ColumnBlock,
+        3 => Dist::RowBlock,
+        4 => Dist::ColumnBlockCyclic {
+            block: rng.range_usize(1, 4),
+        },
+        5 => Dist::RowBlockCyclic {
+            block: rng.range_usize(1, 4),
+        },
+        6 => Dist::OnProcessor(rng.range_usize(0, nprocs)),
+        _ => {
+            let divisors: Vec<usize> = (1..=nprocs).filter(|d| nprocs.is_multiple_of(*d)).collect();
+            let prows = divisors[rng.range_usize(0, divisors.len())];
+            Dist::Block2d {
+                prows,
+                pcols: nprocs / prows,
+            }
+        }
+    }
+}
+
+/// Property test for the tuner's scoring contract: across random
+/// programs, problem sizes, strategies, optimization levels, and *pairs*
+/// of candidate decompositions, whenever both candidates score as exact
+/// the predicted makespans rank them exactly as the simulator does —
+/// because each prediction individually equals the measured makespan.
+/// Non-vacuity is asserted: the family must produce plenty of exact
+/// pairs, and plenty whose makespans genuinely differ.
+#[test]
+fn predicted_ranking_agrees_with_simulator_on_random_programs() {
+    let exact_pairs = std::cell::Cell::new(0usize);
+    let distinct_pairs = std::cell::Cell::new(0usize);
+    cases(
+        100,
+        "predicted_ranking_agrees_with_simulator_on_random_programs",
+        |rng| {
+            let nprocs = rng.range_usize(2, 4);
+            let n = rng.range_usize(4, 9);
+            let (program, entry) = if rng.bool() {
+                (programs::jacobi(), "jacobi")
+            } else {
+                (programs::gauss_seidel(), "gs_iteration")
+            };
+            let strategy = if rng.bool() {
+                Strategy::Runtime
+            } else {
+                Strategy::CompileTime
+            };
+            let opt = match rng.range_usize(0, 4) {
+                0 => None,
+                1 => Some(OptLevel::O1),
+                2 => Some(OptLevel::O2),
+                _ => Some(OptLevel::O3 {
+                    blksize: rng.range_usize(2, 5),
+                }),
+            };
+            let cost = CostModel::ipsc2();
+            let mut scored: Vec<(String, u64, u64)> = Vec::new(); // label, predicted, measured
+            for c in 0..2 {
+                let dist = random_dist(rng, nprocs);
+                let label = format!("{entry} n={n} s={nprocs} {strategy:?} {opt:?} #{c} {dist}");
+                let decomp = Decomposition::new(nprocs)
+                    .array("New", dist.clone())
+                    .array("Old", dist);
+                let mut job = Job::new(&program, entry, decomp)
+                    .with_const("n", n as i64)
+                    .with_verify_static(false);
+                job.extent_overrides.insert("Old".into(), (n, n));
+                if let Some(o) = opt {
+                    job = job.with_opt_level(o);
+                }
+                let compiled = match driver::compile(&job, strategy) {
+                    Ok(c) => c,
+                    // Some random configurations are legitimately
+                    // uncompilable; the tuner records these as rejected.
+                    Err(e) => panic!("{label}: {e}"),
+                };
+                let (env, arrays) = compiled.static_env(&job.const_params);
+                let est = pdc_report::estimate(&compiled.spmd, &env, &arrays, &cost);
+                if !est.exact {
+                    continue;
+                }
+                let inputs = Inputs::new()
+                    .scalar("n", Scalar::Int(n as i64))
+                    .array("Old", driver::standard_input(n, n));
+                let exec = driver::execute_on(&compiled, &inputs, cost, Backend::Simulated)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                scored.push((label, est.makespan(), exec.makespan()));
+            }
+            for (label, predicted, measured) in &scored {
+                assert_eq!(predicted, measured, "{label}: prediction diverges");
+            }
+            if let [(la, pa, ma), (lb, pb, mb)] = &scored[..] {
+                exact_pairs.set(exact_pairs.get() + 1);
+                assert_eq!(
+                    pa.cmp(pb),
+                    ma.cmp(mb),
+                    "ranking disagreement between\n  {la}\n  {lb}"
+                );
+                if ma != mb {
+                    distinct_pairs.set(distinct_pairs.get() + 1);
+                }
+            }
+        },
+    );
+    // The property must not hold vacuously.
+    assert!(
+        exact_pairs.get() >= 50,
+        "family too inexact: only {} exact pairs",
+        exact_pairs.get()
+    );
+    assert!(
+        distinct_pairs.get() >= 25,
+        "family too uniform: only {} pairs with distinct makespans",
+        distinct_pairs.get()
+    );
+}
+
+/// The static makespan model is *exact* on driver-compiled programs:
+/// whatever the strategy, optimization level, or decomposition, the
+/// predicted makespan equals the simulator's measured makespan cycle
+/// for cycle.
+#[test]
+fn predicted_makespan_is_exact_on_compiled_programs() {
+    let n = 8usize;
+    let dists = [
+        Dist::ColumnCyclic,
+        Dist::RowBlock,
+        Dist::Block2d { prows: 2, pcols: 2 },
+    ];
+    let programs: [(&str, pdc_lang::Program, &str); 2] = [
+        ("gauss_seidel", programs::gauss_seidel(), "gs_iteration"),
+        ("jacobi", programs::jacobi(), "jacobi"),
+    ];
+    for (name, program, entry) in &programs {
+        for dist in &dists {
+            for strategy in [Strategy::Runtime, Strategy::CompileTime] {
+                for opt in [
+                    None,
+                    Some(OptLevel::O1),
+                    Some(OptLevel::O2),
+                    Some(OptLevel::O3 { blksize: 4 }),
+                ] {
+                    let label = format!("{name}/{dist}/{strategy:?}/{opt:?}");
+                    let decomp = Decomposition::new(4)
+                        .array("New", dist.clone())
+                        .array("Old", dist.clone());
+                    let mut job = Job::new(program, entry, decomp).with_const("n", n as i64);
+                    job.extent_overrides.insert("Old".into(), (n, n));
+                    if let Some(o) = opt {
+                        job = job.with_opt_level(o);
+                    }
+                    let compiled =
+                        driver::compile(&job, strategy).unwrap_or_else(|e| panic!("{label}: {e}"));
+                    let (env, arrays) = compiled.static_env(&job.const_params);
+                    let cost = CostModel::ipsc2();
+                    let est = pdc_report::estimate(&compiled.spmd, &env, &arrays, &cost);
+                    assert!(est.exact, "{label}: inexact: {:?}", est.notes);
+                    let inputs = Inputs::new()
+                        .scalar("n", Scalar::Int(n as i64))
+                        .array("Old", driver::standard_input(n, n));
+                    let exec = driver::execute_on(&compiled, &inputs, cost, Backend::Simulated)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
+                    assert_eq!(
+                        est.makespan(),
+                        exec.makespan(),
+                        "{label}: predicted makespan diverges from the simulator"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@ use pdc_lang::ast::{Block, Stmt};
 use pdc_lang::interp::Interpreter;
 use pdc_lang::value::Value;
 use pdc_lang::Program;
-use pdc_machine::{Backend, CostModel, FaultPlan, ProcId, RelConfig, Tag};
+use pdc_machine::{Backend, CheckpointCfg, CostModel, FaultPlan, ProcId, RelConfig, Tag};
 use pdc_mapping::{Decomposition, DistInstance};
 use pdc_opt::{optimize_with_remarks, OptLevel, OptReport};
 use pdc_report::{Phase, Prediction, Remark, RemarkKind, RemarkSink};
@@ -54,6 +54,20 @@ pub struct Job<'a> {
     /// Fault plan and retransmission policy the execution should run
     /// under. `None` (the default) runs the raw, fault-free fabric.
     pub fault_plan: Option<(FaultPlan, RelConfig)>,
+    /// Checkpoint/restart policy; `None` (the default) takes no
+    /// checkpoints, so an injected crash kills the run. See
+    /// [`Job::with_checkpoints`].
+    pub checkpoints: Option<CheckpointCfg>,
+    /// Retransmission-policy override for the reliable-delivery layer
+    /// (§ satellite: service-level callers could not reach [`RelConfig`]
+    /// before). `Some` forces the reliable protocol on even without a
+    /// fault plan and wins over the [`RelConfig`] bundled into
+    /// [`Job::with_fault_plan`].
+    pub retransmit: Option<RelConfig>,
+    /// Wall-clock receive timeout for the threaded backend; `None` uses
+    /// [`DEFAULT_RECV_TIMEOUT`](pdc_machine::DEFAULT_RECV_TIMEOUT).
+    /// Ignored by the simulator, which detects deadlock exactly.
+    pub recv_timeout: Option<std::time::Duration>,
     /// Event-trace buffer cap; `None` (the default) disables tracing.
     pub trace_cap: Option<usize>,
     /// Optimization level for the generated code; `None` (the default)
@@ -91,6 +105,9 @@ impl<'a> Job<'a> {
             extent_overrides: HashMap::new(),
             backend: Backend::Simulated,
             fault_plan: None,
+            checkpoints: None,
+            retransmit: None,
+            recv_timeout: None,
             trace_cap: None,
             opt_level: None,
             verify_static: None,
@@ -116,6 +133,52 @@ impl<'a> Job<'a> {
     /// [`FaultReport`](pdc_machine::FaultReport) reflect the damage.
     pub fn with_fault_plan(mut self, plan: FaultPlan, cfg: RelConfig) -> Self {
         self.fault_plan = Some((plan, cfg));
+        self
+    }
+
+    /// Inject processor *crashes* from `plan` (built with
+    /// [`FaultPlan::with_crash`] or
+    /// [`FaultPlan::with_crash_rate`](pdc_machine::FaultPlan::with_crash_rate))
+    /// under the default retransmission policy — tune it with
+    /// [`Job::with_retransmit_cfg`]. Combine with
+    /// [`Job::with_checkpoints`] so the crashes are survivable; without
+    /// checkpoints a crash fails the run with
+    /// [`MachineError::Crashed`](pdc_machine::MachineError::Crashed).
+    pub fn with_crash_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some((plan, RelConfig::default()));
+        self
+    }
+
+    /// Checkpoint every processor's complete execution state every
+    /// `interval_ops` charged operations and restart crashed processors
+    /// from their last snapshot. For the full knob set (coordinated
+    /// mode, reboot cost, per-word snapshot cost) use
+    /// [`Job::with_checkpoint_cfg`].
+    pub fn with_checkpoints(self, interval_ops: u64) -> Self {
+        self.with_checkpoint_cfg(CheckpointCfg::every(interval_ops))
+    }
+
+    /// Like [`Job::with_checkpoints`] with an explicit [`CheckpointCfg`].
+    pub fn with_checkpoint_cfg(mut self, cfg: CheckpointCfg) -> Self {
+        self.checkpoints = Some(cfg);
+        self
+    }
+
+    /// Override the reliable-delivery retransmission policy (timeouts,
+    /// backoff, retry budget). Forces the reliable protocol on even when
+    /// no fault plan is set; when a [`Job::with_fault_plan`] bundled its
+    /// own [`RelConfig`], this one wins.
+    pub fn with_retransmit_cfg(mut self, cfg: RelConfig) -> Self {
+        self.retransmit = Some(cfg);
+        self
+    }
+
+    /// Override the threaded backend's wall-clock receive timeout
+    /// (defaults to
+    /// [`DEFAULT_RECV_TIMEOUT`](pdc_machine::DEFAULT_RECV_TIMEOUT)).
+    /// Ignored on the simulator, which detects deadlock exactly.
+    pub fn with_recv_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.recv_timeout = Some(timeout);
         self
     }
 
@@ -169,6 +232,12 @@ pub struct Compiled {
     pub backend: Backend,
     /// Fault plan the job requested (used by [`execute`]).
     pub fault_plan: Option<(FaultPlan, RelConfig)>,
+    /// Checkpoint policy the job requested (used by [`execute`]).
+    pub checkpoints: Option<CheckpointCfg>,
+    /// Retransmission override the job requested (used by [`execute`]).
+    pub retransmit: Option<RelConfig>,
+    /// Threaded receive timeout the job requested (used by [`execute`]).
+    pub recv_timeout: Option<std::time::Duration>,
     /// Trace cap the job requested (used by [`execute`]).
     pub trace_cap: Option<usize>,
     /// The full remark stream, in pipeline order: analysis, resolution,
@@ -327,6 +396,9 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         inlined,
         backend: job.backend,
         fault_plan: job.fault_plan.clone(),
+        checkpoints: job.checkpoints,
+        retransmit: job.retransmit,
+        recv_timeout: job.recv_timeout,
         trace_cap: job.trace_cap,
         remarks,
         opt_report,
@@ -748,9 +820,24 @@ pub fn execute_on(
     cost: CostModel,
     backend: Backend,
 ) -> Result<Execution, SpmdError> {
+    // The job-level receive timeout applies whenever this compilation
+    // runs on the threaded backend, however the backend was chosen.
+    let backend = match (backend, compiled.recv_timeout) {
+        (Backend::Threaded { .. }, Some(recv_timeout)) => Backend::Threaded { recv_timeout },
+        (b, _) => b,
+    };
     let mut machine = SpmdMachine::new(&compiled.spmd, cost)?.with_backend(backend);
-    if let Some((plan, cfg)) = &compiled.fault_plan {
-        machine = machine.with_faults_cfg(plan.clone(), *cfg);
+    match (&compiled.fault_plan, compiled.retransmit) {
+        // A retransmit override wins over the fault plan's bundled
+        // config, and alone it forces the reliable protocol on.
+        (Some((plan, cfg)), rel) => {
+            machine = machine.with_faults_cfg(plan.clone(), rel.unwrap_or(*cfg));
+        }
+        (None, Some(cfg)) => machine = machine.with_reliable_delivery(cfg),
+        (None, None) => {}
+    }
+    if let Some(ckpt) = compiled.checkpoints {
+        machine = machine.with_checkpoints(ckpt);
     }
     if let Some(cap) = compiled.trace_cap {
         machine = machine.with_trace(cap);

@@ -41,18 +41,42 @@ pub enum MachineError {
     },
     /// The reliable-delivery layer retransmitted a frame its configured
     /// maximum number of times without ever seeing an acknowledgement —
-    /// the peer is unreachable (every copy was dropped by the fault plan)
-    /// or gone. Names the starved stream so tests and operators can see
-    /// exactly which channel died.
+    /// the peer is suspected dead (crashed without recovery) or the link
+    /// is black-holed. Names the starved stream and the last sequence
+    /// number the peer ever acknowledged, so operators can distinguish "a
+    /// peer that answered for a while and went silent" (crash) from "a
+    /// stream that never delivered anything" (dead link).
     RetriesExhausted {
         /// The sending processor that gave up.
         proc: ProcId,
-        /// The peer that never acknowledged.
+        /// The suspected-dead peer that never acknowledged.
         peer: ProcId,
         /// The tag of the starved stream.
         tag: Tag,
         /// How many retransmissions were attempted.
         retries: u32,
+        /// Cumulative acknowledgement last received from the peer on this
+        /// stream: every sequence number below it was confirmed. 0 means
+        /// the peer never acknowledged anything.
+        last_acked: u64,
+    },
+    /// A processor crashed (per the fault plan) with no checkpointing
+    /// configured, so it cannot be restored. The threaded backend reports
+    /// this directly from the dying thread; the simulator usually
+    /// surfaces the peers' view ([`MachineError::RetriesExhausted`])
+    /// instead, because the dead processor simply stops scheduling.
+    Crashed {
+        /// The processor that crashed.
+        proc: ProcId,
+        /// The charged-op counter at which it crashed.
+        at_op: u64,
+    },
+    /// Checkpointing was requested but the process running on `proc`
+    /// does not implement state snapshots
+    /// ([`Process::snapshot`](crate::Process::snapshot) returned `None`).
+    CheckpointUnsupported {
+        /// The processor whose process cannot snapshot.
+        proc: ProcId,
     },
     /// A threaded-backend receive saw no traffic at all for the configured
     /// wall-clock window. Real threads cannot take the global no-progress
@@ -159,11 +183,30 @@ impl fmt::Display for MachineError {
                 peer,
                 tag,
                 retries,
+                last_acked,
             } => {
                 write!(
                     f,
                     "retries exhausted: {proc} retransmitted {tag} to {peer} \
-                     {retries} times without an ack"
+                     {retries} times without an ack; peer suspected dead "
+                )?;
+                if *last_acked == 0 {
+                    write!(f, "(never acknowledged anything on this stream)")
+                } else {
+                    write!(f, "(last acknowledged seq {})", last_acked - 1)
+                }
+            }
+            MachineError::Crashed { proc, at_op } => {
+                write!(
+                    f,
+                    "processor {proc} crashed at op {at_op} with no checkpoint to restore from"
+                )
+            }
+            MachineError::CheckpointUnsupported { proc } => {
+                write!(
+                    f,
+                    "checkpointing requested but the process on {proc} does not \
+                     support state snapshots"
                 )
             }
             MachineError::RecvTimeout {
@@ -246,12 +289,45 @@ mod tests {
             peer: ProcId(0),
             tag: Tag(9),
             retries: 16,
+            last_acked: 0,
         };
         let s = e.to_string();
         assert!(s.contains("P2"));
         assert!(s.contains("P0"));
         assert!(s.contains("t9"));
         assert!(s.contains("16"));
+        assert!(s.contains("suspected dead"), "{s}");
+        assert!(s.contains("never acknowledged"), "{s}");
+    }
+
+    #[test]
+    fn display_retries_exhausted_reports_last_acked_seq() {
+        let e = MachineError::RetriesExhausted {
+            proc: ProcId(1),
+            peer: ProcId(3),
+            tag: Tag(2),
+            retries: 8,
+            last_acked: 5,
+        };
+        let s = e.to_string();
+        // Cumulative ack 5 means seqs 0..=4 were confirmed.
+        assert!(s.contains("last acknowledged seq 4"), "{s}");
+        assert!(s.contains("suspected dead"), "{s}");
+    }
+
+    #[test]
+    fn display_crash_errors() {
+        let e = MachineError::Crashed {
+            proc: ProcId(3),
+            at_op: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("P3"), "{s}");
+        assert!(s.contains("120"), "{s}");
+        assert!(s.contains("no checkpoint"), "{s}");
+        let u = MachineError::CheckpointUnsupported { proc: ProcId(1) }.to_string();
+        assert!(u.contains("P1"), "{u}");
+        assert!(u.contains("snapshot"), "{u}");
     }
 
     #[test]

@@ -388,6 +388,23 @@ impl Machine {
         }
     }
 
+    /// Drop every in-flight message addressed to `p`, returning how many
+    /// were discarded. Crash recovery calls this when restoring `p` from
+    /// a checkpoint: frames en route to the dead incarnation must not
+    /// reach the restored one out of sequence-window order. Cumulative
+    /// pair counts are left untouched.
+    pub fn discard_incoming(&mut self, p: ProcId) -> usize {
+        self.network.discard_to(p)
+    }
+
+    /// Drop every in-flight message on the fabric (coordinated-rollback
+    /// recovery: the whole machine returns to a consistent cut and
+    /// re-execution regenerates the traffic). Returns how many were
+    /// discarded.
+    pub fn discard_all_in_flight(&mut self) -> usize {
+        self.network.discard_all()
+    }
+
     /// Record that the process on `p` finished (for the trace).
     pub fn finish(&mut self, p: ProcId) {
         let at = self.clocks[p.0];

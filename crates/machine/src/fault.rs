@@ -70,6 +70,22 @@ pub struct Stall {
     pub cycles: u64,
 }
 
+/// A processor crash event: at the `at_op`-th charged instruction on
+/// `proc` (or the first step boundary after it), the processor loses all
+/// volatile state. With checkpointing enabled the scheduler restores it
+/// from its last [`Checkpoint`](crate::checkpoint::Checkpoint); without,
+/// the processor stays dead and its peers eventually observe
+/// [`RetriesExhausted`](crate::MachineError::RetriesExhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The processor that crashes.
+    pub proc: ProcId,
+    /// The instruction index (per-processor `tick` count) at which it
+    /// crashes. The crash fires at the first step boundary where the
+    /// processor's charged-op counter has reached `at_op`.
+    pub at_op: u64,
+}
+
 /// A seeded, fully deterministic description of what the fabric does to
 /// traffic. All probability knobs are per-mille (`0..=1000`).
 ///
@@ -101,6 +117,16 @@ pub struct FaultPlan {
     pub black_holes: BTreeSet<(ProcId, ProcId, Tag)>,
     /// Processor stall events.
     pub stalls: Vec<Stall>,
+    /// Scripted processor crash events.
+    pub crashes: Vec<Crash>,
+    /// Per-mille probability that a processor crashes at any given step
+    /// boundary. Rolled once per step against the processor's charged-op
+    /// counter, so the decision sequence is identical on both backends.
+    pub crash_pm: u32,
+    /// Budget for probabilistic crashes across the whole run (scripted
+    /// crashes are exempt). Defaults to 0 — `crash_pm` alone injects
+    /// nothing until a budget is granted.
+    pub max_crashes: u32,
 }
 
 impl FaultPlan {
@@ -117,6 +143,9 @@ impl FaultPlan {
             max_faults_per_triple: u32::MAX,
             black_holes: BTreeSet::new(),
             stalls: Vec::new(),
+            crashes: Vec::new(),
+            crash_pm: 0,
+            max_crashes: 0,
         }
     }
 
@@ -136,6 +165,8 @@ impl FaultPlan {
             && self.reorder_pm == 0
             && self.black_holes.is_empty()
             && self.stalls.is_empty()
+            && self.crashes.is_empty()
+            && (self.crash_pm == 0 || self.max_crashes == 0)
     }
 
     /// Set the per-mille drop probability.
@@ -205,6 +236,46 @@ impl FaultPlan {
         self
     }
 
+    /// Add a scripted processor crash event.
+    pub fn with_crash(mut self, proc: ProcId, at_op: u64) -> Self {
+        self.crashes.push(Crash { proc, at_op });
+        self
+    }
+
+    /// Enable probabilistic crashes: per-mille probability `pm` rolled at
+    /// every step boundary, capped at `budget` crashes across the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pm` exceeds 1000‰.
+    pub fn with_crash_rate(mut self, pm: u32, budget: u32) -> Self {
+        assert!(
+            pm <= PM_SCALE,
+            "crash probability exceeds {PM_SCALE} per mille"
+        );
+        self.crash_pm = pm;
+        self.max_crashes = budget;
+        self
+    }
+
+    /// The probabilistic crash decision for processor `p` at charged-op
+    /// counter `op` — a pure function, independent of any mutable state.
+    pub fn crash_roll(&self, p: ProcId, op: u64) -> bool {
+        if self.crash_pm == 0 {
+            return false;
+        }
+        let mut x = splitmix(
+            self.seed
+                ^ splitmix((p.0 as u64).rotate_left(41) ^ 0xC4A5_11ED)
+                ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let roll = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32 % PM_SCALE;
+        roll < self.crash_pm
+    }
+
     fn check(&self) {
         assert!(
             self.drop_pm + self.dup_pm + self.delay_pm + self.reorder_pm <= PM_SCALE,
@@ -265,6 +336,8 @@ pub struct FaultCounts {
     pub stalls: u64,
     /// Total extra cycles charged by stalls.
     pub stall_cycles: u64,
+    /// Crash events fired.
+    pub crashes: u64,
 }
 
 impl FaultCounts {
@@ -281,6 +354,7 @@ impl FaultCounts {
         self.reorders += other.reorders;
         self.stalls += other.stalls;
         self.stall_cycles += other.stall_cycles;
+        self.crashes += other.crashes;
     }
 }
 
@@ -295,6 +369,8 @@ pub struct FaultState {
     held: HashMap<(ProcId, ProcId, Tag), Vec<Word>>,
     ops: HashMap<ProcId, u64>,
     fired: Vec<bool>,
+    crash_fired: Vec<bool>,
+    crashes_spent: u32,
     counts: FaultCounts,
 }
 
@@ -302,6 +378,7 @@ impl FaultState {
     /// Fresh state for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let fired = vec![false; plan.stalls.len()];
+        let crash_fired = vec![false; plan.crashes.len()];
         FaultState {
             plan,
             xmit: HashMap::new(),
@@ -309,6 +386,8 @@ impl FaultState {
             held: HashMap::new(),
             ops: HashMap::new(),
             fired,
+            crash_fired,
+            crashes_spent: 0,
             counts: FaultCounts::default(),
         }
     }
@@ -348,6 +427,36 @@ impl FaultState {
             }
         }
         extra
+    }
+
+    /// The charged-op counter for `p` — how many instructions it has
+    /// been billed for so far. Step boundaries consult this to place
+    /// checkpoint intervals and crash points identically on both
+    /// backends.
+    pub fn ops(&self, p: ProcId) -> u64 {
+        self.ops.get(&p).copied().unwrap_or(0)
+    }
+
+    /// At a step boundary for `p`: does a crash fire now? Returns the
+    /// charged-op counter at which it fired. Scripted crashes fire once
+    /// each, at the first boundary where the counter has reached their
+    /// `at_op`; probabilistic crashes roll [`FaultPlan::crash_roll`]
+    /// against the counter and spend the crash budget.
+    pub fn take_crash(&mut self, p: ProcId) -> Option<u64> {
+        let at = self.ops(p);
+        for (i, c) in self.plan.crashes.iter().enumerate() {
+            if !self.crash_fired[i] && c.proc == p && at >= c.at_op {
+                self.crash_fired[i] = true;
+                self.counts.crashes += 1;
+                return Some(at);
+            }
+        }
+        if self.crashes_spent < self.plan.max_crashes && self.plan.crash_roll(p, at) {
+            self.crashes_spent += 1;
+            self.counts.crashes += 1;
+            return Some(at);
+        }
+        None
     }
 
     /// Decide the fate of the next transmission on `(src, dst, tag)`,
@@ -636,6 +745,47 @@ mod tests {
         let expected = cost.send_cost(1) + cost.flight + 500 + cost.recv_cost(1);
         assert_eq!(f.inner().clock(ProcId(1)), Time(expected));
         assert_eq!(f.counts().delays, 1);
+    }
+
+    #[test]
+    fn scripted_crash_fires_once_at_first_boundary_past_at_op() {
+        let plan = FaultPlan::seeded(0).with_crash(ProcId(1), 3);
+        assert!(!plan.is_none());
+        let mut st = FaultState::new(plan);
+        // Boundary before the op counter reaches 3: nothing.
+        assert_eq!(st.take_crash(ProcId(1)), None);
+        for _ in 0..5 {
+            st.stall_cycles(ProcId(1));
+        }
+        // Other processors never see it.
+        assert_eq!(st.take_crash(ProcId(0)), None);
+        // First boundary at or past op 3 fires, exactly once.
+        assert_eq!(st.take_crash(ProcId(1)), Some(5));
+        assert_eq!(st.take_crash(ProcId(1)), None);
+        assert_eq!(st.counts().crashes, 1);
+    }
+
+    #[test]
+    fn probabilistic_crashes_respect_budget_and_seed() {
+        let plan = FaultPlan::seeded(77).with_crash_rate(1000, 2);
+        assert!(!plan.is_none());
+        let mut st = FaultState::new(plan);
+        let mut fired = 0;
+        for op in 0..100 {
+            if st.take_crash(ProcId(0)).is_some() {
+                fired += 1;
+            }
+            let _ = op;
+            st.stall_cycles(ProcId(0));
+        }
+        assert_eq!(fired, 2, "budget caps probabilistic crashes");
+        // Without a budget the rate knob alone injects nothing.
+        assert!(FaultPlan::seeded(0).with_crash_rate(500, 0).is_none());
+        // Pure function of (seed, proc, op).
+        let p = FaultPlan::seeded(9).with_crash_rate(300, 1);
+        for op in 0..64 {
+            assert_eq!(p.crash_roll(ProcId(2), op), p.crash_roll(ProcId(2), op));
+        }
     }
 
     #[test]

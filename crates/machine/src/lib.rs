@@ -42,6 +42,7 @@
 //! assert_eq!(m.stats().network.messages, 1);
 //! ```
 
+pub mod checkpoint;
 mod cost;
 mod error;
 mod fabric;
@@ -56,10 +57,11 @@ mod trace;
 pub mod trace_analysis;
 pub mod trace_chrome;
 
+pub use checkpoint::{Checkpoint, CheckpointCfg, RecoveryReport};
 pub use cost::CostModel;
 pub use error::MachineError;
 pub use fabric::{Fabric, Machine};
-pub use fault::{FaultCounts, FaultDecision, FaultPlan, FaultState, FaultyFabric, Stall};
+pub use fault::{Crash, FaultCounts, FaultDecision, FaultPlan, FaultState, FaultyFabric, Stall};
 pub use message::{Message, ProcId, Tag, Time, Word};
 pub use network::Network;
 pub use reliable::{ack_tag, RelConfig, ACK_TAG_BIT};

@@ -68,6 +68,37 @@ impl Network {
         &self.sent
     }
 
+    /// Drop every queued message destined for `dst`, returning how many
+    /// were discarded. Used by crash recovery: frames in flight toward a
+    /// crashed processor are addressed to its dead incarnation and must
+    /// not survive into the restored one (the reliable layer's
+    /// retransmit path regenerates them). The cumulative `sent` counts
+    /// are *not* rewound — deliveries happened, recovery merely
+    /// invalidates them.
+    pub fn discard_to(&mut self, dst: ProcId) -> usize {
+        let mut dropped = 0;
+        for (&(_, d, _), q) in self.queues.iter_mut() {
+            if d == dst {
+                dropped += q.len();
+                q.clear();
+            }
+        }
+        dropped
+    }
+
+    /// Drop every queued message (all triples), returning how many were
+    /// discarded. Used by coordinated-checkpoint recovery, where the
+    /// whole machine rolls back to a consistent cut and deterministic
+    /// re-execution regenerates all in-flight traffic.
+    pub fn discard_all(&mut self) -> usize {
+        let mut dropped = 0;
+        for q in self.queues.values_mut() {
+            dropped += q.len();
+            q.clear();
+        }
+        dropped
+    }
+
     /// All triples that still hold undelivered messages — used in error
     /// reporting when a run finishes with orphaned traffic.
     pub fn pending_triples(&self) -> Vec<(ProcId, ProcId, Tag, usize)> {

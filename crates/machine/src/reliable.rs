@@ -121,6 +121,15 @@ pub struct SenderChan<T> {
     pub next_seq: u64,
     /// Frames sent but not yet cumulatively acknowledged.
     pub unacked: VecDeque<Pending<T>>,
+    /// Live-delivery floor: every sequence number below this has been
+    /// *received* by the peer, even if its checkpoint-lagged stable ack
+    /// hasn't caught up. Frames below the floor stay in the window (they
+    /// are the crash-replay suffix) but are never retransmitted on
+    /// timer, never accumulate retries, and never wake the timer — the
+    /// peer has them. A restored peer rolls the floor back by acking
+    /// with its rolled-back cumulative, which re-arms exactly the suffix
+    /// it lost.
+    pub delivered: u64,
 }
 
 // Manual impl: the derive would demand `T: Default`, but an empty window
@@ -137,6 +146,7 @@ impl<T> SenderChan<T> {
         SenderChan {
             next_seq: 0,
             unacked: VecDeque::new(),
+            delivered: 0,
         }
     }
 
@@ -151,6 +161,104 @@ impl<T> SenderChan<T> {
         }
         retired
     }
+
+    /// An acknowledgement arrived on this stream — whatever its value,
+    /// the peer is alive and ingesting. Reset the retry counters so that
+    /// retry exhaustion means "peer silent", not "cumulative ack lagging
+    /// behind": a checkpointing peer deliberately advertises its stable
+    /// floor instead of the live cumulative, which can hold the window
+    /// open across many retransmission rounds.
+    pub fn mark_alive(&mut self) {
+        for p in &mut self.unacked {
+            p.retries = 0;
+        }
+    }
+
+    /// Apply the live-delivery component of an acknowledgement. Forward
+    /// movement just raises the floor; a *rollback* (`live` below the
+    /// current floor) is a restored peer soliciting replay of the suffix
+    /// it lost in a crash — re-arm those frames to fire at `now` so the
+    /// next timer service retransmits them immediately.
+    pub fn set_live(&mut self, live: u64, now: T)
+    where
+        T: Clone,
+    {
+        if live < self.delivered {
+            for p in &mut self.unacked {
+                if p.seq >= live {
+                    p.retries = 0;
+                    p.deadline = now.clone();
+                }
+            }
+        }
+        self.delivered = live;
+    }
+
+    /// A deadline-free snapshot of this stream for a checkpoint. The two
+    /// backends use different deadline types (logical [`Time`] vs
+    /// `Instant`), and a deadline is meaningless across a crash anyway,
+    /// so deadlines and retry counts are re-armed at restore time.
+    pub fn snapshot(&self) -> SenderSnapshot {
+        SenderSnapshot {
+            next_seq: self.next_seq,
+            unacked: self
+                .unacked
+                .iter()
+                .map(|p| (p.seq, p.frame.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a stream from a snapshot, arming every unacked frame with
+    /// `deadline` (typically now + one RTO) and a fresh retry count. The
+    /// delivered floor restarts at zero — "assume nothing got through" —
+    /// so the whole restored window is eligible for replay; the first
+    /// ack from the (never-crashed, fully caught-up) peer raises it back.
+    pub fn from_snapshot(snap: &SenderSnapshot, deadline: T) -> Self
+    where
+        T: Clone,
+    {
+        SenderChan {
+            next_seq: snap.next_seq,
+            unacked: snap
+                .unacked
+                .iter()
+                .map(|(seq, frame)| Pending {
+                    seq: *seq,
+                    frame: frame.clone(),
+                    retries: 0,
+                    deadline: deadline.clone(),
+                })
+                .collect(),
+            delivered: 0,
+        }
+    }
+}
+
+/// Deadline-free checkpoint image of one [`SenderChan`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SenderSnapshot {
+    /// Sequence number the next send will use.
+    pub next_seq: u64,
+    /// `(seq, wire frame)` pairs of the unacked window, oldest first.
+    pub unacked: Vec<(u64, Vec<Word>)>,
+}
+
+/// Checkpoint image of one [`RecvChan`]. Arrival stamps are preserved
+/// verbatim: the simulator needs them bit-exact for deterministic replay,
+/// and the threaded backend ignores them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecvSnapshot {
+    /// Next expected sequence number.
+    pub expected: u64,
+    /// Out-of-order stash: `(seq, arrival, payload)`.
+    pub ooo: Vec<(u64, Time, Vec<Word>)>,
+    /// In-order payloads not yet consumed by the program.
+    pub ready: Vec<(Time, Vec<Word>)>,
+    /// Duplicate frames discarded so far.
+    pub dups: u64,
+    /// Largest reordering gap observed so far.
+    pub max_gap: u64,
 }
 
 /// Receive side of one `(src, tag)` stream: in-order reassembly with
@@ -202,6 +310,36 @@ impl RecvChan {
     /// below this has been received.
     pub fn cumulative(&self) -> u64 {
         self.expected
+    }
+
+    /// Checkpoint image of this stream.
+    pub fn snapshot(&self) -> RecvSnapshot {
+        RecvSnapshot {
+            expected: self.expected,
+            ooo: self
+                .ooo
+                .iter()
+                .map(|(seq, (t, p))| (*seq, *t, p.clone()))
+                .collect(),
+            ready: self.ready.iter().cloned().collect(),
+            dups: self.dups,
+            max_gap: self.max_gap,
+        }
+    }
+
+    /// Rebuild a stream from a checkpoint image.
+    pub fn from_snapshot(snap: &RecvSnapshot) -> Self {
+        RecvChan {
+            expected: snap.expected,
+            ooo: snap
+                .ooo
+                .iter()
+                .map(|(seq, t, p)| (*seq, (*t, p.clone())))
+                .collect(),
+            ready: snap.ready.iter().cloned().collect(),
+            dups: snap.dups,
+            max_gap: snap.max_gap,
+        }
     }
 }
 
@@ -270,6 +408,42 @@ mod tests {
         assert_eq!(r.dups, 1);
         assert_eq!(r.cumulative(), 2);
         assert!(r.ready.is_empty());
+    }
+
+    #[test]
+    fn channel_snapshots_round_trip() {
+        let mut s: SenderChan<Time> = SenderChan::new();
+        s.next_seq = 3;
+        for seq in 1..3 {
+            s.unacked.push_back(Pending {
+                seq,
+                frame: frame(seq, &[seq as Word * 10]),
+                retries: 2,
+                deadline: Time(99),
+            });
+        }
+        let snap = s.snapshot();
+        let back: SenderChan<Time> = SenderChan::from_snapshot(&snap, Time(7));
+        assert_eq!(back.next_seq, 3);
+        assert_eq!(back.unacked.len(), 2);
+        // Deadlines and retries are re-armed, frames preserved.
+        assert_eq!(back.unacked[0].deadline, Time(7));
+        assert_eq!(back.unacked[0].retries, 0);
+        assert_eq!(back.unacked[1].frame, frame(2, &[20]));
+
+        let mut r = RecvChan::new();
+        r.on_frame(0, Time(5), vec![1]);
+        r.on_frame(3, Time(6), vec![4]); // stashed with a gap
+        let rs = r.snapshot();
+        let rb = RecvChan::from_snapshot(&rs);
+        assert_eq!(rb.cumulative(), 1);
+        assert_eq!(rb.ready, r.ready);
+        assert_eq!(rb.max_gap, r.max_gap);
+        // The restored stash still unlocks in order.
+        let mut rb = rb;
+        rb.on_frame(1, Time(7), vec![2]);
+        rb.on_frame(2, Time(8), vec![3]);
+        assert_eq!(rb.cumulative(), 4);
     }
 
     #[test]

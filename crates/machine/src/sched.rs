@@ -1,12 +1,13 @@
 //! The deterministic scheduler.
 
+use crate::checkpoint::{Checkpoint, CheckpointCfg, RecoveryReport};
 use crate::cost::CostModel;
 use crate::error::MachineError;
 use crate::fabric::{Fabric, Machine};
 use crate::fault::{FaultPlan, FaultState};
 use crate::message::{ProcId, Tag, Time, Word};
 use crate::reliable::{
-    ack_tag, frame, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
+    ack_tag, frame, is_ack_tag, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
 };
 use crate::stats::{FaultReport, MachineStats};
 use crate::trace::{EventKind, Trace};
@@ -46,6 +47,24 @@ pub enum Step {
 pub trait Process {
     /// Execute one step on processor `me`.
     fn step(&mut self, fabric: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError>;
+
+    /// Serialize the process's complete execution state — program
+    /// counter, registers, memory, everything [`restore`](Process::restore)
+    /// needs to resume as if nothing happened — for a
+    /// [`Checkpoint`](crate::Checkpoint). `None` (the default) means the
+    /// process cannot be checkpointed, and requesting crash recovery for
+    /// it fails with [`MachineError::CheckpointUnsupported`].
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Reinstate state captured by [`snapshot`](Process::snapshot),
+    /// returning `false` if the image is unusable. The default restores
+    /// nothing.
+    fn restore(&mut self, state: &[u8]) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// Outcome of a completed run.
@@ -73,6 +92,10 @@ pub struct RunReport {
     /// Fault-injection and reliable-delivery accounting; `None` when the
     /// run used the raw fabric.
     pub fault: Option<FaultReport>,
+    /// Checkpoint/restart accounting; `None` unless checkpointing was
+    /// configured ([`Scheduler::run_recoverable`] with a
+    /// [`CheckpointCfg`], or `Job::with_checkpoints` at the driver).
+    pub recovery: Option<RecoveryReport>,
     /// The event trace of the run — empty unless tracing was enabled
     /// ([`Machine::with_trace`](crate::Machine::with_trace) on the
     /// simulator, [`ThreadedRunner::with_trace`](crate::ThreadedRunner::with_trace)
@@ -222,6 +245,7 @@ impl Scheduler {
             pair_messages: machine.pair_counts(),
             pending: machine.pending_triples(),
             fault: None,
+            recovery: None,
             trace: machine.snapshot_trace(),
         })
     }
@@ -255,6 +279,46 @@ impl Scheduler {
         plan: &FaultPlan,
         cfg: RelConfig,
     ) -> Result<RunReport, MachineError> {
+        self.run_recoverable(machine, processes, plan, cfg, None)
+    }
+
+    /// [`run_faulty`](Scheduler::run_faulty) with crash recovery: when
+    /// `ckpt` is set, every processor's complete state (process image,
+    /// reliable-delivery windows, logical counters) is checkpointed at
+    /// the configured charged-op interval, and a processor the `plan`
+    /// crashes is restarted from its last [`Checkpoint`] — the reliable
+    /// layer's retransmissions replay the lost suffix and the peers'
+    /// duplicate suppression makes the recovery transparent.
+    ///
+    /// In independent mode (the default) only the crashed processor rolls
+    /// back: receivers advertise *lagged* acks (the position of their
+    /// last checkpoint), so peers' retransmission windows always hold the
+    /// replay suffix. In [`coordinated`](CheckpointCfg::coordinated) mode
+    /// all processors snapshot at one scheduler round boundary and all
+    /// roll back together, with in-flight traffic discarded and
+    /// regenerated by deterministic re-execution.
+    ///
+    /// Everything, the reboot delay included, runs in logical time:
+    /// identical inputs give bit-identical reports, crashes and all.
+    ///
+    /// # Errors
+    ///
+    /// The [`run_faulty`](Scheduler::run_faulty) errors, plus
+    /// [`MachineError::CheckpointUnsupported`] when a process cannot
+    /// snapshot, and [`MachineError::Crashed`] when a processor crashes
+    /// with no checkpointing configured and everyone else still finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len() != machine.n_procs()`.
+    pub fn run_recoverable(
+        &self,
+        machine: &mut Machine,
+        processes: &mut [&mut dyn Process],
+        plan: &FaultPlan,
+        cfg: RelConfig,
+        ckpt: Option<CheckpointCfg>,
+    ) -> Result<RunReport, MachineError> {
         assert_eq!(
             processes.len(),
             machine.n_procs(),
@@ -264,13 +328,69 @@ impl Scheduler {
         let mut fault = FaultState::new(plan.clone());
         let mut rel = RelState::new(n, cfg);
         let mut done = vec![false; n];
+        let mut dead = vec![false; n];
+        let mut first_crash: Option<(ProcId, u64)> = None;
         let mut last_block: Vec<Option<(ProcId, Tag)>> = vec![None; n];
         let mut steps: u64 = 0;
+        let mut solicit_attempts: u32 = 0;
+        let mut recovery = ckpt.map(|cfg| RecoveryCtl::new(cfg, n));
+        if let Some(rc) = &mut recovery {
+            if !rc.cfg.coordinated {
+                // Independent mode lags acknowledgements behind the last
+                // checkpoint from the very start.
+                for st in rel.stable.iter_mut() {
+                    *st = Some(BTreeMap::new());
+                }
+            }
+            // Initial checkpoint of every processor, so a restore target
+            // exists whatever the crash point. Free: the launch image
+            // exists before the clocks start.
+            for p in 0..n {
+                rc.ckpts[p] = snapshot_proc(
+                    machine,
+                    &rel,
+                    &fault,
+                    processes,
+                    ProcId(p),
+                    &rc.cfg,
+                    &mut rc.report,
+                    false,
+                )?;
+                rc.mark_taken(p, machine.clock(ProcId(p)));
+            }
+        }
         loop {
+            // Coordinated snapshots happen between rounds: every
+            // processor is at a step boundary, so the cut is barrier
+            // aligned by construction.
+            if let Some(rc) = &mut recovery {
+                if rc.cfg.coordinated {
+                    let min_ops = (0..n).map(|q| fault.ops(ProcId(q))).min().unwrap_or(0);
+                    if min_ops >= rc.global_last_op + rc.cfg.interval_ops {
+                        for q in 0..n {
+                            rc.ckpts[q] = snapshot_proc(
+                                machine,
+                                &rel,
+                                &fault,
+                                processes,
+                                ProcId(q),
+                                &rc.cfg,
+                                &mut rc.report,
+                                true,
+                            )?;
+                        }
+                        rc.global_last_op = min_ops;
+                    }
+                }
+            }
             let round_activity = rel.activity;
             let mut progressed = false;
-            for p in 0..n {
+            let mut global_rollback: Option<(ProcId, u64)> = None;
+            'round: for p in 0..n {
                 let me = ProcId(p);
+                if dead[p] {
+                    continue;
+                }
                 if done[p] {
                     // A finished process still owes the protocol: ingest
                     // late frames, re-ack retransmissions, retire acks,
@@ -309,6 +429,78 @@ impl Scheduler {
                         Step::Ran => {
                             progressed = true;
                             last_block[p] = None;
+                            // Step boundary: checkpoint first (so a crash
+                            // landing on the same boundary restores with a
+                            // zero-op replay), then roll the crash dice.
+                            if let Some(rc) = &mut recovery {
+                                if !rc.cfg.coordinated
+                                    && fault.ops(me) >= rc.last_ckpt_op[p] + rc.cfg.interval_ops
+                                    && rc.cfg.amortized(
+                                        rc.last_ckpt_at[p],
+                                        rc.last_ckpt_cost[p],
+                                        machine.clock(me),
+                                    )
+                                {
+                                    rc.ckpts[p] = snapshot_proc(
+                                        machine,
+                                        &rel,
+                                        &fault,
+                                        processes,
+                                        me,
+                                        &rc.cfg,
+                                        &mut rc.report,
+                                        true,
+                                    )?;
+                                    rc.last_ckpt_op[p] = fault.ops(me);
+                                    rc.mark_taken(p, machine.clock(me));
+                                    advance_stable_floors(&mut rel, me);
+                                }
+                            }
+                            if let Some(crash_op) = fault.take_crash(me) {
+                                match &mut recovery {
+                                    Some(rc) if rc.cfg.coordinated => {
+                                        global_rollback = Some((me, crash_op));
+                                        break 'round;
+                                    }
+                                    Some(rc) => {
+                                        restore_proc(
+                                            machine,
+                                            &mut rel,
+                                            &mut fault,
+                                            processes,
+                                            me,
+                                            crash_op,
+                                            &rc.ckpts[p],
+                                            &rc.cfg,
+                                            &mut rc.report,
+                                        )?;
+                                        rc.last_ckpt_op[p] = crash_op;
+                                        // Pacing restarts from the restore
+                                        // point; the restored image's cost
+                                        // still amortizes the next snapshot.
+                                        rc.last_ckpt_at[p] = machine.clock(me);
+                                        break;
+                                    }
+                                    None => {
+                                        // No checkpoint to restore from: the
+                                        // processor is simply gone. Its own
+                                        // windows are cleared so termination
+                                        // ignores it; peers retransmitting to
+                                        // it exhaust their retries and name
+                                        // it as the suspected-dead peer.
+                                        let at = machine.clock(me);
+                                        machine.trace_mut().record(
+                                            me,
+                                            at,
+                                            EventKind::Crash { at_op: crash_op },
+                                        );
+                                        dead[p] = true;
+                                        first_crash.get_or_insert((me, crash_op));
+                                        rel.procs[p].senders.clear();
+                                        break;
+                                    }
+                                }
+                            }
                             quantum -= 1;
                             if quantum == 0 {
                                 break;
@@ -316,6 +508,14 @@ impl Scheduler {
                         }
                         Step::BlockedOnRecv { src, tag } => {
                             last_block[p] = Some((src, tag));
+                            // A blocked processor's NIC still services every
+                            // other stream — ingest and ack cross-traffic so
+                            // peers sending to us don't exhaust their retries
+                            // against a processor that is merely waiting.
+                            // (The threaded backend's pump drains all streams;
+                            // this keeps the backends' protocol behaviour
+                            // aligned.)
+                            rel.pump_all_data(machine, &mut fault, me);
                             // The pump may have just completed the stream;
                             // retry immediately if so. No parking otherwise:
                             // the next frame may need a retransmission that
@@ -324,19 +524,77 @@ impl Scheduler {
                                 progressed = true;
                                 continue;
                             }
+                            rel.recv_keepalive(machine, &mut fault, me, src, tag);
                             break;
                         }
                         Step::Done => {
                             done[p] = true;
                             machine.finish(me);
                             progressed = true;
+                            if let Some(rc) = &mut recovery {
+                                if !rc.cfg.coordinated {
+                                    // Final checkpoint makes the finished
+                                    // state durable; from here the processor
+                                    // advertises live acks so peers' windows
+                                    // drain and the run can terminate. Free:
+                                    // op-indexed crashes can't land after the
+                                    // last op, so this image is never a
+                                    // replay target.
+                                    rc.ckpts[p] = snapshot_proc(
+                                        machine,
+                                        &rel,
+                                        &fault,
+                                        processes,
+                                        me,
+                                        &rc.cfg,
+                                        &mut rc.report,
+                                        false,
+                                    )?;
+                                    rc.last_ckpt_op[p] = fault.ops(me);
+                                    rel.stable[p] = None;
+                                    let streams: Vec<(ProcId, Tag)> =
+                                        rel.procs[p].recvs.keys().copied().collect();
+                                    for (src, tag) in streams {
+                                        let cum = rel.procs[p].recvs[&(src, tag)].cumulative();
+                                        fault.dispatch(
+                                            machine,
+                                            me,
+                                            src,
+                                            ack_tag(tag),
+                                            vec![cum as Word, cum as Word],
+                                        );
+                                        rel.acks_sent += 1;
+                                    }
+                                }
+                            }
                             break;
                         }
                     }
                 }
             }
-            if done.iter().all(|&d| d) && rel.all_acked() {
+            if let Some((victim, crash_op)) = global_rollback {
+                let rc = recovery
+                    .as_mut()
+                    .expect("coordinated rollback implies recovery state");
+                restore_all(
+                    machine,
+                    &mut rel,
+                    processes,
+                    victim,
+                    crash_op,
+                    &rc.ckpts,
+                    &rc.cfg,
+                    &fault,
+                    &mut rc.report,
+                    &mut done,
+                )?;
+                continue;
+            }
+            if (0..n).all(|p| done[p] || dead[p]) && rel.all_acked() {
                 break;
+            }
+            if progressed {
+                solicit_attempts = 0;
             }
             if !progressed && rel.activity == round_activity {
                 // Nothing moved on its own. If a retransmission timer is
@@ -352,14 +610,62 @@ impl Scheduler {
                         continue;
                     }
                 }
+                // A finished peer can no longer crash — its op-indexed
+                // faults are exhausted — so delivered-but-unstable frames
+                // held as its replay suffix are dead weight, and if the
+                // peer's final live ack was dropped nothing else will ever
+                // retire them. Retiring them here mirrors the threaded
+                // backend, where a finished peer's channel hang-up clears
+                // the sender's window.
+                let mut retired = false;
+                for rp in rel.procs.iter_mut() {
+                    for (&(dst, _), chan) in rp.senders.iter_mut() {
+                        if done[dst.0]
+                            && !chan.unacked.is_empty()
+                            && chan.unacked.iter().all(|f| f.seq < chan.delivered)
+                        {
+                            chan.unacked.clear();
+                            retired = true;
+                        }
+                    }
+                }
+                if retired {
+                    continue;
+                }
+                // Replay solicitation of last resort: with every timer
+                // suppressed by delivered floors, a blocked checkpoint-mode
+                // receiver re-advertises its floors before we give up. The
+                // attempt bound outlasts any bounded fault budget while a
+                // genuine cycle still terminates as a deadlock.
+                if solicit_attempts < 16 {
+                    solicit_attempts += 1;
+                    let mut fired = 0;
+                    for (p, b) in last_block.iter().enumerate() {
+                        if done[p] || dead[p] {
+                            continue;
+                        }
+                        if let Some((src, tag)) = b {
+                            fired +=
+                                rel.force_keepalive(machine, &mut fault, ProcId(p), *src, *tag);
+                        }
+                    }
+                    if fired > 0 {
+                        continue;
+                    }
+                }
                 let waiting = last_block
                     .iter()
                     .enumerate()
-                    .filter(|(p, _)| !done[*p])
+                    .filter(|(p, _)| !done[*p] && !dead[*p])
                     .filter_map(|(p, b)| b.map(|(src, tag)| (ProcId(p), src, tag)))
                     .collect();
                 return Err(MachineError::Deadlock { waiting });
             }
+        }
+        if let Some((proc, at_op)) = first_crash {
+            // Everyone else finished cleanly, but a processor died
+            // unrecoverably along the way — the run is not a success.
+            return Err(MachineError::Crashed { proc, at_op });
         }
         Ok(RunReport {
             stats: machine.stats(),
@@ -376,8 +682,319 @@ impl Scheduler {
                 max_gap: rel.max_gap(),
                 raw_leftover: machine.undelivered(),
             }),
+            recovery: recovery.map(|rc| rc.report),
         })
     }
+}
+
+/// Bookkeeping for an actively checkpointed run.
+struct RecoveryCtl {
+    cfg: CheckpointCfg,
+    /// Serialized last checkpoint per processor — stored as wire bytes so
+    /// every restore also exercises the parse path.
+    ckpts: Vec<Vec<u8>>,
+    /// Op counter at each processor's last checkpoint (independent mode).
+    last_ckpt_op: Vec<u64>,
+    /// Logical clock and charged cost of each processor's last
+    /// checkpoint, for cost-amortized pacing
+    /// ([`CheckpointCfg::amortized`]).
+    last_ckpt_at: Vec<Time>,
+    last_ckpt_cost: Vec<u64>,
+    /// Minimum op counter at the last global snapshot (coordinated mode).
+    global_last_op: u64,
+    report: RecoveryReport,
+}
+
+impl RecoveryCtl {
+    fn new(cfg: CheckpointCfg, n: usize) -> Self {
+        RecoveryCtl {
+            cfg,
+            ckpts: vec![Vec::new(); n],
+            last_ckpt_op: vec![0; n],
+            last_ckpt_at: vec![Time(0); n],
+            last_ckpt_cost: vec![0; n],
+            global_last_op: 0,
+            report: RecoveryReport::default(),
+        }
+    }
+
+    /// Record pacing state for a checkpoint of `p` just taken at `now`.
+    fn mark_taken(&mut self, p: usize, now: Time) {
+        self.last_ckpt_at[p] = now;
+        self.last_ckpt_cost[p] = self.cfg.checkpoint_cost(self.ckpts[p].len());
+    }
+}
+
+/// Serialize `me`'s complete state into a restorable checkpoint image.
+///
+/// `charge` puts the snapshot cost on the processor's clock. Mid-run
+/// checkpoints charge; the initial image is provisioned before the
+/// clocks start, and the final one is an off-critical-path flush —
+/// crashes are op-indexed, so none can land after the last op and the
+/// final image is never a replay target (it only flips the protocol to
+/// live acknowledgements).
+#[allow(clippy::too_many_arguments)]
+fn snapshot_proc(
+    m: &mut Machine,
+    rel: &RelState,
+    fault: &FaultState,
+    processes: &mut [&mut dyn Process],
+    me: ProcId,
+    cfg: &CheckpointCfg,
+    recov: &mut RecoveryReport,
+    charge: bool,
+) -> Result<Vec<u8>, MachineError> {
+    let Some(process) = processes[me.0].snapshot() else {
+        return Err(MachineError::CheckpointUnsupported { proc: me });
+    };
+    let rp = &rel.procs[me.0];
+    let ckpt = Checkpoint {
+        proc: me,
+        at_op: fault.ops(me),
+        taken_at: m.clock(me),
+        process,
+        senders: rp
+            .senders
+            .iter()
+            .map(|(&(d, t), c)| (d, t, c.snapshot()))
+            .collect(),
+        recvs: rp
+            .recvs
+            .iter()
+            .map(|(&(s, t), c)| (s, t, c.snapshot()))
+            .collect(),
+        sent: rel
+            .logical_sent
+            .iter()
+            .filter(|(&(s, _, _), _)| s == me)
+            .map(|(&(_, d, t), &v)| (d, t, v))
+            .collect(),
+        recvd: rel
+            .logical_recvd
+            .iter()
+            .filter(|(&(_, d, _), _)| d == me)
+            .map(|(&(s, _, t), &v)| (s, t, v))
+            .collect(),
+        stable: rp
+            .recvs
+            .iter()
+            .map(|(&(s, t), c)| (s, t, c.cumulative()))
+            .collect(),
+    };
+    let bytes = ckpt.to_bytes();
+    if charge {
+        m.busy(me, cfg.checkpoint_cost(bytes.len()));
+    }
+    let at = m.clock(me);
+    m.trace_mut().record(
+        me,
+        at,
+        EventKind::CheckpointTaken {
+            at_op: ckpt.at_op,
+            bytes: bytes.len() as u64,
+        },
+    );
+    recov.checkpoints_taken += 1;
+    recov.bytes_snapshotted += bytes.len() as u64;
+    Ok(bytes)
+}
+
+/// After an independent-mode checkpoint of `me`, advance its stable ack
+/// floors to the just-snapshotted cumulative positions. The new floors
+/// are not proactively re-acked: each piggybacks on the next batch ack
+/// of its stream, and a stream that has gone quiet is drained by the
+/// final live acks at completion. An iPSC-style ack costs real receive
+/// cycles at the peer, so announcing floors eagerly would tax exactly
+/// the fault-free runs checkpointing is supposed to leave alone —
+/// meanwhile the peer's delivered floor already suppresses every
+/// retransmission of the frames the stale stable floor still covers.
+fn advance_stable_floors(rel: &mut RelState, me: ProcId) {
+    let new_floors: BTreeMap<(ProcId, Tag), u64> = rel.procs[me.0]
+        .recvs
+        .iter()
+        .map(|(&k, c)| (k, c.cumulative()))
+        .collect();
+    rel.stable[me.0] = Some(new_floors);
+}
+
+/// Independent-mode crash recovery: roll `me` — and only `me` — back to
+/// its last checkpoint. Surviving peers' retransmission windows hold the
+/// lost suffix (their acks were lagged to this very checkpoint), and
+/// their duplicate suppression absorbs the restored processor's replayed
+/// sends, so nobody else moves.
+#[allow(clippy::too_many_arguments)]
+fn restore_proc(
+    m: &mut Machine,
+    rel: &mut RelState,
+    fault: &mut FaultState,
+    processes: &mut [&mut dyn Process],
+    me: ProcId,
+    crash_op: u64,
+    bytes: &[u8],
+    cfg: &CheckpointCfg,
+    recov: &mut RecoveryReport,
+) -> Result<(), MachineError> {
+    let ckpt = Checkpoint::from_bytes(bytes).expect("internally written checkpoint parses");
+    let t_crash = m.clock(me);
+    m.trace_mut()
+        .record(me, t_crash, EventKind::Crash { at_op: crash_op });
+    if !processes[me.0].restore(&ckpt.process) {
+        return Err(MachineError::CheckpointUnsupported { proc: me });
+    }
+    // Frames in flight toward the dead incarnation are stale; the
+    // reliable layer regenerates anything that matters.
+    m.discard_incoming(me);
+    m.advance_clock_to(me, t_crash.plus(cfg.reboot_cycles));
+    let now = m.clock(me);
+    let rearm = now.plus(rel.cfg.rto_cycles);
+    let rp = &mut rel.procs[me.0];
+    rp.senders = ckpt
+        .senders
+        .iter()
+        .map(|(dst, tag, s)| ((*dst, *tag), SenderChan::from_snapshot(s, rearm)))
+        .collect();
+    rp.recvs = ckpt
+        .recvs
+        .iter()
+        .map(|(src, tag, r)| ((*src, *tag), RecvChan::from_snapshot(r)))
+        .collect();
+    rel.logical_sent.retain(|&(s, _, _), _| s != me);
+    for (dst, tag, v) in &ckpt.sent {
+        rel.logical_sent.insert((me, *dst, *tag), *v);
+    }
+    rel.logical_recvd.retain(|&(_, d, _), _| d != me);
+    for (src, tag, v) in &ckpt.recvd {
+        rel.logical_recvd.insert((*src, me, *tag), *v);
+    }
+    rel.stable[me.0] = Some(ckpt.stable.iter().map(|(s, t, v)| ((*s, *t), *v)).collect());
+    rel.procs[me.0].keepalive.clear();
+    // Solicit replay: re-advertise the rolled-back cumulative on every
+    // receive stream. Peers see the live component drop below their
+    // delivered floor and immediately re-arm the suffix this incarnation
+    // lost. (If this ack is dropped by the fabric, the keepalive path
+    // re-sends it once we block starved.)
+    let solicits: Vec<(ProcId, Tag, u64)> = rel.procs[me.0]
+        .recvs
+        .iter()
+        .map(|(&(src, tag), c)| (src, tag, c.cumulative()))
+        .collect();
+    for (src, tag, cum) in solicits {
+        fault.dispatch(m, me, src, ack_tag(tag), vec![cum as Word, cum as Word]);
+        rel.acks_sent += 1;
+    }
+    for (dst, tag, s) in &ckpt.senders {
+        for (seq, _) in &s.unacked {
+            m.trace_mut().record(
+                me,
+                now,
+                EventKind::ReplayedFrame {
+                    dst: *dst,
+                    tag: *tag,
+                    seq: *seq,
+                },
+            );
+        }
+    }
+    m.trace_mut().record(
+        me,
+        now,
+        EventKind::Restore {
+            from_op: ckpt.at_op,
+            replayed: crash_op.saturating_sub(ckpt.at_op),
+        },
+    );
+    recov.crashes_survived += 1;
+    recov.replayed_ops += crash_op.saturating_sub(ckpt.at_op);
+    recov.replay_frames += ckpt.window_frames();
+    recov.recovery_cycles += cfg.reboot_cycles;
+    rel.activity += 1;
+    Ok(())
+}
+
+/// Coordinated-mode crash recovery: roll *every* processor back to the
+/// last barrier-aligned global cut, discard all in-flight traffic, and
+/// let deterministic re-execution regenerate it bit-identically.
+/// Survivors' clocks are not rolled back — the re-executed work is
+/// charged again, which is the honest cost of coordinated recovery.
+#[allow(clippy::too_many_arguments)]
+fn restore_all(
+    m: &mut Machine,
+    rel: &mut RelState,
+    processes: &mut [&mut dyn Process],
+    victim: ProcId,
+    crash_op: u64,
+    ckpts: &[Vec<u8>],
+    cfg: &CheckpointCfg,
+    fault: &FaultState,
+    recov: &mut RecoveryReport,
+    done: &mut [bool],
+) -> Result<(), MachineError> {
+    let t_crash = m.clock(victim);
+    m.trace_mut()
+        .record(victim, t_crash, EventKind::Crash { at_op: crash_op });
+    m.discard_all_in_flight();
+    m.advance_clock_to(victim, t_crash.plus(cfg.reboot_cycles));
+    rel.logical_sent.clear();
+    rel.logical_recvd.clear();
+    let mut from_op = 0;
+    for q in 0..processes.len() {
+        let qid = ProcId(q);
+        let ckpt = Checkpoint::from_bytes(&ckpts[q]).expect("internally written checkpoint parses");
+        if !processes[q].restore(&ckpt.process) {
+            return Err(MachineError::CheckpointUnsupported { proc: qid });
+        }
+        let rearm = m.clock(qid).plus(rel.cfg.rto_cycles);
+        let rp = &mut rel.procs[q];
+        rp.senders = ckpt
+            .senders
+            .iter()
+            .map(|(dst, tag, s)| ((*dst, *tag), SenderChan::from_snapshot(s, rearm)))
+            .collect();
+        rp.recvs = ckpt
+            .recvs
+            .iter()
+            .map(|(src, tag, r)| ((*src, *tag), RecvChan::from_snapshot(r)))
+            .collect();
+        for (dst, tag, v) in &ckpt.sent {
+            rel.logical_sent.insert((qid, *dst, *tag), *v);
+        }
+        for (src, tag, v) in &ckpt.recvd {
+            rel.logical_recvd.insert((*src, qid, *tag), *v);
+        }
+        for (dst, tag, s) in &ckpt.senders {
+            for (seq, _) in &s.unacked {
+                let at = m.clock(qid);
+                m.trace_mut().record(
+                    qid,
+                    at,
+                    EventKind::ReplayedFrame {
+                        dst: *dst,
+                        tag: *tag,
+                        seq: *seq,
+                    },
+                );
+            }
+        }
+        recov.replayed_ops += fault.ops(qid).saturating_sub(ckpt.at_op);
+        recov.replay_frames += ckpt.window_frames();
+        done[q] = false;
+        if q == victim.0 {
+            from_op = ckpt.at_op;
+        }
+    }
+    let at = m.clock(victim);
+    m.trace_mut().record(
+        victim,
+        at,
+        EventKind::Restore {
+            from_op,
+            replayed: crash_op.saturating_sub(from_op),
+        },
+    );
+    recov.crashes_survived += 1;
+    recov.recovery_cycles += cfg.reboot_cycles;
+    rel.activity += 1;
+    Ok(())
 }
 
 /// Per-processor protocol state for a reliable simulated run.
@@ -387,6 +1004,10 @@ struct RelProc {
     senders: BTreeMap<(ProcId, Tag), SenderChan<Time>>,
     /// Receive side, one stream per `(src, tag)`.
     recvs: BTreeMap<(ProcId, Tag), RecvChan>,
+    /// Keepalive pacing per starved receive stream
+    /// ([`RelState::recv_keepalive`]): clock of the last keepalive ack
+    /// and blocked rounds since it.
+    keepalive: BTreeMap<(ProcId, Tag), (Time, u64)>,
 }
 
 /// Whole-machine protocol state for [`Scheduler::run_faulty`].
@@ -407,6 +1028,14 @@ struct RelState {
     activity: u64,
     /// First fatal protocol error, surfaced after the faulting step.
     fatal: Option<MachineError>,
+    /// Per-processor stable ack floors for independent-mode
+    /// checkpointing: `Some(map)` means acks for `(src, tag)` advertise
+    /// the floor (the stream position as of the last checkpoint, 0 for
+    /// streams the checkpoint predates) instead of the live cumulative,
+    /// so peers keep everything newer in their retransmission windows.
+    /// `None` — no checkpointing, or a finished processor — advertises
+    /// live.
+    stable: Vec<Option<BTreeMap<(ProcId, Tag), u64>>>,
 }
 
 impl RelState {
@@ -420,6 +1049,7 @@ impl RelState {
             acks_sent: 0,
             activity: 0,
             fatal: None,
+            stable: vec![None; n],
         }
     }
 
@@ -431,6 +1061,7 @@ impl RelState {
         for (dst, tag) in chans {
             while let Some(msg) = m.take_raw(me, dst, ack_tag(tag)) {
                 let cum = msg.payload[0] as u64;
+                let live = msg.payload.get(1).map_or(cum, |&w| w as u64);
                 let cost = m.cost_model().recv_cost(1);
                 m.busy(me, cost);
                 let chan = self.procs[me.0]
@@ -439,6 +1070,8 @@ impl RelState {
                     .expect("chan exists: key came from the map");
                 chan.ack(cum);
                 let now = m.clock(me);
+                chan.set_live(live, now);
+                chan.mark_alive();
                 m.trace_mut().record(
                     me,
                     now,
@@ -474,27 +1107,125 @@ impl RelState {
         }
         if drained > 0 {
             self.activity += drained;
-            let cum = self.procs[me.0].recvs[&(src, tag)].cumulative();
-            fault.dispatch(m, me, src, ack_tag(tag), vec![cum as Word]);
+            let live = self.procs[me.0].recvs[&(src, tag)].cumulative();
+            let adv = match &self.stable[me.0] {
+                Some(floors) => floors.get(&(src, tag)).copied().unwrap_or(0),
+                None => live,
+            };
+            fault.dispatch(m, me, src, ack_tag(tag), vec![adv as Word, live as Word]);
             self.acks_sent += 1;
         }
     }
 
-    /// [`pump_data`](RelState::pump_data) over every stream `me` has ever
-    /// received on — housekeeping for finished processes.
+    /// Keepalive ack for a stream the program is blocked receiving on,
+    /// rate-limited to one per RTO. This is the lost-rollback safety
+    /// net: a restored processor's replay solicitation travels through
+    /// the same faulty fabric as everything else, and if it's dropped
+    /// the sender — whose delivered floor says we already have those
+    /// frames — would never retransmit. Re-advertising our cumulative
+    /// while starved re-triggers the rollback until data flows again.
+    fn recv_keepalive(
+        &mut self,
+        m: &mut Machine,
+        fault: &mut FaultState,
+        me: ProcId,
+        src: ProcId,
+        tag: Tag,
+    ) {
+        // Only checkpoint-lagged receivers solicit: without a stable
+        // floor in play the ordinary retransmission timers already cover
+        // every loss, and extra acks would just perturb the fabric.
+        let Some(floors) = &self.stable[me.0] else {
+            return;
+        };
+        let adv = floors.get(&(src, tag)).copied().unwrap_or(0);
+        // A missing chan still keepalives at floor zero: a receiver
+        // restored from a pre-traffic checkpoint has no recv streams at
+        // all, yet its peers' delivered floors may sit above everything
+        // it lost — the zero advertisement is what rolls them back.
+        let live = self.procs[me.0]
+            .recvs
+            .get(&(src, tag))
+            .map_or(0, |chan| chan.cumulative());
+        let now = m.clock(me);
+        // Pace by the blocked processor's clock *or* by blocked rounds:
+        // a starved processor's logical clock freezes, so a pure clock
+        // gate would fire at most once — not enough when the fabric is
+        // allowed to drop several keepalives in a row.
+        let (last, rounds) = self.procs[me.0]
+            .keepalive
+            .get(&(src, tag))
+            .copied()
+            .unwrap_or((now, 0));
+        let due = rounds >= 256 || now.0 >= last.0.saturating_add(self.cfg.rto_cycles);
+        if !due {
+            self.procs[me.0]
+                .keepalive
+                .insert((src, tag), (last, rounds + 1));
+            return;
+        }
+        self.procs[me.0].keepalive.insert((src, tag), (now, 0));
+        fault.dispatch(m, me, src, ack_tag(tag), vec![adv as Word, live as Word]);
+        self.acks_sent += 1;
+    }
+
+    /// Unpaced [`recv_keepalive`](RelState::recv_keepalive), fired by the
+    /// scheduler at quiescence. The delivered floor suppresses every
+    /// retransmission timer for frames the peer is believed to hold, so
+    /// once a restored receiver's solicitation is lost there may be no
+    /// timer left to advance simulated time — the keepalive itself is the
+    /// only move, and waiting out its pacing would read as a deadlock.
+    /// Returns 1 if an ack was dispatched.
+    fn force_keepalive(
+        &mut self,
+        m: &mut Machine,
+        fault: &mut FaultState,
+        me: ProcId,
+        src: ProcId,
+        tag: Tag,
+    ) -> u32 {
+        let Some(floors) = &self.stable[me.0] else {
+            return 0;
+        };
+        let adv = floors.get(&(src, tag)).copied().unwrap_or(0);
+        let live = self.procs[me.0]
+            .recvs
+            .get(&(src, tag))
+            .map_or(0, |chan| chan.cumulative());
+        let now = m.clock(me);
+        self.procs[me.0].keepalive.insert((src, tag), (now, 0));
+        fault.dispatch(m, me, src, ack_tag(tag), vec![adv as Word, live as Word]);
+        self.acks_sent += 1;
+        1
+    }
+
+    /// [`pump_data`](RelState::pump_data) over every stream with traffic
+    /// for `me` — housekeeping for blocked and finished processes. Known
+    /// streams are pumped unconditionally; streams this processor has
+    /// never received on are discovered from the fabric's pending queues,
+    /// so cross-traffic arriving while we're blocked elsewhere still gets
+    /// ingested and acknowledged instead of starving its sender's retries.
     fn pump_all_data(&mut self, m: &mut Machine, fault: &mut FaultState, me: ProcId) {
-        let chans: Vec<(ProcId, Tag)> = self.procs[me.0].recvs.keys().copied().collect();
+        let mut chans: Vec<(ProcId, Tag)> = self.procs[me.0].recvs.keys().copied().collect();
+        for (src, dst, tag, _) in m.pending_triples() {
+            if dst == me && !is_ack_tag(tag) && !chans.contains(&(src, tag)) {
+                chans.push((src, tag));
+            }
+        }
         for (src, tag) in chans {
             self.pump_data(m, fault, me, src, tag);
         }
     }
 
-    /// Retransmit the oldest unacknowledged frame of any stream whose
-    /// deadline has passed, doubling its backoff; flag
-    /// [`MachineError::RetriesExhausted`] once a frame runs out of
-    /// retries. Only the oldest frame per stream retransmits — the
-    /// cumulative ack it provokes retires everything the receiver
-    /// already has.
+    /// Retransmit every unacknowledged frame whose deadline has passed,
+    /// doubling its backoff; flag [`MachineError::RetriesExhausted`] once
+    /// the oldest *undelivered* frame of a stream runs out of retries.
+    /// The whole expired undelivered suffix retransmits (go-back-N), not
+    /// just the front: a checkpointing receiver acknowledges only its
+    /// stable floor, so resending only the front would starve a restored
+    /// receiver of everything past it. Frames below the live delivered
+    /// floor are skipped entirely — the peer has them; they sit in the
+    /// window purely as the crash-replay suffix.
     fn service_timers(&mut self, m: &mut Machine, fault: &mut FaultState, me: ProcId) {
         if self.fatal.is_some() {
             return;
@@ -502,37 +1233,45 @@ impl RelState {
         let now = m.clock(me);
         let chans: Vec<(ProcId, Tag)> = self.procs[me.0].senders.keys().copied().collect();
         for (dst, tag) in chans {
-            let resend = {
+            let resends: Vec<(u64, Vec<Word>)> = {
                 let chan = self.procs[me.0]
                     .senders
                     .get_mut(&(dst, tag))
                     .expect("chan exists: key came from the map");
-                let Some(p) = chan.unacked.front_mut() else {
-                    continue;
-                };
-                if p.deadline > now {
-                    continue;
+                let delivered = chan.delivered;
+                if let Some(p) = chan.unacked.iter().find(|p| p.seq >= delivered) {
+                    if p.deadline <= now && p.retries >= self.cfg.max_retries {
+                        // Cumulative acks retire the window prefix, so
+                        // the oldest undelivered seq *is* the effective
+                        // delivery point the peer last advanced us to.
+                        self.fatal = Some(MachineError::RetriesExhausted {
+                            proc: me,
+                            peer: dst,
+                            tag,
+                            retries: p.retries,
+                            last_acked: p.seq,
+                        });
+                        return;
+                    }
                 }
-                if p.retries >= self.cfg.max_retries {
-                    self.fatal = Some(MachineError::RetriesExhausted {
-                        proc: me,
-                        peer: dst,
-                        tag,
-                        retries: p.retries,
-                    });
-                    return;
-                }
-                p.retries += 1;
-                p.deadline = now.plus(self.cfg.backoff_cycles(p.retries));
-                (p.seq, p.frame.clone())
+                chan.unacked
+                    .iter_mut()
+                    .filter(|p| p.seq >= delivered && p.deadline <= now)
+                    .map(|p| {
+                        p.retries += 1;
+                        p.deadline = now.plus(self.cfg.backoff_cycles(p.retries));
+                        (p.seq, p.frame.clone())
+                    })
+                    .collect()
             };
-            let (seq, payload) = resend;
-            let at = m.clock(me);
-            m.trace_mut()
-                .record(me, at, EventKind::Retransmit { dst, tag, seq });
-            fault.dispatch(m, me, dst, tag, payload);
-            self.retransmits += 1;
-            self.activity += 1;
+            for (seq, payload) in resends {
+                let at = m.clock(me);
+                m.trace_mut()
+                    .record(me, at, EventKind::Retransmit { dst, tag, seq });
+                fault.dispatch(m, me, dst, tag, payload);
+                self.retransmits += 1;
+                self.activity += 1;
+            }
         }
     }
 
@@ -552,12 +1291,20 @@ impl RelState {
     }
 
     /// The earliest retransmission deadline across all streams, if any.
+    /// Delivered frames are excluded: their deadlines are stale and they
+    /// will never retransmit, so jumping simulated time to one would
+    /// spin the idle detector without making progress.
     fn earliest_deadline(&self) -> Option<(ProcId, Time)> {
         let mut best: Option<(ProcId, Time)> = None;
         for (p, rp) in self.procs.iter().enumerate() {
             for chan in rp.senders.values() {
-                if let Some(pending) = chan.unacked.front() {
-                    if best.is_none_or(|(_, t)| pending.deadline < t) {
+                // Backoff is per-frame, so the front (most-retried) frame
+                // can have a *later* deadline than the rest of the
+                // window: scan every pending frame.
+                for pending in &chan.unacked {
+                    if pending.seq >= chan.delivered
+                        && best.is_none_or(|(_, t)| pending.deadline < t)
+                    {
                         best = Some((ProcId(p), pending.deadline));
                     }
                 }
@@ -717,6 +1464,51 @@ mod tests {
     }
 
     impl Process for Scripted {
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            let mut b = Vec::new();
+            b.extend_from_slice(&(self.pc as u64).to_le_bytes());
+            b.extend_from_slice(&(self.received.len() as u64).to_le_bytes());
+            for r in &self.received {
+                b.extend_from_slice(&(r.len() as u64).to_le_bytes());
+                for w in r {
+                    b.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Some(b)
+        }
+
+        fn restore(&mut self, state: &[u8]) -> bool {
+            let mut pos = 0;
+            let u64_at = |p: &mut usize| -> Option<u64> {
+                let v = u64::from_le_bytes(state.get(*p..*p + 8)?.try_into().ok()?);
+                *p += 8;
+                Some(v)
+            };
+            let Some(pc) = u64_at(&mut pos) else {
+                return false;
+            };
+            let Some(n) = u64_at(&mut pos) else {
+                return false;
+            };
+            let mut received = Vec::new();
+            for _ in 0..n {
+                let Some(len) = u64_at(&mut pos) else {
+                    return false;
+                };
+                let mut words = Vec::new();
+                for _ in 0..len {
+                    let Some(w) = u64_at(&mut pos) else {
+                        return false;
+                    };
+                    words.push(w as i64);
+                }
+                received.push(words);
+            }
+            self.pc = pc as usize;
+            self.received = received;
+            true
+        }
+
         fn step(&mut self, machine: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
             let Some(action) = self.script.get(self.pc) else {
                 return Ok(Step::Done);
@@ -878,7 +1670,7 @@ mod faulty_tests {
 
     /// A 10-message stream 0 → 1 plus an unrelated reply, exercising
     /// FIFO recovery end to end.
-    fn stream_scripts() -> (Vec<Action>, Vec<Action>) {
+    pub(super) fn stream_scripts() -> (Vec<Action>, Vec<Action>) {
         let mut a = Vec::new();
         let mut b = Vec::new();
         for i in 0..10 {
@@ -1006,6 +1798,7 @@ mod faulty_tests {
                 peer: ProcId(1),
                 tag: Tag(0),
                 retries: 3,
+                last_acked: 0,
             }
         );
     }
@@ -1035,5 +1828,210 @@ mod faulty_tests {
         )
         .unwrap_err();
         assert_eq!(err, MachineError::SelfSend { proc: ProcId(0) });
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::faulty_tests::stream_scripts;
+    use super::tests::{Action, Scripted};
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::fault::FaultPlan;
+
+    type Received = Vec<Vec<Word>>;
+
+    fn run_rec2(
+        a: Vec<Action>,
+        b: Vec<Action>,
+        plan: &FaultPlan,
+        cfg: RelConfig,
+        ckpt: Option<CheckpointCfg>,
+    ) -> Result<(RunReport, Received, Received), MachineError> {
+        let mut m = Machine::new(2, CostModel::ipsc2());
+        let mut pa = Scripted::new(a);
+        let mut pb = Scripted::new(b);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+        let report = Scheduler::new().run_recoverable(&mut m, &mut ps, plan, cfg, ckpt)?;
+        Ok((report, pa.received, pb.received))
+    }
+
+    fn expected_stream() -> Vec<Vec<Word>> {
+        (0..10).map(|i| vec![i]).collect()
+    }
+
+    #[test]
+    fn sender_crash_recovery_is_transparent() {
+        let (a, b) = stream_scripts();
+        let (clean, _, clean_recv) =
+            run_rec2(a, b, &FaultPlan::none(), RelConfig::default(), None).unwrap();
+        let plan = FaultPlan::seeded(3).with_crash(ProcId(0), 5);
+        // Amortized pacing off: this test pins exact checkpoint op
+        // boundaries (crash at 5 must restore from the op-4 snapshot).
+        let ckpt = CheckpointCfg::every(2)
+            .with_amortization(0)
+            .with_reboot(5_000, std::time::Duration::from_millis(1));
+        let (a, b) = stream_scripts();
+        let (report, reply, received) =
+            run_rec2(a, b, &plan, RelConfig::default(), Some(ckpt)).unwrap();
+        assert_eq!(
+            received, clean_recv,
+            "recovered output == fault-free output"
+        );
+        assert_eq!(reply, vec![vec![99]]);
+        assert_eq!(report.pair_messages, clean.pair_messages);
+        assert_eq!(report.undelivered, 0);
+        let rec = report.recovery.expect("checkpointed run carries a report");
+        assert_eq!(rec.crashes_survived, 1);
+        assert!(rec.checkpoints_taken >= 3, "{rec:?}");
+        assert_eq!(rec.replayed_ops, 1, "crash at op 5, checkpoint at op 4");
+        assert!(rec.recovery_cycles >= 5_000);
+        assert_eq!(report.fault.unwrap().injected.crashes, 1);
+    }
+
+    #[test]
+    fn receiver_crash_replays_the_lost_suffix() {
+        let plan = FaultPlan::seeded(0).with_crash(ProcId(1), 0);
+        let ckpt = CheckpointCfg::every(4);
+        let (a, b) = stream_scripts();
+        let (report, reply, received) =
+            run_rec2(a, b, &plan, RelConfig::default(), Some(ckpt)).unwrap();
+        assert_eq!(received, expected_stream(), "exactly-once after replay");
+        assert_eq!(reply, vec![vec![99]]);
+        let rec = report.recovery.unwrap();
+        assert_eq!(rec.crashes_survived, 1);
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let run = || {
+            let plan = FaultPlan::seeded(11)
+                .with_crash(ProcId(0), 5)
+                .with_drops(100)
+                .with_fault_budget(2);
+            let ckpt = CheckpointCfg::every(2);
+            let (a, b) = stream_scripts();
+            let (report, reply, received) =
+                run_rec2(a, b, &plan, RelConfig::default(), Some(ckpt)).unwrap();
+            (
+                received,
+                reply,
+                report.stats.makespan(),
+                report.pair_messages,
+                report.fault.unwrap(),
+                report.recovery.unwrap(),
+            )
+        };
+        assert_eq!(run(), run(), "same seed, bit-identical recovery");
+    }
+
+    #[test]
+    fn coordinated_rollback_recovers_whole_machine() {
+        let plan = FaultPlan::seeded(5).with_crash(ProcId(0), 5);
+        let ckpt = CheckpointCfg::every(2).coordinated();
+        let (a, b) = stream_scripts();
+        let (report, reply, received) =
+            run_rec2(a, b, &plan, RelConfig::default(), Some(ckpt)).unwrap();
+        assert_eq!(received, expected_stream());
+        assert_eq!(reply, vec![vec![99]]);
+        let rec = report.recovery.unwrap();
+        assert_eq!(rec.crashes_survived, 1);
+        assert!(rec.replayed_ops >= 1, "rollback re-executes work: {rec:?}");
+        assert_eq!(report.undelivered, 0);
+    }
+
+    #[test]
+    fn unrecovered_receiver_crash_names_the_dead_peer() {
+        let plan = FaultPlan::seeded(0).with_crash(ProcId(1), 0);
+        let cfg = RelConfig {
+            rto_cycles: 500,
+            max_retries: 3,
+            ..RelConfig::default()
+        };
+        let (a, b) = stream_scripts();
+        let mut m = Machine::new(2, CostModel::ipsc2());
+        let mut pa = Scripted::new(a);
+        let mut pb = Scripted::new(b);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb];
+        // Quantum 1 interleaves the processors step by step, so P1 dies
+        // after consuming (and acking) exactly one message.
+        let err = Scheduler::new()
+            .with_quantum(1)
+            .run_recoverable(&mut m, &mut ps, &plan, cfg, None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::RetriesExhausted {
+                proc: ProcId(0),
+                peer: ProcId(1),
+                tag: Tag(0),
+                retries: 3,
+                last_acked: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn unrecovered_crash_of_idle_processor_surfaces_as_crashed() {
+        let plan = FaultPlan::seeded(0).with_crash(ProcId(2), 2);
+        let mut m = Machine::new(3, CostModel::ipsc2());
+        let mut pa = Scripted::new(vec![Action::Send(1, 0, vec![1])]);
+        let mut pb = Scripted::new(vec![Action::Recv(0, 0)]);
+        let mut pc = Scripted::new(vec![
+            Action::Compute(5),
+            Action::Compute(5),
+            Action::Compute(5),
+        ]);
+        let mut ps: Vec<&mut dyn Process> = vec![&mut pa, &mut pb, &mut pc];
+        let err = Scheduler::new()
+            .run_recoverable(&mut m, &mut ps, &plan, RelConfig::default(), None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::Crashed {
+                proc: ProcId(2),
+                at_op: 2
+            }
+        );
+    }
+
+    #[test]
+    fn checkpointing_alone_reports_overhead() {
+        let (a, b) = stream_scripts();
+        let (base, _, base_recv) =
+            run_rec2(a, b, &FaultPlan::none(), RelConfig::default(), None).unwrap();
+        let (a, b) = stream_scripts();
+        let (report, _, received) = run_rec2(
+            a,
+            b,
+            &FaultPlan::none(),
+            RelConfig::default(),
+            Some(CheckpointCfg::every(2)),
+        )
+        .unwrap();
+        assert_eq!(received, base_recv);
+        assert_eq!(report.pair_messages, base.pair_messages);
+        let rec = report.recovery.expect("report present without any crash");
+        assert_eq!(rec.crashes_survived, 0);
+        assert!(rec.checkpoints_taken >= 4, "{rec:?}");
+        assert!(rec.bytes_snapshotted > 0);
+        assert!(
+            report.stats.makespan() >= base.stats.makespan(),
+            "checkpoint cost shows up in the makespan"
+        );
+    }
+
+    #[test]
+    fn probabilistic_crashes_recover_within_budget() {
+        let plan = FaultPlan::seeded(77).with_crash_rate(400, 2);
+        let ckpt = CheckpointCfg::every(3);
+        let (a, b) = stream_scripts();
+        let (report, reply, received) =
+            run_rec2(a, b, &plan, RelConfig::default(), Some(ckpt)).unwrap();
+        assert_eq!(received, expected_stream());
+        assert_eq!(reply, vec![vec![99]]);
+        let rec = report.recovery.unwrap();
+        assert!(rec.crashes_survived <= 2, "budget bounds crashes: {rec:?}");
+        assert_eq!(rec.crashes_survived, report.fault.unwrap().injected.crashes);
     }
 }

@@ -40,6 +40,7 @@
 //! receive whose peers have all finished (hung-up channel) fails
 //! immediately as a [`MachineError::Deadlock`].
 
+use crate::checkpoint::{Checkpoint, CheckpointCfg, RecoveryReport};
 use crate::cost::CostModel;
 use crate::error::MachineError;
 use crate::fabric::Fabric;
@@ -85,6 +86,25 @@ impl Backend {
 /// reporting a timeout.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// `base + d`, saturating at a far-future instant instead of panicking
+/// when a pathological `Duration` (e.g. `Duration::MAX` standing in for
+/// "never") overflows the platform clock. Halving converges on the
+/// largest representable offset, which is as good as infinity for a
+/// deadline.
+fn saturating_deadline(base: Instant, d: Duration) -> Instant {
+    if let Some(t) = base.checked_add(d) {
+        return t;
+    }
+    let mut cap = d;
+    while cap > Duration::ZERO {
+        cap /= 2;
+        if let Some(t) = base.checked_add(cap) {
+            return t;
+        }
+    }
+    base
+}
+
 /// Shared high-water mark of messages in flight (sent, not yet consumed).
 #[derive(Debug, Default)]
 struct Gauge {
@@ -121,10 +141,16 @@ struct EndpointRel {
     retransmits: u64,
     acks_sent: u64,
     fatal: Option<MachineError>,
+    /// Stable ack floors for independent-mode checkpointing: `Some(map)`
+    /// means acks for `(src, tag)` advertise the stream position as of
+    /// this endpoint's last checkpoint (0 for streams it predates)
+    /// instead of the live cumulative, so peers keep the replay suffix
+    /// in their retransmission windows. `None` advertises live.
+    stable: Option<BTreeMap<(ProcId, Tag), u64>>,
 }
 
 impl EndpointRel {
-    fn new(plan: FaultPlan, cfg: RelConfig) -> Self {
+    fn new(plan: FaultPlan, cfg: RelConfig, checkpointed: bool) -> Self {
         EndpointRel {
             fault: FaultState::new(plan),
             cfg,
@@ -135,6 +161,7 @@ impl EndpointRel {
             retransmits: 0,
             acks_sent: 0,
             fatal: None,
+            stable: checkpointed.then(BTreeMap::new),
         }
     }
 
@@ -142,13 +169,38 @@ impl EndpointRel {
         self.senders.values().all(|c| c.unacked.is_empty())
     }
 
-    /// The earliest wall-clock retransmission deadline, if any.
+    /// The earliest wall-clock retransmission deadline, if any. Backoff
+    /// is per-frame, so the front (most-retried) frame can have a later
+    /// deadline than the rest of the window: scan every pending frame.
+    /// Delivered frames are excluded — they never retransmit, so their
+    /// stale deadlines would only cause pointless wakeups.
     fn earliest_deadline(&self) -> Option<Instant> {
         self.senders
             .values()
-            .filter_map(|c| c.unacked.front().map(|p| p.deadline))
+            .flat_map(|c| {
+                c.unacked
+                    .iter()
+                    .filter(|p| p.seq >= c.delivered)
+                    .map(|p| p.deadline)
+            })
             .min()
     }
+}
+
+/// Thread-local checkpoint control: the policy, the last serialized
+/// checkpoint image (wire bytes, so every restore exercises the parse
+/// path), and the recovery tally.
+#[derive(Debug)]
+struct CkptCtl {
+    cfg: CheckpointCfg,
+    /// Charged-op counter at the last checkpoint.
+    last_op: u64,
+    /// Logical clock and charged cost of the last checkpoint, for
+    /// cost-amortized pacing ([`CheckpointCfg::amortized`]).
+    last_at: Time,
+    last_cost: u64,
+    image: Vec<u8>,
+    report: RecoveryReport,
 }
 
 /// One processor's thread-local view of the machine: its logical clock and
@@ -185,6 +237,8 @@ pub struct Endpoint {
     dead: Vec<bool>,
     gauge: Arc<Gauge>,
     recv_timeout: Duration,
+    /// Checkpoint/restart control; `None` runs without crash recovery.
+    ckpt: Option<CkptCtl>,
     /// Per-endpoint event trace, recorded exactly as the simulator's
     /// [`Machine`](crate::Machine) records its global one; merged by
     /// timestamp into the run report at teardown. Because every event's
@@ -271,9 +325,12 @@ impl Endpoint {
                     self.clock = before.plus(self.cost.recv_cost(1) * self.slowdown);
                     self.trace.record_compute(self.me, before, self.clock);
                     let cum = msg.payload[0] as u64;
+                    let live = msg.payload.get(1).map_or(cum, |&w| w as u64);
                     let data_tag = Tag(tag.0 & !ACK_TAG_BIT);
                     if let Some(chan) = rel.senders.get_mut(&(peer, data_tag)) {
                         chan.ack(cum);
+                        chan.set_live(live, Instant::now());
+                        chan.mark_alive();
                         self.trace.record(
                             self.me,
                             self.clock,
@@ -302,26 +359,42 @@ impl Endpoint {
                     drained += 1;
                 }
                 if drained > 0 {
-                    let cum = rel.recvs[&(peer, tag)].cumulative();
+                    let live = rel.recvs[&(peer, tag)].cumulative();
+                    let adv = match &rel.stable {
+                        Some(floors) => floors.get(&(peer, tag)).copied().unwrap_or(0),
+                        None => live,
+                    };
                     rel.acks_sent += 1;
-                    rel.fault
-                        .dispatch(self, self.me, peer, ack_tag(tag), vec![cum as Word]);
+                    rel.fault.dispatch(
+                        self,
+                        self.me,
+                        peer,
+                        ack_tag(tag),
+                        vec![adv as Word, live as Word],
+                    );
                 }
             }
         }
         self.rel = Some(rel);
     }
 
-    /// Retransmit the oldest unacknowledged frame of any stream whose
-    /// wall-clock deadline has passed, doubling its backoff; flag
-    /// [`MachineError::RetriesExhausted`] once a frame runs dry.
+    /// Retransmit every unacknowledged frame whose wall-clock deadline
+    /// has passed, doubling its backoff; flag
+    /// [`MachineError::RetriesExhausted`] once the oldest *undelivered*
+    /// frame of a stream runs dry. The whole expired undelivered suffix
+    /// retransmits (go-back-N), not just the front: a checkpointing
+    /// receiver acknowledges only its stable floor, so resending only
+    /// the front would starve a restored receiver of everything past it.
+    /// Frames below the live delivered floor are skipped entirely — the
+    /// peer has them; they sit in the window purely as the crash-replay
+    /// suffix.
     fn rel_service_timers(&mut self) {
         let mut rel = self.rel.take().expect("timers require reliable mode");
         if rel.fatal.is_none() {
             let now = Instant::now();
             let chans: Vec<(ProcId, Tag)> = rel.senders.keys().copied().collect();
             for (dst, tag) in chans {
-                let resend = {
+                let resends: Vec<(u64, Vec<Word>)> = {
                     let chan = rel
                         .senders
                         .get_mut(&(dst, tag))
@@ -335,30 +408,37 @@ impl Endpoint {
                         chan.unacked.clear();
                         continue;
                     }
-                    let Some(p) = chan.unacked.front_mut() else {
-                        continue;
-                    };
-                    if p.deadline > now {
-                        continue;
+                    let delivered = chan.delivered;
+                    if let Some(p) = chan.unacked.iter().find(|p| p.seq >= delivered) {
+                        if p.deadline <= now && p.retries >= rel.cfg.max_retries {
+                            // The oldest undelivered seq is exactly the
+                            // delivery point the peer last advanced us to.
+                            rel.fatal = Some(MachineError::RetriesExhausted {
+                                proc: self.me,
+                                peer: dst,
+                                tag,
+                                retries: p.retries,
+                                last_acked: p.seq,
+                            });
+                            break;
+                        }
                     }
-                    if p.retries >= rel.cfg.max_retries {
-                        rel.fatal = Some(MachineError::RetriesExhausted {
-                            proc: self.me,
-                            peer: dst,
-                            tag,
-                            retries: p.retries,
-                        });
-                        break;
-                    }
-                    p.retries += 1;
-                    p.deadline = now + rel.cfg.backoff_wall(p.retries);
-                    (p.seq, p.frame.clone())
+                    chan.unacked
+                        .iter_mut()
+                        .filter(|p| p.seq >= delivered && p.deadline <= now)
+                        .map(|p| {
+                            p.retries += 1;
+                            p.deadline = saturating_deadline(now, rel.cfg.backoff_wall(p.retries));
+                            (p.seq, p.frame.clone())
+                        })
+                        .collect()
                 };
-                let (seq, payload) = resend;
-                self.trace
-                    .record(self.me, self.clock, EventKind::Retransmit { dst, tag, seq });
-                rel.retransmits += 1;
-                rel.fault.dispatch(self, self.me, dst, tag, payload);
+                for (seq, payload) in resends {
+                    self.trace
+                        .record(self.me, self.clock, EventKind::Retransmit { dst, tag, seq });
+                    rel.retransmits += 1;
+                    rel.fault.dispatch(self, self.me, dst, tag, payload);
+                }
             }
         }
         self.rel = Some(rel);
@@ -385,7 +465,7 @@ impl Endpoint {
                 seq,
                 frame: fr.clone(),
                 retries: 0,
-                deadline: Instant::now() + rel.cfg.rto_wall,
+                deadline: saturating_deadline(Instant::now(), rel.cfg.rto_wall),
             });
             fr
         };
@@ -411,7 +491,8 @@ impl Endpoint {
     /// liveness window resets on any arrival, exactly as
     /// [`wait_for`](Endpoint::wait_for) does.
     fn rel_wait_for(&mut self, src: ProcId, tag: Tag) -> Result<(), MachineError> {
-        let mut liveness = Instant::now() + self.recv_timeout;
+        let mut liveness = saturating_deadline(Instant::now(), self.recv_timeout);
+        let mut last_keepalive = Instant::now();
         loop {
             self.rel_pump();
             self.rel_service_timers();
@@ -437,16 +518,62 @@ impl Endpoint {
                     waited_ms: self.recv_timeout.as_millis() as u64,
                 });
             }
+            // Receiver keepalive (checkpoint mode only): a starved
+            // receiver re-advertises its floors every RTO, even on a
+            // stream no frame has ever arrived on — a receiver restored
+            // from a pre-traffic checkpoint has no recv chans, yet the
+            // zero advertisement is exactly what rolls the sender's
+            // delivered floor back. If a rollback-solicitation ack was
+            // lost, this is the safety net that re-arms the replay.
+            // Without checkpoints retransmission alone recovers and
+            // black-holed streams must still starve into
+            // RetriesExhausted, so stable = None stays silent.
+            let rto_wall = self
+                .rel
+                .as_ref()
+                .expect("rel wait requires reliable mode")
+                .cfg
+                .rto_wall;
+            if now.duration_since(last_keepalive) >= rto_wall {
+                last_keepalive = now;
+                let floors = {
+                    let rel = self.rel.as_ref().expect("rel wait requires reliable mode");
+                    rel.stable.as_ref().map(|fl| {
+                        (
+                            fl.get(&(src, tag)).copied().unwrap_or(0),
+                            rel.recvs.get(&(src, tag)).map_or(0, |c| c.cumulative()),
+                        )
+                    })
+                };
+                if let Some((adv, live)) = floors {
+                    let mut rel = self.rel.take().expect("rel wait requires reliable mode");
+                    rel.acks_sent += 1;
+                    rel.fault.dispatch(
+                        self,
+                        self.me,
+                        src,
+                        ack_tag(tag),
+                        vec![adv as Word, live as Word],
+                    );
+                    self.rel = Some(rel);
+                }
+            }
             // Sleep until the liveness deadline or the next retransmission
-            // timer, whichever is sooner.
+            // timer, whichever is sooner. In checkpoint mode the next
+            // keepalive is a deadline too: a receiver with nothing in its
+            // own send window would otherwise sleep the whole liveness
+            // window and never advertise its floors.
             let rel = self.rel.as_ref().expect("rel wait requires reliable mode");
-            let until = rel
+            let mut until = rel
                 .earliest_deadline()
                 .map_or(liveness, |d| d.min(liveness));
+            if rel.stable.is_some() {
+                until = until.min(saturating_deadline(last_keepalive, rel.cfg.rto_wall));
+            }
             match self.rx.recv_timeout(until.saturating_duration_since(now)) {
                 Ok(m) => {
                     self.stash.entry((m.src, m.tag)).or_default().push_back(m);
-                    liveness = Instant::now() + self.recv_timeout;
+                    liveness = saturating_deadline(Instant::now(), self.recv_timeout);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
@@ -478,7 +605,7 @@ impl Endpoint {
             }
             let until = rel
                 .earliest_deadline()
-                .unwrap_or_else(|| Instant::now() + Duration::from_millis(1));
+                .unwrap_or_else(|| saturating_deadline(Instant::now(), Duration::from_millis(1)));
             match self
                 .rx
                 .recv_timeout(until.saturating_duration_since(Instant::now()))
@@ -498,12 +625,280 @@ impl Endpoint {
         }
     }
 
+    /// Capture this processor's complete state — process image, both
+    /// sides of every reliable stream, program-level counters — into a
+    /// serialized [`Checkpoint`], then advance the stable ack floors to
+    /// the just-snapshotted positions (proactively re-acking every
+    /// stream whose floor moved, so peers retire the frames this
+    /// checkpoint made durable).
+    ///
+    /// `charge` puts the snapshot cost on the logical clock. Mid-run
+    /// checkpoints charge; the initial image is provisioned before the
+    /// clocks start, and the final one is an off-critical-path flush —
+    /// crashes are op-indexed, so none can land after the last op and
+    /// the final image is never a replay target.
+    fn take_checkpoint(&mut self, process: &dyn Process, charge: bool) -> Result<(), MachineError> {
+        let Some(process_state) = process.snapshot() else {
+            return Err(MachineError::CheckpointUnsupported { proc: self.me });
+        };
+        let cfg = self.ckpt.as_ref().expect("checkpointing configured").cfg;
+        let (bytes, at_op, new_floors) = {
+            let rel = self
+                .rel
+                .as_ref()
+                .expect("checkpointing requires reliable mode");
+            let ckpt = Checkpoint {
+                proc: self.me,
+                at_op: rel.fault.ops(self.me),
+                taken_at: self.clock,
+                process: process_state,
+                senders: rel
+                    .senders
+                    .iter()
+                    .map(|(&(d, t), c)| (d, t, c.snapshot()))
+                    .collect(),
+                recvs: rel
+                    .recvs
+                    .iter()
+                    .map(|(&(s, t), c)| (s, t, c.snapshot()))
+                    .collect(),
+                sent: rel
+                    .logical_sent
+                    .iter()
+                    .map(|(&(d, t), &v)| (d, t, v))
+                    .collect(),
+                recvd: rel
+                    .logical_recvd
+                    .iter()
+                    .map(|(&(s, t), &v)| (s, t, v))
+                    .collect(),
+                stable: rel
+                    .recvs
+                    .iter()
+                    .map(|(&(s, t), c)| (s, t, c.cumulative()))
+                    .collect(),
+            };
+            let floors: BTreeMap<(ProcId, Tag), u64> =
+                ckpt.stable.iter().map(|&(s, t, v)| ((s, t), v)).collect();
+            (ckpt.to_bytes(), ckpt.at_op, floors)
+        };
+        if charge {
+            let before = self.clock;
+            self.clock = before.plus(cfg.checkpoint_cost(bytes.len()) * self.slowdown);
+            self.trace.record_compute(self.me, before, self.clock);
+        }
+        self.trace.record(
+            self.me,
+            self.clock,
+            EventKind::CheckpointTaken {
+                at_op,
+                bytes: bytes.len() as u64,
+            },
+        );
+        {
+            let ck = self.ckpt.as_mut().expect("checkpointing configured");
+            ck.report.checkpoints_taken += 1;
+            ck.report.bytes_snapshotted += bytes.len() as u64;
+            ck.last_op = at_op;
+            ck.last_at = self.clock;
+            ck.last_cost = cfg.checkpoint_cost(bytes.len());
+            ck.image = bytes;
+        }
+        // The new floors are not proactively re-acked: each piggybacks on
+        // the next batch ack of its stream, and a quiet stream is drained
+        // by the final live acks at completion. An interrupt-style ack
+        // costs real receive cycles at the peer, and the peer's delivered
+        // floor already suppresses retransmission of everything the stale
+        // stable floor still covers.
+        let rel = self.rel.as_mut().expect("reliable mode");
+        rel.stable = Some(new_floors);
+        Ok(())
+    }
+
+    /// Crash recovery: roll this processor — and only this processor —
+    /// back to its last checkpoint. The dead incarnation's incoming
+    /// traffic is discarded (peer retransmissions regenerate anything
+    /// that matters), the process image and reliable streams are rebuilt
+    /// from the checkpoint, and the restored sender windows re-arm for
+    /// retransmission so surviving peers' duplicate suppression absorbs
+    /// the replay transparently.
+    fn restore_from_checkpoint(
+        &mut self,
+        process: &mut dyn Process,
+        crash_op: u64,
+    ) -> Result<(), MachineError> {
+        let (cfg, image) = {
+            let ck = self.ckpt.as_ref().expect("checkpointing configured");
+            (ck.cfg, ck.image.clone())
+        };
+        let ckpt = Checkpoint::from_bytes(&image).expect("internally written checkpoint parses");
+        self.trace
+            .record(self.me, self.clock, EventKind::Crash { at_op: crash_op });
+        if !process.restore(&ckpt.process) {
+            return Err(MachineError::CheckpointUnsupported { proc: self.me });
+        }
+        let stashed: usize = self.stash.values().map(VecDeque::len).sum();
+        for _ in 0..stashed {
+            self.gauge.dec();
+        }
+        self.stash.clear();
+        while self.rx.try_recv().is_ok() {
+            self.gauge.dec();
+        }
+        self.clock = self.clock.plus(cfg.reboot_cycles);
+        std::thread::sleep(cfg.reboot_wall);
+        let rearm = {
+            let rel = self.rel.as_ref().expect("reliable mode");
+            saturating_deadline(Instant::now(), rel.cfg.rto_wall)
+        };
+        {
+            let rel = self.rel.as_mut().expect("reliable mode");
+            rel.senders = ckpt
+                .senders
+                .iter()
+                .map(|(dst, tag, s)| ((*dst, *tag), SenderChan::from_snapshot(s, rearm)))
+                .collect();
+            rel.recvs = ckpt
+                .recvs
+                .iter()
+                .map(|(src, tag, r)| ((*src, *tag), RecvChan::from_snapshot(r)))
+                .collect();
+            rel.logical_sent = ckpt.sent.iter().map(|&(d, t, v)| ((d, t), v)).collect();
+            rel.logical_recvd = ckpt.recvd.iter().map(|&(s, t, v)| ((s, t), v)).collect();
+            rel.stable = Some(ckpt.stable.iter().map(|&(s, t, v)| ((s, t), v)).collect());
+        }
+        // Solicit replay: re-advertise the rolled-back cumulative on
+        // every receive stream. Peers see the live component drop below
+        // their delivered floor and immediately re-arm the suffix this
+        // incarnation lost. (If this ack is dropped by the fabric, the
+        // keepalive in `rel_wait_for` re-sends it once we block starved.)
+        let solicits: Vec<(ProcId, Tag, u64)> = {
+            let rel = self.rel.as_ref().expect("reliable mode");
+            rel.recvs
+                .iter()
+                .map(|(&(src, tag), c)| (src, tag, c.cumulative()))
+                .collect()
+        };
+        let mut rel = self.rel.take().expect("reliable mode");
+        for (src, tag, cum) in solicits {
+            rel.acks_sent += 1;
+            rel.fault.dispatch(
+                self,
+                self.me,
+                src,
+                ack_tag(tag),
+                vec![cum as Word, cum as Word],
+            );
+        }
+        self.rel = Some(rel);
+        for (dst, tag, s) in &ckpt.senders {
+            for (seq, _) in &s.unacked {
+                self.trace.record(
+                    self.me,
+                    self.clock,
+                    EventKind::ReplayedFrame {
+                        dst: *dst,
+                        tag: *tag,
+                        seq: *seq,
+                    },
+                );
+            }
+        }
+        self.trace.record(
+            self.me,
+            self.clock,
+            EventKind::Restore {
+                from_op: ckpt.at_op,
+                replayed: crash_op.saturating_sub(ckpt.at_op),
+            },
+        );
+        let ck = self.ckpt.as_mut().expect("checkpointing configured");
+        ck.last_op = crash_op;
+        // Pacing restarts from the restore point; the restored image's
+        // cost still amortizes the next snapshot.
+        ck.last_at = self.clock;
+        ck.report.crashes_survived += 1;
+        ck.report.replayed_ops += crash_op.saturating_sub(ckpt.at_op);
+        ck.report.replay_frames += ckpt.window_frames();
+        ck.report.recovery_cycles += cfg.reboot_cycles;
+        Ok(())
+    }
+
+    /// Step boundary housekeeping for crash faults: checkpoint first (so
+    /// a crash landing on the same boundary restores with a zero-op
+    /// replay), then roll the crash dice. An unrecoverable crash — no
+    /// checkpointing configured — fails the thread with
+    /// [`MachineError::Crashed`].
+    fn crash_tick(&mut self, process: &mut dyn Process) -> Result<(), MachineError> {
+        if self.rel.is_none() {
+            return Ok(());
+        }
+        let ops = self.rel.as_ref().expect("reliable mode").fault.ops(self.me);
+        if let Some(ck) = &self.ckpt {
+            if ops >= ck.last_op + ck.cfg.interval_ops
+                && ck.cfg.amortized(ck.last_at, ck.last_cost, self.clock)
+            {
+                self.take_checkpoint(&*process, true)?;
+            }
+        }
+        let crashed = self
+            .rel
+            .as_mut()
+            .expect("reliable mode")
+            .fault
+            .take_crash(self.me);
+        if let Some(at_op) = crashed {
+            if self.ckpt.is_some() {
+                self.restore_from_checkpoint(process, at_op)?;
+            } else {
+                self.trace
+                    .record(self.me, self.clock, EventKind::Crash { at_op });
+                return Err(MachineError::Crashed {
+                    proc: self.me,
+                    at_op,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Completion housekeeping for a checkpointed processor: one final
+    /// checkpoint makes the finished state durable, then the endpoint
+    /// switches to live acknowledgements — and proactively re-acks every
+    /// receive stream — so peers' retransmission windows drain and the
+    /// run can terminate.
+    fn ckpt_finish(&mut self, process: &dyn Process) -> Result<(), MachineError> {
+        if self.ckpt.is_none() || self.rel.is_none() {
+            return Ok(());
+        }
+        self.take_checkpoint(process, false)?;
+        let mut rel = self.rel.take().expect("reliable mode");
+        rel.stable = None;
+        let streams: Vec<(ProcId, Tag, u64)> = rel
+            .recvs
+            .iter()
+            .map(|(&(s, t), c)| (s, t, c.cumulative()))
+            .collect();
+        for (src, tag, cum) in streams {
+            rel.acks_sent += 1;
+            rel.fault.dispatch(
+                self,
+                self.me,
+                src,
+                ack_tag(tag),
+                vec![cum as Word, cum as Word],
+            );
+        }
+        self.rel = Some(rel);
+        Ok(())
+    }
+
     /// Block until a `(src, tag)` message is stashed, or fail after
     /// `recv_timeout` with no arrivals at all. Any arrival resets the
     /// window: as long as traffic flows the system is live and the awaited
     /// message may still be in someone's future.
     fn wait_for(&mut self, src: ProcId, tag: Tag) -> Result<(), MachineError> {
-        let mut deadline = Instant::now() + self.recv_timeout;
+        let mut deadline = saturating_deadline(Instant::now(), self.recv_timeout);
         loop {
             self.drain();
             if self.stash.get(&(src, tag)).is_some_and(|q| !q.is_empty()) {
@@ -521,7 +916,7 @@ impl Endpoint {
             match self.rx.recv_timeout(deadline - now) {
                 Ok(m) => {
                     self.stash.entry((m.src, m.tag)).or_default().push_back(m);
-                    deadline = Instant::now() + self.recv_timeout;
+                    deadline = saturating_deadline(Instant::now(), self.recv_timeout);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(MachineError::RecvTimeout {
@@ -674,6 +1069,7 @@ struct ThreadDone {
     steps: u64,
     trace: Trace,
     rel: Option<ThreadRelDone>,
+    recovery: Option<RecoveryReport>,
 }
 
 /// Reliable-mode tallies from one finished thread.
@@ -697,6 +1093,7 @@ pub struct ThreadedRunner {
     step_budget: u64,
     slowdowns: Option<Vec<u64>>,
     faults: Option<(FaultPlan, RelConfig)>,
+    ckpt: Option<CheckpointCfg>,
     /// Trace configuration template, cloned (empty) onto each endpoint.
     /// Disabled by default. Note the cap applies *per processor* here —
     /// each thread bounds its own memory — where the simulator's cap is
@@ -713,6 +1110,7 @@ impl ThreadedRunner {
             step_budget: u64::MAX,
             slowdowns: None,
             faults: None,
+            ckpt: None,
             trace: Trace::disabled(),
         }
     }
@@ -740,6 +1138,24 @@ impl ThreadedRunner {
     /// are reproducible, not the protocol tallies.
     pub fn with_faults(mut self, plan: FaultPlan, cfg: RelConfig) -> Self {
         self.faults = Some((plan, cfg));
+        self
+    }
+
+    /// Periodic checkpoints with crash restart. Implies the reliable
+    /// protocol (an empty fault plan if none was configured): the
+    /// ack-lagging consistent cut and the replay path both live there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a coordinated-mode configuration — barrier-aligned
+    /// global snapshots need the simulator's round structure; real
+    /// threads have no global step boundary to align on.
+    pub fn with_checkpoints(mut self, cfg: CheckpointCfg) -> Self {
+        assert!(
+            !cfg.coordinated,
+            "coordinated checkpoints are simulator-only; use independent mode here"
+        );
+        self.ckpt = Some(cfg);
         self
     }
 
@@ -776,6 +1192,7 @@ impl ThreadedRunner {
     /// # Errors
     ///
     /// The root-most error any thread hit, ranked
+    /// [`MachineError::Crashed`] (unrecoverable crash) >
     /// [`MachineError::ProcessFault`] >
     /// [`MachineError::StepBudgetExceeded`] >
     /// [`MachineError::RecvTimeout`] (cyclic deadlock) >
@@ -796,6 +1213,12 @@ impl ThreadedRunner {
         let gauge = Arc::new(Gauge::default());
         let (txs, rxs): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
             (0..n).map(|_| channel()).unzip();
+        // Checkpointing rides on the reliable protocol; enable it with an
+        // empty fault plan when only checkpoints were requested.
+        let faults = self
+            .faults
+            .clone()
+            .or_else(|| self.ckpt.map(|_| (FaultPlan::none(), RelConfig::default())));
         let mut endpoints: Vec<Endpoint> = rxs
             .into_iter()
             .enumerate()
@@ -816,13 +1239,20 @@ impl ThreadedRunner {
                 sent: BTreeMap::new(),
                 recvd: BTreeMap::new(),
                 self_send: None,
-                rel: self
-                    .faults
-                    .as_ref()
-                    .map(|(plan, cfg)| Box::new(EndpointRel::new(plan.clone(), *cfg))),
+                rel: faults.as_ref().map(|(plan, cfg)| {
+                    Box::new(EndpointRel::new(plan.clone(), *cfg, self.ckpt.is_some()))
+                }),
                 dead: vec![false; n],
                 gauge: Arc::clone(&gauge),
                 recv_timeout: self.recv_timeout,
+                ckpt: self.ckpt.map(|cfg| CkptCtl {
+                    cfg,
+                    last_op: 0,
+                    last_at: Time(0),
+                    last_cost: 0,
+                    image: Vec::new(),
+                    report: RecoveryReport::default(),
+                }),
                 trace: self.trace.like(),
             })
             .collect();
@@ -841,6 +1271,12 @@ impl ThreadedRunner {
                     s.spawn(move || {
                         let me = ProcId(p);
                         let mut steps: u64 = 0;
+                        if ep.ckpt.is_some() {
+                            // Initial checkpoint: a restore target exists
+                            // whatever the crash point. Free — the launch
+                            // image exists before the clocks start.
+                            ep.take_checkpoint(&*process, false)?;
+                        }
                         loop {
                             if steps >= budget {
                                 return Err(MachineError::StepBudgetExceeded { budget });
@@ -854,8 +1290,11 @@ impl ThreadedRunner {
                                 return Err(e);
                             }
                             match step {
-                                Step::Ran => {}
+                                Step::Ran => {
+                                    ep.crash_tick(&mut *process)?;
+                                }
                                 Step::Done => {
+                                    ep.ckpt_finish(&*process)?;
                                     ep.trace.record(me, ep.clock, EventKind::Finish);
                                     break;
                                 }
@@ -878,6 +1317,7 @@ impl ThreadedRunner {
                             recvd: ep.recvd,
                             steps,
                             trace: std::mem::take(&mut ep.trace),
+                            recovery: ep.ckpt.take().map(|c| c.report),
                             rel: ep.rel.take().map(|r| ThreadRelDone {
                                 logical_sent: r.logical_sent,
                                 logical_recvd: r.logical_recvd,
@@ -918,13 +1358,17 @@ impl ThreadedRunner {
         // peer that finished normally).
         fn rank(e: &MachineError) -> u8 {
             match e {
-                MachineError::ProcessFault { .. } => 0,
-                MachineError::StepBudgetExceeded { .. } => 1,
+                // An unrecoverable crash is the rootmost cause of all:
+                // every peer of the dead processor cascades into
+                // exhausted retries, timeouts, or hang-up deadlocks.
+                MachineError::Crashed { .. } => 0,
+                MachineError::ProcessFault { .. } => 1,
+                MachineError::StepBudgetExceeded { .. } => 2,
                 // A starved sender is the root cause; its peers cascade
                 // into timeouts and hang-up deadlocks.
-                MachineError::RetriesExhausted { .. } => 2,
-                MachineError::RecvTimeout { .. } => 3,
-                _ => 4,
+                MachineError::RetriesExhausted { .. } => 3,
+                MachineError::RecvTimeout { .. } => 4,
+                _ => 5,
             }
         }
         let mut worst: Option<MachineError> = None;
@@ -942,7 +1386,8 @@ impl ThreadedRunner {
             return Err(e);
         }
 
-        let reliable = self.faults.is_some();
+        let reliable = faults.is_some();
+        let mut recovery_total = self.ckpt.map(|_| RecoveryReport::default());
         let mut pair_messages: BTreeMap<(ProcId, ProcId, Tag), u64> = BTreeMap::new();
         let mut recvd_by_triple: BTreeMap<(ProcId, ProcId, Tag), u64> = BTreeMap::new();
         let mut network = NetworkStats::default();
@@ -954,6 +1399,9 @@ impl ThreadedRunner {
         for (p, d) in done.into_iter().enumerate() {
             let me = ProcId(p);
             traces.push(d.trace);
+            if let (Some(total), Some(r)) = (recovery_total.as_mut(), d.recovery.as_ref()) {
+                total.merge(r);
+            }
             if let Some(r) = d.rel {
                 // Reliable mode: report *program-level* traffic; raw frame
                 // counts (retransmits, acks, seq overhead) stay visible in
@@ -1007,6 +1455,7 @@ impl ThreadedRunner {
             pair_messages,
             pending,
             fault: fault_report,
+            recovery: recovery_total,
             trace: Trace::merge(traces),
         })
     }
@@ -1041,6 +1490,51 @@ mod tests {
     }
 
     impl Process for Scripted {
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            let mut b = Vec::new();
+            b.extend_from_slice(&(self.pc as u64).to_le_bytes());
+            b.extend_from_slice(&(self.received.len() as u64).to_le_bytes());
+            for r in &self.received {
+                b.extend_from_slice(&(r.len() as u64).to_le_bytes());
+                for w in r {
+                    b.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Some(b)
+        }
+
+        fn restore(&mut self, state: &[u8]) -> bool {
+            let mut pos = 0;
+            let u64_at = |p: &mut usize| -> Option<u64> {
+                let v = u64::from_le_bytes(state.get(*p..*p + 8)?.try_into().ok()?);
+                *p += 8;
+                Some(v)
+            };
+            let Some(pc) = u64_at(&mut pos) else {
+                return false;
+            };
+            let Some(n) = u64_at(&mut pos) else {
+                return false;
+            };
+            let mut received = Vec::new();
+            for _ in 0..n {
+                let Some(len) = u64_at(&mut pos) else {
+                    return false;
+                };
+                let mut words = Vec::new();
+                for _ in 0..len {
+                    let Some(w) = u64_at(&mut pos) else {
+                        return false;
+                    };
+                    words.push(w as i64);
+                }
+                received.push(words);
+            }
+            self.pc = pc as usize;
+            self.received = received;
+            true
+        }
+
         fn step(&mut self, fabric: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
             let Some(action) = self.script.get(self.pc) else {
                 return Ok(Step::Done);
@@ -1308,7 +1802,133 @@ mod tests {
                 peer: ProcId(1),
                 tag: Tag(0),
                 retries: 3,
+                last_acked: 0,
             }
         );
+    }
+
+    #[test]
+    fn linger_deadline_saturates_instead_of_overflowing() {
+        // `Instant + Duration::MAX` panics; the saturating helper must
+        // instead land on a far-future deadline ("never"), not clamp to
+        // now (which would busy-spin the linger loop).
+        let base = Instant::now();
+        let d = saturating_deadline(base, Duration::MAX);
+        assert!(
+            d >= base + Duration::from_secs(3600),
+            "far future, got {d:?}"
+        );
+        assert_eq!(saturating_deadline(base, Duration::ZERO), base);
+        assert_eq!(
+            saturating_deadline(base, Duration::from_millis(1)),
+            base + Duration::from_millis(1)
+        );
+    }
+
+    /// The sim recovery tests' stream pair, with computes interleaved on
+    /// the sender so its charged-op counter (which crash and checkpoint
+    /// points key on) advances.
+    fn crash_scripts() -> Vec<Scripted> {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..10 {
+            a.push(Action::Send(1, 0, vec![i]));
+            a.push(Action::Compute(10));
+            b.push(Action::Recv(0, 0));
+        }
+        a.push(Action::Recv(1, 1));
+        b.push(Action::Send(0, 1, vec![99]));
+        vec![Scripted::new(a), Scripted::new(b)]
+    }
+
+    #[test]
+    fn sender_crash_recovery_is_transparent_on_threads() {
+        let mut clean = crash_scripts();
+        let clean_report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_faults(FaultPlan::none(), fast_rel())
+            .run(&mut clean)
+            .unwrap();
+        let plan = FaultPlan::seeded(3).with_crash(ProcId(0), 5);
+        // Amortized pacing off: this test pins exact checkpoint op
+        // boundaries (crash at 5 must restore from the op-4 snapshot).
+        let ckpt = CheckpointCfg::every(2)
+            .with_amortization(0)
+            .with_reboot(5_000, Duration::from_millis(1));
+        let mut procs = crash_scripts();
+        let report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_faults(plan, fast_rel())
+            .with_checkpoints(ckpt)
+            .run(&mut procs)
+            .unwrap();
+        assert_eq!(
+            procs[1].received, clean[1].received,
+            "recovered output == fault-free output"
+        );
+        assert_eq!(procs[0].received, vec![vec![99]]);
+        assert_eq!(report.pair_messages, clean_report.pair_messages);
+        assert_eq!(report.undelivered, 0);
+        let rec = report.recovery.expect("checkpointed run carries a report");
+        assert_eq!(rec.crashes_survived, 1);
+        assert!(rec.checkpoints_taken >= 3, "{rec:?}");
+        assert_eq!(rec.replayed_ops, 1, "crash at op 5, checkpoint at op 4");
+        assert_eq!(report.fault.unwrap().injected.crashes, 1);
+    }
+
+    #[test]
+    fn receiver_crash_replays_the_lost_suffix_on_threads() {
+        let plan = FaultPlan::seeded(0).with_crash(ProcId(1), 0);
+        let mut procs = crash_scripts();
+        let report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_faults(plan, fast_rel())
+            .with_checkpoints(CheckpointCfg::every(4))
+            .run(&mut procs)
+            .unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(procs[1].received, expected, "exactly-once after replay");
+        assert_eq!(procs[0].received, vec![vec![99]]);
+        assert_eq!(report.recovery.unwrap().crashes_survived, 1);
+    }
+
+    #[test]
+    fn unrecovered_crash_surfaces_as_crashed_on_threads() {
+        let plan = FaultPlan::seeded(0).with_crash(ProcId(0), 2);
+        let mut procs = vec![
+            Scripted::new(vec![
+                Action::Send(1, 0, vec![1]),
+                Action::Compute(1),
+                Action::Compute(1),
+                Action::Compute(1),
+            ]),
+            Scripted::new(vec![Action::Recv(0, 0)]),
+        ];
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_recv_timeout(Duration::from_secs(30))
+            .with_faults(plan, fast_rel())
+            .run(&mut procs)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::Crashed {
+                proc: ProcId(0),
+                at_op: 2
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoints_alone_enable_the_reliable_path() {
+        let mut procs = crash_scripts();
+        let report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_checkpoints(CheckpointCfg::every(2))
+            .run(&mut procs)
+            .unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(procs[1].received, expected);
+        assert_eq!(report.undelivered, 0);
+        let rec = report.recovery.expect("report present without any crash");
+        assert_eq!(rec.crashes_survived, 0);
+        assert!(rec.checkpoints_taken >= 4, "{rec:?}");
+        assert!(rec.bytes_snapshotted > 0);
+        assert!(report.fault.is_some(), "reliable protocol was interposed");
     }
 }

@@ -85,6 +85,36 @@ pub enum EventKind {
         /// Cumulative sequence number acknowledged.
         cum: u64,
     },
+    /// A checkpoint of this processor's complete execution state was
+    /// serialized (see [`checkpoint`](crate::checkpoint)).
+    CheckpointTaken {
+        /// Charged-op counter at the snapshot.
+        at_op: u64,
+        /// Serialized checkpoint size in bytes.
+        bytes: u64,
+    },
+    /// The processor crashed (fault injection), losing all volatile state.
+    Crash {
+        /// Charged-op counter at the crash.
+        at_op: u64,
+    },
+    /// The processor was restored from its last checkpoint.
+    Restore {
+        /// The op counter of the checkpoint restored to.
+        from_op: u64,
+        /// Charged ops that must be re-executed to reach the crash point.
+        replayed: u64,
+    },
+    /// A frame out of a restored sender window was re-armed for
+    /// retransmission — the reliable layer will replay it to the peer.
+    ReplayedFrame {
+        /// Stream destination.
+        dst: ProcId,
+        /// Stream tag.
+        tag: Tag,
+        /// Sequence number of the replayed frame.
+        seq: u64,
+    },
     /// The process on this processor finished.
     Finish,
 }
@@ -112,7 +142,13 @@ impl Event {
             EventKind::Compute { cycles } => cycles,
             EventKind::Send { cost, .. } | EventKind::FrameLost { cost, .. } => cost,
             EventKind::Recv { waited, cost, .. } => waited + cost,
-            EventKind::Retransmit { .. } | EventKind::Ack { .. } | EventKind::Finish => 0,
+            EventKind::Retransmit { .. }
+            | EventKind::Ack { .. }
+            | EventKind::CheckpointTaken { .. }
+            | EventKind::Crash { .. }
+            | EventKind::Restore { .. }
+            | EventKind::ReplayedFrame { .. }
+            | EventKind::Finish => 0,
         }
     }
 
@@ -385,6 +421,9 @@ pub fn render_gantt(trace: &Trace, n_procs: usize, width: usize) -> String {
                 EventKind::Recv { .. } => b'r',
                 EventKind::FrameLost { .. } | EventKind::Retransmit { .. } => b'x',
                 EventKind::Ack { .. } => b'a',
+                EventKind::CheckpointTaken { .. } => b'c',
+                EventKind::Crash { .. } => b'!',
+                EventKind::Restore { .. } | EventKind::ReplayedFrame { .. } => b'R',
                 EventKind::Finish => b'|',
                 EventKind::Compute { .. } => continue,
             };

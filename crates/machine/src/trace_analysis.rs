@@ -169,7 +169,12 @@ fn critical_path(idx: &Indexed<'_>, trace: &Trace) -> CriticalPath {
     let mut lost_frames = false;
     for e in trace.events() {
         match e.kind {
-            EventKind::Retransmit { .. } | EventKind::Ack { .. } => protocol_events = true,
+            EventKind::Retransmit { .. }
+            | EventKind::Ack { .. }
+            | EventKind::CheckpointTaken { .. }
+            | EventKind::Crash { .. }
+            | EventKind::Restore { .. }
+            | EventKind::ReplayedFrame { .. } => protocol_events = true,
             EventKind::FrameLost { .. } => lost_frames = true,
             _ => {}
         }
@@ -312,7 +317,13 @@ fn critical_path(idx: &Indexed<'_>, trace: &Trace) -> CriticalPath {
                     }
                 }
             }
-            EventKind::Retransmit { .. } | EventKind::Ack { .. } | EventKind::Finish => {
+            EventKind::Retransmit { .. }
+            | EventKind::Ack { .. }
+            | EventKind::CheckpointTaken { .. }
+            | EventKind::Crash { .. }
+            | EventKind::Restore { .. }
+            | EventKind::ReplayedFrame { .. }
+            | EventKind::Finish => {
                 // Instantaneous: skip.
             }
         }
@@ -398,7 +409,13 @@ pub fn analyze(trace: &Trace, n_procs: usize) -> TraceAnalysis {
                 edge.frames_lost += 1;
                 edge.words += words as u64;
             }
-            EventKind::Retransmit { .. } | EventKind::Ack { .. } | EventKind::Finish => {}
+            EventKind::Retransmit { .. }
+            | EventKind::Ack { .. }
+            | EventKind::CheckpointTaken { .. }
+            | EventKind::Crash { .. }
+            | EventKind::Restore { .. }
+            | EventKind::ReplayedFrame { .. }
+            | EventKind::Finish => {}
         }
     }
     for prof in &mut procs {

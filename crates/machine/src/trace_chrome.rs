@@ -197,6 +197,25 @@ pub fn chrome_trace(trace: &Trace, n_procs: usize) -> String {
                 );
                 instant(&mut events, "ack", e.proc, e.at.0, &args);
             }
+            EventKind::CheckpointTaken { at_op, bytes } => {
+                let args = format!(",\"args\":{{\"at_op\":{at_op},\"bytes\":{bytes}}}");
+                instant(&mut events, "checkpoint", e.proc, e.at.0, &args);
+            }
+            EventKind::Crash { at_op } => {
+                let args = format!(",\"args\":{{\"at_op\":{at_op}}}");
+                instant(&mut events, "crash", e.proc, e.at.0, &args);
+            }
+            EventKind::Restore { from_op, replayed } => {
+                let args = format!(",\"args\":{{\"from_op\":{from_op},\"replayed\":{replayed}}}");
+                instant(&mut events, "restore", e.proc, e.at.0, &args);
+            }
+            EventKind::ReplayedFrame { dst, tag, seq } => {
+                let args = format!(
+                    ",\"args\":{{\"dst\":{},\"tag\":{},\"seq\":{}}}",
+                    dst.0, tag.0, seq
+                );
+                instant(&mut events, "replayed frame", e.proc, e.at.0, &args);
+            }
             EventKind::Finish => {
                 instant(&mut events, "finish", e.proc, e.at.0, "");
             }

@@ -7,8 +7,8 @@ use crate::vm::ProcVm;
 use crate::SpmdError;
 use pdc_istructure::IMatrix;
 use pdc_machine::{
-    Backend, CostModel, FaultPlan, Machine, Process, RelConfig, RunReport, Scheduler,
-    ThreadedRunner,
+    Backend, CheckpointCfg, CostModel, FaultPlan, Machine, Process, RelConfig, RunReport,
+    Scheduler, ThreadedRunner,
 };
 use pdc_mapping::OwnerSet;
 use std::sync::Arc;
@@ -36,6 +36,7 @@ pub struct SpmdMachine {
     scheduler: Scheduler,
     backend: Backend,
     faults: Option<(FaultPlan, RelConfig)>,
+    checkpoints: Option<CheckpointCfg>,
     ran: bool,
 }
 
@@ -72,6 +73,7 @@ impl SpmdMachine {
             scheduler: Scheduler::new(),
             backend: Backend::Simulated,
             faults: None,
+            checkpoints: None,
             ran: false,
         })
     }
@@ -134,6 +136,20 @@ impl SpmdMachine {
         self
     }
 
+    /// Checkpoint every processor's complete state at `cfg`'s interval
+    /// and restart any crashed processor from its last [`Checkpoint`]
+    /// (see [`Scheduler::run_recoverable`]). Works on both backends
+    /// (coordinated snapshot mode is simulator-only) and implies the
+    /// reliable-delivery protocol: recovery replays the lost suffix
+    /// through the retransmit path, so a crashed-and-recovered run
+    /// produces the same outputs as a fault-free one.
+    ///
+    /// [`Checkpoint`]: pdc_machine::Checkpoint
+    pub fn with_checkpoints(mut self, cfg: CheckpointCfg) -> Self {
+        self.checkpoints = Some(cfg);
+        self
+    }
+
     /// Execute to completion.
     ///
     /// # Errors
@@ -147,12 +163,22 @@ impl SpmdMachine {
             Backend::Simulated => {
                 let mut refs: Vec<&mut dyn Process> =
                     self.vms.iter_mut().map(|v| v as &mut dyn Process).collect();
-                match &self.faults {
-                    Some((plan, cfg)) => {
-                        self.scheduler
-                            .run_faulty(&mut self.machine, &mut refs, plan, *cfg)?
-                    }
-                    None => self.scheduler.run(&mut self.machine, &mut refs)?,
+                match (&self.faults, self.checkpoints) {
+                    (Some((plan, cfg)), ckpt) => self.scheduler.run_recoverable(
+                        &mut self.machine,
+                        &mut refs,
+                        plan,
+                        *cfg,
+                        ckpt,
+                    )?,
+                    (None, Some(ckpt)) => self.scheduler.run_recoverable(
+                        &mut self.machine,
+                        &mut refs,
+                        &FaultPlan::none(),
+                        RelConfig::default(),
+                        Some(ckpt),
+                    )?,
+                    (None, None) => self.scheduler.run(&mut self.machine, &mut refs)?,
                 }
             }
             Backend::Threaded { recv_timeout } => {
@@ -160,6 +186,9 @@ impl SpmdMachine {
                     ThreadedRunner::new(*self.machine.cost_model()).with_recv_timeout(recv_timeout);
                 if let Some((plan, cfg)) = &self.faults {
                     runner = runner.with_faults(plan.clone(), *cfg);
+                }
+                if let Some(ckpt) = self.checkpoints {
+                    runner = runner.with_checkpoints(ckpt);
                 }
                 // Forward the machine's trace configuration — dropping it
                 // here is exactly the silently-empty-trace bug this layer

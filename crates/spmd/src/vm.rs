@@ -181,6 +181,293 @@ impl ProcVm {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint codec. A `ProcVm` snapshot is the interpreter's complete
+// resumable state — pc, operand stack, locals, buffers, and each
+// distributed-array segment (distribution + the set of full I-structure
+// cells). Everything derivable from `code` (slot counts, symbol names)
+// is *not* serialized; restore validates the image against the code the
+// VM was constructed with.
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_scalar(out: &mut Vec<u8>, s: Scalar) {
+    match s {
+        Scalar::Int(x) => {
+            out.push(0);
+            put_u64(out, x as u64);
+        }
+        Scalar::Float(x) => {
+            out.push(1);
+            put_u64(out, x.to_bits());
+        }
+        Scalar::Bool(b) => {
+            out.push(2);
+            put_u64(out, b as u64);
+        }
+    }
+}
+
+fn put_dist(out: &mut Vec<u8>, d: &Dist) {
+    match d {
+        Dist::Replicated => out.push(0),
+        Dist::OnProcessor(p) => {
+            out.push(1);
+            put_u64(out, *p as u64);
+        }
+        Dist::ColumnCyclic => out.push(2),
+        Dist::RowCyclic => out.push(3),
+        Dist::ColumnBlock => out.push(4),
+        Dist::RowBlock => out.push(5),
+        Dist::ColumnBlockCyclic { block } => {
+            out.push(6);
+            put_u64(out, *block as u64);
+        }
+        Dist::RowBlockCyclic { block } => {
+            out.push(7);
+            put_u64(out, *block as u64);
+        }
+        Dist::Block2d { prows, pcols } => {
+            out.push(8);
+            put_u64(out, *prows as u64);
+            put_u64(out, *pcols as u64);
+        }
+        Dist::ColumnAssigned { table } => {
+            out.push(9);
+            put_u64(out, table.len() as u64);
+            for p in table.iter() {
+                put_u64(out, *p as u64);
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a snapshot image.
+struct Rd<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.b.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.b.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    fn scalar(&mut self) -> Option<Scalar> {
+        let tag = self.u8()?;
+        let bits = self.u64()?;
+        Some(match tag {
+            0 => Scalar::Int(bits as i64),
+            1 => Scalar::Float(f64::from_bits(bits)),
+            2 => Scalar::Bool(bits != 0),
+            _ => return None,
+        })
+    }
+
+    fn dist(&mut self) -> Option<Dist> {
+        Some(match self.u8()? {
+            0 => Dist::Replicated,
+            1 => Dist::OnProcessor(self.usize()?),
+            2 => Dist::ColumnCyclic,
+            3 => Dist::RowCyclic,
+            4 => Dist::ColumnBlock,
+            5 => Dist::RowBlock,
+            6 => Dist::ColumnBlockCyclic {
+                block: self.usize()?,
+            },
+            7 => Dist::RowBlockCyclic {
+                block: self.usize()?,
+            },
+            8 => Dist::Block2d {
+                prows: self.usize()?,
+                pcols: self.usize()?,
+            },
+            9 => {
+                let n = self.usize()?;
+                if n > self.b.len() {
+                    return None;
+                }
+                let mut table = Vec::with_capacity(n);
+                for _ in 0..n {
+                    table.push(self.usize()?);
+                }
+                Dist::ColumnAssigned {
+                    table: Arc::new(table),
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl ProcVm {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.pc as u64);
+        put_u64(&mut out, self.stack.len() as u64);
+        for s in &self.stack {
+            put_scalar(&mut out, *s);
+        }
+        put_u64(&mut out, self.locals.len() as u64);
+        for slot in &self.locals {
+            match slot {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    put_scalar(&mut out, *v);
+                }
+            }
+        }
+        put_u64(&mut out, self.bufs.len() as u64);
+        for slot in &self.bufs {
+            match slot {
+                None => out.push(0),
+                Some(b) => {
+                    out.push(1);
+                    put_u64(&mut out, b.len() as u64);
+                    for v in b {
+                        put_scalar(&mut out, *v);
+                    }
+                }
+            }
+        }
+        put_u64(&mut out, self.arrays.len() as u64);
+        for slot in &self.arrays {
+            match slot {
+                None => out.push(0),
+                Some(a) => {
+                    out.push(1);
+                    put_dist(&mut out, a.inst.dist());
+                    let (rows, cols) = a.inst.extents();
+                    put_u64(&mut out, rows as u64);
+                    put_u64(&mut out, cols as u64);
+                    put_u64(&mut out, a.inst.nprocs() as u64);
+                    // Only the full cells; empties stay empty so the
+                    // I-structure write-once discipline survives restart.
+                    let full: Vec<(usize, Scalar)> = a
+                        .local
+                        .as_linear()
+                        .iter_full()
+                        .map(|(i, v)| (i, *v))
+                        .collect();
+                    put_u64(&mut out, full.len() as u64);
+                    for (i, v) in full {
+                        put_u64(&mut out, i as u64);
+                        put_scalar(&mut out, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn restore_bytes(&mut self, state: &[u8]) -> Option<()> {
+        let mut r = Rd { b: state, at: 0 };
+        let pc = r.usize()?;
+        if pc > self.code.instrs.len() {
+            return None;
+        }
+        let n_stack = r.usize()?;
+        if n_stack > state.len() {
+            return None;
+        }
+        let mut stack = Vec::with_capacity(n_stack);
+        for _ in 0..n_stack {
+            stack.push(r.scalar()?);
+        }
+        if r.usize()? != self.locals.len() {
+            return None;
+        }
+        let mut locals = Vec::with_capacity(self.locals.len());
+        for _ in 0..self.locals.len() {
+            locals.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.scalar()?),
+                _ => return None,
+            });
+        }
+        if r.usize()? != self.bufs.len() {
+            return None;
+        }
+        let mut bufs = Vec::with_capacity(self.bufs.len());
+        for _ in 0..self.bufs.len() {
+            bufs.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let n = r.usize()?;
+                    if n > state.len() {
+                        return None;
+                    }
+                    let mut b = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        b.push(r.scalar()?);
+                    }
+                    Some(b)
+                }
+                _ => return None,
+            });
+        }
+        if r.usize()? != self.arrays.len() {
+            return None;
+        }
+        let mut arrays = Vec::with_capacity(self.arrays.len());
+        for _ in 0..self.arrays.len() {
+            arrays.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let dist = r.dist()?;
+                    let rows = r.usize()?;
+                    let cols = r.usize()?;
+                    let nprocs = r.usize()?;
+                    if nprocs == 0 {
+                        return None;
+                    }
+                    let mut arr = DistArray::alloc(dist, rows, cols, nprocs);
+                    let lcols = arr.local.cols();
+                    let n_full = r.usize()?;
+                    if n_full > state.len() {
+                        return None;
+                    }
+                    for _ in 0..n_full {
+                        let idx = r.usize()?;
+                        let v = r.scalar()?;
+                        if lcols == 0 {
+                            return None;
+                        }
+                        let (li, lj) = ((idx / lcols + 1) as i64, (idx % lcols + 1) as i64);
+                        arr.local.write(li, lj, v).ok()?;
+                    }
+                    Some(arr)
+                }
+                _ => return None,
+            });
+        }
+        if r.at != state.len() {
+            return None;
+        }
+        self.pc = pc;
+        self.stack = stack;
+        self.locals = locals;
+        self.bufs = bufs;
+        self.arrays = arrays;
+        Some(())
+    }
+}
+
 /// Cycle cost of one instruction under the machine's cost model.
 /// Communication instructions charge through `send`/`try_recv` instead.
 fn instr_cost(instr: &Instr, c: &pdc_machine::CostModel) -> u64 {
@@ -288,6 +575,14 @@ pub(crate) fn scalar_binop(op: SBinOp, l: Scalar, r: Scalar) -> Result<Scalar, S
 }
 
 impl Process for ProcVm {
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.snapshot_bytes())
+    }
+
+    fn restore(&mut self, state: &[u8]) -> bool {
+        self.restore_bytes(state).is_some()
+    }
+
     fn step(&mut self, machine: &mut dyn Fabric, me: ProcId) -> Result<Step, MachineError> {
         let Some(instr) = self.code.instrs.get(self.pc).cloned() else {
             return Ok(Step::Done);
@@ -776,6 +1071,91 @@ mod tests {
             }
         }
         assert!(last.unwrap_err().to_string().contains("send to self"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_run() {
+        // Build a VM with every state class populated — locals, a
+        // buffer, a dist array with a partially-written segment, and a
+        // non-empty operand stack (snapshot mid-receive) — snapshot it,
+        // resume the original, then restore a fresh VM from the image
+        // and resume that: both must produce identical final state.
+        let body = vec![
+            SStmt::Let {
+                var: "x".into(),
+                value: SExpr::int(41),
+            },
+            SStmt::AllocBuf {
+                buf: "b".into(),
+                len: SExpr::int(3),
+            },
+            SStmt::BufWrite {
+                buf: "b".into(),
+                idx: SExpr::int(1),
+                value: SExpr::Float(2.5),
+            },
+            SStmt::AllocDist {
+                array: "A".into(),
+                rows: SExpr::int(2),
+                cols: SExpr::int(3),
+                dist: Dist::ColumnCyclic,
+            },
+            SStmt::AWriteGlobal {
+                array: "A".into(),
+                idx: vec![SExpr::int(2), SExpr::int(1)],
+                value: SExpr::int(7),
+            },
+            SStmt::Recv {
+                from: SExpr::int(1),
+                tag: 0,
+                into: vec![crate::ir::RecvTarget::Var("y".into())],
+            },
+            SStmt::Let {
+                var: "z".into(),
+                value: SExpr::var("x").add(SExpr::var("y")),
+            },
+        ];
+        let code = Arc::new(lower(&body).unwrap());
+        let mut vm = ProcVm::new(code.clone());
+        let mut machine = Machine::new(2, CostModel::zero());
+        // Run to the blocked receive; the pending source operand is on
+        // the stack when we snapshot.
+        loop {
+            match vm.step(&mut machine, ProcId(0)).unwrap() {
+                Step::BlockedOnRecv { .. } => break,
+                Step::Ran => {}
+                Step::Done => panic!("finished without blocking"),
+            }
+        }
+        let image = vm.snapshot().expect("ProcVm is checkpointable");
+
+        let finish = |vm: &mut ProcVm, machine: &mut Machine| {
+            machine.send(ProcId(1), ProcId(0), Tag(0), encode(&[Scalar::Int(1)]));
+            loop {
+                if vm.step(machine, ProcId(0)).unwrap() == Step::Done {
+                    break;
+                }
+            }
+        };
+        finish(&mut vm, &mut machine);
+
+        let mut restored = ProcVm::new(code);
+        assert!(restored.restore(&image), "image must be accepted");
+        let mut machine2 = Machine::new(2, CostModel::zero());
+        finish(&mut restored, &mut machine2);
+
+        for v in ["x", "y", "z"] {
+            assert_eq!(restored.var(v), vm.var(v), "var {v}");
+        }
+        assert_eq!(restored.buf("b"), vm.buf("b"));
+        let (a, b) = (restored.array("A").unwrap(), vm.array("A").unwrap());
+        assert_eq!(a.inst, b.inst);
+        assert_eq!(a.local.full_count(), b.local.full_count());
+        assert_eq!(a.local.peek(1, 1).copied(), b.local.peek(1, 1).copied());
+
+        // A truncated or corrupt image is rejected, not misparsed.
+        assert!(!ProcVm::new(Arc::new(lower(&body).unwrap())).restore(&image[..image.len() - 1]));
+        assert!(!ProcVm::new(Arc::new(lower(&body).unwrap())).restore(b"garbage"));
     }
 
     #[test]

@@ -45,6 +45,28 @@ pub fn fault_plan_with_stall(rng: &mut Rng, n_procs: usize) -> FaultPlan {
     plan.with_stall(proc, at_op, cycles)
 }
 
+/// Draw a crash plan: one scripted processor crash early in the run
+/// (charged op 0–29), with no message-level damage, so differential
+/// recovery tests isolate the checkpoint/restart path. The early crash
+/// point keeps the victim's peers alive through the recovery window —
+/// replay needs someone on the other end of the retransmit path.
+pub fn crash_plan(rng: &mut Rng, n_procs: usize) -> FaultPlan {
+    let proc = ProcId(rng.range_usize(0, n_procs));
+    let at_op = rng.range_i64(0, 30) as u64;
+    FaultPlan::seeded(rng.next_u64()).with_crash(proc, at_op)
+}
+
+/// Like [`crash_plan`] layered on a recoverable lossy plan
+/// ([`fault_plan`]): the crashed processor restarts *while* the fabric is
+/// dropping and duplicating frames, the hardest recovery case the
+/// protocol must still get right.
+pub fn crash_plan_with_losses(rng: &mut Rng, n_procs: usize) -> FaultPlan {
+    let plan = fault_plan(rng);
+    let proc = ProcId(rng.range_usize(0, n_procs));
+    let at_op = rng.range_i64(0, 30) as u64;
+    plan.with_crash(proc, at_op)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +87,25 @@ mod tests {
         let plan_a = fault_plan(&mut Rng::from_seed(7));
         let plan_b = fault_plan(&mut Rng::from_seed(7));
         assert_eq!(plan_a, plan_b);
+    }
+
+    #[test]
+    fn crash_plans_are_early_scripted_and_reproducible() {
+        let mut rng = Rng::from_seed(0xcc);
+        for _ in 0..50 {
+            let plan = crash_plan(&mut rng, 4);
+            assert_eq!(plan.crashes.len(), 1);
+            assert!(plan.crashes[0].proc.0 < 4);
+            assert!(plan.crashes[0].at_op < 30);
+            assert_eq!(plan.drop_pm, 0, "crash-only plans carry no losses");
+        }
+        assert_eq!(
+            crash_plan(&mut Rng::from_seed(9), 3),
+            crash_plan(&mut Rng::from_seed(9), 3)
+        );
+        let lossy = crash_plan_with_losses(&mut Rng::from_seed(1), 4);
+        assert_eq!(lossy.crashes.len(), 1);
+        assert!(lossy.max_faults_per_triple <= 4);
     }
 
     #[test]

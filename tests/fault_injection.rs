@@ -338,9 +338,13 @@ fn black_hole_names_the_starved_stream() {
             peer,
             tag,
             retries,
+            last_acked,
         }) => {
             assert_eq!((proc, peer, tag), (ProcId(0), ProcId(1), Tag(1)));
             assert_eq!(retries, 4);
+            // Nothing ever got through: the suspect's cumulative ack
+            // floor is still at the first sequence number.
+            assert_eq!(last_acked, 0);
         }
         other => panic!("expected RetriesExhausted, got: {other}"),
     }

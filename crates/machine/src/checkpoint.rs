@@ -331,7 +331,7 @@ impl Checkpoint {
             let mut unacked = Vec::with_capacity(n_un.min(1 << 16));
             for _ in 0..n_un {
                 let seq = r.u64()?;
-                unacked.push((seq, r.words()?));
+                unacked.push((seq, r.words()?.into()));
             }
             senders.push((dst, tag, SenderSnapshot { next_seq, unacked }));
         }
@@ -416,7 +416,7 @@ mod tests {
                 Tag(7),
                 SenderSnapshot {
                     next_seq: 12,
-                    unacked: vec![(10, vec![10, -5]), (11, vec![11, 42])],
+                    unacked: vec![(10, vec![10, -5].into()), (11, vec![11, 42].into())],
                 },
             )],
             recvs: vec![(

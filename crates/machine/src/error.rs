@@ -78,6 +78,19 @@ pub enum MachineError {
         /// The processor whose process cannot snapshot.
         proc: ProcId,
     },
+    /// A threaded-backend receive was waiting on a peer whose thread
+    /// died (panicked or aborted with its own error) before satisfying
+    /// the receive. Detected *immediately* from the peer's liveness
+    /// status — waiters do not burn the full receive-timeout window. A
+    /// pure cascade: the dead peer's own root error always outranks it
+    /// in the final report, but the variant names exactly who died so
+    /// blocked receives can explain themselves.
+    PeerDied {
+        /// The processor whose receive was cut short.
+        proc: ProcId,
+        /// The peer whose thread died.
+        peer: ProcId,
+    },
     /// A threaded-backend receive saw no traffic at all for the configured
     /// wall-clock window. Real threads cannot take the global no-progress
     /// snapshot the simulator's deadlock detector uses, so a cyclic
@@ -209,6 +222,13 @@ impl fmt::Display for MachineError {
                      support state snapshots"
                 )
             }
+            MachineError::PeerDied { proc, peer } => {
+                write!(
+                    f,
+                    "peer died: {proc} was receiving from {peer} when {peer}'s \
+                     thread terminated abnormally"
+                )
+            }
             MachineError::RecvTimeout {
                 proc,
                 src,
@@ -328,6 +348,18 @@ mod tests {
         let u = MachineError::CheckpointUnsupported { proc: ProcId(1) }.to_string();
         assert!(u.contains("P1"), "{u}");
         assert!(u.contains("snapshot"), "{u}");
+    }
+
+    #[test]
+    fn display_peer_died_names_both_sides() {
+        let e = MachineError::PeerDied {
+            proc: ProcId(2),
+            peer: ProcId(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("P2"), "{s}");
+        assert!(s.contains("P5"), "{s}");
+        assert!(s.contains("died"), "{s}");
     }
 
     #[test]

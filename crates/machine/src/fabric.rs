@@ -43,9 +43,34 @@ pub trait Fabric {
     /// message to the transport stamped with its arrival time.
     fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>);
 
+    /// Borrowing variant of [`send`](Fabric::send): semantically
+    /// identical, but the fabric copies (or serializes) the payload
+    /// itself instead of taking ownership. Fabrics with a zero-copy wire
+    /// (the threaded backend's rings) override this so steady-state
+    /// sends never allocate; the default just clones.
+    fn send_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word]) {
+        self.send(src, dst, tag, payload.to_vec());
+    }
+
     /// Typed receive attempt (`crecv`): consume the oldest matching
     /// message if one is pending, else `None` (caller must block).
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>>;
+
+    /// Receive into a caller-owned buffer: like
+    /// [`try_recv`](Fabric::try_recv) but the payload lands in `out`
+    /// (cleared first), letting the fabric recycle its own buffer.
+    /// Returns whether a message was consumed. The default copies from
+    /// `try_recv`.
+    fn try_recv_into(&mut self, dst: ProcId, src: ProcId, tag: Tag, out: &mut Vec<Word>) -> bool {
+        match self.try_recv(dst, src, tag) {
+            Some(payload) => {
+                out.clear();
+                out.extend_from_slice(&payload);
+                true
+            }
+            None => false,
+        }
+    }
 
     /// A send whose frame the transport loses: charge the sender exactly
     /// as [`send`](Fabric::send) would (the words left the CPU) but
@@ -63,6 +88,12 @@ pub trait Fabric {
     fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
         let _ = extra;
         self.send(src, dst, tag, payload);
+    }
+
+    /// Borrowing variant of [`inject`](Fabric::inject); the default
+    /// clones into the owned form.
+    fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
+        self.inject(src, dst, tag, payload.to_vec(), extra);
     }
 }
 
@@ -87,8 +118,16 @@ impl<F: Fabric + ?Sized> Fabric for &mut F {
         (**self).send(src, dst, tag, payload);
     }
 
+    fn send_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word]) {
+        (**self).send_ref(src, dst, tag, payload);
+    }
+
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
         (**self).try_recv(dst, src, tag)
+    }
+
+    fn try_recv_into(&mut self, dst: ProcId, src: ProcId, tag: Tag, out: &mut Vec<Word>) -> bool {
+        (**self).try_recv_into(dst, src, tag, out)
     }
 
     fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
@@ -97,6 +136,10 @@ impl<F: Fabric + ?Sized> Fabric for &mut F {
 
     fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
         (**self).inject(src, dst, tag, payload, extra);
+    }
+
+    fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
+        (**self).inject_ref(src, dst, tag, payload, extra);
     }
 }
 

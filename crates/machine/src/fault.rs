@@ -489,37 +489,39 @@ impl FaultState {
     /// Transmit `frame` over `fabric`, applying the plan. Dropped and
     /// delayed frames still charge the sender (the words left the CPU);
     /// duplicates and released held frames are transport-manufactured and
-    /// charge nobody.
+    /// charge nobody. The frame is borrowed so the retransmission window
+    /// can dispatch straight out of its [`Pending`](crate::reliable::Pending)
+    /// entries without cloning.
     pub fn dispatch<F: Fabric + ?Sized>(
         &mut self,
         fabric: &mut F,
         src: ProcId,
         dst: ProcId,
         tag: Tag,
-        frame: Vec<Word>,
+        frame: &[Word],
     ) {
         let key = (src, dst, tag);
         let d = self.next_decision(src, dst, tag);
         match d {
-            FaultDecision::Deliver => fabric.send(src, dst, tag, frame),
+            FaultDecision::Deliver => fabric.send_ref(src, dst, tag, frame),
             FaultDecision::Drop => {
                 self.counts.drops += 1;
                 fabric.send_lost(src, dst, tag, frame.len());
             }
             FaultDecision::Duplicate => {
                 self.counts.dups += 1;
-                fabric.send(src, dst, tag, frame.clone());
-                fabric.inject(src, dst, tag, frame, 0);
+                fabric.send_ref(src, dst, tag, frame);
+                fabric.inject_ref(src, dst, tag, frame, 0);
             }
             FaultDecision::Delay(extra) => {
                 self.counts.delays += 1;
                 fabric.send_lost(src, dst, tag, frame.len());
-                fabric.inject(src, dst, tag, frame, extra);
+                fabric.inject_ref(src, dst, tag, frame, extra);
             }
             FaultDecision::Hold => {
                 self.counts.reorders += 1;
                 fabric.send_lost(src, dst, tag, frame.len());
-                self.held.insert(key, frame);
+                self.held.insert(key, frame.to_vec());
                 return;
             }
         }
@@ -580,11 +582,20 @@ impl<F: Fabric> Fabric for FaultyFabric<F> {
     }
 
     fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        self.state
+            .dispatch(&mut self.inner, src, dst, tag, &payload);
+    }
+
+    fn send_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word]) {
         self.state.dispatch(&mut self.inner, src, dst, tag, payload);
     }
 
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
         self.inner.try_recv(dst, src, tag)
+    }
+
+    fn try_recv_into(&mut self, dst: ProcId, src: ProcId, tag: Tag, out: &mut Vec<Word>) -> bool {
+        self.inner.try_recv_into(dst, src, tag, out)
     }
 
     fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
@@ -593,6 +604,10 @@ impl<F: Fabric> Fabric for FaultyFabric<F> {
 
     fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
         self.inner.inject(src, dst, tag, payload, extra);
+    }
+
+    fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
+        self.inner.inject_ref(src, dst, tag, payload, extra);
     }
 }
 

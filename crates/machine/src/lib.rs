@@ -50,6 +50,7 @@ pub mod fault;
 mod message;
 mod network;
 pub mod reliable;
+pub mod ring;
 mod sched;
 mod stats;
 pub mod threaded;

@@ -28,6 +28,7 @@
 
 use crate::message::{Tag, Time, Word};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tag-space bit reserved for acknowledgement streams: the ack channel
@@ -50,6 +51,16 @@ pub fn frame(seq: u64, payload: &[Word]) -> Vec<Word> {
     f.push(seq as Word);
     f.extend_from_slice(payload);
     f
+}
+
+/// Prefix `payload` with its sequence number, as a shared immutable
+/// slice. The retransmission window, checkpoints, and the wire path all
+/// hold the *same* allocation — retransmitting or snapshotting a frame
+/// is a reference-count bump, never a copy.
+pub fn frame_arc(seq: u64, payload: &[Word]) -> Arc<[Word]> {
+    std::iter::once(seq as Word)
+        .chain(payload.iter().copied())
+        .collect()
 }
 
 /// Split a data frame back into `(seq, payload)`.
@@ -106,7 +117,9 @@ pub struct Pending<T> {
     /// Sequence number of the frame.
     pub seq: u64,
     /// The full wire frame (seq word included), kept for retransmission.
-    pub frame: Vec<Word>,
+    /// Shared: retransmits and checkpoint snapshots bump the count
+    /// instead of cloning the words.
+    pub frame: Arc<[Word]>,
     /// Retransmissions so far.
     pub retries: u32,
     /// When the next retransmission fires.
@@ -241,7 +254,9 @@ pub struct SenderSnapshot {
     /// Sequence number the next send will use.
     pub next_seq: u64,
     /// `(seq, wire frame)` pairs of the unacked window, oldest first.
-    pub unacked: Vec<(u64, Vec<Word>)>,
+    /// Frames are shared with the live window (and any other snapshots)
+    /// — taking a checkpoint never copies payload words.
+    pub unacked: Vec<(u64, Arc<[Word]>)>,
 }
 
 /// Checkpoint image of one [`RecvChan`]. Arrival stamps are preserved
@@ -359,6 +374,8 @@ mod tests {
         let f = frame(7, &[10, 20, 30]);
         assert_eq!(f, vec![7, 10, 20, 30]);
         assert_eq!(unframe(f), (7, vec![10, 20, 30]));
+        let shared = frame_arc(7, &[10, 20, 30]);
+        assert_eq!(&shared[..], &[7, 10, 20, 30]);
     }
 
     #[test]
@@ -381,7 +398,7 @@ mod tests {
         for seq in 0..4 {
             s.unacked.push_back(Pending {
                 seq,
-                frame: frame(seq, &[0]),
+                frame: frame_arc(seq, &[0]),
                 retries: 0,
                 deadline: Time::ZERO,
             });
@@ -417,7 +434,7 @@ mod tests {
         for seq in 1..3 {
             s.unacked.push_back(Pending {
                 seq,
-                frame: frame(seq, &[seq as Word * 10]),
+                frame: frame_arc(seq, &[seq as Word * 10]),
                 retries: 2,
                 deadline: Time(99),
             });
@@ -426,10 +443,12 @@ mod tests {
         let back: SenderChan<Time> = SenderChan::from_snapshot(&snap, Time(7));
         assert_eq!(back.next_seq, 3);
         assert_eq!(back.unacked.len(), 2);
-        // Deadlines and retries are re-armed, frames preserved.
+        // Deadlines and retries are re-armed, frames preserved — and
+        // shared: the snapshot holds the same allocation as the window.
         assert_eq!(back.unacked[0].deadline, Time(7));
         assert_eq!(back.unacked[0].retries, 0);
-        assert_eq!(back.unacked[1].frame, frame(2, &[20]));
+        assert_eq!(&back.unacked[1].frame[..], &frame(2, &[20])[..]);
+        assert!(Arc::ptr_eq(&snap.unacked[0].1, &s.unacked[0].frame));
 
         let mut r = RecvChan::new();
         r.on_frame(0, Time(5), vec![1]);

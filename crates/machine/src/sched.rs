@@ -7,7 +7,7 @@ use crate::fabric::{Fabric, Machine};
 use crate::fault::{FaultPlan, FaultState};
 use crate::message::{ProcId, Tag, Time, Word};
 use crate::reliable::{
-    ack_tag, frame, is_ack_tag, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
+    ack_tag, frame_arc, is_ack_tag, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
 };
 use crate::stats::{FaultReport, MachineStats};
 use crate::trace::{EventKind, Trace};
@@ -561,7 +561,7 @@ impl Scheduler {
                                             me,
                                             src,
                                             ack_tag(tag),
-                                            vec![cum as Word, cum as Word],
+                                            &[cum as Word, cum as Word],
                                         );
                                         rel.acks_sent += 1;
                                     }
@@ -879,7 +879,7 @@ fn restore_proc(
         .map(|(&(src, tag), c)| (src, tag, c.cumulative()))
         .collect();
     for (src, tag, cum) in solicits {
-        fault.dispatch(m, me, src, ack_tag(tag), vec![cum as Word, cum as Word]);
+        fault.dispatch(m, me, src, ack_tag(tag), &[cum as Word, cum as Word]);
         rel.acks_sent += 1;
     }
     for (dst, tag, s) in &ckpt.senders {
@@ -1112,7 +1112,7 @@ impl RelState {
                 Some(floors) => floors.get(&(src, tag)).copied().unwrap_or(0),
                 None => live,
             };
-            fault.dispatch(m, me, src, ack_tag(tag), vec![adv as Word, live as Word]);
+            fault.dispatch(m, me, src, ack_tag(tag), &[adv as Word, live as Word]);
             self.acks_sent += 1;
         }
     }
@@ -1165,7 +1165,7 @@ impl RelState {
             return;
         }
         self.procs[me.0].keepalive.insert((src, tag), (now, 0));
-        fault.dispatch(m, me, src, ack_tag(tag), vec![adv as Word, live as Word]);
+        fault.dispatch(m, me, src, ack_tag(tag), &[adv as Word, live as Word]);
         self.acks_sent += 1;
     }
 
@@ -1194,7 +1194,7 @@ impl RelState {
             .map_or(0, |chan| chan.cumulative());
         let now = m.clock(me);
         self.procs[me.0].keepalive.insert((src, tag), (now, 0));
-        fault.dispatch(m, me, src, ack_tag(tag), vec![adv as Word, live as Word]);
+        fault.dispatch(m, me, src, ack_tag(tag), &[adv as Word, live as Word]);
         self.acks_sent += 1;
         1
     }
@@ -1233,7 +1233,8 @@ impl RelState {
         let now = m.clock(me);
         let chans: Vec<(ProcId, Tag)> = self.procs[me.0].senders.keys().copied().collect();
         for (dst, tag) in chans {
-            let resends: Vec<(u64, Vec<Word>)> = {
+            // Arc bumps, not copies: the window's frames are shared.
+            let resends: Vec<(u64, std::sync::Arc<[Word]>)> = {
                 let chan = self.procs[me.0]
                     .senders
                     .get_mut(&(dst, tag))
@@ -1268,7 +1269,7 @@ impl RelState {
                 let at = m.clock(me);
                 m.trace_mut()
                     .record(me, at, EventKind::Retransmit { dst, tag, seq });
-                fault.dispatch(m, me, dst, tag, payload);
+                fault.dispatch(m, me, dst, tag, &payload);
                 self.retransmits += 1;
                 self.activity += 1;
             }
@@ -1400,8 +1401,10 @@ impl Fabric for ReliableView<'_> {
             chan.next_seq += 1;
             s
         };
-        let fr = frame(seq, &payload);
-        self.fault.dispatch(self.m, src, dst, tag, fr.clone());
+        // One shared allocation: the wire dispatch borrows it, the
+        // retransmission window keeps it — no per-send frame clone.
+        let fr = frame_arc(seq, &payload);
+        self.fault.dispatch(self.m, src, dst, tag, &fr);
         let deadline = self.m.clock(src).plus(self.rel.cfg.rto_cycles);
         self.rel.procs[src.0]
             .senders

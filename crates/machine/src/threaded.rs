@@ -1,60 +1,71 @@
-//! The threaded execution backend: one OS thread per processor, real
-//! `std::sync::mpsc` channels for the interconnect.
+//! The threaded execution backend: one OS thread per processor, with a
+//! preallocated lock-free SPSC word ring ([`ring`](crate::ring)) per
+//! ordered processor pair as the interconnect.
 //!
 //! The simulator in [`fabric`](crate::fabric) interleaves every processor
 //! on one thread and keeps the whole network in a single `HashMap`. This
 //! module executes the *same* [`Process`] implementations preemptively:
 //! each processor's process runs on its own thread against an
 //! [`Endpoint`] — a per-thread [`Fabric`] holding that processor's logical
-//! clock, statistics, and channel ends.
+//! clock, statistics, and ring ends.
 //!
 //! # Why the results still match the simulator
 //!
 //! Everything a process observes is a function of sender-local state:
 //! payloads are computed before the send, arrival stamps travel *inside*
-//! the message (`sender clock + flight`), and a receive names its
-//! `(src, tag)` channel explicitly. `mpsc` guarantees per-sender FIFO, and
-//! the per-`(src, tag)` stash below preserves it per typed channel, so
-//! every receive sees exactly the message the simulator would deliver —
-//! whatever the OS scheduler does. Outputs, logical clocks (and hence the
-//! makespan), and per-pair message counts are bit-identical across
-//! backends; only `max_in_flight` (real concurrency) and the step total
-//! (blocked-retry counts) are timing-dependent.
+//! the frame (`sender clock + flight`), and a receive names its
+//! `(src, tag)` channel explicitly. A ring is FIFO by construction, and
+//! the per-`(src, tag)` stash below preserves that order per typed
+//! channel, so every receive sees exactly the message the simulator would
+//! deliver — whatever the OS scheduler does. Outputs, logical clocks (and
+//! hence the makespan), and per-pair message counts are bit-identical
+//! across backends; only `max_in_flight` (real concurrency) and the step
+//! total (blocked-retry counts) are timing-dependent.
 //!
 //! # Topology
 //!
-//! Tags are created dynamically by the compiler, so a physical channel per
-//! `(src, dst, tag)` triple is impossible to set up in advance. Instead
-//! each processor owns one incoming `mpsc` channel (every peer holds a
-//! clone of the sender) and demultiplexes arrivals into per-`(src, tag)`
-//! FIFO stashes — a faithful realization of the typed-channel network,
-//! since `mpsc` never reorders messages from one sender.
+//! Tags are created dynamically by the compiler, so a physical channel
+//! per `(src, dst, tag)` triple is impossible to set up in advance.
+//! Instead every ordered processor pair owns one word ring — `n(n-1)`
+//! rings, preallocated before the clocks start — and each endpoint
+//! demultiplexes its incoming frames into per-`(src, tag)` FIFO stashes.
+//! Frames are flat `u64` words (see [`ring`](crate::ring) for the wire
+//! layout); steady-state traffic allocates nothing: payload buffers come
+//! from a per-endpoint [`BufPool`] and return to it on consume.
 //!
-//! # Deadlock
+//! # Wakeups, deadlock, and peer death
 //!
-//! Real threads cannot take the global "nobody progressed" snapshot the
-//! [`Scheduler`](crate::Scheduler) uses, so a blocked receive bounds its
-//! wait instead: if *no* traffic at all arrives for
-//! [`recv_timeout`](ThreadedRunner::with_recv_timeout), the receive fails
-//! with [`MachineError::RecvTimeout`] rather than hanging the run. A
-//! receive whose peers have all finished (hung-up channel) fails
-//! immediately as a [`MachineError::Deadlock`].
+//! Each endpoint owns a [`Doorbell`]; peers ring it after publishing
+//! frames for it, so a blocked receive parks instead of polling and a
+//! running receiver costs its peers no syscalls at all. Real threads
+//! cannot take the global "nobody progressed" snapshot the
+//! [`Scheduler`](crate::Scheduler) uses, so liveness is judged from a
+//! shared status board instead: every thread posts `finished` on normal
+//! completion and `dead` on panic or error (via a drop guard, so unwinds
+//! post too), bumps a global epoch, and rings every bell. A receive
+//! whose peer *finished* without sending fails immediately as
+//! [`MachineError::Deadlock`]; one whose peer *died* fails immediately
+//! as [`MachineError::PeerDied`] — no waiter ever burns its full
+//! receive-timeout window discovering a terminated peer. If no traffic
+//! at all arrives for [`recv_timeout`](ThreadedRunner::with_recv_timeout)
+//! while peers are still running, the receive fails with
+//! [`MachineError::RecvTimeout`] (a cyclic deadlock).
 
 use crate::checkpoint::{Checkpoint, CheckpointCfg, RecoveryReport};
 use crate::cost::CostModel;
 use crate::error::MachineError;
 use crate::fabric::Fabric;
 use crate::fault::{FaultCounts, FaultPlan, FaultState};
-use crate::message::{Message, ProcId, Tag, Time, Word};
+use crate::message::{ProcId, Tag, Time, Word};
 use crate::reliable::{
-    ack_tag, frame, is_ack_tag, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
+    ack_tag, frame_arc, is_ack_tag, unframe, Pending, RecvChan, RelConfig, SenderChan, ACK_TAG_BIT,
 };
+use crate::ring::{ring, BufPool, Doorbell, FrameRx, FrameTx};
 use crate::sched::{Process, RunReport, Step};
 use crate::stats::{FaultReport, MachineStats, NetworkStats, ProcStats};
 use crate::trace::{EventKind, Trace};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,7 +76,7 @@ pub enum Backend {
     /// [`Scheduler`](crate::Scheduler), in-memory queues. The default.
     #[default]
     Simulated,
-    /// One OS thread per processor over real `mpsc` channels, with a
+    /// One OS thread per processor over per-pair lock-free rings, with a
     /// wall-clock receive timeout standing in for deadlock detection.
     Threaded {
         /// Fail a blocked receive after this long without any arrival.
@@ -86,6 +97,13 @@ impl Backend {
 /// reporting a timeout.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Peer is executing (or lingering): frames to it will be drained.
+const PEER_RUNNING: u8 = 0;
+/// Peer completed normally — its program-level receives are all done.
+const PEER_FINISHED: u8 = 1;
+/// Peer's thread terminated abnormally (panic or error).
+const PEER_DEAD: u8 = 2;
+
 /// `base + d`, saturating at a far-future instant instead of panicking
 /// when a pathological `Duration` (e.g. `Duration::MAX` standing in for
 /// "never") overflows the platform clock. Halving converges on the
@@ -105,7 +123,18 @@ fn saturating_deadline(base: Instant, d: Duration) -> Instant {
     base
 }
 
+/// Ring capacity in words for an `n`-processor machine when none was
+/// configured: a ~32 MiB total budget split across the `n(n-1)` rings,
+/// clamped to `[256, 16384]` words and rounded down to a power of two.
+fn default_ring_words(n: usize) -> usize {
+    let pairs = (n * n.saturating_sub(1)).max(1);
+    let budget = ((1usize << 22) / pairs).clamp(256, 16_384);
+    1 << (usize::BITS as usize - 1 - budget.leading_zeros() as usize)
+}
+
 /// Shared high-water mark of messages in flight (sent, not yet consumed).
+/// Relaxed ordering throughout: the counts are diagnostics, read after
+/// the joins (which synchronize), never used for control flow.
 #[derive(Debug, Default)]
 struct Gauge {
     cur: AtomicU64,
@@ -114,12 +143,52 @@ struct Gauge {
 
 impl Gauge {
     fn inc(&self) {
-        let now = self.cur.fetch_add(1, Ordering::SeqCst) + 1;
-        self.max.fetch_max(now, Ordering::SeqCst);
+        let now = self.cur.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max.fetch_max(now, Ordering::Relaxed);
     }
 
     fn dec(&self) {
-        self.cur.fetch_sub(1, Ordering::SeqCst);
+        self.cur.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Announces this thread's fate on the shared status board. Constructed
+/// before the first step and finalized with [`finish`](StatusGuard::finish)
+/// on success; the `Drop` impl catches every other exit — an `Err` return
+/// or a panic unwind — and posts `dead`, so blocked peers always learn of
+/// a terminated thread immediately instead of timing out against silence.
+struct StatusGuard {
+    status: Arc<Vec<AtomicU8>>,
+    bells: Arc<Vec<Doorbell>>,
+    epoch: Arc<AtomicU64>,
+    me: usize,
+    finished: bool,
+}
+
+impl StatusGuard {
+    /// Post `st`, bump the epoch, and wake every parked peer. The status
+    /// store is `SeqCst` and precedes the bells, so a peer that either
+    /// observes the new status or is woken by the ring sees every frame
+    /// this thread published beforehand.
+    fn announce(&self, st: u8) {
+        self.status[self.me].store(st, Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for bell in self.bells.iter() {
+            bell.ring();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.finished = true;
+        self.announce(PEER_FINISHED);
+    }
+}
+
+impl Drop for StatusGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.announce(PEER_DEAD);
+        }
     }
 }
 
@@ -203,9 +272,13 @@ struct CkptCtl {
     report: RecoveryReport,
 }
 
-/// One processor's thread-local view of the machine: its logical clock and
-/// counters, a sender handle per peer, and the receiving end of its own
-/// incoming channel with the per-`(src, tag)` demultiplexing stash.
+/// Per-`(src, tag)` demultiplexing FIFOs of `(arrival stamp, payload)`.
+type Stash = HashMap<(ProcId, Tag), VecDeque<(Time, Vec<Word>)>>;
+
+/// One processor's thread-local view of the machine: its logical clock
+/// and counters, the producer end of a ring to every peer, the consumer
+/// end of every peer's ring to it, and the per-`(src, tag)`
+/// demultiplexing stash.
 #[derive(Debug)]
 pub struct Endpoint {
     me: ProcId,
@@ -214,12 +287,19 @@ pub struct Endpoint {
     slowdown: u64,
     clock: Time,
     stats: ProcStats,
-    /// `senders[q]` reaches processor `q`; `None` at `q == me` (self-sends
-    /// are a code-generation bug, exactly as in the simulator).
-    senders: Vec<Option<Sender<Message>>>,
-    rx: Receiver<Message>,
-    /// Typed-channel FIFOs, filled by draining `rx` in arrival order.
-    stash: HashMap<(ProcId, Tag), VecDeque<Message>>,
+    /// `tx[q]` produces into the ring read by processor `q`; `None` at
+    /// `q == me` (self-sends are a code-generation bug, exactly as in
+    /// the simulator).
+    tx: Vec<Option<FrameTx>>,
+    /// `rx[q]` consumes the ring written by processor `q`.
+    rx: Vec<Option<FrameRx>>,
+    /// Typed-channel FIFOs, filled by draining the rings in arrival
+    /// order: `(arrival stamp, payload)` per frame.
+    stash: Stash,
+    /// Payload-buffer recycler: consumed frames return their `Vec`s here
+    /// and reassembly reuses them, so steady-state traffic allocates
+    /// nothing.
+    pool: BufPool,
     /// Messages sent per `(dst, tag)`, merged into the run report.
     sent: BTreeMap<(ProcId, Tag), u64>,
     /// Messages consumed per `(src, tag)` — the receive-side mirror of
@@ -231,10 +311,28 @@ pub struct Endpoint {
     self_send: Option<ProcId>,
     /// Reliable-delivery state; `None` runs the raw fabric.
     rel: Option<Box<EndpointRel>>,
-    /// Peers whose receive channel has hung up (their thread finished). A
-    /// peer can only finish after its program-level receives completed, so
-    /// a transmit that bounces off a dead peer is as good as acked.
-    dead: Vec<bool>,
+    /// One doorbell per processor; `bells[me]` is parked on, peers' are
+    /// rung after publishing frames for them.
+    bells: Arc<Vec<Doorbell>>,
+    /// Shared liveness board: `status[q]` is `PEER_RUNNING`,
+    /// `PEER_FINISHED`, or `PEER_DEAD`.
+    status: Arc<Vec<AtomicU8>>,
+    /// Bumped on every status transition; parks re-check it so no
+    /// transition is ever slept through.
+    epoch: Arc<AtomicU64>,
+    /// Frames ever drained off the rings — the liveness signal that
+    /// resets a blocked receive's timeout window.
+    ingested: u64,
+    /// Parks performed (the wakeup-batching effectiveness metric).
+    wakes: u64,
+    /// Spin briefly before parking. On when the host has ≥ 2 hardware
+    /// threads: the peer may be publishing *right now*, and a short spin
+    /// dodges the futex round-trip. On one core the peer cannot be
+    /// running concurrently, so spinning only burns the time slice it
+    /// needs — park immediately instead.
+    spin: bool,
+    /// Test probe: accumulates `wakes` at thread exit when set.
+    wake_probe: Option<Arc<AtomicU64>>,
     gauge: Arc<Gauge>,
     recv_timeout: Duration,
     /// Checkpoint/restart control; `None` runs without crash recovery.
@@ -248,19 +346,38 @@ pub struct Endpoint {
 }
 
 impl Endpoint {
-    /// Move everything already queued on the wire into the stash.
+    /// Move every fully-arrived frame off the rings into the stash.
     fn drain(&mut self) {
-        while let Ok(m) = self.rx.try_recv() {
-            self.stash.entry((m.src, m.tag)).or_default().push_back(m);
+        let Endpoint {
+            rx,
+            stash,
+            pool,
+            ingested,
+            ..
+        } = self;
+        for (src, rx) in rx.iter_mut().enumerate() {
+            if let Some(rx) = rx {
+                *ingested += rx.drain(pool, |tag, arrives, payload| {
+                    stash
+                        .entry((ProcId(src), Tag(tag)))
+                        .or_default()
+                        .push_back((Time(arrives), payload));
+                }) as u64;
+            }
         }
     }
 
     /// Consume a message: idle accounting and clock advance identical to
     /// [`Machine::try_recv`](crate::Machine::try_recv).
-    fn consume(&mut self, msg: Message) -> Vec<Word> {
-        *self.recvd.entry((msg.src, msg.tag)).or_insert(0) += 1;
-        let payload = msg.payload;
-        self.charge_recv(msg.src, msg.tag, msg.arrives_at, payload.len());
+    fn consume(
+        &mut self,
+        src: ProcId,
+        tag: Tag,
+        arrives_at: Time,
+        payload: Vec<Word>,
+    ) -> Vec<Word> {
+        *self.recvd.entry((src, tag)).or_insert(0) += 1;
+        self.charge_recv(src, tag, arrives_at, payload.len());
         self.gauge.dec();
         payload
     }
@@ -301,6 +418,65 @@ impl Endpoint {
         self.rel.as_mut().and_then(|r| r.fatal.take())
     }
 
+    /// Publish one frame onto the `me → dst` ring and ring the peer's
+    /// doorbell. A frame to a peer that already finished or died stays
+    /// undelivered, exactly like an untaken simulator queue. While the
+    /// ring is full the stall hook keeps the system live: it wakes the
+    /// consumer (chunks published so far are invisible to a parked peer
+    /// otherwise), drains our own inboxes (two mutually-full endpoints
+    /// would deadlock otherwise), and abandons the send if the peer
+    /// dies — a half-written frame is harmless because nobody reads
+    /// that ring again.
+    fn ring_send(&mut self, dst: ProcId, tag: Tag, arrives_at: Time, payload: &[Word]) {
+        if self.status[dst.0].load(Ordering::SeqCst) != PEER_RUNNING {
+            return;
+        }
+        let mut tx = self.tx[dst.0].take().expect("peer ring exists");
+        let mut spins = 0u32;
+        let sent = tx.send(tag.0, arrives_at.0, payload, || {
+            self.bells[dst.0].ring();
+            self.drain();
+            if self.status[dst.0].load(Ordering::SeqCst) != PEER_RUNNING {
+                return false;
+            }
+            spins += 1;
+            if spins > 16 {
+                std::thread::yield_now();
+            }
+            true
+        });
+        self.tx[dst.0] = Some(tx);
+        if sent {
+            self.bells[dst.0].ring();
+        }
+    }
+
+    /// One doorbell-batched blocking cycle: arm the bell, re-check every
+    /// wake source (fresh frames and status transitions since `epoch`),
+    /// then park until `until`, a peer's ring, or a spurious wakeup.
+    /// Callers loop and re-evaluate regardless of why the park returned.
+    fn park(&mut self, until: Instant, epoch: u64) {
+        if self.spin {
+            for _ in 0..64 {
+                std::hint::spin_loop();
+                let before = self.ingested;
+                self.drain();
+                if self.ingested != before || self.epoch.load(Ordering::SeqCst) != epoch {
+                    return;
+                }
+            }
+        }
+        self.bells[self.me.0].prepare();
+        let before = self.ingested;
+        self.drain();
+        if self.ingested != before || self.epoch.load(Ordering::SeqCst) != epoch {
+            self.bells[self.me.0].cancel();
+            return;
+        }
+        self.wakes += 1;
+        self.bells[self.me.0].park_until(until);
+    }
+
     /// Reliable-mode ingestion: drain the wire, retire acknowledged sends,
     /// reassemble data frames into their streams, and acknowledge every
     /// batch ingested. Acks travel through this endpoint's fault state
@@ -312,7 +488,7 @@ impl Endpoint {
         let chans: Vec<(ProcId, Tag)> = self.stash.keys().copied().collect();
         for (peer, tag) in chans {
             if is_ack_tag(tag) {
-                while let Some(msg) = self
+                while let Some((_, payload)) = self
                     .stash
                     .get_mut(&(peer, tag))
                     .and_then(VecDeque::pop_front)
@@ -324,8 +500,9 @@ impl Endpoint {
                     let before = self.clock;
                     self.clock = before.plus(self.cost.recv_cost(1) * self.slowdown);
                     self.trace.record_compute(self.me, before, self.clock);
-                    let cum = msg.payload[0] as u64;
-                    let live = msg.payload.get(1).map_or(cum, |&w| w as u64);
+                    let cum = payload[0] as u64;
+                    let live = payload.get(1).map_or(cum, |&w| w as u64);
+                    self.pool.put(payload);
                     let data_tag = Tag(tag.0 & !ACK_TAG_BIT);
                     if let Some(chan) = rel.senders.get_mut(&(peer, data_tag)) {
                         chan.ack(cum);
@@ -344,18 +521,17 @@ impl Endpoint {
                 }
             } else {
                 let mut drained = 0u64;
-                while let Some(msg) = self
+                while let Some((arrives, payload)) = self
                     .stash
                     .get_mut(&(peer, tag))
                     .and_then(VecDeque::pop_front)
                 {
                     self.gauge.dec();
-                    let (seq, payload) = unframe(msg.payload);
-                    rel.recvs.entry((peer, tag)).or_default().on_frame(
-                        seq,
-                        msg.arrives_at,
-                        payload,
-                    );
+                    let (seq, payload) = unframe(payload);
+                    rel.recvs
+                        .entry((peer, tag))
+                        .or_default()
+                        .on_frame(seq, arrives, payload);
                     drained += 1;
                 }
                 if drained > 0 {
@@ -370,7 +546,7 @@ impl Endpoint {
                         self.me,
                         peer,
                         ack_tag(tag),
-                        vec![adv as Word, live as Word],
+                        &[adv as Word, live as Word],
                     );
                 }
             }
@@ -394,17 +570,22 @@ impl Endpoint {
             let now = Instant::now();
             let chans: Vec<(ProcId, Tag)> = rel.senders.keys().copied().collect();
             for (dst, tag) in chans {
-                let resends: Vec<(u64, Vec<Word>)> = {
+                // Arc bumps, not copies: the window and the wire share
+                // each frame's one allocation.
+                let resends: Vec<(u64, Arc<[Word]>)> = {
                     let chan = rel
                         .senders
                         .get_mut(&(dst, tag))
                         .expect("chan exists: key came from the map");
-                    if self.dead[dst.0] {
-                        // The peer's thread exited, which it can only do
-                        // after completing its program-level receives: our
-                        // data got through and only the ack was lost.
-                        // Retire the window instead of retrying forever
-                        // against a disconnected channel.
+                    if self.status[dst.0].load(Ordering::SeqCst) != PEER_RUNNING {
+                        // The peer's thread exited. A *finished* peer can
+                        // only do that after completing its program-level
+                        // receives: our data got through and only the ack
+                        // was lost, so retire the window instead of
+                        // retrying forever into a ring nobody drains. A
+                        // *dead* peer fails the run through its own root
+                        // error; retiring here merely lets our linger
+                        // terminate instead of spinning on its corpse.
                         chan.unacked.clear();
                         continue;
                     }
@@ -429,7 +610,7 @@ impl Endpoint {
                         .map(|p| {
                             p.retries += 1;
                             p.deadline = saturating_deadline(now, rel.cfg.backoff_wall(p.retries));
-                            (p.seq, p.frame.clone())
+                            (p.seq, Arc::clone(&p.frame))
                         })
                         .collect()
                 };
@@ -437,7 +618,7 @@ impl Endpoint {
                     self.trace
                         .record(self.me, self.clock, EventKind::Retransmit { dst, tag, seq });
                     rel.retransmits += 1;
-                    rel.fault.dispatch(self, self.me, dst, tag, payload);
+                    rel.fault.dispatch(self, self.me, dst, tag, &payload);
                 }
             }
         }
@@ -445,8 +626,10 @@ impl Endpoint {
     }
 
     /// Reliable-mode send: pump acks, service timers, then frame, track,
-    /// and dispatch through the fault plan.
-    fn rel_send(&mut self, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+    /// and dispatch through the fault plan. The frame is built once as a
+    /// shared slice; the retransmission window and the wire path bump
+    /// its reference count instead of cloning.
+    fn rel_send(&mut self, dst: ProcId, tag: Tag, payload: &[Word]) {
         debug_assert_eq!(
             tag.0 & ACK_TAG_BIT,
             0,
@@ -460,17 +643,17 @@ impl Endpoint {
             let chan = rel.senders.entry((dst, tag)).or_default();
             let seq = chan.next_seq;
             chan.next_seq += 1;
-            let fr = frame(seq, &payload);
+            let fr = frame_arc(seq, payload);
             chan.unacked.push_back(Pending {
                 seq,
-                frame: fr.clone(),
+                frame: Arc::clone(&fr),
                 retries: 0,
                 deadline: saturating_deadline(Instant::now(), rel.cfg.rto_wall),
             });
             fr
         };
         let mut rel = self.rel.take().expect("still in reliable mode");
-        rel.fault.dispatch(self, self.me, dst, tag, fr);
+        rel.fault.dispatch(self, self.me, dst, tag, &fr);
         self.rel = Some(rel);
     }
 
@@ -489,11 +672,21 @@ impl Endpoint {
     /// Reliable-mode block: wait until the `(src, tag)` stream has an
     /// in-order payload ready, retransmitting on schedule meanwhile. The
     /// liveness window resets on any arrival, exactly as
-    /// [`wait_for`](Endpoint::wait_for) does.
+    /// [`wait_for`](Endpoint::wait_for) does; a peer that finished
+    /// without satisfying the receive is an immediate deadlock, a peer
+    /// that died an immediate [`MachineError::PeerDied`].
     fn rel_wait_for(&mut self, src: ProcId, tag: Tag) -> Result<(), MachineError> {
         let mut liveness = saturating_deadline(Instant::now(), self.recv_timeout);
         let mut last_keepalive = Instant::now();
+        let mut last_ingested = self.ingested;
         loop {
+            // Load the epoch and the peer's status *before* pumping: a
+            // status observed before the drain can only under-report —
+            // "finished and the stream is still not ready" is then a
+            // sound deadlock verdict, because a finishing peer publishes
+            // all its frames before announcing.
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            let st = self.status[src.0].load(Ordering::SeqCst);
             self.rel_pump();
             self.rel_service_timers();
             if let Some(e) = self.take_fatal() {
@@ -508,6 +701,27 @@ impl Endpoint {
                 {
                     return Ok(());
                 }
+            }
+            match st {
+                PEER_DEAD => {
+                    return Err(MachineError::PeerDied {
+                        proc: self.me,
+                        peer: src,
+                    });
+                }
+                PEER_FINISHED => {
+                    // A finished peer completed its linger: everything it
+                    // ever sent is already in our streams. The awaited
+                    // payload can never arrive.
+                    return Err(MachineError::Deadlock {
+                        waiting: vec![(self.me, src, tag)],
+                    });
+                }
+                _ => {}
+            }
+            if self.ingested != last_ingested {
+                last_ingested = self.ingested;
+                liveness = saturating_deadline(Instant::now(), self.recv_timeout);
             }
             let now = Instant::now();
             if now >= liveness {
@@ -553,37 +767,29 @@ impl Endpoint {
                         self.me,
                         src,
                         ack_tag(tag),
-                        vec![adv as Word, live as Word],
+                        &[adv as Word, live as Word],
                     );
                     self.rel = Some(rel);
                 }
             }
-            // Sleep until the liveness deadline or the next retransmission
+            // Park until the liveness deadline or the next retransmission
             // timer, whichever is sooner. In checkpoint mode the next
             // keepalive is a deadline too: a receiver with nothing in its
             // own send window would otherwise sleep the whole liveness
-            // window and never advertise its floors.
-            let rel = self.rel.as_ref().expect("rel wait requires reliable mode");
-            let mut until = rel
-                .earliest_deadline()
-                .map_or(liveness, |d| d.min(liveness));
-            if rel.stable.is_some() {
-                until = until.min(saturating_deadline(last_keepalive, rel.cfg.rto_wall));
-            }
-            match self.rx.recv_timeout(until.saturating_duration_since(now)) {
-                Ok(m) => {
-                    self.stash.entry((m.src, m.tag)).or_default().push_back(m);
-                    liveness = saturating_deadline(Instant::now(), self.recv_timeout);
+            // window and never advertise its floors. Arrivals and status
+            // changes ring the doorbell, so the park never oversleeps a
+            // real event.
+            let until = {
+                let rel = self.rel.as_ref().expect("rel wait requires reliable mode");
+                let mut until = rel
+                    .earliest_deadline()
+                    .map_or(liveness, |d| d.min(liveness));
+                if rel.stable.is_some() {
+                    until = until.min(saturating_deadline(last_keepalive, rel.cfg.rto_wall));
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Every peer is gone: the awaited payload — and any
-                    // retransmission of it — can never arrive.
-                    return Err(MachineError::Deadlock {
-                        waiting: vec![(self.me, src, tag)],
-                    });
-                }
-            }
+                until
+            };
+            self.park(until, epoch);
         }
     }
 
@@ -592,8 +798,16 @@ impl Endpoint {
     /// unacknowledged frames — until its send window is empty. Without
     /// this, a dropped final ack would starve the peer's retransmissions
     /// against a dead thread.
+    ///
+    /// The linger *parks*: with every pending frame delivered but not
+    /// yet stably acked (the checkpoint-mode steady state), there is no
+    /// retransmission deadline to wait out, and the old implementation
+    /// busy-polled at 1 ms burning a core per lingering thread. The
+    /// peer's eventual ack — or its status transition — rings our
+    /// doorbell, so the park only needs a coarse backstop deadline.
     fn rel_linger(&mut self) -> Result<(), MachineError> {
         loop {
+            let epoch = self.epoch.load(Ordering::SeqCst);
             self.rel_pump();
             self.rel_service_timers();
             if let Some(e) = self.take_fatal() {
@@ -605,23 +819,8 @@ impl Endpoint {
             }
             let until = rel
                 .earliest_deadline()
-                .unwrap_or_else(|| saturating_deadline(Instant::now(), Duration::from_millis(1)));
-            match self
-                .rx
-                .recv_timeout(until.saturating_duration_since(Instant::now()))
-            {
-                Ok(m) => {
-                    self.stash.entry((m.src, m.tag)).or_default().push_back(m);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    // All peers finished their own linger, which requires
-                    // their receive streams to be complete — the missing
-                    // acks were sent and lost, not the data. Program-level
-                    // delivery is audited separately from logical counts.
-                    return Ok(());
-                }
-            }
+                .unwrap_or_else(|| saturating_deadline(Instant::now(), self.recv_timeout));
+            self.park(until, epoch);
         }
     }
 
@@ -737,13 +936,18 @@ impl Endpoint {
         if !process.restore(&ckpt.process) {
             return Err(MachineError::CheckpointUnsupported { proc: self.me });
         }
-        let stashed: usize = self.stash.values().map(VecDeque::len).sum();
-        for _ in 0..stashed {
-            self.gauge.dec();
-        }
-        self.stash.clear();
-        while self.rx.try_recv().is_ok() {
-            self.gauge.dec();
+        // Discard the dead incarnation's incoming traffic: everything
+        // stashed plus everything fully arrived in the rings. A frame a
+        // peer has only *partially* published stays in its reassembler —
+        // clearing mid-frame state would misalign the word stream — and
+        // any completed leftovers that land after this drain are absorbed
+        // by sequence-number dedup like every other duplicate.
+        self.drain();
+        for (_, q) in self.stash.drain() {
+            for (_, payload) in q {
+                self.gauge.dec();
+                self.pool.put(payload);
+            }
         }
         self.clock = self.clock.plus(cfg.reboot_cycles);
         std::thread::sleep(cfg.reboot_wall);
@@ -787,7 +991,7 @@ impl Endpoint {
                 self.me,
                 src,
                 ack_tag(tag),
-                vec![cum as Word, cum as Word],
+                &[cum as Word, cum as Word],
             );
         }
         self.rel = Some(rel);
@@ -886,7 +1090,7 @@ impl Endpoint {
                 self.me,
                 src,
                 ack_tag(tag),
-                vec![cum as Word, cum as Word],
+                &[cum as Word, cum as Word],
             );
         }
         self.rel = Some(rel);
@@ -895,14 +1099,40 @@ impl Endpoint {
 
     /// Block until a `(src, tag)` message is stashed, or fail after
     /// `recv_timeout` with no arrivals at all. Any arrival resets the
-    /// window: as long as traffic flows the system is live and the awaited
-    /// message may still be in someone's future.
+    /// window: as long as traffic flows the system is live and the
+    /// awaited message may still be in someone's future. A peer that
+    /// finished without sending is an immediate deadlock; one that died
+    /// an immediate [`MachineError::PeerDied`].
     fn wait_for(&mut self, src: ProcId, tag: Tag) -> Result<(), MachineError> {
         let mut deadline = saturating_deadline(Instant::now(), self.recv_timeout);
+        let mut last_ingested = self.ingested;
         loop {
+            // Status before drain: "finished, and the frame still is not
+            // here after draining" soundly means it never will be,
+            // because a finishing peer publishes before announcing.
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            let st = self.status[src.0].load(Ordering::SeqCst);
             self.drain();
             if self.stash.get(&(src, tag)).is_some_and(|q| !q.is_empty()) {
                 return Ok(());
+            }
+            match st {
+                PEER_DEAD => {
+                    return Err(MachineError::PeerDied {
+                        proc: self.me,
+                        peer: src,
+                    });
+                }
+                PEER_FINISHED => {
+                    return Err(MachineError::Deadlock {
+                        waiting: vec![(self.me, src, tag)],
+                    });
+                }
+                _ => {}
+            }
+            if self.ingested != last_ingested {
+                last_ingested = self.ingested;
+                deadline = saturating_deadline(Instant::now(), self.recv_timeout);
             }
             let now = Instant::now();
             if now >= deadline {
@@ -913,27 +1143,7 @@ impl Endpoint {
                     waited_ms: self.recv_timeout.as_millis() as u64,
                 });
             }
-            match self.rx.recv_timeout(deadline - now) {
-                Ok(m) => {
-                    self.stash.entry((m.src, m.tag)).or_default().push_back(m);
-                    deadline = saturating_deadline(Instant::now(), self.recv_timeout);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(MachineError::RecvTimeout {
-                        proc: self.me,
-                        src,
-                        tag,
-                        waited_ms: self.recv_timeout.as_millis() as u64,
-                    });
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Every peer has finished (or died): the awaited
-                    // message can never arrive.
-                    return Err(MachineError::Deadlock {
-                        waiting: vec![(self.me, src, tag)],
-                    });
-                }
-            }
+            self.park(deadline, epoch);
         }
     }
 }
@@ -957,6 +1167,10 @@ impl Fabric for Endpoint {
     }
 
     fn send(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>) {
+        self.send_ref(src, dst, tag, &payload);
+    }
+
+    fn send_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word]) {
         debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
         if src == dst {
             // A self-send is a code-generation bug; record it for the
@@ -990,23 +1204,7 @@ impl Fabric for Endpoint {
             },
         );
         self.gauge.inc();
-        if let Some(tx) = &self.senders[dst.0] {
-            // A hung-up receiver has already finished; the message simply
-            // stays undelivered, exactly like an untaken simulator queue.
-            if tx
-                .send(Message {
-                    src,
-                    dst,
-                    tag,
-                    payload,
-                    sent_at,
-                    arrives_at,
-                })
-                .is_err()
-            {
-                self.dead[dst.0] = true;
-            }
-        }
+        self.ring_send(dst, tag, arrives_at, payload);
     }
 
     fn try_recv(&mut self, dst: ProcId, src: ProcId, tag: Tag) -> Option<Vec<Word>> {
@@ -1015,8 +1213,30 @@ impl Fabric for Endpoint {
             return self.rel_try_recv(src, tag);
         }
         self.drain();
-        let msg = self.stash.get_mut(&(src, tag))?.pop_front()?;
-        Some(self.consume(msg))
+        let (arrives, payload) = self.stash.get_mut(&(src, tag))?.pop_front()?;
+        Some(self.consume(src, tag, arrives, payload))
+    }
+
+    fn try_recv_into(&mut self, dst: ProcId, src: ProcId, tag: Tag, out: &mut Vec<Word>) -> bool {
+        debug_assert_eq!(dst, self.me, "an endpoint only receives as itself");
+        let got = if self.rel.is_some() {
+            self.rel_try_recv(src, tag)
+        } else {
+            self.drain();
+            self.stash
+                .get_mut(&(src, tag))
+                .and_then(VecDeque::pop_front)
+                .map(|(arrives, payload)| self.consume(src, tag, arrives, payload))
+        };
+        match got {
+            Some(payload) => {
+                out.clear();
+                out.extend_from_slice(&payload);
+                self.pool.put(payload);
+                true
+            }
+            None => false,
+        }
     }
 
     fn send_lost(&mut self, src: ProcId, dst: ProcId, tag: Tag, words: usize) {
@@ -1038,25 +1258,15 @@ impl Fabric for Endpoint {
     }
 
     fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
+        self.inject_ref(src, dst, tag, &payload, extra);
+    }
+
+    fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
         debug_assert_eq!(src, self.me, "an endpoint only sends as itself");
         let sent_at = self.clock;
         let arrives_at = sent_at.plus(self.cost.flight).plus(extra);
         self.gauge.inc();
-        if let Some(tx) = &self.senders[dst.0] {
-            if tx
-                .send(Message {
-                    src,
-                    dst,
-                    tag,
-                    payload,
-                    sent_at,
-                    arrives_at,
-                })
-                .is_err()
-            {
-                self.dead[dst.0] = true;
-            }
-        }
+        self.ring_send(dst, tag, arrives_at, payload);
     }
 }
 
@@ -1083,6 +1293,73 @@ struct ThreadRelDone {
     injected: FaultCounts,
 }
 
+/// Run one process to completion against its endpoint: the per-thread
+/// step loop shared by every configuration.
+fn drive<P: Process>(
+    process: &mut P,
+    ep: &mut Endpoint,
+    budget: u64,
+) -> Result<ThreadDone, MachineError> {
+    let me = ep.me;
+    let mut steps: u64 = 0;
+    if ep.ckpt.is_some() {
+        // Initial checkpoint: a restore target exists whatever the crash
+        // point. Free — the launch image exists before the clocks start.
+        ep.take_checkpoint(&*process, false)?;
+    }
+    loop {
+        if steps >= budget {
+            return Err(MachineError::StepBudgetExceeded { budget });
+        }
+        steps += 1;
+        let step = process.step(ep, me)?;
+        if let Some(sp) = ep.take_self_send() {
+            return Err(MachineError::SelfSend { proc: sp });
+        }
+        if let Some(e) = ep.take_fatal() {
+            return Err(e);
+        }
+        match step {
+            Step::Ran => {
+                ep.crash_tick(process)?;
+            }
+            Step::Done => {
+                ep.ckpt_finish(&*process)?;
+                ep.trace.record(me, ep.clock, EventKind::Finish);
+                break;
+            }
+            Step::BlockedOnRecv { src, tag } => {
+                if ep.rel.is_some() {
+                    ep.rel_wait_for(src, tag)?;
+                } else {
+                    ep.wait_for(src, tag)?;
+                }
+            }
+        }
+    }
+    if ep.rel.is_some() {
+        ep.rel_linger()?;
+    }
+    Ok(ThreadDone {
+        clock: ep.clock,
+        stats: std::mem::take(&mut ep.stats),
+        sent: std::mem::take(&mut ep.sent),
+        recvd: std::mem::take(&mut ep.recvd),
+        steps,
+        trace: std::mem::take(&mut ep.trace),
+        recovery: ep.ckpt.take().map(|c| c.report),
+        rel: ep.rel.take().map(|r| ThreadRelDone {
+            logical_sent: r.logical_sent,
+            logical_recvd: r.logical_recvd,
+            retransmits: r.retransmits,
+            acks_sent: r.acks_sent,
+            dups: r.recvs.values().map(|c| c.dups).sum(),
+            max_gap: r.recvs.values().map(|c| c.max_gap).max().unwrap_or(0),
+            injected: r.fault.counts(),
+        }),
+    })
+}
+
 /// Drives one [`Process`] per OS thread to completion and merges the
 /// per-thread tallies into the same [`RunReport`] the
 /// [`Scheduler`](crate::Scheduler) produces.
@@ -1099,6 +1376,10 @@ pub struct ThreadedRunner {
     /// each thread bounds its own memory — where the simulator's cap is
     /// global.
     trace: Trace,
+    /// Ring capacity override in words; `None` sizes from the pair count.
+    ring_words: Option<usize>,
+    /// Test probe accumulating every endpoint's park count.
+    wake_probe: Option<Arc<AtomicU64>>,
 }
 
 impl ThreadedRunner {
@@ -1112,6 +1393,8 @@ impl ThreadedRunner {
             faults: None,
             ckpt: None,
             trace: Trace::disabled(),
+            ring_words: None,
+            wake_probe: None,
         }
     }
 
@@ -1186,6 +1469,26 @@ impl ThreadedRunner {
         self
     }
 
+    /// Override the per-pair ring capacity in words (power of two, at
+    /// least 8). A tiny capacity forces every frame through the chunked
+    /// slow path — results must not change; primarily a test hook.
+    pub fn with_ring_capacity(mut self, words: usize) -> Self {
+        assert!(
+            words.is_power_of_two() && words >= 8,
+            "ring capacity must be a power of two >= 8"
+        );
+        self.ring_words = Some(words);
+        self
+    }
+
+    /// Accumulate every thread's park count into `probe` at exit — the
+    /// regression hook for wakeup batching (a polling implementation
+    /// shows hundreds of wakes where a parked one shows a handful).
+    pub fn with_wake_probe(mut self, probe: Arc<AtomicU64>) -> Self {
+        self.wake_probe = Some(probe);
+        self
+    }
+
     /// Run `processes[p]` on its own thread as processor `p` until every
     /// process finishes.
     ///
@@ -1195,10 +1498,12 @@ impl ThreadedRunner {
     /// [`MachineError::Crashed`] (unrecoverable crash) >
     /// [`MachineError::ProcessFault`] >
     /// [`MachineError::StepBudgetExceeded`] >
+    /// [`MachineError::RetriesExhausted`] (starved sender) >
     /// [`MachineError::RecvTimeout`] (cyclic deadlock) >
-    /// [`MachineError::Deadlock`] (awaiting a finished peer) — later
-    /// ranks are usually cascades of earlier ones, and which *thread*
-    /// fails first is a wall-clock race the ranking hides.
+    /// [`MachineError::Deadlock`] (awaiting a finished peer) >
+    /// [`MachineError::PeerDied`] (awaiting a dead peer) — later ranks
+    /// are usually cascades of earlier ones, and which *thread* fails
+    /// first is a wall-clock race the ranking hides.
     ///
     /// # Panics
     ///
@@ -1211,38 +1516,61 @@ impl ThreadedRunner {
             assert_eq!(f.len(), n, "one factor per processor");
         }
         let gauge = Arc::new(Gauge::default());
-        let (txs, rxs): (Vec<Sender<Message>>, Vec<Receiver<Message>>) =
-            (0..n).map(|_| channel()).unzip();
+        let bells: Arc<Vec<Doorbell>> = Arc::new((0..n).map(|_| Doorbell::new()).collect());
+        let status: Arc<Vec<AtomicU8>> =
+            Arc::new((0..n).map(|_| AtomicU8::new(PEER_RUNNING)).collect());
+        let epoch = Arc::new(AtomicU64::new(0));
+        // One preallocated SPSC ring per ordered pair: txs[s][d] produces
+        // into the ring rxs[d][s] consumes.
+        let ring_words = self.ring_words.unwrap_or_else(|| default_ring_words(n));
+        let multicore = std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+        let mut txs: Vec<Vec<Option<FrameTx>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rxs: Vec<Vec<Option<FrameRx>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    let (tx, rx) = ring(ring_words);
+                    txs[src][dst] = Some(FrameTx::new(tx));
+                    rxs[dst][src] = Some(FrameRx::new(rx));
+                }
+            }
+        }
         // Checkpointing rides on the reliable protocol; enable it with an
         // empty fault plan when only checkpoints were requested.
         let faults = self
             .faults
             .clone()
             .or_else(|| self.ckpt.map(|_| (FaultPlan::none(), RelConfig::default())));
-        let mut endpoints: Vec<Endpoint> = rxs
+        let mut endpoints: Vec<Endpoint> = txs
             .into_iter()
+            .zip(rxs)
             .enumerate()
-            .map(|(p, rx)| Endpoint {
+            .map(|(p, (tx, rx))| Endpoint {
                 me: ProcId(p),
                 n,
                 cost: self.cost,
                 slowdown: self.slowdowns.as_ref().map_or(1, |f| f[p]),
                 clock: Time::ZERO,
                 stats: ProcStats::default(),
-                senders: txs
-                    .iter()
-                    .enumerate()
-                    .map(|(q, tx)| (q != p).then(|| tx.clone()))
-                    .collect(),
+                tx,
                 rx,
                 stash: HashMap::new(),
+                pool: BufPool::new(),
                 sent: BTreeMap::new(),
                 recvd: BTreeMap::new(),
                 self_send: None,
                 rel: faults.as_ref().map(|(plan, cfg)| {
                     Box::new(EndpointRel::new(plan.clone(), *cfg, self.ckpt.is_some()))
                 }),
-                dead: vec![false; n],
+                bells: Arc::clone(&bells),
+                status: Arc::clone(&status),
+                epoch: Arc::clone(&epoch),
+                ingested: 0,
+                wakes: 0,
+                spin: multicore,
+                wake_probe: self.wake_probe.clone(),
                 gauge: Arc::clone(&gauge),
                 recv_timeout: self.recv_timeout,
                 ckpt: self.ckpt.map(|cfg| CkptCtl {
@@ -1256,10 +1584,6 @@ impl ThreadedRunner {
                 trace: self.trace.like(),
             })
             .collect();
-        // Drop the original senders so each receiver's only handles are
-        // those held by peer endpoints — a peer finishing (dropping its
-        // endpoint) is then observable as channel hang-up.
-        drop(txs);
 
         let budget = self.step_budget;
         let results: Vec<Result<ThreadDone, MachineError>> = std::thread::scope(|s| {
@@ -1269,67 +1593,26 @@ impl ThreadedRunner {
                 .enumerate()
                 .map(|(p, (process, mut ep))| {
                     s.spawn(move || {
-                        let me = ProcId(p);
-                        let mut steps: u64 = 0;
-                        if ep.ckpt.is_some() {
-                            // Initial checkpoint: a restore target exists
-                            // whatever the crash point. Free — the launch
-                            // image exists before the clocks start.
-                            ep.take_checkpoint(&*process, false)?;
+                        ep.bells[p].register();
+                        // The guard posts `finished` only on the success
+                        // path; an error return or a panic unwind drops
+                        // it unfinished and posts `dead`, waking every
+                        // blocked peer immediately.
+                        let mut guard = StatusGuard {
+                            status: Arc::clone(&ep.status),
+                            bells: Arc::clone(&ep.bells),
+                            epoch: Arc::clone(&ep.epoch),
+                            me: p,
+                            finished: false,
+                        };
+                        let result = drive(process, &mut ep, budget);
+                        if let Some(probe) = &ep.wake_probe {
+                            probe.fetch_add(ep.wakes, Ordering::Relaxed);
                         }
-                        loop {
-                            if steps >= budget {
-                                return Err(MachineError::StepBudgetExceeded { budget });
-                            }
-                            steps += 1;
-                            let step = process.step(&mut ep, me)?;
-                            if let Some(sp) = ep.take_self_send() {
-                                return Err(MachineError::SelfSend { proc: sp });
-                            }
-                            if let Some(e) = ep.take_fatal() {
-                                return Err(e);
-                            }
-                            match step {
-                                Step::Ran => {
-                                    ep.crash_tick(&mut *process)?;
-                                }
-                                Step::Done => {
-                                    ep.ckpt_finish(&*process)?;
-                                    ep.trace.record(me, ep.clock, EventKind::Finish);
-                                    break;
-                                }
-                                Step::BlockedOnRecv { src, tag } => {
-                                    if ep.rel.is_some() {
-                                        ep.rel_wait_for(src, tag)?;
-                                    } else {
-                                        ep.wait_for(src, tag)?;
-                                    }
-                                }
-                            }
+                        if result.is_ok() {
+                            guard.finish();
                         }
-                        if ep.rel.is_some() {
-                            ep.rel_linger()?;
-                        }
-                        Ok(ThreadDone {
-                            clock: ep.clock,
-                            stats: ep.stats,
-                            sent: ep.sent,
-                            recvd: ep.recvd,
-                            steps,
-                            trace: std::mem::take(&mut ep.trace),
-                            recovery: ep.ckpt.take().map(|c| c.report),
-                            rel: ep.rel.take().map(|r| ThreadRelDone {
-                                logical_sent: r.logical_sent,
-                                logical_recvd: r.logical_recvd,
-                                retransmits: r.retransmits,
-                                acks_sent: r.acks_sent,
-                                dups: r.recvs.values().map(|c| c.dups).sum(),
-                                max_gap: r.recvs.values().map(|c| c.max_gap).max().unwrap_or(0),
-                                injected: r.fault.counts(),
-                            }),
-                        })
-                        // `ep` drops here, hanging up this processor's
-                        // sender handles.
+                        result
                     })
                 })
                 .collect();
@@ -1349,13 +1632,12 @@ impl ThreadedRunner {
 
         // When one thread fails, its peers cascade into secondary errors,
         // so rank the causes: a fault or an exhausted budget is always the
-        // root; a receive timeout is the root diagnosis of a cycle (the
-        // first thread to give up hangs up its channels, turning the
-        // *other* waiters' errors into hang-up deadlocks — which thread
-        // times out first is a wall-clock race, so reporting by processor
-        // id would make the error variant nondeterministic); a hang-up
-        // deadlock wins only when nothing else went wrong (awaiting a
-        // peer that finished normally).
+        // root; a receive timeout is the root diagnosis of a cycle (which
+        // thread times out first is a wall-clock race, so reporting by
+        // processor id would make the error variant nondeterministic); a
+        // finished-peer deadlock wins only when nothing else went wrong;
+        // and a dead-peer cascade loses to everything — the dead thread
+        // always contributes its own root error, which is the diagnosis.
         fn rank(e: &MachineError) -> u8 {
             match e {
                 // An unrecoverable crash is the rootmost cause of all:
@@ -1368,6 +1650,7 @@ impl ThreadedRunner {
                 // into timeouts and hang-up deadlocks.
                 MachineError::RetriesExhausted { .. } => 3,
                 MachineError::RecvTimeout { .. } => 4,
+                MachineError::PeerDied { .. } => 6,
                 _ => 5,
             }
         }
@@ -1432,7 +1715,7 @@ impl ThreadedRunner {
             clocks.push(d.clock);
             procs.push(d.stats);
         }
-        network.max_in_flight = gauge.max.load(Ordering::SeqCst);
+        network.max_in_flight = gauge.max.load(Ordering::Relaxed);
         let pending: Vec<(ProcId, ProcId, Tag, usize)> = pair_messages
             .iter()
             .filter_map(|(&(src, dst, tag), &sent)| {
@@ -1442,7 +1725,7 @@ impl ThreadedRunner {
             .collect();
         let undelivered = pending.iter().map(|&(_, _, _, k)| k).sum();
         if let Some(fr) = fault_report.as_mut() {
-            fr.raw_leftover = gauge.cur.load(Ordering::SeqCst) as usize;
+            fr.raw_leftover = gauge.cur.load(Ordering::Relaxed) as usize;
         }
         Ok(RunReport {
             stats: MachineStats {
@@ -1471,6 +1754,13 @@ mod tests {
         Compute(u64),
         Send(usize, u32, Vec<i64>),
         Recv(usize, u32),
+        /// Wall-clock sleep — models a slow peer without logical cost.
+        Sleep(Duration),
+        /// Abort the process with a [`MachineError::ProcessFault`].
+        Fail,
+        /// Panic the thread (exercises the unwind path of peer-death
+        /// detection).
+        Panic,
     }
 
     struct Scripted {
@@ -1561,6 +1851,16 @@ mod tests {
                         tag: Tag(*tag),
                     }),
                 },
+                Action::Sleep(d) => {
+                    std::thread::sleep(*d);
+                    self.pc += 1;
+                    Ok(Step::Ran)
+                }
+                Action::Fail => Err(MachineError::ProcessFault {
+                    proc: me,
+                    message: "scripted fault".into(),
+                }),
+                Action::Panic => panic!("scripted panic"),
             }
         }
     }
@@ -1630,7 +1930,8 @@ mod tests {
     #[test]
     fn waiting_on_finished_peer_is_deadlock() {
         // P1 waits for a message P0 never sends; P0 finishes immediately,
-        // so the hang-up is detected without burning the timeout.
+        // so the status board detects the hang-up without burning the
+        // timeout.
         let mut procs = vec![
             Scripted::new(vec![]),
             Scripted::new(vec![Action::Recv(0, 7)]),
@@ -1645,6 +1946,62 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other}"),
         }
+    }
+
+    #[test]
+    fn dying_peer_unblocks_receivers_immediately() {
+        // P0 aborts with its own error; P1 blocks with a 60 s timeout.
+        // The status board must fail P1's receive immediately (as the
+        // internal PeerDied cascade), and the final report carries P0's
+        // root fault — PeerDied ranks below every real error.
+        let mut procs = vec![
+            Scripted::new(vec![Action::Fail]),
+            Scripted::new(vec![Action::Recv(0, 0)]),
+        ];
+        let t0 = Instant::now();
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_recv_timeout(Duration::from_secs(60))
+            .run(&mut procs)
+            .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+        assert!(
+            matches!(
+                err,
+                MachineError::ProcessFault {
+                    proc: ProcId(0),
+                    ..
+                }
+            ),
+            "expected the dead peer's root fault, got {err}"
+        );
+    }
+
+    #[test]
+    fn panicking_peer_unblocks_receivers_immediately() {
+        // Same as above through the unwind path: the status guard's Drop
+        // posts `dead` during the panic unwind.
+        let mut procs = vec![
+            Scripted::new(vec![Action::Panic]),
+            Scripted::new(vec![Action::Recv(0, 0)]),
+        ];
+        let t0 = Instant::now();
+        let err = ThreadedRunner::new(CostModel::zero())
+            .with_recv_timeout(Duration::from_secs(60))
+            .run(&mut procs)
+            .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+        assert!(
+            matches!(
+                err,
+                MachineError::ProcessFault {
+                    proc: ProcId(0),
+                    ..
+                }
+            ),
+            "expected the panicked peer's fault, got {err}"
+        );
     }
 
     #[test]
@@ -1718,6 +2075,39 @@ mod tests {
         assert_eq!(err, MachineError::SelfSend { proc: ProcId(0) });
     }
 
+    #[test]
+    fn tiny_rings_match_default_capacity_bit_for_bit() {
+        // 8-word rings cannot hold one 22-word frame: every send runs the
+        // chunked slow path and the consumer reassembles across hundreds
+        // of wraparounds. Outputs and logical clocks must be identical to
+        // the default-capacity run — capacity is invisible to the
+        // program.
+        let c = CostModel::ipsc2();
+        let build = || {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for i in 0..50i64 {
+                a.push(Action::Send(1, 0, (0..20).map(|w| w + i).collect()));
+                b.push(Action::Recv(0, 0));
+            }
+            vec![Scripted::new(a), Scripted::new(b)]
+        };
+        let mut tiny = build();
+        let tiny_report = ThreadedRunner::new(c)
+            .with_ring_capacity(8)
+            .run(&mut tiny)
+            .unwrap();
+        let mut dflt = build();
+        let dflt_report = ThreadedRunner::new(c).run(&mut dflt).unwrap();
+        assert_eq!(tiny[1].received, dflt[1].received);
+        assert_eq!(
+            tiny_report.stats.makespan().0,
+            dflt_report.stats.makespan().0,
+            "ring capacity is invisible to logical time"
+        );
+        assert_eq!(tiny_report.undelivered, 0);
+    }
+
     /// A short RTO so lossy tests retransmit promptly.
     fn fast_rel() -> RelConfig {
         RelConfig {
@@ -1779,6 +2169,26 @@ mod tests {
     }
 
     #[test]
+    fn tiny_rings_survive_a_lossy_plan() {
+        // Retransmissions, dups, and acks all squeezed through 16-word
+        // rings: the reliable protocol must not care how the wire is
+        // chunked.
+        let plan = FaultPlan::seeded(11)
+            .with_drops(250)
+            .with_dups(150)
+            .with_fault_budget(4);
+        let mut procs = stream_scripts();
+        let report = ThreadedRunner::new(CostModel::ipsc2())
+            .with_faults(plan, fast_rel())
+            .with_ring_capacity(16)
+            .run(&mut procs)
+            .unwrap();
+        let expected: Vec<Vec<Word>> = (0..10).map(|i| vec![i]).collect();
+        assert_eq!(procs[1].received, expected, "exactly-once, in-order");
+        assert_eq!(report.undelivered, 0);
+    }
+
+    #[test]
     fn reliable_black_hole_exhausts_retries() {
         let plan = FaultPlan::seeded(0).with_black_hole(ProcId(0), ProcId(1), Tag(0));
         let cfg = RelConfig {
@@ -1822,6 +2232,36 @@ mod tests {
         assert_eq!(
             saturating_deadline(base, Duration::from_millis(1)),
             base + Duration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn linger_parks_instead_of_polling() {
+        // P0 finishes instantly but must linger: in checkpoint mode its
+        // one frame is delivered yet acked only at the stable floor (0),
+        // so the window stays open — with no retransmission deadline —
+        // until P1's final live acks, which P1 delays behind a 150 ms
+        // sleep. The old linger polled that state at 1 ms (~150 wakes
+        // here); the parked linger wakes only on real events.
+        let probe = Arc::new(AtomicU64::new(0));
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(1, 0, vec![1])]),
+            Scripted::new(vec![
+                Action::Recv(0, 0),
+                Action::Sleep(Duration::from_millis(150)),
+            ]),
+        ];
+        let report = ThreadedRunner::new(CostModel::zero())
+            .with_checkpoints(CheckpointCfg::every(1_000_000))
+            .with_wake_probe(Arc::clone(&probe))
+            .run(&mut procs)
+            .unwrap();
+        assert_eq!(report.undelivered, 0);
+        assert_eq!(procs[1].received, vec![vec![1]]);
+        let wakes = probe.load(Ordering::Relaxed);
+        assert!(
+            wakes < 25,
+            "linger should park, not poll: {wakes} wakes across both threads"
         );
     }
 
@@ -1930,5 +2370,16 @@ mod tests {
         assert!(rec.checkpoints_taken >= 4, "{rec:?}");
         assert!(rec.bytes_snapshotted > 0);
         assert!(report.fault.is_some(), "reliable protocol was interposed");
+    }
+
+    #[test]
+    fn default_ring_sizing_is_bounded_and_power_of_two() {
+        for n in [1, 2, 4, 8, 64, 1024] {
+            let w = default_ring_words(n);
+            assert!(w.is_power_of_two(), "n={n}: {w}");
+            assert!((256..=16_384).contains(&w), "n={n}: {w}");
+        }
+        assert_eq!(default_ring_words(2), 16_384);
+        assert!(default_ring_words(64) < default_ring_words(8));
     }
 }

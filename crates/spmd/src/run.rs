@@ -37,6 +37,7 @@ pub struct SpmdMachine {
     backend: Backend,
     faults: Option<(FaultPlan, RelConfig)>,
     checkpoints: Option<CheckpointCfg>,
+    ring_words: Option<usize>,
     ran: bool,
 }
 
@@ -74,6 +75,7 @@ impl SpmdMachine {
             backend: Backend::Simulated,
             faults: None,
             checkpoints: None,
+            ring_words: None,
             ran: false,
         })
     }
@@ -150,6 +152,16 @@ impl SpmdMachine {
         self
     }
 
+    /// Override the threaded backend's per-link ring capacity in words
+    /// (power of two, ≥ 8). Results are identical at any capacity —
+    /// frames larger than the ring stream through in chunks — so this
+    /// knob exists for differential tests that want to hammer the
+    /// wraparound and chunking paths. Ignored on the simulator.
+    pub fn with_ring_capacity(mut self, words: usize) -> Self {
+        self.ring_words = Some(words);
+        self
+    }
+
     /// Execute to completion.
     ///
     /// # Errors
@@ -189,6 +201,9 @@ impl SpmdMachine {
                 }
                 if let Some(ckpt) = self.checkpoints {
                     runner = runner.with_checkpoints(ckpt);
+                }
+                if let Some(words) = self.ring_words {
+                    runner = runner.with_ring_capacity(words);
                 }
                 // Forward the machine's trace configuration — dropping it
                 // here is exactly the silently-empty-trace bug this layer

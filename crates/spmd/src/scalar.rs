@@ -88,6 +88,14 @@ const TAG_BOOL: Word = 2;
 /// packing; the cost model charges per word.
 pub fn encode(values: &[Scalar]) -> Vec<Word> {
     let mut out = Vec::with_capacity(values.len() * 2);
+    encode_into(values, &mut out);
+    out
+}
+
+/// [`encode`] into a caller-owned buffer, appending. Hot send paths
+/// reuse one scratch allocation across the whole run.
+pub fn encode_into(values: &[Scalar], out: &mut Vec<Word>) {
+    out.reserve(values.len() * 2);
     for v in values {
         match v {
             Scalar::Int(x) => {
@@ -104,26 +112,32 @@ pub fn encode(values: &[Scalar]) -> Vec<Word> {
             }
         }
     }
-    out
 }
 
 /// Decode a word stream produced by [`encode`]; `None` on a malformed
 /// stream (odd length or unknown tag).
 pub fn decode(words: &[Word]) -> Option<Vec<Scalar>> {
-    if !words.len().is_multiple_of(2) {
-        return None;
-    }
     let mut out = Vec::with_capacity(words.len() / 2);
+    decode_into(words, &mut out).then_some(out)
+}
+
+/// [`decode`] into a caller-owned buffer, appending; `false` on a
+/// malformed stream (the buffer may then hold a decoded prefix).
+pub fn decode_into(words: &[Word], out: &mut Vec<Scalar>) -> bool {
+    if !words.len().is_multiple_of(2) {
+        return false;
+    }
+    out.reserve(words.len() / 2);
     for pair in words.chunks_exact(2) {
         let v = match pair[0] {
             TAG_INT => Scalar::Int(pair[1]),
             TAG_FLOAT => Scalar::Float(f64::from_bits(pair[1] as u64)),
             TAG_BOOL => Scalar::Bool(pair[1] != 0),
-            _ => return None,
+            _ => return false,
         };
         out.push(v);
     }
-    Some(out)
+    true
 }
 
 #[cfg(test)]

@@ -2,9 +2,9 @@
 
 use crate::ir::{SBinOp, SUnOp};
 use crate::lower::{Code, Instr};
-use crate::scalar::{decode, encode, Scalar};
+use crate::scalar::{decode_into, encode_into, Scalar};
 use pdc_istructure::IMatrix;
-use pdc_machine::{Fabric, MachineError, ProcId, Process, Step, Tag};
+use pdc_machine::{Fabric, MachineError, ProcId, Process, Step, Tag, Word};
 use pdc_mapping::{Dist, DistInstance, OwnerSet};
 use std::sync::Arc;
 
@@ -45,6 +45,13 @@ pub struct ProcVm {
     locals: Vec<Option<Scalar>>,
     arrays: Vec<Option<DistArray>>,
     bufs: Vec<Option<Vec<Scalar>>>,
+    // Scratch arenas for message packing/unpacking: one wire buffer and
+    // two scalar staging buffers reused across every send and receive,
+    // so the steady state allocates nothing. Always empty between
+    // steps, hence excluded from snapshots.
+    msg_vals: Vec<Scalar>,
+    recv_vals: Vec<Scalar>,
+    wire: Vec<Word>,
 }
 
 impl ProcVm {
@@ -60,6 +67,9 @@ impl ProcVm {
             locals: vec![None; nv],
             arrays: vec![None; na],
             bufs: vec![None; nb],
+            msg_vals: Vec::new(),
+            recv_vals: Vec::new(),
+            wire: Vec::new(),
         }
     }
 
@@ -770,7 +780,8 @@ impl Process for ProcVm {
                 *cell = v;
             }
             Instr::Send { tag, n } => {
-                let mut vals = Vec::with_capacity(n as usize);
+                let mut vals = std::mem::take(&mut self.msg_vals);
+                vals.clear();
                 for _ in 0..n {
                     vals.push(self.pop(me)?);
                 }
@@ -782,7 +793,12 @@ impl Process for ProcVm {
                 if dst < 0 || dst as usize >= machine.n_procs() {
                     return Err(self.fault(me, format!("send to invalid processor {dst}")));
                 }
-                machine.send(me, ProcId(dst as usize), Tag(tag), encode(&vals));
+                let mut wire = std::mem::take(&mut self.wire);
+                wire.clear();
+                encode_into(&vals, &mut wire);
+                machine.send_ref(me, ProcId(dst as usize), Tag(tag), &wire);
+                self.msg_vals = vals;
+                self.wire = wire;
             }
             Instr::Recv { tag, n } => {
                 // Peek (do not pop) the source so a blocked receive can
@@ -797,21 +813,26 @@ impl Process for ProcVm {
                     return Err(self.fault(me, format!("receive from invalid processor {src}")));
                 }
                 let src = ProcId(src as usize);
-                match machine.try_recv(me, src, Tag(tag)) {
-                    None => return Ok(Step::BlockedOnRecv { src, tag: Tag(tag) }),
-                    Some(words) => {
-                        self.stack.pop(); // consume the source
-                        let vals = decode(&words)
-                            .ok_or_else(|| self.fault(me, "malformed message payload"))?;
-                        if vals.len() != n as usize {
-                            return Err(self.fault(
-                                me,
-                                format!("expected {n} value(s), message has {}", vals.len()),
-                            ));
-                        }
-                        self.stack.extend(vals);
-                    }
+                let mut words = std::mem::take(&mut self.wire);
+                if !machine.try_recv_into(me, src, Tag(tag), &mut words) {
+                    self.wire = words;
+                    return Ok(Step::BlockedOnRecv { src, tag: Tag(tag) });
                 }
+                self.stack.pop(); // consume the source
+                let mut vals = std::mem::take(&mut self.recv_vals);
+                vals.clear();
+                if !decode_into(&words, &mut vals) {
+                    return Err(self.fault(me, "malformed message payload"));
+                }
+                if vals.len() != n as usize {
+                    return Err(self.fault(
+                        me,
+                        format!("expected {n} value(s), message has {}", vals.len()),
+                    ));
+                }
+                self.stack.extend(vals.iter().copied());
+                self.recv_vals = vals;
+                self.wire = words;
             }
             Instr::SendBuf { tag, buf } => {
                 let hi = self.pop_int(me)?;
@@ -826,6 +847,8 @@ impl Process for ProcVm {
                 if lo < 0 || hi < lo {
                     return Err(self.fault(me, format!("bad buffer slice {lo}..={hi}")));
                 }
+                let mut wire = std::mem::take(&mut self.wire);
+                wire.clear();
                 let b = self.buf_at(me, buf)?;
                 if hi as usize >= b.len() {
                     return Err(MachineError::ProcessFault {
@@ -833,8 +856,9 @@ impl Process for ProcVm {
                         message: format!("buffer slice {lo}..={hi} out of bounds"),
                     });
                 }
-                let payload = encode(&b[lo as usize..=hi as usize]);
-                machine.send(me, ProcId(dst as usize), Tag(tag), payload);
+                encode_into(&b[lo as usize..=hi as usize], &mut wire);
+                machine.send_ref(me, ProcId(dst as usize), Tag(tag), &wire);
+                self.wire = wire;
             }
             Instr::RecvBuf { tag, buf } => {
                 let len = self.stack.len();
@@ -848,34 +872,39 @@ impl Process for ProcVm {
                     return Err(self.fault(me, format!("receive from invalid processor {src}")));
                 }
                 let src = ProcId(src as usize);
-                match machine.try_recv(me, src, Tag(tag)) {
-                    None => return Ok(Step::BlockedOnRecv { src, tag: Tag(tag) }),
-                    Some(words) => {
-                        let hi = self.pop_int(me)?;
-                        let lo = self.pop_int(me)?;
-                        self.stack.pop(); // source
-                        if lo < 0 || hi < lo {
-                            return Err(self.fault(me, format!("bad buffer slice {lo}..={hi}")));
-                        }
-                        let vals = decode(&words)
-                            .ok_or_else(|| self.fault(me, "malformed message payload"))?;
-                        let want = (hi - lo + 1) as usize;
-                        if vals.len() != want {
-                            return Err(self.fault(
-                                me,
-                                format!("expected {want} value(s), message has {}", vals.len()),
-                            ));
-                        }
-                        let b = self.buf_at(me, buf)?;
-                        if hi as usize >= b.len() {
-                            return Err(MachineError::ProcessFault {
-                                proc: me,
-                                message: format!("buffer slice {lo}..={hi} out of bounds"),
-                            });
-                        }
-                        b[lo as usize..=hi as usize].copy_from_slice(&vals);
-                    }
+                let mut words = std::mem::take(&mut self.wire);
+                if !machine.try_recv_into(me, src, Tag(tag), &mut words) {
+                    self.wire = words;
+                    return Ok(Step::BlockedOnRecv { src, tag: Tag(tag) });
                 }
+                let hi = self.pop_int(me)?;
+                let lo = self.pop_int(me)?;
+                self.stack.pop(); // source
+                if lo < 0 || hi < lo {
+                    return Err(self.fault(me, format!("bad buffer slice {lo}..={hi}")));
+                }
+                let mut vals = std::mem::take(&mut self.recv_vals);
+                vals.clear();
+                if !decode_into(&words, &mut vals) {
+                    return Err(self.fault(me, "malformed message payload"));
+                }
+                let want = (hi - lo + 1) as usize;
+                if vals.len() != want {
+                    return Err(self.fault(
+                        me,
+                        format!("expected {want} value(s), message has {}", vals.len()),
+                    ));
+                }
+                let b = self.buf_at(me, buf)?;
+                if hi as usize >= b.len() {
+                    return Err(MachineError::ProcessFault {
+                        proc: me,
+                        message: format!("buffer slice {lo}..={hi} out of bounds"),
+                    });
+                }
+                b[lo as usize..=hi as usize].copy_from_slice(&vals);
+                self.recv_vals = vals;
+                self.wire = words;
             }
         }
         machine.tick(me, cost);
@@ -889,6 +918,7 @@ mod tests {
     use super::*;
     use crate::ir::{SExpr, SStmt};
     use crate::lower::lower;
+    use crate::scalar::encode;
     use pdc_machine::{CostModel, Machine};
 
     fn run_single(body: Vec<SStmt>) -> (ProcVm, Machine) {

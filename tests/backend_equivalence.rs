@@ -14,7 +14,7 @@
 use pdc_core::driver::{self, Inputs, Job, Strategy};
 use pdc_core::programs;
 use pdc_istructure::IMatrix;
-use pdc_machine::{Backend, CostModel, MachineError};
+use pdc_machine::{Backend, CheckpointCfg, CostModel, FaultPlan, MachineError, RelConfig};
 use pdc_mapping::{Decomposition, Dist};
 use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
 use pdc_spmd::run::SpmdMachine;
@@ -260,6 +260,157 @@ fn backends_agree_under_compile_time_resolution() {
     for w in workloads() {
         check(&w, Strategy::CompileTime);
     }
+}
+
+/// A two-processor pipeline streaming 40 four-scalar messages one way
+/// and a checksum back — every frame (10 words) is bigger than an
+/// 8-word ring, so tiny rings force the chunked send path and hundreds
+/// of wraparounds.
+fn stream_program() -> SpmdProgram {
+    let mut p0 = Vec::new();
+    let mut p1 = vec![SStmt::Let {
+        var: "acc".into(),
+        value: SExpr::int(0),
+    }];
+    for m in 0..40i64 {
+        p0.push(SStmt::Send {
+            to: SExpr::int(1),
+            tag: 0,
+            values: vec![
+                SExpr::int(m),
+                SExpr::int(3 * m + 1),
+                SExpr::int(5 * m + 2),
+                SExpr::int(7 * m + 3),
+            ],
+        });
+        p1.push(SStmt::Recv {
+            from: SExpr::int(0),
+            tag: 0,
+            into: vec![
+                RecvTarget::Var("a".into()),
+                RecvTarget::Var("b".into()),
+                RecvTarget::Var("c".into()),
+                RecvTarget::Var("d".into()),
+            ],
+        });
+        p1.push(SStmt::Let {
+            var: "acc".into(),
+            value: SExpr::var("acc")
+                .add(SExpr::var("a"))
+                .add(SExpr::var("b"))
+                .add(SExpr::var("c"))
+                .add(SExpr::var("d")),
+        });
+    }
+    p1.push(SStmt::Send {
+        to: SExpr::int(0),
+        tag: 1,
+        values: vec![SExpr::var("acc")],
+    });
+    p0.push(SStmt::Recv {
+        from: SExpr::int(1),
+        tag: 1,
+        into: vec![RecvTarget::Var("total".into())],
+    });
+    SpmdProgram::new(vec![p0, p1])
+}
+
+/// Ring capacity is invisible to programs: an 8-word ring (every frame
+/// chunked), a 64-word ring, and the default all produce the checksum,
+/// per-pair message counts, and logical makespan of the simulator.
+#[test]
+fn ring_capacity_is_invisible_to_programs() {
+    let prog = stream_program();
+    let expected_total: i64 = (0..40).map(|m| 16 * m + 6).sum();
+
+    let mut sim = SpmdMachine::new(&prog, CostModel::ipsc2()).expect("lowers");
+    let sim_out = sim.run().expect("simulator runs");
+    assert_eq!(sim.vm(0).var("total"), Some(Scalar::Int(expected_total)));
+
+    for words in [Some(8usize), Some(64), None] {
+        let label = format!("ring capacity {words:?}");
+        let mut m = SpmdMachine::new(&prog, CostModel::ipsc2())
+            .expect("lowers")
+            .with_backend(Backend::threaded());
+        if let Some(words) = words {
+            m = m.with_ring_capacity(words);
+        }
+        let out = m.run().unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(
+            m.vm(0).var("total"),
+            Some(Scalar::Int(expected_total)),
+            "{label}: checksum"
+        );
+        assert_eq!(
+            m.vm(1).var("acc"),
+            Some(Scalar::Int(expected_total)),
+            "{label}: receiver accumulator"
+        );
+        assert_eq!(out.report.undelivered, 0, "{label}: undelivered");
+        assert_eq!(
+            out.report.pair_messages, sim_out.report.pair_messages,
+            "{label}: per-pair message counts"
+        );
+        assert_eq!(
+            out.report.stats.makespan(),
+            sim_out.report.stats.makespan(),
+            "{label}: logical makespan"
+        );
+    }
+}
+
+/// The equivalence contract holds over the ring fabric with the
+/// reliable-delivery protocol and checkpointing interposed: a lossy
+/// fault plan plus periodic snapshots on both backends still produces
+/// the sequential interpreter's output and identical per-pair counts.
+#[test]
+fn backends_agree_on_faulty_checkpointed_wavefronts() {
+    let n = 8usize;
+    let program = programs::gauss_seidel();
+    let plan = FaultPlan::seeded(9)
+        .with_drops(200)
+        .with_dups(120)
+        .with_fault_budget(4);
+    let rel = RelConfig {
+        rto_wall: Duration::from_millis(2),
+        ..RelConfig::default()
+    };
+    let mut job = Job::new(
+        &program,
+        "gs_iteration",
+        programs::wavefront_decomposition(4),
+    )
+    .with_const("n", n as i64)
+    .with_fault_plan(plan, rel)
+    .with_checkpoint_cfg(CheckpointCfg::every(64));
+    job.extent_overrides.insert("Old".into(), (n, n));
+    let compiled = driver::compile(&job, Strategy::CompileTime).expect("compiles");
+    let inputs = Inputs::new()
+        .scalar("n", Scalar::Int(n as i64))
+        .array("Old", driver::standard_input(n, n));
+    let seq = driver::run_sequential(&program, "gs_iteration", &inputs).expect("sequential");
+
+    let sim = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::Simulated)
+        .expect("simulated faulty run");
+    let thr = driver::execute_on(&compiled, &inputs, CostModel::ipsc2(), Backend::threaded())
+        .expect("threaded faulty run");
+    for (label, exec) in [("simulated", &sim), ("threaded", &thr)] {
+        assert_eq!(exec.outcome.report.undelivered, 0, "{label}: undelivered");
+        let gathered = exec.gather("New").expect("gathers");
+        assert_eq!(
+            driver::first_mismatch(&gathered, &seq),
+            None,
+            "{label}: faulty checkpointed run disagrees with the interpreter"
+        );
+        assert!(
+            exec.outcome.report.recovery.is_some(),
+            "{label}: checkpointed run carries a recovery report"
+        );
+    }
+    assert_eq!(
+        thr.outcome.report.pair_messages, sim.outcome.report.pair_messages,
+        "per-pair logical message counts diverge under faults"
+    );
 }
 
 /// A cycle of receives that no execution can satisfy: the simulator

@@ -379,6 +379,80 @@ fn static_verification_agrees_with_threaded_deadlock_behaviour() {
     );
 }
 
+/// Random *verified* (statically deadlock-free) communication programs
+/// replayed over the ring fabric with a randomized configuration —
+/// ring capacity drawn from {8, 16, 64, 1024} words, and one of
+/// {vanilla, lossy fault plan, checkpointing} — must deliver exactly
+/// the values the simulator delivers, variable by variable, processor
+/// by processor.
+#[test]
+fn ring_fabric_matches_simulator_on_random_programs() {
+    use pdc_machine::{CheckpointCfg, FaultPlan, RelConfig};
+    cases(
+        32,
+        "ring_fabric_matches_simulator_on_random_programs",
+        |rng| {
+            let prog = random_comm_program(rng);
+            let report = pdc_analyze::analyze(&prog, &BTreeMap::new(), &BTreeMap::new());
+            // Only deadlock-free programs terminate on both backends; the
+            // deadlocking rest of the family is covered by the two
+            // verification tests above.
+            if !report.verified() {
+                return;
+            }
+            let mut sim = SpmdMachine::new(&prog, CostModel::ipsc2()).expect("lowers");
+            let sim_out = sim.run().expect("simulator");
+
+            let caps = [8usize, 16, 64, 1024];
+            let cap = caps[rng.range_usize(0, caps.len())];
+            let config = rng.range_usize(0, 3);
+            let label = format!("ring {cap}, config {config}\n{prog}");
+            let mut thr = SpmdMachine::new(&prog, CostModel::ipsc2())
+                .expect("lowers")
+                .with_backend(Backend::threaded())
+                .with_ring_capacity(cap);
+            match config {
+                0 => {}
+                1 => {
+                    let plan = FaultPlan::seeded(rng.range_i64(0, 1 << 20) as u64)
+                        .with_drops(200)
+                        .with_dups(100)
+                        .with_fault_budget(3);
+                    let rel = RelConfig {
+                        rto_wall: Duration::from_millis(2),
+                        ..RelConfig::default()
+                    };
+                    thr = thr.with_faults_cfg(plan, rel);
+                }
+                _ => thr = thr.with_checkpoints(CheckpointCfg::every(4)),
+            }
+            let thr_out = thr
+                .run()
+                .unwrap_or_else(|e| panic!("{label}: threaded: {e}"));
+
+            assert_eq!(
+                thr_out.report.pair_messages, sim_out.report.pair_messages,
+                "{label}: per-pair message counts"
+            );
+            assert_eq!(
+                thr_out.report.undelivered, sim_out.report.undelivered,
+                "{label}: undelivered (orphan) message counts"
+            );
+            for p in 0..prog.n_procs() {
+                for m in 0..8 {
+                    for var in [format!("v{m}"), format!("w{m}")] {
+                        assert_eq!(
+                            thr.vm(p).var(&var),
+                            sim.vm(p).var(&var),
+                            "{label}: `{var}` on P{p}"
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
 /// The two strategies always exchange the same messages for scalar
 /// programs (coercions are forced by the mapping, not the strategy).
 #[test]

@@ -9,8 +9,11 @@
 //! the document is malformed or any prediction misses — CI runs this at
 //! n=16, s=4.
 //!
-//! Usage: `cargo run --release -p pdc-bench --bin explain [n] [s]`
-//! (defaults: n=16, s=4).
+//! Usage: `cargo run --release -p pdc-bench --bin explain [n] [s] [--metrics]`
+//! (defaults: n=16, s=4). With `--metrics` each run also records the
+//! runtime metrics registry and the table gains live metric columns —
+//! frames and words as the registry counted them, plus the scratch-arena
+//! reuse/grow split — cross-checked against the observed message counts.
 
 use pdc_bench::{compile_wavefront, print_table, Variant};
 use pdc_core::driver::{self, Inputs};
@@ -31,9 +34,11 @@ fn slug(v: Variant) -> &'static str {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
-    let s: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = argv.iter().any(|a| a == "--metrics");
+    let mut pos = argv.iter().filter(|a| !a.starts_with("--"));
+    let n: usize = pos.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let s: usize = pos.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let variants = [
         Variant::RuntimeRes,
         Variant::CompileTime,
@@ -48,6 +53,7 @@ fn main() {
     for (i, v) in variants.into_iter().enumerate() {
         let mut compiled = compile_wavefront(v, n, s).expect("compiler variant");
         compiled.trace_cap = Some(1 << 20);
+        compiled.metrics = metrics;
 
         println!("==== {v} ====");
         println!("{}", compiled.remarks_text());
@@ -68,21 +74,41 @@ fn main() {
         if !report.ok() || !report.statically_exact || !report.trace_checked {
             failures += 1;
         }
-        rows.push((
-            v.to_string(),
-            vec![
-                predicted_msgs.to_string(),
-                observed_msgs.to_string(),
-                predicted_words.to_string(),
-                observed_words.to_string(),
-                report.checked_channels.to_string(),
-                if report.ok() {
-                    "yes".into()
-                } else {
-                    "NO".into()
-                },
-            ],
-        ));
+        let mut cells = vec![
+            predicted_msgs.to_string(),
+            observed_msgs.to_string(),
+            predicted_words.to_string(),
+            observed_words.to_string(),
+            report.checked_channels.to_string(),
+            if report.ok() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ];
+        if metrics {
+            // Live metric columns, cross-checked: the registry must have
+            // counted exactly the frames and words the network reported.
+            use pdc_machine::Ctr;
+            let snap = exec.metrics();
+            let m_frames = snap.total(Ctr::FramesSent);
+            let m_words = snap.total(Ctr::WordsSent);
+            if m_frames != observed_msgs || m_words != observed_words {
+                eprintln!(
+                    "{v}: METRICS MISS: registry saw {m_frames} frames / {m_words} words, \
+                     network reported {observed_msgs} / {observed_words}"
+                );
+                failures += 1;
+            }
+            cells.push(m_frames.to_string());
+            cells.push(m_words.to_string());
+            cells.push(format!(
+                "{}/{}",
+                snap.total(Ctr::ScratchReuse),
+                snap.total(Ctr::ScratchGrow)
+            ));
+        }
+        rows.push((v.to_string(), cells));
 
         if i > 0 {
             doc.push_str(",\n");
@@ -143,16 +169,22 @@ fn main() {
     std::fs::write("BENCH_remarks.json", &doc).expect("write BENCH_remarks.json");
     println!("wrote BENCH_remarks.json");
 
+    let mut headers: Vec<String> = vec![
+        "pred msgs".into(),
+        "obs msgs".into(),
+        "pred words".into(),
+        "obs words".into(),
+        "channels".into(),
+        "match".into(),
+    ];
+    if metrics {
+        headers.push("m frames".into());
+        headers.push("m words".into());
+        headers.push("reuse/grow".into());
+    }
     print_table(
         &format!("predicted vs observed messages, {n}x{n} wavefront on {s} processors"),
-        &[
-            "pred msgs".into(),
-            "obs msgs".into(),
-            "pred words".into(),
-            "obs words".into(),
-            "channels".into(),
-            "match".into(),
-        ],
+        &headers,
         &rows,
     );
 

@@ -70,6 +70,11 @@ pub struct Job<'a> {
     pub recv_timeout: Option<std::time::Duration>,
     /// Event-trace buffer cap; `None` (the default) disables tracing.
     pub trace_cap: Option<usize>,
+    /// Record full runtime metrics (lock-free counters, histograms,
+    /// per-channel tables) during execution; read the snapshot back with
+    /// [`Execution::metrics`]. The flight recorder is always on
+    /// regardless. Off by default.
+    pub metrics: bool,
     /// Optimization level for the generated code; `None` (the default)
     /// leaves the resolver output untouched (equivalent to
     /// [`OptLevel::O0`] but skips the pipeline entirely).
@@ -109,6 +114,7 @@ impl<'a> Job<'a> {
             retransmit: None,
             recv_timeout: None,
             trace_cap: None,
+            metrics: false,
             opt_level: None,
             verify_static: None,
             auto_decomposition: None,
@@ -189,6 +195,14 @@ impl<'a> Job<'a> {
         self
     }
 
+    /// Record full runtime metrics during execution (counters,
+    /// histograms, per-channel traffic tables) on either backend; read
+    /// the snapshot back with [`Execution::metrics`].
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// Run the §4 optimization pipeline on the generated code at the
     /// given level (the paper's Optimized I/II/III variants).
     pub fn with_opt_level(mut self, level: OptLevel) -> Self {
@@ -240,6 +254,9 @@ pub struct Compiled {
     pub recv_timeout: Option<std::time::Duration>,
     /// Trace cap the job requested (used by [`execute`]).
     pub trace_cap: Option<usize>,
+    /// Whether the job requested full runtime metrics (used by
+    /// [`execute`]).
+    pub metrics: bool,
     /// The full remark stream, in pipeline order: analysis, resolution,
     /// optimization passes, cost model.
     pub remarks: Vec<Remark>,
@@ -400,6 +417,7 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
         retransmit: job.retransmit,
         recv_timeout: job.recv_timeout,
         trace_cap: job.trace_cap,
+        metrics: job.metrics,
         remarks,
         opt_report,
         prediction,
@@ -720,6 +738,13 @@ impl Execution {
         &self.outcome.report.trace
     }
 
+    /// The runtime-metrics snapshot of the run. Always present; unless
+    /// the job enabled [`Job::with_metrics`] only the always-on flight
+    /// recorder has content (`full` is false).
+    pub fn metrics(&self) -> &pdc_machine::MetricsSnapshot {
+        &self.outcome.report.metrics
+    }
+
     /// Check the compile-time cost prediction against what the run
     /// actually did:
     ///
@@ -841,6 +866,9 @@ pub fn execute_on(
     }
     if let Some(cap) = compiled.trace_cap {
         machine = machine.with_trace(cap);
+    }
+    if compiled.metrics {
+        machine = machine.with_metrics();
     }
     for (name, v) in &inputs.scalars {
         machine.preset_var(name, *v);

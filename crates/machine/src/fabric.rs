@@ -6,7 +6,9 @@ use crate::message::{Message, ProcId, Tag, Time, Word};
 use crate::network::Network;
 use crate::stats::{MachineStats, ProcStats};
 use crate::trace::{EventKind, Trace};
+use pdc_metrics::{Ctr, MetricsRegistry, MetricsSnapshot};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// What a [`Process`](crate::Process) sees of the machine it runs on:
 /// enough to charge instruction costs and exchange typed messages, and
@@ -95,6 +97,14 @@ pub trait Fabric {
     fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
         self.inject(src, dst, tag, payload.to_vec(), extra);
     }
+
+    /// The metrics registry this fabric records into, when it has one.
+    /// Clients above the fabric (the SPMD VM's scratch-reuse counters)
+    /// record through this instead of threading a registry handle of
+    /// their own. The default has none.
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
 }
 
 /// A mutable reference to a fabric is itself a fabric, so wrappers like
@@ -141,6 +151,10 @@ impl<F: Fabric + ?Sized> Fabric for &mut F {
     fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
         (**self).inject_ref(src, dst, tag, payload, extra);
     }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        (**self).metrics()
+    }
 }
 
 /// The simulated multiprocessor: `n` logical clocks, a typed-channel
@@ -170,6 +184,15 @@ pub struct Machine {
     /// fabric records it rather than panicking so release builds fail
     /// loudly too (the frame is *not* delivered).
     self_send: Option<ProcId>,
+    /// The metrics registry (always present; flight-recorder-only by
+    /// default). `Arc` so a live sampler or the threaded driver can
+    /// share the same registry.
+    metrics: Arc<MetricsRegistry>,
+    /// When the reliable-delivery layer is interposed, every frame the
+    /// fabric itself moves is raw transport — data, retransmits, acks —
+    /// and the *protocol* records logical metrics at its own send/recv
+    /// points instead. Set by the scheduler's recoverable path.
+    raw_transport: bool,
 }
 
 impl Machine {
@@ -189,7 +212,48 @@ impl Machine {
             trace: Trace::disabled(),
             slowdown: vec![1; n],
             self_send: None,
+            metrics: Arc::new(MetricsRegistry::flight_only(n)),
+            raw_transport: false,
         }
+    }
+
+    /// Enable full metrics recording (counters, histograms, channel
+    /// tables). The default records only the always-on flight recorder.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Arc::new(MetricsRegistry::new(self.n));
+        self
+    }
+
+    /// Install a shared registry (e.g. one a live sampler also holds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry's shard count differs from `n_procs`.
+    pub fn enable_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        assert_eq!(
+            registry.n_procs(),
+            self.n,
+            "one metrics shard per processor"
+        );
+        self.metrics = registry;
+    }
+
+    /// The registry this machine records into.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Snapshot the metrics registry — what a
+    /// [`RunReport`](crate::RunReport) carries.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Mark every subsequent fabric-level frame as raw transport (the
+    /// reliable layer is interposed and records logical metrics at its
+    /// own boundary). See the `raw_transport` field.
+    pub(crate) fn set_raw_transport(&mut self, raw: bool) {
+        self.raw_transport = raw;
     }
 
     /// Enable bounded event tracing (keep-oldest overflow policy).
@@ -246,6 +310,7 @@ impl Machine {
         let before = self.clocks[p.0];
         self.clocks[p.0] = before.plus(cycles * self.slowdown[p.0]);
         self.procs[p.0].ops += 1;
+        self.metrics.count(p.0, Ctr::Ops, 1);
         self.trace.record_compute(p, before, self.clocks[p.0]);
     }
 
@@ -270,6 +335,12 @@ impl Machine {
         let arrives_at = sent_at.plus(self.cost.flight);
         self.procs[src.0].sends += 1;
         self.procs[src.0].words_sent += words as u64;
+        self.metrics.count(src.0, Ctr::WireFrames, 1);
+        self.metrics.count(src.0, Ctr::WireWords, words as u64);
+        if !self.raw_transport {
+            self.metrics
+                .logical_send(src.0, dst.0 as u64, tag.0 as u64, words as u64, sent_at.0);
+        }
         self.trace.record(
             src,
             sent_at,
@@ -307,6 +378,13 @@ impl Machine {
         let recv_cost = self.cost.recv_cost(words) * self.slowdown[dst.0];
         self.clocks[dst.0] = ready.plus(recv_cost);
         self.procs[dst.0].recvs += 1;
+        self.metrics.logical_recv(
+            dst.0,
+            src.0 as u64,
+            tag.0 as u64,
+            words as u64,
+            self.clocks[dst.0].0,
+        );
         self.trace.record(
             dst,
             self.clocks[dst.0],
@@ -341,6 +419,7 @@ impl Machine {
         self.clocks[src.0] = self.clocks[src.0].plus(send_cost);
         self.procs[src.0].sends += 1;
         self.procs[src.0].words_sent += words as u64;
+        self.metrics.count(src.0, Ctr::FramesLost, 1);
         self.trace.record(
             src,
             self.clocks[src.0],
@@ -360,6 +439,9 @@ impl Machine {
     pub fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
         let sent_at = self.clocks[src.0];
         let arrives_at = sent_at.plus(self.cost.flight).plus(extra);
+        self.metrics.count(src.0, Ctr::WireFrames, 1);
+        self.metrics
+            .count(src.0, Ctr::WireWords, payload.len() as u64);
         self.network.deliver(Message {
             src,
             dst,
@@ -400,6 +482,13 @@ impl Machine {
         let recv_cost = self.cost.recv_cost(words) * self.slowdown[dst.0];
         self.clocks[dst.0] = ready.plus(recv_cost);
         self.procs[dst.0].recvs += 1;
+        self.metrics.logical_recv(
+            dst.0,
+            src.0 as u64,
+            tag.0 as u64,
+            words as u64,
+            self.clocks[dst.0].0,
+        );
         self.trace.record(
             dst,
             self.clocks[dst.0],
@@ -539,6 +628,10 @@ impl Fabric for Machine {
 
     fn inject(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: Vec<Word>, extra: u64) {
         Machine::inject(self, src, dst, tag, payload, extra);
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(&self.metrics)
     }
 }
 

@@ -609,6 +609,10 @@ impl<F: Fabric> Fabric for FaultyFabric<F> {
     fn inject_ref(&mut self, src: ProcId, dst: ProcId, tag: Tag, payload: &[Word], extra: u64) {
         self.inner.inject_ref(src, dst, tag, payload, extra);
     }
+
+    fn metrics(&self) -> Option<&pdc_metrics::MetricsRegistry> {
+        self.inner.metrics()
+    }
 }
 
 #[cfg(test)]

@@ -73,4 +73,13 @@ pub use trace::{render_gantt as trace_render, DropPolicy, Event, EventKind, Trac
 pub use trace_analysis::{
     analyze, CommEdge, CriticalPath, PathSegment, ProcProfile, TraceAnalysis,
 };
-pub use trace_chrome::{chrome_trace, validate_chrome_trace, ChromeStats};
+pub use trace_chrome::{
+    chrome_trace, chrome_trace_with_metrics, validate_chrome_trace, ChromeStats,
+};
+
+/// Runtime metrics layer (re-exported from `pdc-metrics`): lock-free
+/// sharded counters/histograms and the always-on flight recorder both
+/// backends populate. See [`MetricsRegistry`] and
+/// [`RunReport::metrics`](crate::RunReport).
+pub use pdc_metrics as metrics;
+pub use pdc_metrics::{Ctr, FlightEvent, FlightKind, MetricsRegistry, MetricsSnapshot};

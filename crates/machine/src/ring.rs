@@ -141,6 +141,14 @@ impl RingTx {
         (cap - (self.tail - self.cached_head)) as usize
     }
 
+    /// Words currently queued (produced but not yet consumed), from the
+    /// producer's point of view: one Acquire load of the live head, no
+    /// cache update. Metrics probe — the consumer may already have
+    /// drained what this reports.
+    pub fn occupancy(&self) -> u64 {
+        self.tail - self.core.head.0.load(Ordering::Acquire)
+    }
+
     /// Copy as many leading words of `words` into the ring as fit and
     /// publish them with a single Release store. Returns how many were
     /// written (possibly zero).
@@ -277,6 +285,12 @@ impl FrameTx {
     /// Wrap a ring producer.
     pub fn new(tx: RingTx) -> Self {
         FrameTx { tx }
+    }
+
+    /// Words currently queued in the underlying ring (metrics probe;
+    /// see [`RingTx::occupancy`]).
+    pub fn occupancy(&self) -> u64 {
+        self.tx.occupancy()
     }
 
     /// Write one `[header, arrives, payload…]` frame, blocking through

@@ -11,6 +11,7 @@ use crate::reliable::{
 };
 use crate::stats::{FaultReport, MachineStats};
 use crate::trace::{EventKind, Trace};
+use pdc_metrics::{Ctr, FlightKind, MetricsRegistry, NO_PEER};
 use std::collections::BTreeMap;
 
 /// What a process did on one scheduling step.
@@ -102,6 +103,13 @@ pub struct RunReport {
     /// on real threads). Check [`Trace::dropped`] before treating it as
     /// complete: a bounded trace silently truncates at its cap.
     pub trace: Trace,
+    /// Metrics snapshot at the end of the run. Always present: the
+    /// flight recorder is always on, so even a metrics-off run carries
+    /// each processor's recent history. Full counters/histograms need
+    /// [`Machine::with_metrics`](crate::Machine::with_metrics) /
+    /// `ThreadedRunner::with_metrics` (check
+    /// [`MetricsSnapshot::full`](pdc_metrics::MetricsSnapshot)).
+    pub metrics: pdc_metrics::MetricsSnapshot,
 }
 
 /// Drives a set of [`Process`]es over a [`Machine`] until all finish.
@@ -247,6 +255,7 @@ impl Scheduler {
             fault: None,
             recovery: None,
             trace: machine.snapshot_trace(),
+            metrics: machine.metrics_snapshot(),
         })
     }
 
@@ -325,6 +334,12 @@ impl Scheduler {
             "one process per processor"
         );
         let n = processes.len();
+        // In reliable mode every wire frame — data, retransmission, ack,
+        // keepalive — goes through `Machine::send` via `FaultState::
+        // dispatch`. Logical sends are recorded at the `ReliableView`
+        // boundary instead, so tell the machine its send path is raw
+        // transport only.
+        machine.set_raw_transport(true);
         let mut fault = FaultState::new(plan.clone());
         let mut rel = RelState::new(n, cfg);
         let mut done = vec![false; n];
@@ -564,6 +579,7 @@ impl Scheduler {
                                             &[cum as Word, cum as Word],
                                         );
                                         rel.acks_sent += 1;
+                                        machine.metrics_registry().count(p, Ctr::AcksSent, 1);
                                     }
                                 }
                             }
@@ -683,6 +699,7 @@ impl Scheduler {
                 raw_leftover: machine.undelivered(),
             }),
             recovery: recovery.map(|rc| rc.report),
+            metrics: machine.metrics_snapshot(),
         })
     }
 }
@@ -796,6 +813,17 @@ fn snapshot_proc(
     );
     recov.checkpoints_taken += 1;
     recov.bytes_snapshotted += bytes.len() as u64;
+    let reg = m.metrics_registry();
+    reg.count(me.0, Ctr::CheckpointsTaken, 1);
+    reg.count(me.0, Ctr::CheckpointBytes, bytes.len() as u64);
+    reg.flight(
+        me.0,
+        FlightKind::Checkpoint,
+        NO_PEER,
+        ckpt.at_op,
+        bytes.len() as u64,
+        at.0,
+    );
     Ok(bytes)
 }
 
@@ -881,6 +909,7 @@ fn restore_proc(
     for (src, tag, cum) in solicits {
         fault.dispatch(m, me, src, ack_tag(tag), &[cum as Word, cum as Word]);
         rel.acks_sent += 1;
+        m.metrics_registry().count(me.0, Ctr::AcksSent, 1);
     }
     for (dst, tag, s) in &ckpt.senders {
         for (seq, _) in &s.unacked {
@@ -907,6 +936,17 @@ fn restore_proc(
     recov.replayed_ops += crash_op.saturating_sub(ckpt.at_op);
     recov.replay_frames += ckpt.window_frames();
     recov.recovery_cycles += cfg.reboot_cycles;
+    let reg = m.metrics_registry();
+    reg.count(me.0, Ctr::CrashesSurvived, 1);
+    reg.count(me.0, Ctr::ReplayFrames, ckpt.window_frames());
+    reg.flight(
+        me.0,
+        FlightKind::Restore,
+        NO_PEER,
+        ckpt.at_op,
+        crash_op.saturating_sub(ckpt.at_op),
+        now.0,
+    );
     rel.activity += 1;
     Ok(())
 }
@@ -977,6 +1017,8 @@ fn restore_all(
         }
         recov.replayed_ops += fault.ops(qid).saturating_sub(ckpt.at_op);
         recov.replay_frames += ckpt.window_frames();
+        m.metrics_registry()
+            .count(q, Ctr::ReplayFrames, ckpt.window_frames());
         done[q] = false;
         if q == victim.0 {
             from_op = ckpt.at_op;
@@ -993,6 +1035,16 @@ fn restore_all(
     );
     recov.crashes_survived += 1;
     recov.recovery_cycles += cfg.reboot_cycles;
+    let reg = m.metrics_registry();
+    reg.count(victim.0, Ctr::CrashesSurvived, 1);
+    reg.flight(
+        victim.0,
+        FlightKind::Restore,
+        NO_PEER,
+        from_op,
+        crash_op.saturating_sub(from_op),
+        at.0,
+    );
     rel.activity += 1;
     Ok(())
 }
@@ -1081,6 +1133,7 @@ impl RelState {
                         cum,
                     },
                 );
+                m.metrics_registry().count(me.0, Ctr::AcksRecvd, 1);
                 self.activity += 1;
             }
         }
@@ -1099,6 +1152,10 @@ impl RelState {
         tag: Tag,
     ) {
         let mut drained = 0u64;
+        let dups_before = self.procs[me.0]
+            .recvs
+            .get(&(src, tag))
+            .map_or(0, |c| c.dups);
         let chan = self.procs[me.0].recvs.entry((src, tag)).or_default();
         while let Some(msg) = m.take_raw(me, src, tag) {
             let (seq, payload) = unframe(msg.payload);
@@ -1107,13 +1164,18 @@ impl RelState {
         }
         if drained > 0 {
             self.activity += drained;
-            let live = self.procs[me.0].recvs[&(src, tag)].cumulative();
+            let chan = &self.procs[me.0].recvs[&(src, tag)];
+            let live = chan.cumulative();
+            let dup_delta = chan.dups - dups_before;
             let adv = match &self.stable[me.0] {
                 Some(floors) => floors.get(&(src, tag)).copied().unwrap_or(0),
                 None => live,
             };
             fault.dispatch(m, me, src, ack_tag(tag), &[adv as Word, live as Word]);
             self.acks_sent += 1;
+            let reg = m.metrics_registry();
+            reg.count(me.0, Ctr::AcksSent, 1);
+            reg.count(me.0, Ctr::DupFramesDropped, dup_delta);
         }
     }
 
@@ -1167,6 +1229,7 @@ impl RelState {
         self.procs[me.0].keepalive.insert((src, tag), (now, 0));
         fault.dispatch(m, me, src, ack_tag(tag), &[adv as Word, live as Word]);
         self.acks_sent += 1;
+        m.metrics_registry().count(me.0, Ctr::AcksSent, 1);
     }
 
     /// Unpaced [`recv_keepalive`](RelState::recv_keepalive), fired by the
@@ -1196,6 +1259,7 @@ impl RelState {
         self.procs[me.0].keepalive.insert((src, tag), (now, 0));
         fault.dispatch(m, me, src, ack_tag(tag), &[adv as Word, live as Word]);
         self.acks_sent += 1;
+        m.metrics_registry().count(me.0, Ctr::AcksSent, 1);
         1
     }
 
@@ -1269,6 +1333,16 @@ impl RelState {
                 let at = m.clock(me);
                 m.trace_mut()
                     .record(me, at, EventKind::Retransmit { dst, tag, seq });
+                let reg = m.metrics_registry();
+                reg.count(me.0, Ctr::Retransmits, 1);
+                reg.flight(
+                    me.0,
+                    FlightKind::Retransmit,
+                    dst.0 as u64,
+                    tag.0 as u64,
+                    seq,
+                    at.0,
+                );
                 fault.dispatch(m, me, dst, tag, &payload);
                 self.retransmits += 1;
                 self.activity += 1;
@@ -1395,6 +1469,16 @@ impl Fabric for ReliableView<'_> {
         self.rel.pump_acks(self.m, src);
         self.rel.service_timers(self.m, self.fault, src);
         *self.rel.logical_sent.entry((src, dst, tag)).or_insert(0) += 1;
+        // The program-level send is recorded here; every frame below —
+        // data, retransmission, ack — is raw transport to the machine.
+        let t = self.m.clock(src);
+        self.m.metrics_registry().logical_send(
+            src.0,
+            dst.0 as u64,
+            tag.0 as u64,
+            payload.len() as u64,
+            t.0,
+        );
         let seq = {
             let chan = self.rel.procs[src.0].senders.entry((dst, tag)).or_default();
             let s = chan.next_seq;
@@ -1428,6 +1512,10 @@ impl Fabric for ReliableView<'_> {
         self.m.charge_recv(dst, src, tag, arrives, payload.len());
         *self.rel.logical_recvd.entry((src, dst, tag)).or_insert(0) += 1;
         Some(payload)
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(self.m.metrics_registry())
     }
 }
 

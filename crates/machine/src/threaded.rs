@@ -64,6 +64,7 @@ use crate::ring::{ring, BufPool, Doorbell, FrameRx, FrameTx};
 use crate::sched::{Process, RunReport, Step};
 use crate::stats::{FaultReport, MachineStats, NetworkStats, ProcStats};
 use crate::trace::{EventKind, Trace};
+use pdc_metrics::{Ctr, FlightKind, MetricsRegistry, NO_PEER};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -343,6 +344,14 @@ pub struct Endpoint {
     /// `at` comes from the backend-invariant logical clock, the merged
     /// trace matches the simulator's on the raw fabric.
     trace: Trace,
+    /// Shared metrics registry — one shard per processor; this endpoint
+    /// writes only shard `me`, so the record path never contends.
+    metrics: Arc<MetricsRegistry>,
+    /// The reliability layer was configured for this run. `rel.is_some()`
+    /// cannot distinguish a program send from a protocol frame here:
+    /// `rel` is detached while its fault state dispatches, which is
+    /// exactly when protocol frames traverse the raw send path.
+    reliable: bool,
 }
 
 impl Endpoint {
@@ -406,6 +415,15 @@ impl Endpoint {
                 cost: recv_cost,
             },
         );
+        // Both program-level receive paths (raw consume, reliable pop)
+        // charge here, so this is the one logical-recv record point.
+        self.metrics.logical_recv(
+            self.me.0,
+            src.0 as u64,
+            tag.0 as u64,
+            words as u64,
+            self.clock.0,
+        );
     }
 
     /// Take and clear the recorded self-send fault, if any.
@@ -431,9 +449,25 @@ impl Endpoint {
         if self.status[dst.0].load(Ordering::SeqCst) != PEER_RUNNING {
             return;
         }
+        let words = payload.len() as u64;
+        self.metrics.count(self.me.0, Ctr::WireFrames, 1);
+        self.metrics.count(self.me.0, Ctr::WireWords, words);
         let mut tx = self.tx[dst.0].take().expect("peer ring exists");
         let mut spins = 0u32;
+        let mut stalled = false;
         let sent = tx.send(tag.0, arrives_at.0, payload, || {
+            if !stalled {
+                stalled = true;
+                self.metrics.count(self.me.0, Ctr::EnqueueStalls, 1);
+                self.metrics.flight(
+                    self.me.0,
+                    FlightKind::Stall,
+                    dst.0 as u64,
+                    tag.0 as u64,
+                    words,
+                    self.clock.0,
+                );
+            }
             self.bells[dst.0].ring();
             self.drain();
             if self.status[dst.0].load(Ordering::SeqCst) != PEER_RUNNING {
@@ -445,6 +479,11 @@ impl Endpoint {
             }
             true
         });
+        if sent {
+            // Post-enqueue depth; the histogram max is the ring's
+            // high-water mark in words.
+            self.metrics.ring_depth(self.me.0, tx.occupancy());
+        }
         self.tx[dst.0] = Some(tx);
         if sent {
             self.bells[dst.0].ring();
@@ -462,6 +501,7 @@ impl Endpoint {
                 let before = self.ingested;
                 self.drain();
                 if self.ingested != before || self.epoch.load(Ordering::SeqCst) != epoch {
+                    self.metrics.count(self.me.0, Ctr::SpinWakes, 1);
                     return;
                 }
             }
@@ -471,9 +511,13 @@ impl Endpoint {
         self.drain();
         if self.ingested != before || self.epoch.load(Ordering::SeqCst) != epoch {
             self.bells[self.me.0].cancel();
+            self.metrics.count(self.me.0, Ctr::Wakes, 1);
             return;
         }
         self.wakes += 1;
+        self.metrics.count(self.me.0, Ctr::Parks, 1);
+        self.metrics
+            .flight(self.me.0, FlightKind::Park, NO_PEER, 0, 0, self.clock.0);
         self.bells[self.me.0].park_until(until);
     }
 
@@ -503,6 +547,7 @@ impl Endpoint {
                     let cum = payload[0] as u64;
                     let live = payload.get(1).map_or(cum, |&w| w as u64);
                     self.pool.put(payload);
+                    self.metrics.count(self.me.0, Ctr::AcksRecvd, 1);
                     let data_tag = Tag(tag.0 & !ACK_TAG_BIT);
                     if let Some(chan) = rel.senders.get_mut(&(peer, data_tag)) {
                         chan.ack(cum);
@@ -521,6 +566,7 @@ impl Endpoint {
                 }
             } else {
                 let mut drained = 0u64;
+                let dups_before = rel.recvs.get(&(peer, tag)).map_or(0, |c| c.dups);
                 while let Some((arrives, payload)) = self
                     .stash
                     .get_mut(&(peer, tag))
@@ -535,12 +581,17 @@ impl Endpoint {
                     drained += 1;
                 }
                 if drained > 0 {
-                    let live = rel.recvs[&(peer, tag)].cumulative();
+                    let chan = &rel.recvs[&(peer, tag)];
+                    let live = chan.cumulative();
+                    let dup_delta = chan.dups - dups_before;
                     let adv = match &rel.stable {
                         Some(floors) => floors.get(&(peer, tag)).copied().unwrap_or(0),
                         None => live,
                     };
                     rel.acks_sent += 1;
+                    self.metrics.count(self.me.0, Ctr::AcksSent, 1);
+                    self.metrics
+                        .count(self.me.0, Ctr::DupFramesDropped, dup_delta);
                     rel.fault.dispatch(
                         self,
                         self.me,
@@ -618,6 +669,15 @@ impl Endpoint {
                     self.trace
                         .record(self.me, self.clock, EventKind::Retransmit { dst, tag, seq });
                     rel.retransmits += 1;
+                    self.metrics.count(self.me.0, Ctr::Retransmits, 1);
+                    self.metrics.flight(
+                        self.me.0,
+                        FlightKind::Retransmit,
+                        dst.0 as u64,
+                        tag.0 as u64,
+                        seq,
+                        self.clock.0,
+                    );
                     rel.fault.dispatch(self, self.me, dst, tag, &payload);
                 }
             }
@@ -639,6 +699,15 @@ impl Endpoint {
         self.rel_service_timers();
         let rel = self.rel.as_mut().expect("rel_send requires reliable mode");
         *rel.logical_sent.entry((dst, tag)).or_insert(0) += 1;
+        // The program-level send; the framed dispatch below and every
+        // retransmission of it are wire traffic, recorded in `ring_send`.
+        self.metrics.logical_send(
+            self.me.0,
+            dst.0 as u64,
+            tag.0 as u64,
+            payload.len() as u64,
+            self.clock.0,
+        );
         let fr = {
             let chan = rel.senders.entry((dst, tag)).or_default();
             let seq = chan.next_seq;
@@ -762,6 +831,7 @@ impl Endpoint {
                 if let Some((adv, live)) = floors {
                     let mut rel = self.rel.take().expect("rel wait requires reliable mode");
                     rel.acks_sent += 1;
+                    self.metrics.count(self.me.0, Ctr::AcksSent, 1);
                     rel.fault.dispatch(
                         self,
                         self.me,
@@ -894,6 +964,17 @@ impl Endpoint {
                 bytes: bytes.len() as u64,
             },
         );
+        self.metrics.count(self.me.0, Ctr::CheckpointsTaken, 1);
+        self.metrics
+            .count(self.me.0, Ctr::CheckpointBytes, bytes.len() as u64);
+        self.metrics.flight(
+            self.me.0,
+            FlightKind::Checkpoint,
+            NO_PEER,
+            at_op,
+            bytes.len() as u64,
+            self.clock.0,
+        );
         {
             let ck = self.ckpt.as_mut().expect("checkpointing configured");
             ck.report.checkpoints_taken += 1;
@@ -986,6 +1067,7 @@ impl Endpoint {
         let mut rel = self.rel.take().expect("reliable mode");
         for (src, tag, cum) in solicits {
             rel.acks_sent += 1;
+            self.metrics.count(self.me.0, Ctr::AcksSent, 1);
             rel.fault.dispatch(
                 self,
                 self.me,
@@ -1025,6 +1107,17 @@ impl Endpoint {
         ck.report.replayed_ops += crash_op.saturating_sub(ckpt.at_op);
         ck.report.replay_frames += ckpt.window_frames();
         ck.report.recovery_cycles += cfg.reboot_cycles;
+        self.metrics.count(self.me.0, Ctr::CrashesSurvived, 1);
+        self.metrics
+            .count(self.me.0, Ctr::ReplayFrames, ckpt.window_frames());
+        self.metrics.flight(
+            self.me.0,
+            FlightKind::Restore,
+            NO_PEER,
+            ckpt.at_op,
+            crash_op.saturating_sub(ckpt.at_op),
+            self.clock.0,
+        );
         Ok(())
     }
 
@@ -1085,6 +1178,7 @@ impl Endpoint {
             .collect();
         for (src, tag, cum) in streams {
             rel.acks_sent += 1;
+            self.metrics.count(self.me.0, Ctr::AcksSent, 1);
             rel.fault.dispatch(
                 self,
                 self.me,
@@ -1163,6 +1257,7 @@ impl Fabric for Endpoint {
         let before = self.clock;
         self.clock = before.plus((cycles + extra) * self.slowdown);
         self.stats.ops += 1;
+        self.metrics.count(p.0, Ctr::Ops, 1);
         self.trace.record_compute(p, before, self.clock);
     }
 
@@ -1203,6 +1298,13 @@ impl Fabric for Endpoint {
                 cost: send_cost,
             },
         );
+        if !self.reliable {
+            // Raw-fabric runs: the wire frame *is* the program-level
+            // send. Reliable runs record theirs in `rel_send`; frames
+            // reaching here while `rel` is detached are protocol traffic.
+            self.metrics
+                .logical_send(src.0, dst.0 as u64, tag.0 as u64, words as u64, sent_at.0);
+        }
         self.gauge.inc();
         self.ring_send(dst, tag, arrives_at, payload);
     }
@@ -1245,6 +1347,7 @@ impl Fabric for Endpoint {
         self.clock = self.clock.plus(send_cost);
         self.stats.sends += 1;
         self.stats.words_sent += words as u64;
+        self.metrics.count(self.me.0, Ctr::FramesLost, 1);
         self.trace.record(
             src,
             self.clock,
@@ -1267,6 +1370,10 @@ impl Fabric for Endpoint {
         let arrives_at = sent_at.plus(self.cost.flight).plus(extra);
         self.gauge.inc();
         self.ring_send(dst, tag, arrives_at, payload);
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(&self.metrics)
     }
 }
 
@@ -1293,25 +1400,56 @@ struct ThreadRelDone {
     injected: FaultCounts,
 }
 
-/// Run one process to completion against its endpoint: the per-thread
-/// step loop shared by every configuration.
+/// Run one process against its endpoint: the per-thread step loop shared
+/// by every configuration. Always returns the endpoint's harvested state
+/// — on an error the partial tallies (clock, traffic counts, trace, the
+/// flight recorder's recent history) are exactly the diagnostics the
+/// failure report needs, so they must not be dropped with the thread.
 fn drive<P: Process>(
     process: &mut P,
     ep: &mut Endpoint,
     budget: u64,
-) -> Result<ThreadDone, MachineError> {
-    let me = ep.me;
+) -> (ThreadDone, Option<MachineError>) {
     let mut steps: u64 = 0;
+    let err = drive_loop(process, ep, budget, &mut steps).err();
+    let done = ThreadDone {
+        clock: ep.clock,
+        stats: std::mem::take(&mut ep.stats),
+        sent: std::mem::take(&mut ep.sent),
+        recvd: std::mem::take(&mut ep.recvd),
+        steps,
+        trace: std::mem::take(&mut ep.trace),
+        recovery: ep.ckpt.take().map(|c| c.report),
+        rel: ep.rel.take().map(|r| ThreadRelDone {
+            logical_sent: r.logical_sent,
+            logical_recvd: r.logical_recvd,
+            retransmits: r.retransmits,
+            acks_sent: r.acks_sent,
+            dups: r.recvs.values().map(|c| c.dups).sum(),
+            max_gap: r.recvs.values().map(|c| c.max_gap).max().unwrap_or(0),
+            injected: r.fault.counts(),
+        }),
+    };
+    (done, err)
+}
+
+fn drive_loop<P: Process>(
+    process: &mut P,
+    ep: &mut Endpoint,
+    budget: u64,
+    steps: &mut u64,
+) -> Result<(), MachineError> {
+    let me = ep.me;
     if ep.ckpt.is_some() {
         // Initial checkpoint: a restore target exists whatever the crash
         // point. Free — the launch image exists before the clocks start.
         ep.take_checkpoint(&*process, false)?;
     }
     loop {
-        if steps >= budget {
+        if *steps >= budget {
             return Err(MachineError::StepBudgetExceeded { budget });
         }
-        steps += 1;
+        *steps += 1;
         let step = process.step(ep, me)?;
         if let Some(sp) = ep.take_self_send() {
             return Err(MachineError::SelfSend { proc: sp });
@@ -1340,24 +1478,7 @@ fn drive<P: Process>(
     if ep.rel.is_some() {
         ep.rel_linger()?;
     }
-    Ok(ThreadDone {
-        clock: ep.clock,
-        stats: std::mem::take(&mut ep.stats),
-        sent: std::mem::take(&mut ep.sent),
-        recvd: std::mem::take(&mut ep.recvd),
-        steps,
-        trace: std::mem::take(&mut ep.trace),
-        recovery: ep.ckpt.take().map(|c| c.report),
-        rel: ep.rel.take().map(|r| ThreadRelDone {
-            logical_sent: r.logical_sent,
-            logical_recvd: r.logical_recvd,
-            retransmits: r.retransmits,
-            acks_sent: r.acks_sent,
-            dups: r.recvs.values().map(|c| c.dups).sum(),
-            max_gap: r.recvs.values().map(|c| c.max_gap).max().unwrap_or(0),
-            injected: r.fault.counts(),
-        }),
-    })
+    Ok(())
 }
 
 /// Drives one [`Process`] per OS thread to completion and merges the
@@ -1380,6 +1501,11 @@ pub struct ThreadedRunner {
     ring_words: Option<usize>,
     /// Test probe accumulating every endpoint's park count.
     wake_probe: Option<Arc<AtomicU64>>,
+    /// Record full metrics (counters/histograms/channel tables), not just
+    /// the always-on flight recorder.
+    metrics_full: bool,
+    /// Caller-owned registry to record into — the live-sampling hook.
+    metrics_shared: Option<Arc<MetricsRegistry>>,
 }
 
 impl ThreadedRunner {
@@ -1395,7 +1521,31 @@ impl ThreadedRunner {
             trace: Trace::disabled(),
             ring_words: None,
             wake_probe: None,
+            metrics_full: false,
+            metrics_shared: None,
         }
+    }
+
+    /// Enable full metrics recording: lock-free per-processor counters,
+    /// histograms, and per-channel traffic tables, snapshotted into
+    /// [`RunReport::metrics`]. The flight recorder is on regardless.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics_full = true;
+        self
+    }
+
+    /// Record into a caller-owned registry instead of a private one — the
+    /// live-sampling hook: another thread may
+    /// [`snapshot`](MetricsRegistry::snapshot) it while the run executes
+    /// (the `monitor` bench's refreshing dashboard does exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`run`](Self::run) time if the registry's shard count
+    /// differs from the process count.
+    pub fn with_metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics_shared = Some(registry);
+        self
     }
 
     /// Enable bounded event tracing, `cap` events *per processor*
@@ -1510,6 +1660,26 @@ impl ThreadedRunner {
     /// Panics if `processes` is empty or a slowdown vector of the wrong
     /// length was supplied.
     pub fn run<P: Process + Send>(&self, processes: &mut [P]) -> Result<RunReport, MachineError> {
+        let (report, err) = self.run_with_report(processes);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// [`run`](Self::run), but the merged [`RunReport`] survives failure:
+    /// whatever per-endpoint state exists — partial traffic counts,
+    /// traces, the flight recorder — is harvested and merged *before* the
+    /// ranked root error is reported, so an early `PeerDied`, exhausted
+    /// retry, or deadlock still comes with its diagnostics. A processor
+    /// whose thread panicked contributes empty per-processor slots (its
+    /// endpoint died with the stack); everyone else's state is intact,
+    /// and the shared metrics registry retains even the panicking
+    /// processor's counters.
+    pub fn run_with_report<P: Process + Send>(
+        &self,
+        processes: &mut [P],
+    ) -> (RunReport, Option<MachineError>) {
         let n = processes.len();
         assert!(n > 0, "a machine needs at least one processor");
         if let Some(f) = &self.slowdowns {
@@ -1543,6 +1713,14 @@ impl ThreadedRunner {
             .faults
             .clone()
             .or_else(|| self.ckpt.map(|_| (FaultPlan::none(), RelConfig::default())));
+        let registry = match &self.metrics_shared {
+            Some(r) => {
+                assert_eq!(r.n_procs(), n, "one metrics shard per processor");
+                Arc::clone(r)
+            }
+            None if self.metrics_full => Arc::new(MetricsRegistry::new(n)),
+            None => Arc::new(MetricsRegistry::flight_only(n)),
+        };
         let mut endpoints: Vec<Endpoint> = txs
             .into_iter()
             .zip(rxs)
@@ -1582,11 +1760,13 @@ impl ThreadedRunner {
                     report: RecoveryReport::default(),
                 }),
                 trace: self.trace.like(),
+                metrics: Arc::clone(&registry),
+                reliable: faults.is_some(),
             })
             .collect();
 
         let budget = self.step_budget;
-        let results: Vec<Result<ThreadDone, MachineError>> = std::thread::scope(|s| {
+        let results: Vec<(Option<ThreadDone>, Option<MachineError>)> = std::thread::scope(|s| {
             let handles: Vec<_> = processes
                 .iter_mut()
                 .zip(endpoints.drain(..))
@@ -1605,14 +1785,14 @@ impl ThreadedRunner {
                             me: p,
                             finished: false,
                         };
-                        let result = drive(process, &mut ep, budget);
+                        let (done, err) = drive(process, &mut ep, budget);
                         if let Some(probe) = &ep.wake_probe {
                             probe.fetch_add(ep.wakes, Ordering::Relaxed);
                         }
-                        if result.is_ok() {
+                        if err.is_none() {
                             guard.finish();
                         }
-                        result
+                        (done, err)
                     })
                 })
                 .collect();
@@ -1620,11 +1800,16 @@ impl ThreadedRunner {
                 .into_iter()
                 .enumerate()
                 .map(|(p, h)| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(MachineError::ProcessFault {
-                            proc: ProcId(p),
-                            message: "process thread panicked".into(),
-                        })
+                    // A panicked thread harvested nothing; everything it
+                    // recorded into the shared registry survives.
+                    h.join().map(|(d, e)| (Some(d), e)).unwrap_or_else(|_| {
+                        (
+                            None,
+                            Some(MachineError::ProcessFault {
+                                proc: ProcId(p),
+                                message: "process thread panicked".into(),
+                            }),
+                        )
                     })
                 })
                 .collect()
@@ -1655,18 +1840,15 @@ impl ThreadedRunner {
             }
         }
         let mut worst: Option<MachineError> = None;
-        let mut done = Vec::with_capacity(n);
-        for r in results {
-            match r {
-                Ok(d) => done.push(d),
-                Err(e) => match &worst {
+        let mut done: Vec<Option<ThreadDone>> = Vec::with_capacity(n);
+        for (d, e) in results {
+            done.push(d);
+            if let Some(e) = e {
+                match &worst {
                     Some(w) if rank(w) <= rank(&e) => {}
                     _ => worst = Some(e),
-                },
+                }
             }
-        }
-        if let Some(e) = worst {
-            return Err(e);
         }
 
         let reliable = faults.is_some();
@@ -1681,6 +1863,14 @@ impl ThreadedRunner {
         let mut traces = Vec::with_capacity(n);
         for (p, d) in done.into_iter().enumerate() {
             let me = ProcId(p);
+            let Some(d) = d else {
+                // Panicked thread: hold its slots so the per-processor
+                // vectors stay index-aligned with processor ids.
+                traces.push(self.trace.like());
+                clocks.push(Time::ZERO);
+                procs.push(ProcStats::default());
+                continue;
+            };
             traces.push(d.trace);
             if let (Some(total), Some(r)) = (recovery_total.as_mut(), d.recovery.as_ref()) {
                 total.merge(r);
@@ -1727,7 +1917,7 @@ impl ThreadedRunner {
         if let Some(fr) = fault_report.as_mut() {
             fr.raw_leftover = gauge.cur.load(Ordering::Relaxed) as usize;
         }
-        Ok(RunReport {
+        let report = RunReport {
             stats: MachineStats {
                 network,
                 procs,
@@ -1740,7 +1930,9 @@ impl ThreadedRunner {
             fault: fault_report,
             recovery: recovery_total,
             trace: Trace::merge(traces),
-        })
+            metrics: registry.snapshot(),
+        };
+        (report, worst)
     }
 }
 
@@ -1975,6 +2167,74 @@ mod tests {
             ),
             "expected the dead peer's root fault, got {err}"
         );
+    }
+
+    #[test]
+    fn failed_run_report_retains_partial_diagnostics() {
+        // Regression: early error paths (process fault, PeerDied
+        // cascade, deadlock) used to drop every per-endpoint tally.
+        // P0 delivers one message and then blocks forever; P1 consumes
+        // it and faults. The merged report must still carry the
+        // delivered traffic and the always-on flight history.
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(1, 3, vec![1, 2]), Action::Recv(1, 9)]),
+            Scripted::new(vec![Action::Recv(0, 3), Action::Fail]),
+        ];
+        let (report, err) = ThreadedRunner::new(CostModel::ipsc2())
+            .with_recv_timeout(Duration::from_secs(60))
+            .run_with_report(&mut procs);
+        let err = err.expect("the run fails");
+        assert!(
+            matches!(
+                err,
+                MachineError::ProcessFault {
+                    proc: ProcId(1),
+                    ..
+                }
+            ),
+            "expected P1's root fault, got {err}"
+        );
+        assert_eq!(
+            report.pair_messages.get(&(ProcId(0), ProcId(1), Tag(3))),
+            Some(&1),
+            "delivered traffic survives the failure"
+        );
+        assert_eq!(report.stats.network.messages, 1);
+        assert_eq!(report.stats.procs.len(), 2, "slots stay index-aligned");
+        assert!(report.metrics.procs[0]
+            .flight
+            .iter()
+            .any(|e| e.kind == FlightKind::Send));
+        assert!(report.metrics.procs[1]
+            .flight
+            .iter()
+            .any(|e| e.kind == FlightKind::Recv));
+    }
+
+    #[test]
+    fn panicked_processor_holds_empty_slot_in_merged_report() {
+        // A panicking thread can harvest nothing, but its peers' partial
+        // tallies must survive and the per-processor vectors must keep
+        // their processor-id alignment.
+        let mut procs = vec![
+            Scripted::new(vec![Action::Send(1, 3, vec![7]), Action::Recv(1, 9)]),
+            Scripted::new(vec![Action::Panic]),
+        ];
+        let (report, err) = ThreadedRunner::new(CostModel::ipsc2())
+            .with_recv_timeout(Duration::from_secs(60))
+            .run_with_report(&mut procs);
+        assert!(err.is_some(), "the run fails");
+        assert_eq!(
+            report.pair_messages.get(&(ProcId(0), ProcId(1), Tag(3))),
+            Some(&1),
+            "the surviving processor's send is reported"
+        );
+        assert_eq!(report.stats.procs.len(), 2);
+        assert_eq!(report.stats.clocks.len(), 2);
+        assert!(report.metrics.procs[0]
+            .flight
+            .iter()
+            .any(|e| e.kind == FlightKind::Send));
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   the k-th receive. Unmatched sends (undelivered messages) get no
 //!   flow arrow, so every flow-end always has a flow-begin;
 //! * instant (`"ph":"i"`) marks for protocol events (retransmit, ack)
-//!   and process completion.
+//!   and process completion;
+//! * counter (`"ph":"C"`) tracks when a [`MetricsSnapshot`] is supplied
+//!   to [`chrome_trace_with_metrics`]: a cumulative per-processor
+//!   retransmit series (one sample per retransmission) and a
+//!   ring-occupancy summary (mean/max words queued) per processor, so
+//!   Perfetto shows protocol pressure alongside the slices.
 //!
 //! Timestamps are logical-clock *cycles* reported as microseconds (the
 //! unit Perfetto assumes for `ts`/`dur`); absolute units are meaningless
@@ -29,6 +34,7 @@
 
 use crate::message::ProcId;
 use crate::trace::{Event, EventKind, Trace};
+use pdc_metrics::MetricsSnapshot;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
@@ -82,6 +88,22 @@ fn instant(out: &mut Vec<String>, name: &str, proc: ProcId, ts: u64, args: &str)
 /// importer expects. If events overflowed the trace cap, the drop count
 /// is surfaced in the top-level `otherData` object.
 pub fn chrome_trace(trace: &Trace, n_procs: usize) -> String {
+    chrome_trace_with_metrics(trace, n_procs, None)
+}
+
+/// [`chrome_trace`] plus counter (`"ph":"C"`) tracks derived from a
+/// [`MetricsSnapshot`]: a cumulative retransmit series per processor
+/// (sampled at each `Retransmit` trace event, so the slope shows
+/// retransmission bursts) and a per-processor ring-occupancy summary
+/// (mean and max words queued, from the enqueue-time histogram —
+/// individual samples carry no timestamps, so the summary is emitted as
+/// one flat band across the run). With `metrics: None` the output is
+/// identical to [`chrome_trace`].
+pub fn chrome_trace_with_metrics(
+    trace: &Trace,
+    n_procs: usize,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
     let mut events: Vec<String> = Vec::with_capacity(trace.len() * 2 + n_procs);
     for p in 0..n_procs {
         events.push(format!(
@@ -115,9 +137,12 @@ pub fn chrome_trace(trace: &Trace, n_procs: usize) -> String {
     let mut recv_counter: HashMap<(usize, usize, u32), u64> = HashMap::new();
     let mut flows: Vec<String> = Vec::new();
     let mut next_flow_id: u64 = 0;
+    let mut retrans_cum: HashMap<usize, u64> = HashMap::new();
+    let mut last_ts: u64 = 0;
 
     for e in &evs {
         let ts = e.start().0;
+        last_ts = last_ts.max(e.at.0);
         match e.kind {
             EventKind::Compute { cycles } => {
                 slice(&mut events, "compute", e.proc, ts, cycles, "");
@@ -189,6 +214,15 @@ pub fn chrome_trace(trace: &Trace, n_procs: usize) -> String {
                     dst.0, tag.0, seq
                 );
                 instant(&mut events, "retransmit", e.proc, e.at.0, &args);
+                if metrics.is_some() {
+                    let cum = retrans_cum.entry(e.proc.0).or_insert(0);
+                    *cum += 1;
+                    events.push(format!(
+                        "{{\"name\":\"retransmits\",\"ph\":\"C\",\"pid\":0,\"tid\":{},\
+                         \"ts\":{},\"args\":{{\"cumulative\":{}}}}}",
+                        e.proc.0, e.at.0, cum
+                    ));
+                }
             }
             EventKind::Ack { peer, tag, cum } => {
                 let args = format!(
@@ -222,6 +256,26 @@ pub fn chrome_trace(trace: &Trace, n_procs: usize) -> String {
         }
     }
     events.extend(flows);
+
+    // Ring-occupancy summary band: the enqueue-time histogram has no
+    // per-sample timestamps, so the per-processor mean and max are
+    // emitted as one counter sample at the start and end of the run.
+    if let Some(snap) = metrics {
+        for (p, pm) in snap.procs.iter().enumerate().take(n_procs) {
+            let h = &pm.ring_occupancy;
+            if h.count == 0 {
+                continue;
+            }
+            let mean = h.sum / h.count;
+            for ts in [0, last_ts] {
+                events.push(format!(
+                    "{{\"name\":\"ring occupancy (words)\",\"ph\":\"C\",\"pid\":0,\
+                     \"tid\":{p},\"ts\":{ts},\"args\":{{\"mean\":{mean},\"max\":{}}}}}",
+                    h.max
+                ));
+            }
+        }
+    }
 
     let mut out = String::new();
     out.push_str("{\"traceEvents\":[\n");
@@ -487,6 +541,8 @@ pub struct ChromeStats {
     pub flows: usize,
     /// Instant marks.
     pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
     /// Named tracks (metadata events).
     pub tracks: usize,
     /// Dropped-event count from `otherData`.
@@ -559,6 +615,16 @@ pub fn validate_chrome_trace(json: &str) -> Result<ChromeStats, String> {
                 flow_ends.push(id);
             }
             "i" => stats.instants += 1,
+            "C" => {
+                e.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i}: counter missing ts"))?;
+                match e.get("args") {
+                    Some(Json::Obj(m)) if !m.is_empty() => {}
+                    _ => return Err(format!("event {i}: counter needs non-empty args")),
+                }
+                stats.counters += 1;
+            }
             "M" => stats.tracks += 1,
             other => return Err(format!("event {i}: unexpected ph {other:?}")),
         }
@@ -628,6 +694,36 @@ mod tests {
         assert_eq!(stats.instants, 2, "two finish marks");
         assert_eq!(stats.tracks, 2);
         assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn metrics_counters_round_trip() {
+        let mut t = Trace::bounded(64);
+        for at in [100, 200] {
+            t.record(
+                ProcId(0),
+                Time(at),
+                EventKind::Retransmit {
+                    dst: ProcId(1),
+                    tag: Tag(0),
+                    seq: 1,
+                },
+            );
+        }
+        t.flush();
+        let reg = pdc_metrics::MetricsRegistry::new(2);
+        reg.ring_depth(0, 8);
+        reg.ring_depth(0, 16);
+        let snap = reg.snapshot();
+        let json = chrome_trace_with_metrics(&t, 2, Some(&snap));
+        let stats = validate_chrome_trace(&json).expect("counter output validates");
+        // Two retransmit samples + occupancy band (start + end) on P0.
+        assert_eq!(stats.counters, 4);
+        assert!(json.contains("\"cumulative\":2"), "{json}");
+        assert!(json.contains("\"mean\":12,\"max\":16"), "{json}");
+        // Without a snapshot the output is byte-identical to the plain
+        // exporter.
+        assert_eq!(chrome_trace(&t, 2), chrome_trace_with_metrics(&t, 2, None));
     }
 
     #[test]

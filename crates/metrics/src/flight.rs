@@ -1,0 +1,182 @@
+//! The flight recorder: a bounded per-processor ring of recent coarse
+//! events (sends, receives, parks, stalls, protocol actions) that is
+//! *always on*. One record is a cursor `fetch_add` plus three relaxed
+//! stores — O(ns) — so even metrics-off runs carry enough history to
+//! explain a deadlock or crash without a rerun under tracing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Events retained per processor (power of two).
+pub const FLIGHT_SLOTS: usize = 64;
+
+/// Sentinel `peer` for events without one (parks, checkpoints): the
+/// all-ones 24-bit field decodes back to `None` in [`FlightEvent`].
+pub const NO_PEER: u64 = 0xFF_FFFF;
+
+/// What kind of event a flight-recorder slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A program-level send; `value` is the payload word count.
+    Send = 1,
+    /// A program-level receive; `value` is the payload word count.
+    Recv = 2,
+    /// The thread parked waiting for a doorbell.
+    Park = 3,
+    /// A full ring stalled an enqueue.
+    Stall = 4,
+    /// The reliable layer retransmitted a frame.
+    Retransmit = 5,
+    /// A checkpoint was taken; `value` is the image size in bytes.
+    Checkpoint = 6,
+    /// A crash was survived by restoring a checkpoint.
+    Restore = 7,
+}
+
+impl FlightKind {
+    /// All kinds, for decoding and export.
+    pub const ALL: [FlightKind; 7] = [
+        FlightKind::Send,
+        FlightKind::Recv,
+        FlightKind::Park,
+        FlightKind::Stall,
+        FlightKind::Retransmit,
+        FlightKind::Checkpoint,
+        FlightKind::Restore,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Send => "send",
+            FlightKind::Recv => "recv",
+            FlightKind::Park => "park",
+            FlightKind::Stall => "stall",
+            FlightKind::Retransmit => "retransmit",
+            FlightKind::Checkpoint => "checkpoint",
+            FlightKind::Restore => "restore",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<FlightKind> {
+        FlightKind::ALL.into_iter().find(|k| *k as u64 == code)
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// `kind << 56 | (peer + 1) << 32 | tag`; zero means never written.
+    meta: AtomicU64,
+    value: AtomicU64,
+    time: AtomicU64,
+}
+
+/// The per-processor ring. Writes come from the owning processor only;
+/// reads may race (the live sampler) and tolerate seeing a slot
+/// mid-overwrite — every field is monotone garbage at worst, and the
+/// post-run snapshot is quiescent and exact.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cursor: AtomicU64,
+    slots: [Slot; FLIGHT_SLOTS],
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder {
+            cursor: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| Slot {
+                meta: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+                time: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl FlightRecorder {
+    /// Record one event. `peer`/`tag` are zero for events without a
+    /// channel (parks).
+    #[inline]
+    pub fn record(&self, kind: FlightKind, peer: u64, tag: u64, value: u64, time: u64) {
+        let i = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) & (FLIGHT_SLOTS - 1);
+        let slot = &self.slots[i];
+        let meta = ((kind as u64) << 56) | (((peer + 1) & 0xFF_FFFF) << 32) | (tag & 0xFFFF_FFFF);
+        slot.value.store(value, Ordering::Relaxed);
+        slot.time.store(time, Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Release);
+    }
+
+    /// Events recorded in total (may exceed [`FLIGHT_SLOTS`]).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let start = cursor.saturating_sub(FLIGHT_SLOTS as u64);
+        (start..cursor)
+            .filter_map(|seq| {
+                let slot = &self.slots[(seq as usize) & (FLIGHT_SLOTS - 1)];
+                let meta = slot.meta.load(Ordering::Acquire);
+                let kind = FlightKind::from_code(meta >> 56)?;
+                let peer_plus1 = (meta >> 32) & 0xFF_FFFF;
+                Some(FlightEvent {
+                    kind,
+                    peer: peer_plus1.checked_sub(1),
+                    tag: meta & 0xFFFF_FFFF,
+                    value: slot.value.load(Ordering::Relaxed),
+                    time: slot.time.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// What happened.
+    pub kind: FlightKind,
+    /// The other endpoint, when the event has one.
+    pub peer: Option<u64>,
+    /// Message tag, zero when not applicable.
+    pub tag: u64,
+    /// Kind-specific magnitude (words, bytes, occupancy).
+    pub value: u64,
+    /// Logical-clock timestamp at the recording processor.
+    pub time: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_wraps_keeping_newest() {
+        let f = FlightRecorder::default();
+        for i in 0..(FLIGHT_SLOTS as u64 + 5) {
+            f.record(FlightKind::Send, 1, 2, i, i * 10);
+        }
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), FLIGHT_SLOTS);
+        assert_eq!(snap.first().unwrap().value, 5);
+        assert_eq!(snap.last().unwrap().value, FLIGHT_SLOTS as u64 + 4);
+        assert_eq!(f.recorded(), FLIGHT_SLOTS as u64 + 5);
+    }
+
+    #[test]
+    fn peer_and_tag_roundtrip() {
+        let f = FlightRecorder::default();
+        f.record(FlightKind::Park, 0, 0, 0, 7);
+        f.record(FlightKind::Recv, 3, 41, 9, 8);
+        let snap = f.snapshot();
+        assert_eq!(snap[0].kind, FlightKind::Park);
+        assert_eq!(snap[0].peer, Some(0));
+        assert_eq!(snap[1].peer, Some(3));
+        assert_eq!(snap[1].tag, 41);
+        assert_eq!(snap[1].value, 9);
+        assert_eq!(snap[1].time, 8);
+    }
+}

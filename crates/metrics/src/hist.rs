@@ -1,0 +1,192 @@
+//! A fixed-bucket log-linear histogram in the HDR style: exact buckets
+//! for small values, then eight linear sub-buckets per power-of-two
+//! octave. Recording is one relaxed `fetch_add` plus a relaxed
+//! `fetch_max` — no allocation, no locks — so it is safe on the hot
+//! path of a send or a park.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values `0..=15` get one bucket each; every octave above that is cut
+/// into 8 linear sub-buckets keyed by the top four bits of the value.
+/// 16 exact + 60 octaves × 8 = 496 buckets covering the full `u64`
+/// range with ≤ 12.5% relative error.
+pub const N_BUCKETS: usize = 16 + 60 * 8;
+
+/// Bucket index of `v` (total order, monotone in `v`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (msb - 3)) & 7) as usize;
+    16 + (msb - 4) * 8 + sub
+}
+
+/// Smallest value that lands in bucket `idx` (for labels and export).
+pub fn bucket_lo(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let rel = idx - 16;
+    let msb = rel / 8 + 4;
+    let sub = (rel % 8) as u64;
+    (1u64 << msb) | (sub << (msb - 3))
+}
+
+/// The concurrent histogram: per-bucket counts plus count/sum/max.
+#[derive(Debug)]
+pub struct Hist {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+impl Hist {
+    /// Record one observation of `v`.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for export: buckets are read after the
+    /// aggregates, so a racing `observe` can make the bucket total
+    /// exceed `count` by the in-flight records, never undercount them.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_lo(i), n))
+            })
+            .collect();
+        HistSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Hist`]: sparse `(bucket_lo, count)` pairs
+/// in increasing bucket order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Non-empty buckets as `(lowest value in bucket, observations)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observation, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
+    /// holding the `⌈q·count⌉`-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for &(lo, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lo;
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut samples: Vec<u64> = (0..64)
+            .flat_map(|shift| {
+                let base = 1u64 << shift;
+                [
+                    base.saturating_sub(1),
+                    base,
+                    base.saturating_add(base >> 2),
+                    base.saturating_add(base - 1),
+                ]
+            })
+            .chain([0, u64::MAX])
+            .collect();
+        samples.sort_unstable();
+        let mut prev = 0;
+        for v in samples {
+            let b = bucket_of(v);
+            assert!(b < N_BUCKETS, "bucket {b} out of range for {v}");
+            assert!(b >= prev, "non-monotone at {v}: {b} < {prev}");
+            prev = b;
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_lo_inverts_bucket_of() {
+        for idx in 0..N_BUCKETS {
+            let lo = bucket_lo(idx);
+            assert_eq!(bucket_of(lo), idx, "lo {lo} of bucket {idx}");
+            if lo > 0 {
+                assert!(bucket_of(lo - 1) < idx, "lo {lo} is not the least of {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_and_snapshot_roundtrip() {
+        let h = Hist::default();
+        for v in [0u64, 1, 7, 16, 17, 1000, 1 << 40] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1041 + (1u64 << 40));
+        assert_eq!(s.max, 1 << 40);
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 7);
+        // Exact buckets keep exact values.
+        assert!(s.buckets.contains(&(0, 1)));
+        assert!(s.buckets.contains(&(7, 1)));
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), bucket_lo(bucket_of(1 << 40)));
+    }
+}

@@ -1,0 +1,342 @@
+//! The registry: one cache-line-padded shard per processor, written
+//! only by that processor's thread and readable concurrently by a live
+//! sampler. Every record method takes `&self` and is lock-free; a
+//! flight-only registry (the always-on default) skips everything but
+//! the flight recorder, which is the metrics-off baseline the <2%
+//! overhead bound is measured against.
+
+use crate::channels::ChannelTable;
+use crate::flight::{FlightKind, FlightRecorder};
+use crate::hist::Hist;
+use crate::snapshot::{ctrs_vec, MetricsSnapshot, ProcMetrics};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every counter the runtime records. *Logical* counters depend only on
+/// the program and must agree across backends; *physical* counters
+/// describe how one backend executed (retransmission races, parks,
+/// ring pressure) and are backend- and timing-specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Ctr {
+    // -- logical: identical on both backends for fault-free runs --
+    /// Program instructions executed (`Fabric::tick` calls).
+    Ops,
+    /// Program-level frames sent.
+    FramesSent,
+    /// Program-level payload words sent.
+    WordsSent,
+    /// Program-level frames received.
+    FramesRecvd,
+    /// Program-level payload words received.
+    WordsRecvd,
+    /// Encode/decode scratch buffers reused without growing.
+    ScratchReuse,
+    /// Encode/decode scratch buffers that had to grow.
+    ScratchGrow,
+    // -- physical: backend- and timing-specific --
+    /// Frames that actually hit the transport (protocol overhead
+    /// included).
+    WireFrames,
+    /// Words that actually hit the transport.
+    WireWords,
+    /// Frames the (faulty) transport lost.
+    FramesLost,
+    /// Enqueues that found the ring full and had to stall.
+    EnqueueStalls,
+    /// Times a thread parked on its doorbell.
+    Parks,
+    /// Blocked waits resolved by spinning, without a park.
+    SpinWakes,
+    /// Doorbell wakeups observed while blocked.
+    Wakes,
+    /// Reliable-layer retransmissions.
+    Retransmits,
+    /// Acknowledgement frames sent.
+    AcksSent,
+    /// Acknowledgement frames processed.
+    AcksRecvd,
+    /// Duplicate frames dropped by the sequence window.
+    DupFramesDropped,
+    /// Checkpoints taken.
+    CheckpointsTaken,
+    /// Bytes snapshotted into checkpoints.
+    CheckpointBytes,
+    /// Crashes survived by restoring a checkpoint.
+    CrashesSurvived,
+    /// Frames replayed from checkpoint windows during recovery.
+    ReplayFrames,
+}
+
+/// Number of counters (array size of a shard's counter block).
+pub const N_CTRS: usize = 22;
+
+impl Ctr {
+    /// All counters in declaration (export) order.
+    pub const ALL: [Ctr; N_CTRS] = [
+        Ctr::Ops,
+        Ctr::FramesSent,
+        Ctr::WordsSent,
+        Ctr::FramesRecvd,
+        Ctr::WordsRecvd,
+        Ctr::ScratchReuse,
+        Ctr::ScratchGrow,
+        Ctr::WireFrames,
+        Ctr::WireWords,
+        Ctr::FramesLost,
+        Ctr::EnqueueStalls,
+        Ctr::Parks,
+        Ctr::SpinWakes,
+        Ctr::Wakes,
+        Ctr::Retransmits,
+        Ctr::AcksSent,
+        Ctr::AcksRecvd,
+        Ctr::DupFramesDropped,
+        Ctr::CheckpointsTaken,
+        Ctr::CheckpointBytes,
+        Ctr::CrashesSurvived,
+        Ctr::ReplayFrames,
+    ];
+
+    /// Stable snake-case name for export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::Ops => "ops",
+            Ctr::FramesSent => "frames_sent",
+            Ctr::WordsSent => "words_sent",
+            Ctr::FramesRecvd => "frames_recvd",
+            Ctr::WordsRecvd => "words_recvd",
+            Ctr::ScratchReuse => "scratch_reuse",
+            Ctr::ScratchGrow => "scratch_grow",
+            Ctr::WireFrames => "wire_frames",
+            Ctr::WireWords => "wire_words",
+            Ctr::FramesLost => "frames_lost",
+            Ctr::EnqueueStalls => "enqueue_stalls",
+            Ctr::Parks => "parks",
+            Ctr::SpinWakes => "spin_wakes",
+            Ctr::Wakes => "wakes",
+            Ctr::Retransmits => "retransmits",
+            Ctr::AcksSent => "acks_sent",
+            Ctr::AcksRecvd => "acks_recvd",
+            Ctr::DupFramesDropped => "dup_frames_dropped",
+            Ctr::CheckpointsTaken => "checkpoints_taken",
+            Ctr::CheckpointBytes => "checkpoint_bytes",
+            Ctr::CrashesSurvived => "crashes_survived",
+            Ctr::ReplayFrames => "replay_frames",
+        }
+    }
+
+    /// Must this counter agree across backends on fault-free runs?
+    pub fn is_logical(self) -> bool {
+        matches!(
+            self,
+            Ctr::Ops
+                | Ctr::FramesSent
+                | Ctr::WordsSent
+                | Ctr::FramesRecvd
+                | Ctr::WordsRecvd
+                | Ctr::ScratchReuse
+                | Ctr::ScratchGrow
+        )
+    }
+}
+
+/// Pads (and aligns) a shard to two cache lines so two processors'
+/// counters never share a line — the whole point of sharding.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T>(pub T);
+
+#[derive(Debug)]
+struct Shard {
+    ctrs: [AtomicU64; N_CTRS],
+    frame_words: Hist,
+    ring_occupancy: Hist,
+    out: ChannelTable,
+    inn: ChannelTable,
+    flight: FlightRecorder,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            ctrs: std::array::from_fn(|_| AtomicU64::new(0)),
+            frame_words: Hist::default(),
+            ring_occupancy: Hist::default(),
+            out: ChannelTable::default(),
+            inn: ChannelTable::default(),
+            flight: FlightRecorder::default(),
+        }
+    }
+}
+
+/// The per-run metrics registry both backends populate.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    full: bool,
+    shards: Box<[CachePadded<Shard>]>,
+}
+
+impl MetricsRegistry {
+    /// A registry recording everything, one shard per processor.
+    pub fn new(n: usize) -> Self {
+        MetricsRegistry {
+            full: true,
+            shards: (0..n).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    /// The always-on default: only the flight recorder records; every
+    /// other record call is a branch on a cold bool and returns.
+    pub fn flight_only(n: usize) -> Self {
+        MetricsRegistry {
+            full: false,
+            shards: (0..n).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    /// Is full recording enabled?
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Number of processor shards.
+    pub fn n_procs(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Add `v` to counter `c` of processor `p`.
+    #[inline]
+    pub fn count(&self, p: usize, c: Ctr, v: u64) {
+        if self.full {
+            self.shards[p].0.ctrs[c as usize].fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one program-level send of `words` payload words from `p`
+    /// to `dst` on `tag` at logical time `time`: frames/words counters,
+    /// the frame-size histogram, the outgoing channel table, and a
+    /// flight-recorder event.
+    #[inline]
+    pub fn logical_send(&self, p: usize, dst: u64, tag: u64, words: u64, time: u64) {
+        let shard = &self.shards[p].0;
+        shard.flight.record(FlightKind::Send, dst, tag, words, time);
+        if self.full {
+            shard.ctrs[Ctr::FramesSent as usize].fetch_add(1, Ordering::Relaxed);
+            shard.ctrs[Ctr::WordsSent as usize].fetch_add(words, Ordering::Relaxed);
+            shard.frame_words.observe(words);
+            shard.out.bump(dst, tag, words);
+        }
+    }
+
+    /// Record one program-level receive: the mirror of
+    /// [`logical_send`](Self::logical_send) at the destination.
+    #[inline]
+    pub fn logical_recv(&self, p: usize, src: u64, tag: u64, words: u64, time: u64) {
+        let shard = &self.shards[p].0;
+        shard.flight.record(FlightKind::Recv, src, tag, words, time);
+        if self.full {
+            shard.ctrs[Ctr::FramesRecvd as usize].fetch_add(1, Ordering::Relaxed);
+            shard.ctrs[Ctr::WordsRecvd as usize].fetch_add(words, Ordering::Relaxed);
+            shard.inn.bump(src, tag, words);
+        }
+    }
+
+    /// Sample the occupancy (words queued) of `p`'s outgoing ring at an
+    /// enqueue. The histogram's `max` is the high-water mark.
+    #[inline]
+    pub fn ring_depth(&self, p: usize, words: u64) {
+        if self.full {
+            self.shards[p].0.ring_occupancy.observe(words);
+        }
+    }
+
+    /// Record a flight-recorder event (always on, full or not).
+    #[inline]
+    pub fn flight(&self, p: usize, kind: FlightKind, peer: u64, tag: u64, value: u64, time: u64) {
+        self.shards[p].0.flight.record(kind, peer, tag, value, time);
+    }
+
+    /// Copy everything out. Exact after the run quiesces; during a run
+    /// the live sampler sees monotone per-counter values that may be
+    /// mutually skewed by in-flight records.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            full: self.full,
+            procs: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let s = &s.0;
+                    let mut ctrs = ctrs_vec();
+                    for (i, c) in ctrs.iter_mut().enumerate() {
+                        *c = s.ctrs[i].load(Ordering::Relaxed);
+                    }
+                    ProcMetrics {
+                        ctrs,
+                        frame_words: s.frame_words.snapshot(),
+                        ring_occupancy: s.ring_occupancy.snapshot(),
+                        out_channels: s.out.snapshot(),
+                        in_channels: s.inn.snapshot(),
+                        channel_overflow: s.out.overflow() + s.inn.overflow(),
+                        flight: s.flight.snapshot(),
+                        flight_recorded: s.flight.recorded(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctr_discriminants_match_all_order() {
+        for (i, c) in Ctr::ALL.into_iter().enumerate() {
+            assert_eq!(c as usize, i, "{} out of order", c.name());
+        }
+    }
+
+    #[test]
+    fn shards_are_cache_line_separated() {
+        assert!(std::mem::align_of::<CachePadded<Shard>>() >= 128);
+        assert_eq!(std::mem::size_of::<CachePadded<Shard>>() % 128, 0);
+    }
+
+    #[test]
+    fn flight_only_skips_counters_but_keeps_flight() {
+        let r = MetricsRegistry::flight_only(2);
+        r.logical_send(0, 1, 7, 3, 10);
+        r.count(0, Ctr::Parks, 5);
+        let s = r.snapshot();
+        assert!(!s.full);
+        assert_eq!(s.procs[0].get(Ctr::FramesSent), 0);
+        assert_eq!(s.procs[0].get(Ctr::Parks), 0);
+        assert_eq!(s.procs[0].flight.len(), 1);
+    }
+
+    #[test]
+    fn full_registry_records_everything() {
+        let r = MetricsRegistry::new(2);
+        r.logical_send(0, 1, 7, 3, 10);
+        r.logical_recv(1, 0, 7, 3, 20);
+        r.ring_depth(0, 5);
+        r.count(0, Ctr::Retransmits, 2);
+        let s = r.snapshot();
+        assert_eq!(s.procs[0].get(Ctr::FramesSent), 1);
+        assert_eq!(s.procs[0].get(Ctr::WordsSent), 3);
+        assert_eq!(s.procs[0].get(Ctr::Retransmits), 2);
+        assert_eq!(s.procs[0].out_channels, vec![(1, 7, 1, 3)]);
+        assert_eq!(s.procs[1].in_channels, vec![(0, 7, 1, 3)]);
+        assert_eq!(s.procs[0].ring_occupancy.max, 5);
+        assert_eq!(s.total(Ctr::FramesSent), 1);
+        // Logical projections of identical recordings compare equal.
+        let r2 = MetricsRegistry::new(2);
+        r2.logical_send(0, 1, 7, 3, 99); // different time: flight differs,
+        r2.logical_recv(1, 0, 7, 3, 99); // logical view must not
+        r2.ring_depth(0, 1000); // physical: excluded from logical view
+        r2.count(0, Ctr::Retransmits, 7);
+        assert_eq!(s.logical(), r2.snapshot().logical());
+    }
+}

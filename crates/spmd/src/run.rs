@@ -7,8 +7,8 @@ use crate::vm::ProcVm;
 use crate::SpmdError;
 use pdc_istructure::IMatrix;
 use pdc_machine::{
-    Backend, CheckpointCfg, CostModel, FaultPlan, Machine, Process, RelConfig, RunReport,
-    Scheduler, ThreadedRunner,
+    Backend, CheckpointCfg, CostModel, FaultPlan, Machine, MetricsRegistry, Process, RelConfig,
+    RunReport, Scheduler, ThreadedRunner,
 };
 use pdc_mapping::OwnerSet;
 use std::sync::Arc;
@@ -38,6 +38,8 @@ pub struct SpmdMachine {
     faults: Option<(FaultPlan, RelConfig)>,
     checkpoints: Option<CheckpointCfg>,
     ring_words: Option<usize>,
+    metrics_full: bool,
+    metrics_shared: Option<Arc<MetricsRegistry>>,
     ran: bool,
 }
 
@@ -76,6 +78,8 @@ impl SpmdMachine {
             faults: None,
             checkpoints: None,
             ring_words: None,
+            metrics_full: false,
+            metrics_shared: None,
             ran: false,
         })
     }
@@ -152,6 +156,29 @@ impl SpmdMachine {
         self
     }
 
+    /// Record full runtime metrics (counters, histograms, per-channel
+    /// tables) on whichever backend runs. The flight recorder is always
+    /// on regardless; this enables everything else. The run's
+    /// [`RunReport`] carries the final
+    /// [`MetricsSnapshot`](pdc_machine::MetricsSnapshot), whose
+    /// [`logical`](pdc_machine::MetricsSnapshot::logical) projection
+    /// is backend-independent on fault-free runs.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics_full = true;
+        self
+    }
+
+    /// Like [`with_metrics`](Self::with_metrics) but recording into a
+    /// caller-owned registry, so a live sampler (the `monitor` bench)
+    /// can read counters while the run is in progress.
+    ///
+    /// The registry must have one shard per processor; the backends
+    /// panic at run time on a mismatch.
+    pub fn with_metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics_shared = Some(registry);
+        self
+    }
+
     /// Override the threaded backend's per-link ring capacity in words
     /// (power of two, ≥ 8). Results are identical at any capacity —
     /// frames larger than the ring stream through in chunks — so this
@@ -173,6 +200,13 @@ impl SpmdMachine {
     pub fn run(&mut self) -> Result<RunOutcome, SpmdError> {
         let report = match self.backend {
             Backend::Simulated => {
+                if let Some(r) = &self.metrics_shared {
+                    self.machine.enable_metrics(Arc::clone(r));
+                } else if self.metrics_full {
+                    let n = self.machine.n_procs();
+                    self.machine
+                        .enable_metrics(Arc::new(MetricsRegistry::new(n)));
+                }
                 let mut refs: Vec<&mut dyn Process> =
                     self.vms.iter_mut().map(|v| v as &mut dyn Process).collect();
                 match (&self.faults, self.checkpoints) {
@@ -204,6 +238,11 @@ impl SpmdMachine {
                 }
                 if let Some(words) = self.ring_words {
                     runner = runner.with_ring_capacity(words);
+                }
+                if let Some(r) = &self.metrics_shared {
+                    runner = runner.with_metrics_registry(Arc::clone(r));
+                } else if self.metrics_full {
+                    runner = runner.with_metrics();
                 }
                 // Forward the machine's trace configuration — dropping it
                 // here is exactly the silently-empty-trace bug this layer
@@ -459,6 +498,73 @@ mod tests {
         );
         assert_eq!(thr_out.report.pair_messages, sim_out.report.pair_messages);
         assert_eq!(thr_out.report.undelivered, 0);
+    }
+
+    #[test]
+    fn metrics_agree_across_backends() {
+        // The ping-pong with full metrics on: logical projections must be
+        // identical, and the VM scratch arenas must register their first
+        // (growing) use on both backends.
+        let cost = CostModel::ipsc2();
+        let p0 = vec![
+            SStmt::Send {
+                to: SExpr::int(1),
+                tag: 1,
+                values: vec![SExpr::int(21)],
+            },
+            SStmt::Recv {
+                from: SExpr::int(1),
+                tag: 2,
+                into: vec![RecvTarget::Var("r".into())],
+            },
+        ];
+        let p1 = vec![
+            SStmt::Recv {
+                from: SExpr::int(0),
+                tag: 1,
+                into: vec![RecvTarget::Var("x".into())],
+            },
+            SStmt::Send {
+                to: SExpr::int(0),
+                tag: 2,
+                values: vec![SExpr::var("x").mul(SExpr::int(2))],
+            },
+        ];
+        let prog = SpmdProgram::new(vec![p0, p1]);
+
+        let mut sim = SpmdMachine::new(&prog, cost).unwrap().with_metrics();
+        let sim_out = sim.run().unwrap();
+        let mut thr = SpmdMachine::new(&prog, cost)
+            .unwrap()
+            .with_backend(Backend::threaded())
+            .with_metrics();
+        let thr_out = thr.run().unwrap();
+
+        use pdc_machine::Ctr;
+        let (sm, tm) = (&sim_out.report.metrics, &thr_out.report.metrics);
+        assert!(sm.full && tm.full);
+        assert_eq!(sm.logical(), tm.logical());
+        assert_eq!(sm.total(Ctr::FramesSent), 2);
+        assert_eq!(sm.total(Ctr::FramesRecvd), 2);
+        // One scalar = two wire words on each of the two messages.
+        assert_eq!(sm.total(Ctr::WordsSent), 4);
+        // First use of each scratch arena grows it from empty — except
+        // P1's send, whose wire buffer was already grown by the receive
+        // that preceded it.
+        assert_eq!(sm.total(Ctr::ScratchGrow), 3);
+        assert_eq!(sm.total(Ctr::ScratchReuse), 1);
+        assert_eq!(sm.out_by_triple(), tm.out_by_triple());
+        // Per-channel frame counts from the metrics layer match the
+        // scheduler's own accounting, triple for triple.
+        let by_triple = sm.out_by_triple();
+        assert_eq!(by_triple.len(), sim_out.report.pair_messages.len());
+        for (&(src, dst, tag), &n) in &sim_out.report.pair_messages {
+            let frames = by_triple
+                .iter()
+                .find(|&&((s, d, t), _)| (s, d, t) == (src.0 as u64, dst.0 as u64, tag.0 as u64))
+                .map_or(0, |&(_, (frames, _))| frames);
+            assert_eq!(frames, n, "channel ({src}, {dst}, {tag:?})");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::ir::{SBinOp, SUnOp};
 use crate::lower::{Code, Instr};
 use crate::scalar::{decode_into, encode_into, Scalar};
 use pdc_istructure::IMatrix;
-use pdc_machine::{Fabric, MachineError, ProcId, Process, Step, Tag, Word};
+use pdc_machine::{Ctr, Fabric, MachineError, ProcId, Process, Step, Tag, Word};
 use pdc_mapping::{Dist, DistInstance, OwnerSet};
 use std::sync::Arc;
 
@@ -478,6 +478,22 @@ impl ProcVm {
     }
 }
 
+/// Record whether a pack/unpack reused its scratch arena or had to
+/// grow it. Capacity evolution is a deterministic function of the
+/// per-processor message-size sequence, so these counters are logical:
+/// fault-free runs must agree across backends.
+#[inline]
+fn note_scratch(machine: &mut dyn Fabric, me: ProcId, grew: bool) {
+    if let Some(reg) = machine.metrics() {
+        let c = if grew {
+            Ctr::ScratchGrow
+        } else {
+            Ctr::ScratchReuse
+        };
+        reg.count(me.0, c, 1);
+    }
+}
+
 /// Cycle cost of one instruction under the machine's cost model.
 /// Communication instructions charge through `send`/`try_recv` instead.
 fn instr_cost(instr: &Instr, c: &pdc_machine::CostModel) -> u64 {
@@ -795,7 +811,9 @@ impl Process for ProcVm {
                 }
                 let mut wire = std::mem::take(&mut self.wire);
                 wire.clear();
+                let cap = wire.capacity();
                 encode_into(&vals, &mut wire);
+                note_scratch(machine, me, wire.capacity() > cap);
                 machine.send_ref(me, ProcId(dst as usize), Tag(tag), &wire);
                 self.msg_vals = vals;
                 self.wire = wire;
@@ -821,9 +839,11 @@ impl Process for ProcVm {
                 self.stack.pop(); // consume the source
                 let mut vals = std::mem::take(&mut self.recv_vals);
                 vals.clear();
+                let cap = vals.capacity();
                 if !decode_into(&words, &mut vals) {
                     return Err(self.fault(me, "malformed message payload"));
                 }
+                note_scratch(machine, me, vals.capacity() > cap);
                 if vals.len() != n as usize {
                     return Err(self.fault(
                         me,
@@ -856,7 +876,9 @@ impl Process for ProcVm {
                         message: format!("buffer slice {lo}..={hi} out of bounds"),
                     });
                 }
+                let cap = wire.capacity();
                 encode_into(&b[lo as usize..=hi as usize], &mut wire);
+                note_scratch(machine, me, wire.capacity() > cap);
                 machine.send_ref(me, ProcId(dst as usize), Tag(tag), &wire);
                 self.wire = wire;
             }
@@ -885,9 +907,11 @@ impl Process for ProcVm {
                 }
                 let mut vals = std::mem::take(&mut self.recv_vals);
                 vals.clear();
+                let cap = vals.capacity();
                 if !decode_into(&words, &mut vals) {
                     return Err(self.fault(me, "malformed message payload"));
                 }
+                note_scratch(machine, me, vals.capacity() > cap);
                 let want = (hi - lo + 1) as usize;
                 if vals.len() != want {
                     return Err(self.fault(

@@ -41,6 +41,9 @@ use pdc_report::{Phase, Remark, RemarkKind};
 use pdc_spmd::ir::{RecvTarget, SpmdProgram};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+mod depend;
+pub use depend::depend_remarks;
+
 /// Diagnostic severity: errors predict a run-time fault or deadlock;
 /// warnings flag suspicious-but-runnable communication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

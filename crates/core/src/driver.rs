@@ -345,6 +345,14 @@ pub fn compile(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError>
     )?;
     let mut sink = RemarkSink::new();
     emit_analysis_remarks(&inlined.body, &analysis, &mut sink);
+    let denv: BTreeMap<String, i64> = job
+        .const_params
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    for r in pdc_analyze::depend_remarks(&inlined.body, &job.decomp, &denv) {
+        sink.emit(r);
+    }
     let (spmd, stmt_spans) = match strategy {
         Strategy::Runtime => runtime_res::compile_with_remarks(&inlined, &analysis, &mut sink)?,
         Strategy::CompileTime => {
@@ -445,7 +453,37 @@ fn compile_auto(job: &Job<'_>, strategy: Strategy) -> Result<Compiled, CoreError
     let space = pdc_tune::SearchSpace::from_seed(&job.decomp, job.opt_level);
     let candidates = pdc_tune::enumerate(&space);
     let searched = candidates.len();
+    // Source-level legality pre-filter: when the exact dependence
+    // analysis cannot prove the source nests (non-affine subscripts,
+    // unresolved bounds), every optimization pass will refuse to fire,
+    // so candidates that turn the optimizer on cannot beat their O0
+    // twin — reject them before compiling and costing, with the
+    // analysis's own reason as the rejection witness.
+    let denv: BTreeMap<String, i64> = job
+        .const_params
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let dep_inexact: Option<String> =
+        pdc_depend::ast::nests(job.program)
+            .into_iter()
+            .find_map(|(proc, nest)| {
+                let info = pdc_depend::ast::analyze_for_env(nest, &denv);
+                (!info.exact).then(|| {
+                    let why = info
+                        .notes
+                        .first()
+                        .cloned()
+                        .unwrap_or_else(|| "subscripts or bounds are not affine".into());
+                    format!("procedure `{proc}`: {why}")
+                })
+            });
     let result = pdc_tune::search(candidates, &cost, |cand| {
+        if !matches!(cand.opt_level, None | Some(OptLevel::O0)) {
+            if let Some(why) = &dep_inexact {
+                return Err(format!("illegal: dependence analysis inexact: {why}"));
+            }
+        }
         let mut cjob = job.clone();
         cjob.auto_decomposition = None;
         cjob.decomp = cand.decomp.clone();

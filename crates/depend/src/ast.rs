@@ -1,0 +1,455 @@
+//! Source-level front-end: dependence analysis of `pdc-lang` loop nests.
+//!
+//! The source language is where the honest-degradation contract bites:
+//! only *purely affine* subscripts (`i`, `j-1`, `2*i+3`) are admitted
+//! to the exact theory. Anything else — `div`/`mod` arithmetic,
+//! indirect subscripts like `A[B[i]]`, products of variables — makes
+//! the access opaque with a stated reason, and the whole analysis
+//! degrades to `exact = false` while still over-approximating every
+//! dependence the opaque access could participate in.
+//!
+//! Calls inside a nest also forfeit exactness: the callee's array
+//! effects are not tracked, so the analysis notes the call and reports
+//! inexact. (The paper's programs keep calls outside their loop
+//! nests, so all five analyze exactly.)
+
+use crate::{Access, DependenceInfo, LoopInfo};
+use pdc_lang::ast::{BinOp, Block, Expr, ExprKind, Program, Stmt, UnOp};
+use pdc_lang::span::Span;
+use pdc_mapping::Affine;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::canon::Canon;
+
+/// Convert a source expression to an affine form, or say why not.
+pub fn to_affine(e: &Expr) -> Result<Affine, &'static str> {
+    match &e.kind {
+        ExprKind::Int(v) => Ok(Affine::constant(*v)),
+        ExprKind::Var(v) => Ok(Affine::var(v.clone())),
+        ExprKind::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Ok(to_affine(operand)?.scale(-1)),
+        ExprKind::Unary { .. } => Err("boolean operator"),
+        ExprKind::Binary { op, lhs, rhs } => match op {
+            BinOp::Add => Ok(to_affine(lhs)?.add(&to_affine(rhs)?)),
+            BinOp::Sub => Ok(to_affine(lhs)?.sub(&to_affine(rhs)?)),
+            BinOp::Mul => {
+                let (a, b) = (to_affine(lhs)?, to_affine(rhs)?);
+                if let Some(k) = a.as_constant() {
+                    Ok(b.scale(k))
+                } else if let Some(k) = b.as_constant() {
+                    Ok(a.scale(k))
+                } else {
+                    Err("non-linear product")
+                }
+            }
+            BinOp::Div | BinOp::FloorDiv => Err("division"),
+            BinOp::Mod => Err("modulo"),
+            _ => Err("non-arithmetic operator"),
+        },
+        ExprKind::ArrayRead { .. } => Err("indirect subscript"),
+        ExprKind::Call { .. } => Err("call in subscript"),
+        _ => Err("non-affine expression"),
+    }
+}
+
+struct Walker {
+    info: DependenceInfo,
+    stack: Vec<usize>,
+    pos: usize,
+    /// Known symbol values (the static environment), already filtered
+    /// to exclude every loop variable of the nest.
+    env: BTreeMap<String, i64>,
+}
+
+impl Walker {
+    fn new(env: BTreeMap<String, i64>) -> Self {
+        Walker {
+            info: DependenceInfo {
+                exact: true,
+                ..DependenceInfo::default()
+            },
+            stack: Vec::new(),
+            pos: 0,
+            env,
+        }
+    }
+
+    /// Replace known symbols by their values.
+    fn subst(&self, a: Affine) -> Affine {
+        let mut out = a;
+        for (k, v) in &self.env {
+            if out.mentions(k) {
+                out = out.substitute(k, &Affine::constant(*v));
+            }
+        }
+        out
+    }
+
+    fn note(&mut self, msg: String) {
+        self.info.exact = false;
+        if self.info.notes.len() < 32 && !self.info.notes.contains(&msg) {
+            self.info.notes.push(msg);
+        }
+    }
+
+    /// Constant value of a bound expression under the environment.
+    fn bound(&self, e: &Expr) -> Option<i64> {
+        to_affine(e).ok().and_then(|a| self.subst(a).as_constant())
+    }
+
+    /// Record one array access at the current position.
+    fn access(&mut self, array: &str, is_write: bool, indices: &[Expr], span: Span) {
+        let mut subs = Vec::with_capacity(indices.len());
+        let mut reason = None;
+        for ix in indices {
+            match to_affine(ix) {
+                Ok(a) => subs.push(Canon::Aff(self.subst(a))),
+                Err(why) => {
+                    reason = Some(format!("{why} in subscript of `{array}`"));
+                    break;
+                }
+            }
+        }
+        let opaque = reason.is_some();
+        self.info.accesses.push(Access {
+            array: array.to_string(),
+            is_write,
+            global: true,
+            subs: if opaque { None } else { Some(subs) },
+            reason,
+            loops: self.stack.clone(),
+            pos: self.pos,
+            span: Some(span),
+        });
+    }
+
+    /// Collect every array read inside an expression (including reads
+    /// nested in the subscripts of other reads).
+    fn expr(&mut self, e: &Expr, span: Span) {
+        match &e.kind {
+            ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+            ExprKind::ArrayRead { array, indices } => {
+                for ix in indices {
+                    self.expr(ix, span);
+                }
+                self.access(array, false, indices, span);
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, span);
+                self.expr(rhs, span);
+            }
+            ExprKind::Unary { operand, .. } => self.expr(operand, span),
+            ExprKind::Call { name, args } => {
+                for a in args {
+                    self.expr(a, span);
+                }
+                self.note(format!(
+                    "call to `{name}` inside the nest: callee array effects unknown"
+                ));
+            }
+            ExprKind::Alloc { dims } => {
+                for d in dims {
+                    self.expr(d, span);
+                }
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let { init, span, .. } => {
+                self.expr(init, *span);
+                self.pos += 1;
+            }
+            Stmt::ArrayWrite {
+                array,
+                indices,
+                value,
+                span,
+            } => {
+                for ix in indices {
+                    self.expr(ix, *span);
+                }
+                self.expr(value, *span);
+                self.access(array, true, indices, *span);
+                self.pos += 1;
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span: _,
+            } => {
+                let step_c = match step {
+                    None => Some(1),
+                    Some(e) => self.bound(e),
+                };
+                let lo_c = self.bound(lo);
+                let hi_c = self.bound(hi);
+                let id = self.info.loops.len();
+                self.info.loops.push(LoopInfo {
+                    var: var.clone(),
+                    lo: lo_c,
+                    hi: hi_c,
+                    step: step_c,
+                });
+                self.stack.push(id);
+                self.pos += 1;
+                self.block(body);
+                self.stack.pop();
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                self.expr(cond, *span);
+                self.pos += 1;
+                // Both branches *may* execute on some iteration; keep
+                // their accesses (conservative over-approximation).
+                self.block(then_blk);
+                if let Some(e) = else_blk {
+                    self.block(e);
+                }
+            }
+            Stmt::Return { value, span } => {
+                self.expr(value, *span);
+                self.pos += 1;
+            }
+            Stmt::ExprStmt { expr, span } => {
+                self.expr(expr, *span);
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+/// Analyze one loop nest: `stmt` should be a [`Stmt::For`]; the walk
+/// collects every loop and array access under it and solves all
+/// subscript equations. Symbols stay symbolic — use
+/// [`analyze_for_env`] when the static environment is known (the
+/// repo-wide convention: analyses are exact *given* the environment).
+pub fn analyze_for(stmt: &Stmt) -> DependenceInfo {
+    analyze_for_env(stmt, &BTreeMap::new())
+}
+
+/// [`analyze_for`] with known symbol values substituted into
+/// subscripts and loop bounds first (loop variables of the nest are
+/// never substituted, even if the environment names them).
+pub fn analyze_for_env(stmt: &Stmt, env: &BTreeMap<String, i64>) -> DependenceInfo {
+    let mut bound = BTreeSet::new();
+    loop_vars(stmt, &mut bound);
+    let env = env
+        .iter()
+        .filter(|(k, _)| !bound.contains(k.as_str()))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let mut w = Walker::new(env);
+    w.stmt(stmt);
+    w.info.solve();
+    w.info
+}
+
+/// Every loop variable appearing under `s`.
+fn loop_vars(s: &Stmt, out: &mut BTreeSet<String>) {
+    match s {
+        Stmt::For { var, body, .. } => {
+            out.insert(var.clone());
+            for st in &body.stmts {
+                loop_vars(st, out);
+            }
+        }
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            for st in &then_blk.stmts {
+                loop_vars(st, out);
+            }
+            if let Some(e) = else_blk {
+                for st in &e.stmts {
+                    loop_vars(st, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The outermost `for` statements of every procedure, paired with the
+/// owning procedure's name — the analysis units for a whole program.
+pub fn nests(prog: &Program) -> Vec<(&str, &Stmt)> {
+    fn collect<'p>(proc: &'p str, b: &'p Block, out: &mut Vec<(&'p str, &'p Stmt)>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::For { .. } => out.push((proc, s)),
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    collect(proc, then_blk, out);
+                    if let Some(e) = else_blk {
+                        collect(proc, e, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for p in &prog.procs {
+        collect(&p.name, &p.body, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DepKind, Direction};
+    use pdc_core::programs;
+
+    fn nest_of<'p>(prog: &'p Program, proc: &str) -> &'p Stmt {
+        nests(prog)
+            .into_iter()
+            .filter(|(p, _)| *p == proc)
+            .map(|(_, s)| s)
+            .next()
+            .expect("proc has a nest")
+    }
+
+    #[test]
+    fn gauss_seidel_has_the_paper_dependences() {
+        // (j,i) nest: New[i,j] reads New[i,j-1] (outer-carried) and
+        // New[i-1,j] (inner-carried).
+        let prog = programs::gauss_seidel();
+        let d = analyze_for(nest_of(&prog, "gs_iteration"));
+        assert!(d.exact, "{:?}", d.notes);
+        let carried: Vec<_> = d
+            .loop_carried()
+            .filter(|x| x.kind == DepKind::Flow)
+            .collect();
+        assert_eq!(carried.len(), 2, "{carried:?}");
+        assert!(carried
+            .iter()
+            .any(|x| x.distance == [Some(1), Some(0)] && x.direction_string() == "(<,=)"));
+        assert!(carried
+            .iter()
+            .any(|x| x.distance == [Some(0), Some(1)] && x.direction_string() == "(=,<)"));
+        assert!(d.interchange_legal(0, 1).is_ok());
+    }
+
+    #[test]
+    fn jacobi_interior_nest_has_no_dependences() {
+        // The interior nest reads only `Old`, which the nest never
+        // writes; `New` writes never collide.
+        let prog = programs::jacobi();
+        let nests = nests(&prog);
+        let (_, interior) = nests
+            .iter()
+            .rfind(|(p, _)| *p == "jacobi")
+            .expect("interior nest");
+        let d = analyze_for(interior);
+        assert!(d.exact, "{:?}", d.notes);
+        assert!(d.deps.is_empty(), "{:?}", d.deps);
+    }
+
+    #[test]
+    fn boundary_nests_are_independent_given_the_environment() {
+        // `New[i,1]` vs `New[i,n]` needs the environment to prove the
+        // columns distinct; with it the nests are exactly independent.
+        let prog = programs::gauss_seidel();
+        let env = BTreeMap::from([("n".to_string(), 16i64)]);
+        for (_, nest) in nests(&prog).iter().filter(|(p, _)| *p == "init_boundary") {
+            let d = analyze_for_env(nest, &env);
+            assert!(d.exact, "{:?}", d.notes);
+            assert!(d.deps.is_empty(), "{:?}", d.deps);
+        }
+    }
+
+    #[test]
+    fn boundary_nests_without_environment_degrade_honestly() {
+        let prog = programs::gauss_seidel();
+        let (_, nest) = nests(&prog)
+            .into_iter()
+            .find(|(p, _)| *p == "init_boundary")
+            .expect("boundary nest");
+        let d = analyze_for(nest);
+        assert!(!d.exact);
+        assert!(
+            d.notes.iter().any(|n| n.contains("symbol `n`")),
+            "{:?}",
+            d.notes
+        );
+        // The unproven collision is kept, not dropped.
+        assert!(!d.deps.is_empty());
+    }
+
+    #[test]
+    fn indirect_subscript_degrades() {
+        let src = "procedure p(a, b, n) {\n  for i = 1 to n do {\n    a[b[i], 1] = i;\n  }\n  return 0;\n}\n";
+        let prog = pdc_lang::parse(src).expect("parses");
+        let d = analyze_for(nest_of(&prog, "p"));
+        assert!(!d.exact);
+        assert!(
+            d.notes.iter().any(|n| n.contains("indirect subscript")),
+            "{:?}",
+            d.notes
+        );
+        // The opaque write still participates as an all-Any dependence.
+        assert!(d.deps.iter().any(|x| x.direction.contains(&Direction::Any)));
+    }
+
+    #[test]
+    fn modulo_subscript_degrades() {
+        let src =
+            "procedure p(a, n) {\n  for i = 1 to n do {\n    a[i mod 8, 1] = i;\n  }\n  return 0;\n}\n";
+        let prog = pdc_lang::parse(src).expect("parses");
+        let d = analyze_for(nest_of(&prog, "p"));
+        assert!(!d.exact);
+        assert!(
+            d.notes.iter().any(|n| n.contains("modulo")),
+            "{:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn call_in_nest_degrades() {
+        let src = "procedure f(x) { return x; }\nprocedure p(a, n) {\n  for i = 1 to n do {\n    a[i, 1] = f(i);\n  }\n  return 0;\n}\n";
+        let prog = pdc_lang::parse(src).expect("parses");
+        let d = analyze_for(nest_of(&prog, "p"));
+        assert!(!d.exact);
+        assert!(
+            d.notes.iter().any(|n| n.contains("callee")),
+            "{:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn anti_dependence_blocks_interchange() {
+        let src = "procedure p(a, n) {\n  for i = 2 to n do {\n    for j = 1 to n do {\n      a[i, j] = a[i + 1, j - 1] + 1;\n    }\n  }\n  return 0;\n}\n";
+        let prog = pdc_lang::parse(src).expect("parses");
+        let d = analyze_for(nest_of(&prog, "p"));
+        assert!(d.exact, "{:?}", d.notes);
+        let dep = d
+            .deps
+            .iter()
+            .find(|x| x.kind == DepKind::Anti)
+            .expect("anti dep");
+        assert_eq!(dep.distance, vec![Some(1), Some(-1)]);
+        assert_eq!(dep.direction_string(), "(<,>)");
+        let blocked = d.interchange_legal(0, 1);
+        assert_eq!(blocked.unwrap_err().kind, DepKind::Anti);
+    }
+}

@@ -1,9 +1,19 @@
 //! Canonical forms and substitution for target expressions.
 //!
-//! The passes must decide questions like *"is the column this block reads
-//! the column that block writes, one outer iteration later?"*. They do it
-//! by normalizing index expressions to a canonical tree whose leaves are
-//! affine forms, comparing structurally, and solving for constant shifts.
+//! The dependence solver and the optimization passes must decide
+//! questions like *"is the column this block reads the column that
+//! block writes, one outer iteration later?"*. They do it by
+//! normalizing index expressions to a canonical tree whose leaves are
+//! affine forms, comparing structurally, and solving for constant
+//! shifts.
+//!
+//! A caution on [`solve_shift`]: a constant shift that aligns two
+//! `div`/`mod` forms is *a* solution of the subscript equation, not
+//! the only one (quotient equality admits whole residue blocks of
+//! solutions), so it is **not** a dependence distance by itself. The
+//! core solver therefore never treats it as exact; the jam pass may,
+//! because it separately proves the residue guards agree under the
+//! shift.
 
 use pdc_mapping::Affine;
 use pdc_spmd::ir::{SBinOp, SExpr, SUnOp};

@@ -1,0 +1,564 @@
+//! Target-level front-end: dependence analysis of SPMD loop nests.
+//!
+//! Generated code subscripts are richer than source subscripts: the
+//! compiler's own placement arithmetic produces `div`/`mod` forms like
+//! `1 + (j-1) div 4` in local index positions. Those are *known*
+//! functions of the iteration vector, so this front-end admits every
+//! [`Canon`] form as exact: structurally identical forms pin the loops
+//! they mention to distance 0, differing non-affine forms stay
+//! conservatively unknown (a constant shift aligning two `div` forms
+//! is not a unique solution of the subscript equation — see
+//! [`crate::canon::solve_shift`]), and only subscripts outside the
+//! canonical grammar make an access opaque.
+//!
+//! Compiler-introduced plain buffers (`$vb…`, `$jam…`) are *not*
+//! treated as arrays here: they are single-writer streams whose
+//! ordering is enforced by the send/recv pairs of the pass that
+//! introduced them, and the passes never reorder across communication.
+
+use crate::canon::{canon, canon_eq, mentions, solve_shift, Canon};
+use crate::{Access, DependenceInfo, LoopInfo};
+use pdc_mapping::Affine;
+use pdc_spmd::ir::{SExpr, SStmt, SpmdProgram};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Arrays written (via local or global writes) anywhere in the program.
+pub fn written_arrays(prog: &SpmdProgram) -> BTreeSet<String> {
+    fn scan(body: &[SStmt], out: &mut BTreeSet<String>) {
+        for s in body {
+            match s {
+                SStmt::AWrite { array, .. } | SStmt::AWriteGlobal { array, .. } => {
+                    out.insert(array.clone());
+                }
+                SStmt::For { body, .. } => scan(body, out),
+                SStmt::If { then, els, .. } => {
+                    scan(then, out);
+                    scan(els, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for body in prog.bodies() {
+        scan(body, &mut out);
+    }
+    out
+}
+
+/// Arrays that appear in the program (allocated or read) but are never
+/// written: such arrays have **no dependences at all**, which is the
+/// legality fact message vectorization rests on.
+pub fn read_only_arrays(prog: &SpmdProgram) -> BTreeSet<String> {
+    fn exprs(e: &SExpr, seen: &mut BTreeSet<String>) {
+        match e {
+            SExpr::ARead { array, idx } | SExpr::AReadGlobal { array, idx } => {
+                seen.insert(array.clone());
+                for i in idx {
+                    exprs(i, seen);
+                }
+            }
+            SExpr::OwnerOf { idx, .. } | SExpr::LocalOf { idx, .. } => {
+                for i in idx {
+                    exprs(i, seen);
+                }
+            }
+            SExpr::Bin(_, a, b) => {
+                exprs(a, seen);
+                exprs(b, seen);
+            }
+            SExpr::Un(_, a) => exprs(a, seen),
+            SExpr::BufRead { idx, .. } => exprs(idx, seen),
+            _ => {}
+        }
+    }
+    fn scan(body: &[SStmt], seen: &mut BTreeSet<String>) {
+        for s in body {
+            match s {
+                SStmt::AllocDist {
+                    array, rows, cols, ..
+                } => {
+                    seen.insert(array.clone());
+                    exprs(rows, seen);
+                    exprs(cols, seen);
+                }
+                SStmt::AllocBuf { len, .. } => exprs(len, seen),
+                SStmt::Let { value, .. } => exprs(value, seen),
+                SStmt::AWrite { idx, value, .. } | SStmt::AWriteGlobal { idx, value, .. } => {
+                    for i in idx {
+                        exprs(i, seen);
+                    }
+                    exprs(value, seen);
+                }
+                SStmt::BufWrite { idx, value, .. } => {
+                    exprs(idx, seen);
+                    exprs(value, seen);
+                }
+                SStmt::Send { to, values, .. } => {
+                    exprs(to, seen);
+                    for v in values {
+                        exprs(v, seen);
+                    }
+                }
+                SStmt::Recv { from, .. } => exprs(from, seen),
+                SStmt::SendBuf { to, lo, hi, .. } => {
+                    exprs(to, seen);
+                    exprs(lo, seen);
+                    exprs(hi, seen);
+                }
+                SStmt::RecvBuf { from, lo, hi, .. } => {
+                    exprs(from, seen);
+                    exprs(lo, seen);
+                    exprs(hi, seen);
+                }
+                SStmt::For {
+                    lo, hi, step, body, ..
+                } => {
+                    exprs(lo, seen);
+                    exprs(hi, seen);
+                    exprs(step, seen);
+                    scan(body, seen);
+                }
+                SStmt::If { cond, then, els } => {
+                    exprs(cond, seen);
+                    scan(then, seen);
+                    scan(els, seen);
+                }
+                SStmt::Comment(_) => {}
+            }
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for body in prog.bodies() {
+        scan(body, &mut seen);
+    }
+    let written = written_arrays(prog);
+    seen.difference(&written).cloned().collect()
+}
+
+/// Solve for the single constant shift `delta` with
+/// `read_idx[v := v + delta] == write_idx` across *every* dimension —
+/// the flow-dependence witness the jam pass needs ("the value sent at
+/// iteration `v+delta` is the one produced at iteration `v`").
+/// Dimensions not mentioning `v` must be structurally equal; at least
+/// one dimension must mention `v`, and all that do must agree.
+pub fn flow_shift(write_idx: &[SExpr], read_idx: &[SExpr], v: &str) -> Option<i64> {
+    if write_idx.len() != read_idx.len() {
+        return None;
+    }
+    let mut delta: Option<i64> = None;
+    for (a, b) in write_idx.iter().zip(read_idx) {
+        if mentions(a, v) || mentions(b, v) {
+            let (ca, cb) = (canon(a)?, canon(b)?);
+            let d = solve_shift(&ca, &cb, v)?;
+            match delta {
+                None => delta = Some(d),
+                Some(prev) if prev == d => {}
+                _ => return None,
+            }
+        } else if !canon_eq(a, b) {
+            return None;
+        }
+    }
+    delta
+}
+
+struct Walker {
+    info: DependenceInfo,
+    stack: Vec<usize>,
+    pos: usize,
+    /// Known symbol values, already filtered of the nest's loop vars.
+    env: BTreeMap<String, i64>,
+}
+
+impl Walker {
+    fn new(env: BTreeMap<String, i64>) -> Self {
+        Walker {
+            info: DependenceInfo {
+                exact: true,
+                ..DependenceInfo::default()
+            },
+            stack: Vec::new(),
+            pos: 0,
+            env,
+        }
+    }
+
+    /// Replace known symbols by their values in every affine leaf.
+    fn subst(&self, c: Canon) -> Canon {
+        if self.env.is_empty() {
+            return c;
+        }
+        match c {
+            Canon::Aff(mut a) => {
+                for (k, v) in &self.env {
+                    if a.mentions(k) {
+                        a = a.substitute(k, &Affine::constant(*v));
+                    }
+                }
+                Canon::Aff(a)
+            }
+            Canon::Div(inner, k) => Canon::Div(Box::new(self.subst(*inner)), k),
+            Canon::Mod(inner, k) => Canon::Mod(Box::new(self.subst(*inner)), k),
+            Canon::Add(a, b) => Canon::Add(Box::new(self.subst(*a)), Box::new(self.subst(*b))),
+            Canon::Scale(k, inner) => Canon::Scale(k, Box::new(self.subst(*inner))),
+        }
+    }
+
+    fn access(&mut self, array: &str, is_write: bool, global: bool, idx: &[SExpr]) {
+        let mut subs = Vec::with_capacity(idx.len());
+        let mut reason = None;
+        for e in idx {
+            match canon(e) {
+                Some(c) => subs.push(self.subst(c)),
+                None => {
+                    reason = Some(format!(
+                        "subscript of `{array}` outside the canonical index grammar"
+                    ));
+                    break;
+                }
+            }
+        }
+        let opaque = reason.is_some();
+        self.info.accesses.push(Access {
+            array: array.to_string(),
+            is_write,
+            global,
+            subs: if opaque { None } else { Some(subs) },
+            reason,
+            loops: self.stack.clone(),
+            pos: self.pos,
+            span: None,
+        });
+    }
+
+    /// Constant value of a bound expression under the environment.
+    fn cbound(&self, e: &SExpr) -> Option<i64> {
+        match canon(e).map(|c| self.subst(c)) {
+            Some(Canon::Aff(a)) => a.as_constant(),
+            _ => None,
+        }
+    }
+
+    fn expr(&mut self, e: &SExpr) {
+        match e {
+            SExpr::ARead { array, idx } | SExpr::AReadGlobal { array, idx } => {
+                for i in idx {
+                    self.expr(i);
+                }
+                let global = matches!(e, SExpr::AReadGlobal { .. });
+                self.access(array, false, global, idx);
+            }
+            SExpr::OwnerOf { idx, .. } | SExpr::LocalOf { idx, .. } => {
+                // Pure index arithmetic: no element is touched.
+                for i in idx {
+                    self.expr(i);
+                }
+            }
+            SExpr::Bin(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            SExpr::Un(_, a) => self.expr(a),
+            SExpr::BufRead { idx, .. } => self.expr(idx),
+            _ => {}
+        }
+    }
+
+    fn body(&mut self, stmts: &[SStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &SStmt) {
+        match s {
+            SStmt::Let { value, .. } => {
+                self.expr(value);
+                self.pos += 1;
+            }
+            SStmt::AllocDist { rows, cols, .. } => {
+                self.expr(rows);
+                self.expr(cols);
+                self.pos += 1;
+            }
+            SStmt::AllocBuf { len, .. } => {
+                self.expr(len);
+                self.pos += 1;
+            }
+            SStmt::AWrite { array, idx, value } => {
+                for i in idx {
+                    self.expr(i);
+                }
+                self.expr(value);
+                self.access(array, true, false, idx);
+                self.pos += 1;
+            }
+            SStmt::AWriteGlobal { array, idx, value } => {
+                for i in idx {
+                    self.expr(i);
+                }
+                self.expr(value);
+                self.access(array, true, true, idx);
+                self.pos += 1;
+            }
+            SStmt::BufWrite { idx, value, .. } => {
+                self.expr(idx);
+                self.expr(value);
+                self.pos += 1;
+            }
+            SStmt::Send { to, values, .. } => {
+                self.expr(to);
+                for v in values {
+                    self.expr(v);
+                }
+                self.pos += 1;
+            }
+            SStmt::Recv { from, .. } => {
+                self.expr(from);
+                self.pos += 1;
+            }
+            SStmt::SendBuf { to, lo, hi, .. } => {
+                self.expr(to);
+                self.expr(lo);
+                self.expr(hi);
+                self.pos += 1;
+            }
+            SStmt::RecvBuf { from, lo, hi, .. } => {
+                self.expr(from);
+                self.expr(lo);
+                self.expr(hi);
+                self.pos += 1;
+            }
+            SStmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                self.expr(lo);
+                self.expr(hi);
+                self.expr(step);
+                let lo_c = self.cbound(lo);
+                let hi_c = self.cbound(hi);
+                let step_c = self.cbound(step);
+                let id = self.info.loops.len();
+                self.info.loops.push(LoopInfo {
+                    var: var.clone(),
+                    lo: lo_c,
+                    hi: hi_c,
+                    step: step_c,
+                });
+                self.stack.push(id);
+                self.pos += 1;
+                self.body(body);
+                self.stack.pop();
+            }
+            SStmt::If { cond, then, els } => {
+                self.expr(cond);
+                self.pos += 1;
+                // Either branch may execute on some iteration.
+                self.body(then);
+                self.body(els);
+            }
+            SStmt::Comment(_) => {}
+        }
+    }
+}
+
+/// Analyze one target-code loop nest (`stmt` should be an
+/// [`SStmt::For`]). Symbols stay symbolic — use [`analyze_for_env`]
+/// when the static environment is known.
+pub fn analyze_for(stmt: &SStmt) -> DependenceInfo {
+    analyze_for_env(stmt, &BTreeMap::new())
+}
+
+/// [`analyze_for`] with known symbol values substituted into
+/// subscripts and loop bounds first (the nest's loop variables are
+/// never substituted).
+pub fn analyze_for_env(stmt: &SStmt, env: &BTreeMap<String, i64>) -> DependenceInfo {
+    let mut bound = BTreeSet::new();
+    loop_vars(stmt, &mut bound);
+    let env = env
+        .iter()
+        .filter(|(k, _)| !bound.contains(k.as_str()))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let mut w = Walker::new(env);
+    w.stmt(stmt);
+    w.info.solve();
+    w.info
+}
+
+/// Every loop variable appearing under `s`.
+fn loop_vars(s: &SStmt, out: &mut BTreeSet<String>) {
+    match s {
+        SStmt::For { var, body, .. } => {
+            out.insert(var.clone());
+            for st in body {
+                loop_vars(st, out);
+            }
+        }
+        SStmt::If { then, els, .. } => {
+            for st in then {
+                loop_vars(st, out);
+            }
+            for st in els {
+                loop_vars(st, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DepKind, Direction};
+
+    fn colform(off: i64) -> SExpr {
+        // 1 + (j + off) div 4 — the compile-time local column of a
+        // column-cyclic distribution.
+        SExpr::int(1).add(SExpr::var("j").add(SExpr::int(off)).idiv(SExpr::int(4)))
+    }
+
+    #[test]
+    fn element_loop_carried_flow_is_exact() {
+        // for i = 2 to 7 { t = is_read(New, [i-1, col]); is_write(New,
+        // [i, col], t) } — the strip-mine element loop shape.
+        let nest = SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(2),
+            hi: SExpr::int(7),
+            step: SExpr::int(1),
+            body: vec![
+                SStmt::Let {
+                    var: "t".into(),
+                    value: SExpr::ARead {
+                        array: "New".into(),
+                        idx: vec![SExpr::var("i").sub(SExpr::int(1)), colform(-1)],
+                    },
+                },
+                SStmt::AWrite {
+                    array: "New".into(),
+                    idx: vec![SExpr::var("i"), colform(-1)],
+                    value: SExpr::var("t"),
+                },
+            ],
+        };
+        let d = analyze_for(&nest);
+        assert!(d.exact, "{:?}", d.notes);
+        assert_eq!(d.deps.len(), 1, "{:?}", d.deps);
+        let dep = &d.deps[0];
+        assert_eq!(dep.kind, DepKind::Flow);
+        assert_eq!(dep.distance, vec![Some(1)]);
+        assert_eq!(dep.direction, vec![Direction::Lt]);
+        assert_eq!(dep.level, Some(1));
+    }
+
+    #[test]
+    fn strided_loop_measures_iteration_distance() {
+        // for j = 1 by 4 { is_write(a, [j]); t = is_read(a, [j - 4]) }
+        let nest = SStmt::For {
+            var: "j".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(33),
+            step: SExpr::int(4),
+            body: vec![
+                SStmt::AWrite {
+                    array: "a".into(),
+                    idx: vec![SExpr::var("j")],
+                    value: SExpr::int(0),
+                },
+                SStmt::Let {
+                    var: "t".into(),
+                    value: SExpr::ARead {
+                        array: "a".into(),
+                        idx: vec![SExpr::var("j").sub(SExpr::int(4))],
+                    },
+                },
+            ],
+        };
+        let d = analyze_for(&nest);
+        assert!(d.exact, "{:?}", d.notes);
+        assert_eq!(d.deps.len(), 1);
+        assert_eq!(d.deps[0].distance, vec![Some(1)]);
+        assert_eq!(d.deps[0].kind, DepKind::Flow);
+    }
+
+    #[test]
+    fn local_and_global_spaces_never_pair() {
+        let nest = SStmt::For {
+            var: "i".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(4),
+            step: SExpr::int(1),
+            body: vec![
+                SStmt::AWrite {
+                    array: "a".into(),
+                    idx: vec![SExpr::var("i")],
+                    value: SExpr::int(0),
+                },
+                SStmt::Let {
+                    var: "t".into(),
+                    value: SExpr::AReadGlobal {
+                        array: "a".into(),
+                        idx: vec![SExpr::var("i")],
+                    },
+                },
+            ],
+        };
+        let d = analyze_for(&nest);
+        // Same subscripts but different index spaces: the framework
+        // refuses to equate them (pairing them would be wrong whenever
+        // Local ≠ identity).
+        assert!(d.deps.is_empty(), "{:?}", d.deps);
+    }
+
+    #[test]
+    fn flow_shift_matches_jam_semantics() {
+        let w = vec![SExpr::var("i"), colform(-1)];
+        let r = vec![SExpr::var("i"), colform(-2)];
+        assert_eq!(flow_shift(&w, &r, "j"), Some(1));
+        // Dimension not mentioning j must be equal.
+        let r_bad = vec![SExpr::var("i").add(SExpr::int(1)), colform(-2)];
+        assert_eq!(flow_shift(&w, &r_bad, "j"), None);
+        // No dimension mentioning j at all: no witness.
+        let plain = vec![SExpr::var("i")];
+        assert_eq!(flow_shift(&plain, &plain, "j"), None);
+    }
+
+    #[test]
+    fn written_and_read_only_partition() {
+        let prog = SpmdProgram::uniform(
+            2,
+            vec![
+                SStmt::AllocDist {
+                    array: "Old".into(),
+                    rows: SExpr::int(8),
+                    cols: SExpr::int(8),
+                    dist: pdc_mapping::Dist::ColumnCyclic,
+                },
+                SStmt::For {
+                    var: "i".into(),
+                    lo: SExpr::int(1),
+                    hi: SExpr::int(8),
+                    step: SExpr::int(1),
+                    body: vec![SStmt::AWrite {
+                        array: "New".into(),
+                        idx: vec![SExpr::var("i"), SExpr::int(1)],
+                        value: SExpr::ARead {
+                            array: "Old".into(),
+                            idx: vec![SExpr::var("i"), SExpr::int(1)],
+                        },
+                    }],
+                },
+            ],
+        );
+        let written = written_arrays(&prog);
+        assert!(written.contains("New") && !written.contains("Old"));
+        let ro = read_only_arrays(&prog);
+        assert!(ro.contains("Old") && !ro.contains("New"));
+    }
+}

@@ -7,20 +7,26 @@
 //! This pass operates on the *source* AST, before process decomposition:
 //! it swaps perfectly nested counted loops so the iteration order aligns
 //! with the data distribution (outer loop over the distributed
-//! dimension). Legality note: in Id Nouveau's dataflow semantics,
-//! I-structure reads synchronize with their writes, so interchange of
-//! counted loops never changes values; under this library's *strict*
-//! sequential evaluation the interchanged order must also be
-//! read-after-write consistent, which the end-to-end tests verify for the
-//! programs it is applied to.
+//! dimension).
+//!
+//! Legality is decided by the dependence framework
+//! ([`pdc_depend::ast::analyze_for`]): a pair may be swapped only when
+//! the analysis is *exact* and every dependence's direction vector stays
+//! lexicographically positive after exchanging its two components —
+//! a `(<, >)` dependence (e.g. `a[i, j] = a[i+1, j-1]`) blocks the
+//! swap, and the Missed remark names that witnessing dependence. Under
+//! strict sequential evaluation an illegal swap would read an array cell
+//! before it is written; under Id Nouveau's dataflow semantics it would
+//! deadlock. Header independence (the inner bounds do not mention the
+//! outer variable, and vice versa) is additionally required so the
+//! bounds themselves can move.
 
 use pdc_lang::ast::{Block, Expr, ExprKind, Program, Stmt};
 use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 
 /// Swap every outermost perfectly nested loop pair whose headers are
-/// independent (the inner bounds do not mention the outer variable, and
-/// vice versa). Returns the transformed program and the number of pairs
-/// swapped.
+/// independent and whose dependences permit the exchange. Returns the
+/// transformed program and the number of pairs swapped.
 pub fn interchange(program: &Program) -> (Program, usize) {
     interchange_with_remarks(program, &mut RemarkSink::new())
 }
@@ -86,44 +92,102 @@ fn interchange_stmt(s: Stmt, count: &mut usize, sink: &mut RemarkSink) -> Stmt {
                         && !expr_mentions(&hi1, &v2)
                         && st1.as_ref().is_none_or(|e| !expr_mentions(e, &v2));
                     if inner_independent {
-                        *count += 1;
+                        // Headers can move; now ask the dependence
+                        // framework whether the iteration reorder is
+                        // legal for the values computed.
+                        let nest = Stmt::For {
+                            var: v1.clone(),
+                            lo: lo1.clone(),
+                            hi: hi1.clone(),
+                            step: st1.clone(),
+                            body: b1.clone(),
+                            span: sp1,
+                        };
+                        let info = pdc_depend::ast::analyze_for(&nest);
+                        if !info.exact {
+                            let why = info
+                                .notes
+                                .first()
+                                .cloned()
+                                .unwrap_or_else(|| "subscripts are not analyzable".into());
+                            sink.emit(
+                                Remark::new(
+                                    Phase::Interchange,
+                                    RemarkKind::Missed,
+                                    format!(
+                                        "interchange of `{v1}`/`{v2}` not proven legal: \
+                                         dependence analysis inexact"
+                                    ),
+                                )
+                                .with_span(sp1)
+                                .detail("reason", why),
+                            );
+                        } else if let Err(dep) = info.interchange_legal(0, 1) {
+                            sink.emit(
+                                Remark::new(
+                                    Phase::Interchange,
+                                    RemarkKind::Missed,
+                                    format!(
+                                        "interchange of `{v1}`/`{v2}` is illegal: \
+                                         a dependence would be reversed"
+                                    ),
+                                )
+                                .with_span(sp1)
+                                .detail("blocking", dep.describe()),
+                            );
+                        } else {
+                            *count += 1;
+                            let witness = if info.deps.is_empty() {
+                                "the nest carries no dependence".to_string()
+                            } else {
+                                let dirs: Vec<String> =
+                                    info.deps.iter().map(|d| d.describe()).collect();
+                                format!(
+                                    "all direction vectors stay lexicographically positive \
+                                     after the swap: {}",
+                                    dirs.join("; ")
+                                )
+                            };
+                            sink.emit(
+                                Remark::new(
+                                    Phase::Interchange,
+                                    RemarkKind::Applied,
+                                    format!("interchanged perfectly nested loops `{v1}`/`{v2}`"),
+                                )
+                                .with_span(sp1)
+                                .detail("witness", witness),
+                            );
+                            // Do not recurse into the swapped pair (that
+                            // would swap it back); only transform the body.
+                            let body = interchange_block(b2, count, sink);
+                            return Stmt::For {
+                                var: v2,
+                                lo: lo2,
+                                hi: hi2,
+                                step: st2,
+                                body: Block {
+                                    stmts: vec![Stmt::For {
+                                        var: v1,
+                                        lo: lo1,
+                                        hi: hi1,
+                                        step: st1,
+                                        body,
+                                        span: sp1,
+                                    }],
+                                },
+                                span: sp2,
+                            };
+                        }
+                    } else {
                         sink.emit(
                             Remark::new(
                                 Phase::Interchange,
-                                RemarkKind::Applied,
-                                format!("interchanged perfectly nested loops `{v1}`/`{v2}`"),
+                                RemarkKind::Missed,
+                                format!("loop headers of `{v1}`/`{v2}` are interdependent"),
                             )
                             .with_span(sp1),
                         );
-                        // Do not recurse into the swapped pair (that
-                        // would swap it back); only transform the body.
-                        let body = interchange_block(b2, count, sink);
-                        return Stmt::For {
-                            var: v2,
-                            lo: lo2,
-                            hi: hi2,
-                            step: st2,
-                            body: Block {
-                                stmts: vec![Stmt::For {
-                                    var: v1,
-                                    lo: lo1,
-                                    hi: hi1,
-                                    step: st1,
-                                    body,
-                                    span: sp1,
-                                }],
-                            },
-                            span: sp2,
-                        };
                     }
-                    sink.emit(
-                        Remark::new(
-                            Phase::Interchange,
-                            RemarkKind::Missed,
-                            format!("loop headers of `{v1}`/`{v2}` are interdependent"),
-                        )
-                        .with_span(sp1),
-                    );
                 }
             }
             Stmt::For {
@@ -212,6 +276,101 @@ mod tests {
         .unwrap();
         let (_, count) = interchange(&p);
         assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn carried_anti_dependence_blocks_interchange() {
+        // The headers are independent, so the old syntactic test would
+        // have swapped this nest — but a[i, j] = a[i+1, j-1] carries an
+        // anti dependence with direction (<, >): after a swap the write
+        // to a[i+1, j-1] would happen before the read of the original
+        // value. The dependence gate must refuse and name the witness.
+        let p = parse(
+            "procedure f(a, n) {
+                for i = 1 to n - 1 do {
+                    for j = 2 to n do { a[i, j] = a[i + 1, j - 1] + 1; }
+                }
+                return a[1, 2];
+            }",
+        )
+        .unwrap();
+        let mut sink = RemarkSink::new();
+        let (q, count) = interchange_with_remarks(&p, &mut sink);
+        assert_eq!(count, 0);
+        assert_eq!(pretty::program(&q), pretty::program(&p));
+        let blocking = sink
+            .remarks()
+            .iter()
+            .find_map(|r| {
+                r.details
+                    .iter()
+                    .find(|(k, _)| k == "blocking")
+                    .map(|(_, v)| v.clone())
+            })
+            .expect("a Missed remark carries the blocking dependence");
+        assert!(
+            blocking.contains("anti") && blocking.contains("(<,>)"),
+            "witness should be the (<,>) anti dependence: {blocking}"
+        );
+    }
+
+    #[test]
+    fn refused_interchange_is_load_bearing_under_strict_evaluation() {
+        // a[i, j] = a[i-1, j+1] carries a flow dependence (<, >). The
+        // original order runs clean on the strict interpreter; the
+        // manually swapped order reads cells not yet written. The pass
+        // refusing the swap is therefore observable behaviour, not
+        // conservatism.
+        let src = |outer: &str, inner: &str| {
+            format!(
+                "procedure f(n) {{
+                    let a = matrix(n, n);
+                    for k = 1 to n do {{ a[1, k] = k; }}
+                    for k = 2 to n do {{ a[k, n] = k * 7; }}
+                    for {outer} do {{
+                        for {inner} do {{ a[i, j] = a[i - 1, j + 1]; }}
+                    }}
+                    return a[n, 1];
+                }}"
+            )
+        };
+        let orig = parse(&src("i = 2 to n", "j = 1 to n - 1")).unwrap();
+        let swapped = parse(&src("j = 1 to n - 1", "i = 2 to n")).unwrap();
+        let (_, count) = interchange(&orig);
+        assert_eq!(count, 0, "the (<,>) flow dependence must block the swap");
+        assert!(Interpreter::new(&orig).run("f", &[Value::Int(6)]).is_ok());
+        assert!(
+            Interpreter::new(&swapped)
+                .run("f", &[Value::Int(6)])
+                .is_err(),
+            "swapped order must read an unwritten cell"
+        );
+    }
+
+    #[test]
+    fn applied_interchange_carries_its_witness() {
+        let p = parse(
+            "procedure f(n) {
+                let a = matrix(n, n);
+                for i = 2 to n do {
+                    for j = 1 to n do { a[i, j] = i * 100 + j; }
+                }
+                return a[2, 1];
+            }",
+        )
+        .unwrap();
+        let mut sink = RemarkSink::new();
+        let (_, count) = interchange_with_remarks(&p, &mut sink);
+        assert_eq!(count, 1);
+        let applied = sink
+            .remarks()
+            .iter()
+            .find(|r| r.kind == RemarkKind::Applied)
+            .unwrap();
+        assert!(
+            applied.details.iter().any(|(k, _)| k == "witness"),
+            "applied remark must carry the legality witness"
+        );
     }
 
     #[test]

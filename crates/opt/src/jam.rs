@@ -11,13 +11,15 @@
 //! if (j mod S == r₂) { for i { t = is_read(X, [i, e₂(j)]); csend(t, d); } }
 //! ```
 //!
-//! solves `e₂(j+δ) = e₁(j)` for the constant shift `δ` (and checks the
-//! residues agree under the same shift), then moves the send into the
-//! producer loop — "new values are sent off as soon as they are computed"
+//! solves `e₂(j+δ) = e₁(j)` for the constant shift `δ` — the flow
+//! dependence distance computed by [`pdc_depend::spmd::flow_shift`] —
+//! (and checks the residues agree under the same shift), then moves the
+//! send into the producer loop — "new values are sent off as soon as they are computed"
 //! — keeping a *remainder* copy of the original sender for the iterations
 //! (boundary columns) whose values were produced elsewhere.
 
-use crate::canon::{canon, canon_eq, shift_sexpr, solve_shift};
+use crate::canon::{canon, shift_sexpr};
+use pdc_depend::spmd::flow_shift;
 use pdc_mapping::Affine;
 use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{SBinOp, SExpr, SStmt, SpmdProgram};
@@ -56,7 +58,14 @@ pub fn jam_with_remarks(prog: &SpmdProgram, sink: &mut RemarkSink) -> (SpmdProgr
             )
             .with_tag(*tag)
             .detail("shift", delta)
-            .detail("modulus", modulus),
+            .detail("modulus", modulus)
+            .detail(
+                "witness",
+                format!(
+                    "flow dependence with distance {delta} along the jammed loop \
+                     links the producing write to the streamed read"
+                ),
+            ),
         );
     }
     // Sender-shaped candidates in the *input* that no fusion consumed.
@@ -321,37 +330,12 @@ fn jam_loop(
                 {
                     continue;
                 }
-                // Solve for the shift on every index dimension.
-                let mut delta: Option<i64> = None;
-                let mut ok = true;
-                for (a, b) in prod.write_idx.iter().zip(&sender.idx) {
-                    let a_mentions = crate::canon::mentions(a, v);
-                    let b_mentions = crate::canon::mentions(b, v);
-                    if a_mentions || b_mentions {
-                        let (Some(ca), Some(cb)) = (canon(a), canon(b)) else {
-                            ok = false;
-                            break;
-                        };
-                        match solve_shift(&ca, &cb, v) {
-                            Some(d) => match delta {
-                                None => delta = Some(d),
-                                Some(prev) if prev == d => {}
-                                _ => {
-                                    ok = false;
-                                    break;
-                                }
-                            },
-                            None => {
-                                ok = false;
-                                break;
-                            }
-                        }
-                    } else if !canon_eq(a, b) {
-                        ok = false;
-                        break;
-                    }
-                }
-                let Some(delta) = ok.then_some(delta).flatten() else {
+                // Solve for the shift on every index dimension. The
+                // dependence framework owns this computation: the shift
+                // is the flow-dependence distance (in `v` iterations)
+                // from the write feeding the stream to the read the
+                // sender streams from.
+                let Some(delta) = flow_shift(&prod.write_idx, &sender.idx, v) else {
                     continue;
                 };
                 if delta == 0 {

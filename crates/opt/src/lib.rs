@@ -24,10 +24,15 @@
 //!
 //! The first three are IR-to-IR passes applied *uniformly* to every
 //! processor's code, which keeps both sides of each tagged communication
-//! stream consistent. Each pass checks its legality conditions and leaves
-//! non-matching code untouched; [`OptReport`] records what fired.
+//! stream consistent. Each pass consults the exact dependence framework
+//! in [`pdc_depend`] for its legality conditions and leaves non-matching
+//! code untouched; [`OptReport`] records what fired, and every Applied or
+//! Missed remark carries the witnessing legality fact (a direction
+//! vector, a read-only proof, or the blocking dependence).
 
-pub mod canon;
+/// Canonical-form subscript algebra, re-exported from the dependence
+/// framework so existing `pdc_opt::canon::…` paths keep working.
+pub use pdc_depend::canon;
 pub mod interchange;
 pub mod jam;
 pub mod pipeline;

@@ -18,9 +18,18 @@
 //!   the loop variable;
 //! * every `crecv` is a single-variable receive at the top level of such
 //!   a loop with a source independent of the loop variable;
-//! * all occurrences agree on the loop bounds.
+//! * all occurrences agree on the loop bounds;
+//! * the element loop passes the dependence gate: blocking postpones the
+//!   loop's sends to the end of each block and hoists its receives in
+//!   front, so every dependence the loop carries must run strictly
+//!   forward (direction `<`). A backward or unknown-direction carried
+//!   dependence — or an inexact analysis — disqualifies every tag the
+//!   loop communicates, with the blocking dependence in the Missed
+//!   remark.
 
 use crate::canon::{canon_eq, mentions};
+use pdc_depend::spmd::analyze_for;
+use pdc_depend::Direction;
 use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
 use std::collections::{BTreeMap, HashSet};
@@ -28,7 +37,7 @@ use std::collections::{BTreeMap, HashSet};
 #[derive(Debug, Clone)]
 enum TagState {
     Ok { lo: SExpr, hi: SExpr },
-    Bad(&'static str),
+    Bad(String),
 }
 
 /// Apply strip mining with the given block size. Returns the rewritten
@@ -54,8 +63,9 @@ pub fn strip_mine_with_remarks(
 ) -> (SpmdProgram, usize) {
     assert!(blksize > 0, "block size must be positive");
     let mut tags: BTreeMap<u32, TagState> = BTreeMap::new();
+    let mut witnesses: BTreeMap<u32, String> = BTreeMap::new();
     for body in prog.bodies() {
-        qualify(body, None, &mut tags);
+        qualify(body, None, &mut tags, &mut witnesses);
     }
     let good: HashSet<u32> = tags
         .iter()
@@ -66,18 +76,21 @@ pub fn strip_mine_with_remarks(
         .collect();
     for (tag, state) in &tags {
         match state {
-            TagState::Ok { .. } => sink.emit(
-                Remark::new(
+            TagState::Ok { .. } => {
+                let mut r = Remark::new(
                     Phase::Strip,
                     RemarkKind::Applied,
                     "blocked element stream into strip-mined block transfers",
                 )
                 .with_tag(*tag)
-                .detail("blksize", blksize),
-            ),
-            TagState::Bad(reason) => {
-                sink.emit(Remark::new(Phase::Strip, RemarkKind::Missed, *reason).with_tag(*tag))
+                .detail("blksize", blksize);
+                if let Some(w) = witnesses.get(tag) {
+                    r = r.detail("witness", w.clone());
+                }
+                sink.emit(r);
             }
+            TagState::Bad(reason) => sink
+                .emit(Remark::new(Phase::Strip, RemarkKind::Missed, reason.clone()).with_tag(*tag)),
         }
     }
     if good.is_empty() {
@@ -104,18 +117,18 @@ fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>,
     let Some(ctx) = ctx else {
         tags.insert(
             tag,
-            TagState::Bad("communication is not at the top level of an element loop"),
+            TagState::Bad("communication is not at the top level of an element loop".into()),
         );
         return;
     };
     if !ctx.unit_step {
-        tags.insert(tag, TagState::Bad("enclosing loop step is not 1"));
+        tags.insert(tag, TagState::Bad("enclosing loop step is not 1".into()));
         return;
     }
     if mentions(dep, ctx.var) {
         tags.insert(
             tag,
-            TagState::Bad("peer processor depends on the loop variable"),
+            TagState::Bad("peer processor depends on the loop variable".into()),
         );
         return;
     }
@@ -133,7 +146,7 @@ fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>,
             if !canon_eq(lo, ctx.lo) || !canon_eq(hi, ctx.hi) {
                 tags.insert(
                     tag,
-                    TagState::Bad("occurrences disagree on the loop bounds"),
+                    TagState::Bad("occurrences disagree on the loop bounds".into()),
                 );
             }
         }
@@ -141,14 +154,83 @@ fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, ctx: Option<&LoopCtx<'_>>,
     }
 }
 
-fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut BTreeMap<u32, TagState>) {
+/// Does the loop body communicate at one of the positions `qualify`
+/// accepts (direct child, or send under one guard)?
+fn has_direct_comm(inner: &[SStmt]) -> bool {
+    inner.iter().any(|s| match s {
+        SStmt::Send { .. } | SStmt::Recv { .. } => true,
+        SStmt::If { then, els, .. } if els.is_empty() => {
+            then.iter().any(|x| matches!(x, SStmt::Send { .. }))
+        }
+        _ => false,
+    })
+}
+
+/// The tag of a direct communication statement.
+fn comm_tag(s: &SStmt) -> Option<u32> {
+    match s {
+        SStmt::Send { tag, .. } | SStmt::Recv { tag, .. } => Some(*tag),
+        _ => None,
+    }
+}
+
+/// The dependence gate for one element loop. Blocking keeps the
+/// iteration order of the loop but batches its communication into
+/// whole-block transfers, so it is legal exactly when every dependence
+/// the loop carries runs strictly forward (`<`): a backward or
+/// unknown-direction dependence could need a value from a later
+/// iteration before the block completes. Returns the legality witness,
+/// or the blocking reason.
+fn dependence_gate(element_loop: &SStmt) -> Result<String, String> {
+    let info = analyze_for(element_loop);
+    if !info.exact {
+        let why = info
+            .notes
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "subscripts outside the analyzable grammar".into());
+        return Err(format!("dependence analysis inexact: {why}"));
+    }
+    if let Some(d) = info.deps.iter().find(|d| {
+        d.is_loop_carried() && matches!(d.direction.first(), Some(Direction::Gt | Direction::Any))
+    }) {
+        return Err(format!(
+            "loop-carried dependence blocks strip mining: {}",
+            d.describe()
+        ));
+    }
+    let carried: Vec<String> = info
+        .deps
+        .iter()
+        .filter(|d| d.is_loop_carried())
+        .map(|d| d.describe())
+        .collect();
+    if carried.is_empty() {
+        Ok("element loop carries no dependence".into())
+    } else {
+        Ok(format!(
+            "all carried dependences run forward (<): {}",
+            carried.join("; ")
+        ))
+    }
+}
+
+fn qualify(
+    body: &[SStmt],
+    ctx: Option<&LoopCtx<'_>>,
+    tags: &mut BTreeMap<u32, TagState>,
+    witnesses: &mut BTreeMap<u32, String>,
+) {
     for s in body {
         match s {
             SStmt::Send { to, tag, values } => {
                 if values.len() == 1 {
                     note(tags, *tag, ctx, to);
                 } else {
-                    tags.insert(*tag, TagState::Bad("send carries more than one value"));
+                    tags.insert(
+                        *tag,
+                        TagState::Bad("send carries more than one value".into()),
+                    );
                 }
             }
             SStmt::Recv { from, tag, into } => {
@@ -157,12 +239,15 @@ fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut BTreeMap<u32, T
                 } else {
                     tags.insert(
                         *tag,
-                        TagState::Bad("receive does not target a single scalar variable"),
+                        TagState::Bad("receive does not target a single scalar variable".into()),
                     );
                 }
             }
             SStmt::SendBuf { tag, .. } | SStmt::RecvBuf { tag, .. } => {
-                tags.insert(*tag, TagState::Bad("stream is already a block transfer"));
+                tags.insert(
+                    *tag,
+                    TagState::Bad("stream is already a block transfer".into()),
+                );
             }
             SStmt::For {
                 var,
@@ -177,12 +262,30 @@ fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut BTreeMap<u32, T
                     hi,
                     unit_step: *step == SExpr::int(1),
                 };
+                // A loop that communicates must pass the dependence gate
+                // before any of its tags can qualify.
+                let gate = has_direct_comm(inner).then(|| dependence_gate(s));
                 for st in inner {
                     match st {
                         // Direct children qualify against this loop.
-                        SStmt::Send { .. } | SStmt::Recv { .. } => {
-                            qualify(std::slice::from_ref(st), Some(&inner_ctx), tags)
-                        }
+                        SStmt::Send { .. } | SStmt::Recv { .. } => match &gate {
+                            Some(Err(reason)) => {
+                                if let Some(t) = comm_tag(st) {
+                                    tags.insert(t, TagState::Bad(reason.clone()));
+                                }
+                            }
+                            _ => {
+                                qualify(
+                                    std::slice::from_ref(st),
+                                    Some(&inner_ctx),
+                                    tags,
+                                    witnesses,
+                                );
+                                if let (Some(Ok(w)), Some(t)) = (&gate, comm_tag(st)) {
+                                    witnesses.entry(t).or_insert_with(|| w.clone());
+                                }
+                            }
+                        },
                         // One guard level is allowed for sends when the
                         // condition is loop-invariant.
                         SStmt::If { cond, then, els }
@@ -192,15 +295,33 @@ fn qualify(body: &[SStmt], ctx: Option<&LoopCtx<'_>>, tags: &mut BTreeMap<u32, T
                                     matches!(x, SStmt::Send { .. } | SStmt::Let { .. })
                                 }) =>
                         {
-                            qualify(then, Some(&inner_ctx), tags)
+                            match &gate {
+                                Some(Err(reason)) => {
+                                    for x in then {
+                                        if let Some(t) = comm_tag(x) {
+                                            tags.insert(t, TagState::Bad(reason.clone()));
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    qualify(then, Some(&inner_ctx), tags, witnesses);
+                                    if let Some(Ok(w)) = &gate {
+                                        for x in then {
+                                            if let Some(t) = comm_tag(x) {
+                                                witnesses.entry(t).or_insert_with(|| w.clone());
+                                            }
+                                        }
+                                    }
+                                }
+                            }
                         }
-                        other => qualify(std::slice::from_ref(other), None, tags),
+                        other => qualify(std::slice::from_ref(other), None, tags, witnesses),
                     }
                 }
             }
             SStmt::If { then, els, .. } => {
-                qualify(then, None, tags);
-                qualify(els, None, tags);
+                qualify(then, None, tags, witnesses);
+                qualify(els, None, tags, witnesses);
             }
             _ => {}
         }
@@ -510,6 +631,66 @@ mod tests {
         let (opt, loops) = strip_mine(&prog, 4);
         assert_eq!(loops, 0);
         assert_eq!(opt, prog);
+    }
+
+    #[test]
+    fn carried_dependence_without_forward_direction_blocks_blocking() {
+        // P0's element loop carries a dependence whose distance is not a
+        // fixed forward shift (write a[2j] against read a[j]): the
+        // dependence gate must refuse to block the loop even though the
+        // stream shape itself qualifies.
+        let p0 = vec![SStmt::For {
+            var: "j".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(8),
+            step: SExpr::int(1),
+            body: vec![
+                SStmt::Let {
+                    var: "w".into(),
+                    value: SExpr::ARead {
+                        array: "a".into(),
+                        idx: vec![SExpr::var("j")],
+                    },
+                },
+                SStmt::AWrite {
+                    array: "a".into(),
+                    idx: vec![SExpr::var("j").mul(SExpr::int(2))],
+                    value: SExpr::var("w"),
+                },
+                SStmt::Send {
+                    to: SExpr::int(1),
+                    tag: 9,
+                    values: vec![SExpr::var("w")],
+                },
+            ],
+        }];
+        let p1 = vec![SStmt::For {
+            var: "j".into(),
+            lo: SExpr::int(1),
+            hi: SExpr::int(8),
+            step: SExpr::int(1),
+            body: vec![SStmt::Recv {
+                from: SExpr::int(0),
+                tag: 9,
+                into: vec![RecvTarget::Var("x".into())],
+            }],
+        }];
+        let prog = SpmdProgram::new(vec![p0, p1]);
+        let mut sink = RemarkSink::new();
+        let (opt, loops) = strip_mine_with_remarks(&prog, 4, &mut sink);
+        assert_eq!(loops, 0);
+        assert_eq!(opt, prog);
+        let missed: Vec<_> = sink
+            .remarks()
+            .iter()
+            .filter(|r| r.kind == RemarkKind::Missed)
+            .collect();
+        assert_eq!(missed.len(), 1);
+        assert!(
+            missed[0].message.contains("dependence"),
+            "reason should name the blocking dependence: {}",
+            missed[0].message
+        );
     }
 
     #[test]

@@ -15,17 +15,29 @@
 //! * every receive of the tag sits at the top level of a unit-step loop
 //!   with the *same* `lo`/`hi` and a `w`-independent source;
 //! * a tag that appears in any other position is left untouched.
+//!
+//! The read-only fact comes from the dependence framework
+//! ([`pdc_depend::spmd::read_only_arrays`]): an array with no writes has
+//! no dependences at all, so no ordering constraint can reach the
+//! combined transfer. Applied remarks carry that witness.
 
 use crate::canon::{canon_eq, mentions};
+use pdc_depend::spmd::read_only_arrays;
 use pdc_report::{Phase, Remark, RemarkKind, RemarkSink};
 use pdc_spmd::ir::{RecvTarget, SExpr, SStmt, SpmdProgram};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Per-tag qualification state.
 #[derive(Debug, Clone)]
 enum TagState {
-    /// All occurrences so far fit the pattern with these loop bounds.
-    Ok { lo: SExpr, hi: SExpr },
+    /// All occurrences so far fit the pattern with these loop bounds;
+    /// `array` is the read-only array the send side streams (filled in
+    /// once a send of the tag is seen).
+    Ok {
+        lo: SExpr,
+        hi: SExpr,
+        array: Option<String>,
+    },
     /// Some occurrence disqualifies the tag (the reason why).
     Bad(&'static str),
 }
@@ -55,14 +67,21 @@ pub fn vectorize_with_remarks(prog: &SpmdProgram, sink: &mut RemarkSink) -> (Spm
         .collect();
     for (tag, state) in &tags {
         match state {
-            TagState::Ok { .. } => sink.emit(
-                Remark::new(
+            TagState::Ok { array, .. } => {
+                let mut r = Remark::new(
                     Phase::Vectorize,
                     RemarkKind::Applied,
                     "combined element-wise sends of a read-only array into one block transfer",
                 )
-                .with_tag(*tag),
-            ),
+                .with_tag(*tag);
+                if let Some(a) = array {
+                    r = r.detail("array", a.clone()).detail(
+                        "witness",
+                        format!("`{a}` is never written: no dependence reaches the stream"),
+                    );
+                }
+                sink.emit(r);
+            }
             TagState::Bad(reason) => {
                 sink.emit(Remark::new(Phase::Vectorize, RemarkKind::Missed, *reason).with_tag(*tag))
             }
@@ -82,78 +101,15 @@ pub fn vectorize_with_remarks(prog: &SpmdProgram, sink: &mut RemarkSink) -> (Spm
     (out, count)
 }
 
-/// Arrays that are never written in any body.
-fn read_only_arrays(prog: &SpmdProgram) -> HashSet<String> {
-    let mut seen = HashSet::new();
-    let mut written = HashSet::new();
-    fn scan(body: &[SStmt], seen: &mut HashSet<String>, written: &mut HashSet<String>) {
-        for s in body {
-            match s {
-                SStmt::AllocDist { array, .. } => {
-                    seen.insert(array.clone());
-                }
-                SStmt::AWrite { array, .. } | SStmt::AWriteGlobal { array, .. } => {
-                    written.insert(array.clone());
-                }
-                SStmt::For { body, .. } => scan(body, seen, written),
-                SStmt::If { then, els, .. } => {
-                    scan(then, seen, written);
-                    scan(els, seen, written);
-                }
-                _ => {}
-            }
-        }
-    }
-    // Also harvest array names from reads.
-    fn scan_reads(e: &SExpr, seen: &mut HashSet<String>) {
-        match e {
-            SExpr::ARead { array, idx } | SExpr::AReadGlobal { array, idx } => {
-                seen.insert(array.clone());
-                for i in idx {
-                    scan_reads(i, seen);
-                }
-            }
-            SExpr::Bin(_, a, b) => {
-                scan_reads(a, seen);
-                scan_reads(b, seen);
-            }
-            SExpr::Un(_, a) => scan_reads(a, seen),
-            SExpr::BufRead { idx, .. } => scan_reads(idx, seen),
-            _ => {}
-        }
-    }
-    fn scan_all_exprs(body: &[SStmt], seen: &mut HashSet<String>) {
-        for s in body {
-            match s {
-                SStmt::Let { value, .. } => scan_reads(value, seen),
-                SStmt::AWrite { value, .. } | SStmt::AWriteGlobal { value, .. } => {
-                    scan_reads(value, seen)
-                }
-                SStmt::For { body, .. } => scan_all_exprs(body, seen),
-                SStmt::If { then, els, .. } => {
-                    scan_all_exprs(then, seen);
-                    scan_all_exprs(els, seen);
-                }
-                SStmt::Send { values, .. } => {
-                    for v in values {
-                        scan_reads(v, seen);
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    for body in prog.bodies() {
-        scan(body, &mut seen, &mut written);
-        scan_all_exprs(body, &mut seen);
-    }
-    seen.difference(&written).cloned().collect()
-}
-
 /// Positions `i` such that `body[i] = let t = is_read(B, …)` and
 /// `body[i+1] = csend(tag, t, dst)` with `B` read-only and `dst`
-/// independent of the loop variable. Returns `(position, tag)` pairs.
-fn send_pairs(var: &str, body: &[SStmt], read_only: &HashSet<String>) -> Vec<(usize, u32)> {
+/// independent of the loop variable. Returns `(position, tag, array)`
+/// triples; the array name is the legality witness for the remark.
+fn send_pairs(
+    var: &str,
+    body: &[SStmt],
+    read_only: &BTreeSet<String>,
+) -> Vec<(usize, u32, String)> {
     let mut out = Vec::new();
     for i in 0..body.len().saturating_sub(1) {
         let SStmt::Let { var: t, value } = &body[i] else {
@@ -171,24 +127,33 @@ fn send_pairs(var: &str, body: &[SStmt], read_only: &HashSet<String>) -> Vec<(us
         if values.len() != 1 || values[0] != SExpr::var(t.clone()) || mentions(to, var) {
             continue;
         }
-        out.push((i, *tag));
+        out.push((i, *tag, array.clone()));
     }
     out
 }
 
-fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, lo: &SExpr, hi: &SExpr) {
-    match tags.get(&tag) {
+fn note(tags: &mut BTreeMap<u32, TagState>, tag: u32, lo: &SExpr, hi: &SExpr, array: Option<&str>) {
+    match tags.get_mut(&tag) {
         None => {
             tags.insert(
                 tag,
                 TagState::Ok {
                     lo: lo.clone(),
                     hi: hi.clone(),
+                    array: array.map(str::to_owned),
                 },
             );
         }
-        Some(TagState::Ok { lo: l0, hi: h0 }) => {
-            if !canon_eq(l0, lo) || !canon_eq(h0, hi) {
+        Some(TagState::Ok {
+            lo: l0,
+            hi: h0,
+            array: a0,
+        }) => {
+            if a0.is_none() {
+                *a0 = array.map(str::to_owned);
+            }
+            let (l0, h0) = (l0.clone(), h0.clone());
+            if !canon_eq(&l0, lo) || !canon_eq(&h0, hi) {
                 poison(tags, tag, "send and receive loop bounds differ");
             }
         }
@@ -200,7 +165,7 @@ fn poison(tags: &mut BTreeMap<u32, TagState>, tag: u32, reason: &'static str) {
     tags.insert(tag, TagState::Bad(reason));
 }
 
-fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut BTreeMap<u32, TagState>) {
+fn qualify(body: &[SStmt], read_only: &BTreeSet<String>, tags: &mut BTreeMap<u32, TagState>) {
     for s in body {
         match s {
             SStmt::Send { tag, .. } => {
@@ -226,10 +191,10 @@ fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut BTreeMap<u32,
                 } else {
                     Vec::new()
                 };
-                for (_, tag) in &pairs {
-                    note(tags, *tag, lo, hi);
+                for (_, tag, array) in &pairs {
+                    note(tags, *tag, lo, hi, Some(array));
                 }
-                let send_positions: HashSet<usize> = pairs.iter().map(|(i, _)| i + 1).collect();
+                let send_positions: HashSet<usize> = pairs.iter().map(|(i, _, _)| i + 1).collect();
                 // Direct-child receives of this loop qualify.
                 for (pos, st) in inner.iter().enumerate() {
                     match st {
@@ -239,7 +204,7 @@ fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut BTreeMap<u32,
                                 && matches!(into[0], RecvTarget::Var(_))
                                 && !mentions(from, var);
                             if shape_ok {
-                                note(tags, *tag, lo, hi);
+                                note(tags, *tag, lo, hi, None);
                             } else {
                                 poison(
                                     tags,
@@ -271,7 +236,7 @@ fn qualify(body: &[SStmt], read_only: &HashSet<String>, tags: &mut BTreeMap<u32,
 
 fn rewrite(
     body: Vec<SStmt>,
-    read_only: &HashSet<String>,
+    read_only: &BTreeSet<String>,
     good: &HashSet<u32>,
 ) -> (Vec<SStmt>, usize) {
     let mut out = Vec::new();
@@ -287,10 +252,10 @@ fn rewrite(
             } => {
                 // Replace qualifying (read; send) pairs with buffer fills;
                 // block sends follow the loop.
-                let pairs: Vec<(usize, u32)> = if step == SExpr::int(1) {
+                let pairs: Vec<(usize, u32, String)> = if step == SExpr::int(1) {
                     send_pairs(&var, &inner, read_only)
                         .into_iter()
-                        .filter(|(_, t)| good.contains(t))
+                        .filter(|(_, t, _)| good.contains(t))
                         .collect()
                 } else {
                     Vec::new()
@@ -298,7 +263,7 @@ fn rewrite(
                 let mut inner = inner;
                 let mut post = Vec::new();
                 // Apply back to front so positions stay valid.
-                for (i, tag) in pairs.into_iter().rev() {
+                for (i, tag, _) in pairs.into_iter().rev() {
                     let SStmt::Let { value, .. } = inner[i].clone() else {
                         unreachable!("pair shape");
                     };

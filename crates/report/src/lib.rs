@@ -54,6 +54,10 @@ pub enum Phase {
     /// Front-end static checks (single assignment, definition before
     /// use, call arity) collected in batch by `pdc_lang::check_all`.
     Check,
+    /// Exact loop-dependence analysis (`pdc-depend`): per-nest
+    /// distance/direction summaries and loop-carried cross-processor
+    /// dependence lints.
+    Depend,
     /// Automatic decomposition search (`pdc-tune`): per-candidate scores
     /// and rejection reasons, plus the selected winner.
     Tune,
@@ -73,6 +77,7 @@ impl Phase {
             Phase::CostModel => "cost-model",
             Phase::Analyze => "analyze",
             Phase::Check => "check",
+            Phase::Depend => "depend",
             Phase::Tune => "tune",
         }
     }

@@ -453,6 +453,92 @@ fn ring_fabric_matches_simulator_on_random_programs() {
     );
 }
 
+/// Property tying the dependence framework to the machine: over random
+/// (kernel, distribution, optimization level, size) configurations of
+/// the paper's wavefront programs, every transformation the framework
+/// approves — source-level interchange plus the SPMD passes it gates
+/// (vectorize, jam, strip-mine) — leaves the simulated output
+/// bit-identical to the sequential interpreter's. Non-vacuity is
+/// asserted both ways: across the family the passes must have applied
+/// *and* refused a healthy number of transformations, so the property
+/// can neither pass by never optimizing nor by never being challenged.
+#[test]
+fn dependence_approved_transforms_preserve_output() {
+    use pdc_opt::OptLevel;
+    use pdc_report::{Phase, RemarkKind};
+
+    let applied = std::cell::Cell::new(0usize);
+    let refused = std::cell::Cell::new(0usize);
+    cases(
+        24,
+        "dependence_approved_transforms_preserve_output",
+        |rng| {
+            let n = rng.range_usize(6, 13);
+            let nprocs = rng.range_usize(2, 5);
+            let source = if rng.bool() {
+                programs::gauss_seidel()
+            } else {
+                programs::gauss_seidel_interchanged()
+            };
+            // The source-level pass first: its swaps are framework-approved
+            // and must be semantics-preserving through the whole pipeline.
+            let (program, swaps) = if rng.bool() {
+                let (p, c) = pdc_opt::interchange(&source);
+                (p, c)
+            } else {
+                (source.clone(), 0)
+            };
+            applied.set(applied.get() + swaps);
+            let dist = if rng.bool() {
+                Dist::ColumnCyclic
+            } else {
+                Dist::RowCyclic
+            };
+            let level = match rng.range_usize(0, 4) {
+                0 => OptLevel::O1,
+                1 => OptLevel::O2,
+                2 => OptLevel::O3 { blksize: 2 },
+                _ => OptLevel::O3 { blksize: 4 },
+            };
+            let label = format!("{dist:?} on {nprocs} procs, n = {n}, {level}, {swaps} swap(s)");
+
+            let d = Decomposition::new(nprocs)
+                .array("New", dist.clone())
+                .array("Old", dist);
+            let job = Job::new(&program, "gs_iteration", d)
+                .with_const("n", n as i64)
+                .with_opt_level(level);
+            let compiled = driver::compile(&job, CodegenStrategy::CompileTime)
+                .unwrap_or_else(|e| panic!("{label}: compile: {e}"));
+            for r in &compiled.remarks {
+                if matches!(r.phase, Phase::Vectorize | Phase::Jam | Phase::Strip) {
+                    match r.kind {
+                        RemarkKind::Applied => applied.set(applied.get() + 1),
+                        RemarkKind::Missed => refused.set(refused.get() + 1),
+                    }
+                }
+            }
+
+            let inputs = Inputs::new()
+                .scalar("n", Scalar::Int(n as i64))
+                .array("Old", driver::standard_input(n, n));
+            let exec = driver::execute(&compiled, &inputs, CostModel::ipsc2())
+                .unwrap_or_else(|e| panic!("{label}: run: {e}"));
+            assert_eq!(exec.outcome.report.undelivered, 0, "{label}");
+            let gathered = exec.gather("New").expect("gathers");
+            let seq =
+                driver::run_sequential(&program, "gs_iteration", &inputs).expect("sequential");
+            assert_eq!(
+                driver::first_mismatch(&gathered, &seq),
+                None,
+                "{label}: approved transformations changed the output"
+            );
+        },
+    );
+    assert!(applied.get() > 10, "family too tame: {}", applied.get());
+    assert!(refused.get() > 10, "family unchallenged: {}", refused.get());
+}
+
 /// The two strategies always exchange the same messages for scalar
 /// programs (coercions are forced by the mapping, not the strategy).
 #[test]

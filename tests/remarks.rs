@@ -40,6 +40,10 @@ fn golden_counts_runtime_resolution() {
     // §3.1 resolves every one of them at run time.
     assert_eq!(count(&c, Phase::RuntimeRes, RemarkKind::Missed), 7);
     assert_eq!(count(&c, Phase::RuntimeRes, RemarkKind::Applied), 0);
+    // Dependence analysis is strategy-independent: three exact nest
+    // summaries and the one wavefront hotspot lint.
+    assert_eq!(count(&c, Phase::Depend, RemarkKind::Applied), 3);
+    assert_eq!(count(&c, Phase::Depend, RemarkKind::Missed), 1);
     assert_eq!(count(&c, Phase::CostModel, RemarkKind::Applied), 1);
     assert_eq!(count(&c, Phase::CostModel, RemarkKind::Missed), 0);
 }
@@ -73,6 +77,11 @@ fn golden_counts_per_opt_level() {
             1,
             "{level}"
         );
+        // Dependence analysis runs before optimization and does not
+        // depend on the level: three exact nest summaries plus the
+        // column-carried wavefront hotspot lint.
+        assert_eq!(count(&c, Phase::Depend, RemarkKind::Applied), 3, "{level}");
+        assert_eq!(count(&c, Phase::Depend, RemarkKind::Missed), 1, "{level}");
         let got = (
             (
                 count(&c, Phase::Vectorize, RemarkKind::Applied),
